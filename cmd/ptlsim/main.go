@@ -1,0 +1,212 @@
+// Command ptlsim is the simulator front end: it boots the full-system
+// rsync benchmark domain and runs it under the selected engine, then
+// reports statistics — the role of the PTLsim core binary in the paper.
+//
+// Examples:
+//
+//	ptlsim -mode sim -core k8                 # cycle accurate, K8 config
+//	ptlsim -experiment table1                 # the paper's Table 1 run
+//	ptlsim -experiment figure2 -o fig2.txt    # time-lapse mode series
+//	ptlsim -mode sampled -sim-insns 100000 -native-insns 900000
+//	ptlsim -stats-out run.json                # snapshots for ptlstats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/cosim"
+	"ptlsim/internal/experiments"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/ooo"
+	"ptlsim/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "run a paper experiment: table1 | figure2 | figure3 | throughput")
+		scale      = flag.String("scale", "bench", "workload scale: small | bench | paper")
+		mode       = flag.String("mode", "sim", "execution engine: native | sim | sampled")
+		coreKind   = flag.String("core", "k8", "core model config: default | k8")
+		nfiles     = flag.Int("nfiles", 0, "override corpus file count")
+		filesize   = flag.Int("filesize", 0, "override corpus file size (multiple of 512)")
+		change     = flag.Float64("change", -1, "override corpus change fraction")
+		timer      = flag.Uint64("timer", 0, "guest timer period in cycles (0 = default)")
+		snapCycles = flag.Uint64("snapshot-cycles", 0, "statistics snapshot interval")
+		maxCycles  = flag.Uint64("maxcycles", 0, "abort after this many cycles (0 = unlimited)")
+		simInsns   = flag.Int64("sim-insns", 100_000, "sampled mode: simulated instructions per period")
+		natInsns   = flag.Int64("native-insns", 900_000, "sampled mode: native instructions per period")
+		statsOut   = flag.String("stats-out", "", "write snapshot series as JSON for ptlstats")
+		out        = flag.String("o", "", "write report to file instead of stdout")
+		dumpStats  = flag.String("dump", "", "dump final counters matching this prefix")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := pickScale(*scale)
+	if *nfiles > 0 {
+		cfg.Corpus.NFiles = *nfiles
+	}
+	if *filesize > 0 {
+		cfg.Corpus.FileSize = *filesize
+	}
+	if *change >= 0 {
+		cfg.Corpus.ChangeFraction = *change
+	}
+	if *timer > 0 {
+		cfg.TimerPeriod = *timer
+	}
+	if *snapCycles > 0 {
+		cfg.SnapshotCycles = *snapCycles
+	}
+	if *maxCycles > 0 {
+		cfg.MaxCycles = *maxCycles
+	}
+
+	if *experiment != "" {
+		runExperiment(w, *experiment, cfg)
+		return
+	}
+
+	// Plain benchmark run.
+	tree := stats.NewTree()
+	spec, err := guest.RsyncBenchmark(cfg.Corpus, cfg.TimerPeriod)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Tree = tree
+	img, err := kern.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	mcfg := core.Config{Core: coreConfig(*coreKind), NativeCPI: 1,
+		SnapshotCycles: cfg.SnapshotCycles, ThreadsPerCore: 1}
+	m := core.NewMachine(img.Domain, tree, mcfg)
+
+	switch *mode {
+	case "native":
+		err = m.Run(cfg.MaxCycles)
+	case "sim":
+		m.SwitchMode(core.ModeSim)
+		err = m.Run(cfg.MaxCycles)
+	case "sampled":
+		err = cosim.RunSampled(m, cosim.SampleConfig{SimInsns: *simInsns, NativeInsns: *natInsns}, cfg.MaxCycles)
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(w, "console output:\n%s\n", img.Domain.Console())
+	fmt.Fprintf(w, "cycles: %d  instructions: %d\n", m.Cycle, m.Insns())
+	if *dumpStats != "" {
+		final := tree.Snapshot(m.Cycle)
+		if err := final.WriteTable(w, *dumpStats); err != nil {
+			fatal(err)
+		}
+	}
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, m, tree); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func pickScale(s string) experiments.Config {
+	switch s {
+	case "small":
+		cfg := experiments.BenchScale()
+		cfg.Corpus = guest.CorpusSpec{NFiles: 2, FileSize: 2048, Seed: 7, ChangeFraction: 0.3}
+		return cfg
+	case "paper":
+		return experiments.PaperScale()
+	default:
+		return experiments.BenchScale()
+	}
+}
+
+func coreConfig(kind string) ooo.Config {
+	if kind == "default" {
+		return ooo.DefaultConfig()
+	}
+	return ooo.K8Config()
+}
+
+func runExperiment(w *os.File, name string, cfg experiments.Config) {
+	res, err := experiments.RunTable1(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	switch name {
+	case "table1":
+		fmt.Fprintf(w, "Table 1: PTLsim vs reference K8 counter model\n")
+		fmt.Fprintf(w, "(benchmark: %s)\n\n", res.SimConsole)
+		res.WriteTable(w)
+	case "figure2":
+		fmt.Fprintf(w, "Figure 2: cycles per mode per snapshot interval\n")
+		if err := res.Series.WriteSeries(w, experiments.Figure2Columns()...); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "\noverall: user %.1f%%  kernel %.1f%%  idle %.1f%%\n",
+			res.UserPct, res.KernelPct, res.IdlePct)
+	case "figure3":
+		fmt.Fprintf(w, "Figure 3: microarchitectural rates per snapshot interval\n")
+		if err := res.Series.WriteSeries(w, experiments.Figure3Columns()...); err != nil {
+			fatal(err)
+		}
+	case "throughput":
+		fmt.Fprintf(w, "simulated %d cycles in %v: %.0f cycles/second\n",
+			res.SimCycles, res.SimWall, res.Throughput)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", name))
+	}
+}
+
+// statsFile is the JSON schema consumed by cmd/ptlstats.
+type statsFile struct {
+	Cycles    uint64            `json:"cycles"`
+	Final     map[string]int64  `json:"final"`
+	Interval  uint64            `json:"interval"`
+	Snapshots []statsSnapshot   `json:"snapshots"`
+}
+
+type statsSnapshot struct {
+	Cycle  uint64           `json:"cycle"`
+	Values map[string]int64 `json:"values"`
+}
+
+func writeStats(path string, m *core.Machine, tree *stats.Tree) error {
+	series := m.Series()
+	sf := statsFile{
+		Cycles:   m.Cycle,
+		Final:    tree.Snapshot(m.Cycle).Values,
+		Interval: series.Interval,
+	}
+	for _, s := range series.Snapshots {
+		sf.Snapshots = append(sf.Snapshots, statsSnapshot{Cycle: s.Cycle, Values: s.Values})
+	}
+	data, err := json.MarshalIndent(sf, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptlsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command ptlstats analyzes statistics written by ptlsim -stats-out:
+// it renders counter tables, subtracts snapshots to isolate intervals
+// (the warmup-stripping workflow of the paper's §2.3), and prints the
+// time-lapse series behind Figures 2 and 3.
+//
+// Examples:
+//
+//	ptlstats -in run.json -table core0.
+//	ptlstats -in run.json -subtract 3,10 -table core0.cache
+//	ptlstats -in run.json -series mode
+//	ptlstats -in run.json -series uarch
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptlsim/internal/experiments"
+	"ptlsim/internal/stats"
+)
+
+type statsFile struct {
+	Cycles    uint64          `json:"cycles"`
+	Final     map[string]int64 `json:"final"`
+	Interval  uint64          `json:"interval"`
+	Snapshots []statsSnapshot `json:"snapshots"`
+}
+
+type statsSnapshot struct {
+	Cycle  uint64           `json:"cycle"`
+	Values map[string]int64 `json:"values"`
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "stats JSON written by ptlsim -stats-out")
+		table    = flag.String("table", "", "print final counters matching this prefix")
+		subtract = flag.String("subtract", "", "snapshot pair \"a,b\": print counters for the interval (b - a)")
+		series   = flag.String("series", "", "print a time-lapse series: mode (Figure 2) | uarch (Figure 3)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ptlstats: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var sf statsFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		fatal(err)
+	}
+
+	ser := stats.Series{Interval: sf.Interval}
+	for _, s := range sf.Snapshots {
+		ser.Snapshots = append(ser.Snapshots, stats.Snapshot{Cycle: s.Cycle, Values: s.Values})
+	}
+
+	switch {
+	case *subtract != "":
+		parts := strings.Split(*subtract, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-subtract wants \"a,b\" snapshot ids"))
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		b, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || a < 0 || b <= a || b >= len(ser.Snapshots) {
+			fatal(fmt.Errorf("bad snapshot ids %q (have %d snapshots)", *subtract, len(ser.Snapshots)))
+		}
+		d := stats.Sub(ser.Snapshots[b], ser.Snapshots[a])
+		fmt.Printf("interval: snapshots %d..%d (%d cycles)\n", a, b, d.Cycle)
+		if err := d.WriteTable(os.Stdout, prefixes(*table)...); err != nil {
+			fatal(err)
+		}
+	case *series != "":
+		var cols []stats.Column
+		switch *series {
+		case "mode", "cycles_in_mode":
+			cols = experiments.Figure2Columns()
+		case "uarch":
+			cols = experiments.Figure3Columns()
+		default:
+			fatal(fmt.Errorf("unknown series %q (want mode or uarch)", *series))
+		}
+		if err := ser.WriteSeries(os.Stdout, cols...); err != nil {
+			fatal(err)
+		}
+	default:
+		final := stats.Snapshot{Cycle: sf.Cycles, Values: sf.Final}
+		if err := final.WriteTable(os.Stdout, prefixes(*table)...); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func prefixes(p string) []string {
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptlstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// sampling demonstrates statistical sampled simulation (paper §2.3):
+// the full-system benchmark runs mostly in fast native mode, with the
+// cycle accurate core engaged for short instruction windows — the
+// technique the paper describes as "100 million instruction spans out
+// of every billion" for rapid profiling, here scaled down.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/cosim"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/stats"
+)
+
+func run(sample *cosim.SampleConfig) (time.Duration, int64, int64, string) {
+	cs := guest.CorpusSpec{NFiles: 4, FileSize: 8192, Seed: 20070425, ChangeFraction: 0.25}
+	tree := stats.NewTree()
+	spec, err := guest.RsyncBenchmark(cs, 220_000)
+	if err != nil {
+		panic(err)
+	}
+	spec.Tree = tree
+	img, err := kern.Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	m := core.NewMachine(img.Domain, tree, core.DefaultConfig())
+	start := time.Now()
+	if sample == nil {
+		m.SwitchMode(core.ModeSim)
+		err = m.Run(0)
+	} else {
+		err = cosim.RunSampled(m, *sample, 0)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return time.Since(start),
+		tree.Lookup("core0.commit.insns").Value(),
+		tree.Lookup("seq0.insns").Value(),
+		img.Domain.Console()
+}
+
+func main() {
+	fmt.Println("full cycle accurate run...")
+	fullWall, fullSim, _, console := run(nil)
+	fmt.Printf("  %v, %d instructions simulated, output %q\n", fullWall, fullSim, console)
+
+	fmt.Println("sampled run (20k simulated insns per 180k native)...")
+	cfg := cosim.SampleConfig{SimInsns: 20_000, NativeInsns: 180_000}
+	sampWall, sampSim, sampNative, console2 := run(&cfg)
+	fmt.Printf("  %v, %d simulated + %d native instructions, output %q\n",
+		sampWall, sampSim, sampNative, console2)
+
+	if console != console2 {
+		fmt.Println("ERROR: sampled run changed program behavior")
+		os.Exit(1)
+	}
+	frac := float64(sampSim) / float64(sampSim+sampNative) * 100
+	fmt.Printf("\nonly %.1f%% of instructions went through the detailed core;\n", frac)
+	fmt.Printf("guest-visible behavior is identical (same console output),\n")
+	fmt.Printf("and virtual time stayed continuous across every mode switch.\n")
+}

@@ -1,0 +1,3 @@
+module ptlsim
+
+go 1.22

@@ -1,0 +1,109 @@
+package bbcache
+
+import (
+	"testing"
+
+	"ptlsim/internal/decode"
+	"ptlsim/internal/stats"
+)
+
+func mkbb(rip uint64) *decode.BasicBlock {
+	return &decode.BasicBlock{RIP: rip}
+}
+
+func TestLookupInsert(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(16, tree, "bb")
+	k := Key{RIP: 0x1000, MFN: 5}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Insert(k, mkbb(0x1000))
+	bb, ok := c.Lookup(k)
+	if !ok || bb.RIP != 0x1000 {
+		t.Fatal("lookup after insert failed")
+	}
+	if tree.Lookup("bb.hits").Value() != 1 || tree.Lookup("bb.misses").Value() != 1 {
+		t.Fatal("hit/miss stats wrong")
+	}
+}
+
+func TestKeyContextSeparation(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(16, tree, "bb")
+	user := Key{RIP: 0x1000, MFN: 5, Kernel: false}
+	kern := Key{RIP: 0x1000, MFN: 5, Kernel: true}
+	otherPage := Key{RIP: 0x1000, MFN: 6}
+	c.Insert(user, mkbb(0x1000))
+	if _, ok := c.Lookup(kern); ok {
+		t.Fatal("kernel context must not hit user translation")
+	}
+	if _, ok := c.Lookup(otherPage); ok {
+		t.Fatal("different MFN must not hit")
+	}
+}
+
+func TestSMCInvalidation(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(16, tree, "bb")
+	c.Insert(Key{RIP: 0x1000, MFN: 5}, mkbb(0x1000))
+	c.Insert(Key{RIP: 0x2000, MFN: 5}, mkbb(0x2000))
+	c.Insert(Key{RIP: 0x3000, MFN: 7}, mkbb(0x3000))
+	if !c.IsCodePage(5) || !c.IsCodePage(7) || c.IsCodePage(9) {
+		t.Fatal("code page tracking wrong")
+	}
+	n := c.InvalidatePage(5)
+	if n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.Lookup(Key{RIP: 0x1000, MFN: 5}); ok {
+		t.Fatal("block survived SMC invalidation")
+	}
+	if _, ok := c.Lookup(Key{RIP: 0x3000, MFN: 7}); !ok {
+		t.Fatal("unrelated block was dropped")
+	}
+	if c.IsCodePage(5) {
+		t.Fatal("page still tracked after invalidation")
+	}
+}
+
+func TestPageCrossingBlockTracksBothPages(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(16, tree, "bb")
+	k := Key{RIP: 0x1FFA, MFN: 5, MFN2: 6}
+	c.Insert(k, mkbb(0x1FFA))
+	if !c.IsCodePage(5) || !c.IsCodePage(6) {
+		t.Fatal("both pages must be tracked")
+	}
+	// Invalidating the second page kills the block.
+	if n := c.InvalidatePage(6); n != 1 {
+		t.Fatalf("invalidated %d", n)
+	}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("block survived invalidation of its second page")
+	}
+	if c.IsCodePage(5) {
+		t.Fatal("stale tracking on first page")
+	}
+}
+
+func TestCapacityFlush(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(4, tree, "bb")
+	for i := uint64(0); i < 5; i++ {
+		c.Insert(Key{RIP: 0x1000 * i, MFN: i}, mkbb(0x1000*i))
+	}
+	if c.Len() > 4 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tree := stats.NewTree()
+	c := New(16, tree, "bb")
+	c.Insert(Key{RIP: 1, MFN: 1}, mkbb(1))
+	c.Flush()
+	if c.Len() != 0 || c.IsCodePage(1) {
+		t.Fatal("flush incomplete")
+	}
+}

@@ -1,0 +1,300 @@
+// Package bpred implements the configurable branch prediction models
+// described in the paper: bimodal and gshare direction predictors built
+// from 2-bit saturating counters, a hybrid predictor with a meta
+// chooser, a branch target buffer for indirect branches, and a return
+// address stack with speculative checkpointing. The K8 configuration in
+// Table 1 uses a 16K-entry gshare-like global-history predictor.
+package bpred
+
+// Kind selects the direction predictor algorithm.
+type Kind uint8
+
+// Direction predictor kinds.
+const (
+	KindBimodal Kind = iota
+	KindGshare
+	KindHybrid
+	KindStatic // always predict not-taken (ablation baseline)
+)
+
+// Config sets the predictor geometry.
+type Config struct {
+	Kind       Kind
+	TableBits  uint // log2 of counter table entries
+	HistBits   uint // global history length (gshare/hybrid)
+	BTBEntries int
+	BTBAssoc   int
+	RASEntries int
+}
+
+// DefaultConfig is a modest hybrid predictor.
+func DefaultConfig() Config {
+	return Config{Kind: KindHybrid, TableBits: 12, HistBits: 12,
+		BTBEntries: 1024, BTBAssoc: 4, RASEntries: 16}
+}
+
+// K8Config approximates the Athlon 64's 16K-entry global history
+// (gshare-like) predictor used for the Table 1 experiment.
+func K8Config() Config {
+	return Config{Kind: KindGshare, TableBits: 14, HistBits: 12,
+		BTBEntries: 2048, BTBAssoc: 4, RASEntries: 12}
+}
+
+// counterTable is a table of 2-bit saturating counters initialized to
+// weakly not-taken.
+type counterTable struct {
+	ctr  []uint8
+	mask uint64
+}
+
+func newCounterTable(bits uint) *counterTable {
+	n := 1 << bits
+	t := &counterTable{ctr: make([]uint8, n), mask: uint64(n - 1)}
+	for i := range t.ctr {
+		t.ctr[i] = 1
+	}
+	return t
+}
+
+func (t *counterTable) predict(idx uint64) bool { return t.ctr[idx&t.mask] >= 2 }
+
+func (t *counterTable) update(idx uint64, taken bool) {
+	c := &t.ctr[idx&t.mask]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// Predictor is the full branch prediction unit attached to one
+// hardware thread's fetch stage.
+type Predictor struct {
+	cfg    Config
+	bim    *counterTable
+	gsh    *counterTable
+	meta   *counterTable // chooser: >=2 means "use gshare"
+	ghr    uint64
+	ghrMsk uint64
+	btb    *BTB
+	ras    *RAS
+}
+
+// New builds a predictor from cfg.
+func New(cfg Config) *Predictor {
+	p := &Predictor{cfg: cfg, ghrMsk: (1 << cfg.HistBits) - 1}
+	switch cfg.Kind {
+	case KindBimodal:
+		p.bim = newCounterTable(cfg.TableBits)
+	case KindGshare:
+		p.gsh = newCounterTable(cfg.TableBits)
+	case KindHybrid:
+		p.bim = newCounterTable(cfg.TableBits)
+		p.gsh = newCounterTable(cfg.TableBits)
+		p.meta = newCounterTable(cfg.TableBits)
+	}
+	if cfg.BTBEntries > 0 {
+		p.btb = NewBTB(cfg.BTBEntries, cfg.BTBAssoc)
+	}
+	p.ras = NewRAS(cfg.RASEntries)
+	return p
+}
+
+func (p *Predictor) gshareIndex(pc uint64) uint64 {
+	return (pc >> 2) ^ (p.ghr & p.ghrMsk)
+}
+
+// PredictDirection predicts a conditional branch at pc and returns the
+// prediction plus a recovery snapshot of the global history to restore
+// on a misprediction.
+func (p *Predictor) PredictDirection(pc uint64) (taken bool, snapshot uint64) {
+	snapshot = p.ghr
+	switch p.cfg.Kind {
+	case KindBimodal:
+		taken = p.bim.predict(pc >> 2)
+	case KindGshare:
+		taken = p.gsh.predict(p.gshareIndex(pc))
+	case KindHybrid:
+		if p.meta.predict(pc >> 2) {
+			taken = p.gsh.predict(p.gshareIndex(pc))
+		} else {
+			taken = p.bim.predict(pc >> 2)
+		}
+	case KindStatic:
+		taken = false
+	}
+	// Speculatively shift the prediction into the history.
+	p.ghr = p.ghr<<1 | b2u(taken)
+	return taken, snapshot
+}
+
+// Update trains the predictor with the resolved outcome of the branch
+// at pc. snapshot is the value returned by PredictDirection, needed to
+// reconstruct the history the prediction was made under.
+func (p *Predictor) Update(pc uint64, taken bool, snapshot uint64) {
+	switch p.cfg.Kind {
+	case KindBimodal:
+		p.bim.update(pc>>2, taken)
+	case KindGshare:
+		idx := (pc >> 2) ^ (snapshot & p.ghrMsk)
+		p.gsh.update(idx, taken)
+	case KindHybrid:
+		gIdx := (pc >> 2) ^ (snapshot & p.ghrMsk)
+		bCorrect := p.bim.predict(pc>>2) == taken
+		gCorrect := p.gsh.predict(gIdx) == taken
+		if bCorrect != gCorrect {
+			p.meta.update(pc>>2, gCorrect)
+		}
+		p.bim.update(pc>>2, taken)
+		p.gsh.update(gIdx, taken)
+	}
+}
+
+// Recover restores the global history after a misprediction: the
+// snapshot is from prediction time, and outcome is the actual
+// direction, which is shifted back in.
+func (p *Predictor) Recover(snapshot uint64, outcome bool) {
+	p.ghr = snapshot<<1 | b2u(outcome)
+}
+
+// BTBLookup predicts the target of a taken or indirect branch.
+func (p *Predictor) BTBLookup(pc uint64) (uint64, bool) {
+	if p.btb == nil {
+		return 0, false
+	}
+	return p.btb.Lookup(pc)
+}
+
+// BTBUpdate records the resolved target of a branch.
+func (p *Predictor) BTBUpdate(pc, target uint64) {
+	if p.btb != nil {
+		p.btb.Update(pc, target)
+	}
+}
+
+// RAS exposes the return address stack.
+func (p *Predictor) RAS() *RAS { return p.ras }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets    [][]btbWay
+	setMask uint64
+	stamp   uint64
+}
+
+type btbWay struct {
+	tag    uint64
+	target uint64
+	valid  bool
+	lru    uint64
+}
+
+// NewBTB builds a BTB with the given entries and associativity.
+func NewBTB(entries, assoc int) *BTB {
+	if assoc <= 0 {
+		assoc = 1
+	}
+	nsets := entries / assoc
+	if nsets <= 0 {
+		nsets = 1
+	}
+	if nsets&(nsets-1) != 0 {
+		panic("bpred: BTB set count must be a power of two")
+	}
+	b := &BTB{sets: make([][]btbWay, nsets), setMask: uint64(nsets - 1)}
+	for i := range b.sets {
+		b.sets[i] = make([]btbWay, assoc)
+	}
+	return b
+}
+
+// Lookup returns the predicted target for the branch at pc.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	set := b.sets[(pc>>2)&b.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			b.stamp++
+			set[i].lru = b.stamp
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for the branch at pc.
+func (b *BTB) Update(pc, target uint64) {
+	set := b.sets[(pc>>2)&b.setMask]
+	b.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].lru = b.stamp
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbWay{tag: pc, target: target, valid: true, lru: b.stamp}
+}
+
+// RAS is a circular return address stack with full-copy checkpointing
+// for speculative recovery (small enough that copying is cheap).
+type RAS struct {
+	stack []uint64
+	top   int
+}
+
+// NewRAS creates a return address stack of the given depth.
+func NewRAS(entries int) *RAS {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = ret
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() uint64 {
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	return v
+}
+
+// Snapshot captures the full RAS state for misspeculation recovery.
+func (r *RAS) Snapshot() RASSnapshot {
+	s := RASSnapshot{top: r.top, stack: make([]uint64, len(r.stack))}
+	copy(s.stack, r.stack)
+	return s
+}
+
+// Restore rewinds the RAS to a snapshot.
+func (r *RAS) Restore(s RASSnapshot) {
+	r.top = s.top
+	copy(r.stack, s.stack)
+}
+
+// RASSnapshot is an opaque RAS checkpoint.
+type RASSnapshot struct {
+	top   int
+	stack []uint64
+}

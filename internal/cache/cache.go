@@ -1,0 +1,216 @@
+// Package cache models the physically-tagged cache hierarchy: L1 I/D,
+// unified L2 and optional L3, with configurable size, associativity,
+// latency, line size, MSHR-style miss buffers, K8-style L1 banking, an
+// optional next-line prefetcher, and pluggable multi-core coherence
+// ("instant visibility" by default, MOESI as the detailed model —
+// mirroring the paper's §4.4).
+//
+// The hierarchy is timing-only: data values always come from the
+// physical memory image (the integrated-simulation design), so the
+// caches track presence, state and latency rather than bytes.
+package cache
+
+// MESI/MOESI line states.
+type State uint8
+
+// Line states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Config describes one cache level.
+type Config struct {
+	Size     int // bytes
+	Assoc    int
+	LineSize int // bytes (power of two)
+	Latency  uint64
+	Banks    int // 0 = unbanked
+}
+
+type line struct {
+	tag   uint64
+	state State
+	lru   uint64
+}
+
+// Cache is one set-associative, physically tagged cache array.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	stamp     uint64
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(cfg Config) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	if cfg.Assoc <= 0 {
+		cfg.Assoc = 1
+	}
+	nsets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if nsets <= 0 {
+		nsets = 1
+	}
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1), lineShift: shift}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address of pa.
+func (c *Cache) LineAddr(pa uint64) uint64 { return pa >> c.lineShift << c.lineShift }
+
+// Bank returns the bank index of pa (K8 banks on 8-byte boundaries
+// within the line). Returns 0 when unbanked.
+func (c *Cache) Bank(pa uint64) int {
+	if c.cfg.Banks <= 1 {
+		return 0
+	}
+	return int(pa>>3) % c.cfg.Banks
+}
+
+func (c *Cache) find(pa uint64) (set []line, idx int) {
+	tag := pa >> c.lineShift
+	set = c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set, i
+		}
+	}
+	return set, -1
+}
+
+// Probe reports whether pa is resident, without touching LRU state.
+func (c *Cache) Probe(pa uint64) (State, bool) {
+	_, i := c.find(pa)
+	if i < 0 {
+		return Invalid, false
+	}
+	return c.sets[(pa>>c.lineShift)&c.setMask][i].state, true
+}
+
+// Touch looks up pa and refreshes LRU on hit.
+func (c *Cache) Touch(pa uint64) (State, bool) {
+	set, i := c.find(pa)
+	if i < 0 {
+		return Invalid, false
+	}
+	c.stamp++
+	set[i].lru = c.stamp
+	return set[i].state, true
+}
+
+// Evicted describes a victim line pushed out by a fill.
+type Evicted struct {
+	LineAddr uint64
+	State    State
+	Valid    bool
+}
+
+// Fill installs pa's line in the given state, returning any victim
+// (dirty victims must be written back by the caller's hierarchy).
+func (c *Cache) Fill(pa uint64, st State) Evicted {
+	tag := pa >> c.lineShift
+	set := c.sets[tag&c.setMask]
+	c.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = st
+			set[i].lru = c.stamp
+			return Evicted{}
+		}
+		if set[i].state == Invalid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	ev := Evicted{}
+	if set[victim].state != Invalid {
+		ev = Evicted{LineAddr: set[victim].tag << c.lineShift, State: set[victim].state, Valid: true}
+	}
+	set[victim] = line{tag: tag, state: st, lru: c.stamp}
+	return ev
+}
+
+// SetState changes the state of a resident line (coherence actions);
+// it reports whether the line was present.
+func (c *Cache) SetState(pa uint64, st State) bool {
+	set, i := c.find(pa)
+	if i < 0 {
+		return false
+	}
+	set[i].state = st
+	return true
+}
+
+// Invalidate drops pa's line, returning its prior state.
+func (c *Cache) Invalidate(pa uint64) State {
+	set, i := c.find(pa)
+	if i < 0 {
+		return Invalid
+	}
+	prior := set[i].state
+	set[i].state = Invalid
+	return prior
+}
+
+// Flush invalidates the entire cache.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].state = Invalid
+		}
+	}
+}
+
+// Resident counts valid lines (for tests and occupancy stats).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}

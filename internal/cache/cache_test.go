@@ -1,0 +1,302 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptlsim/internal/stats"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(Config{Size: 4096, Assoc: 2, LineSize: 64, Latency: 3})
+	if _, ok := c.Touch(0x1000); ok {
+		t.Fatal("cold cache should miss")
+	}
+	c.Fill(0x1000, Exclusive)
+	if st, ok := c.Touch(0x1000); !ok || st != Exclusive {
+		t.Fatalf("hit = %v %v", st, ok)
+	}
+	// Same line, different offset hits.
+	if _, ok := c.Touch(0x103F); !ok {
+		t.Fatal("same-line access should hit")
+	}
+	if _, ok := c.Touch(0x1040); ok {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, line 64, size 128*2 = 2 sets... make one set: size=128, assoc=2.
+	c := NewCache(Config{Size: 128, Assoc: 2, LineSize: 64, Latency: 1})
+	c.Fill(0x0000, Exclusive)
+	c.Fill(0x1000, Exclusive) // different tag, same (only) set? 128/64/2 = 1 set
+	c.Touch(0x0000)           // make 0x1000 LRU
+	ev := c.Fill(0x2000, Exclusive)
+	if !ev.Valid || ev.LineAddr != 0x1000 {
+		t.Fatalf("evicted = %+v, want line 0x1000", ev)
+	}
+	if _, ok := c.Probe(0x0000); !ok {
+		t.Fatal("MRU line evicted")
+	}
+}
+
+func TestDirtyVictimReported(t *testing.T) {
+	c := NewCache(Config{Size: 64, Assoc: 1, LineSize: 64, Latency: 1})
+	c.Fill(0x0000, Modified)
+	ev := c.Fill(0x4000, Exclusive)
+	if !ev.Valid || ev.State != Modified {
+		t.Fatalf("dirty victim = %+v", ev)
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	c := NewCache(Config{Size: 4096, Assoc: 2, LineSize: 64, Latency: 3, Banks: 8})
+	if c.Bank(0x00) != 0 || c.Bank(0x08) != 1 || c.Bank(0x38) != 7 {
+		t.Fatalf("banks: %d %d %d", c.Bank(0x00), c.Bank(0x08), c.Bank(0x38))
+	}
+	// 8-byte granularity: two addresses within one 8-byte word share.
+	if c.Bank(0x09) != c.Bank(0x08) {
+		t.Fatal("same word should share a bank")
+	}
+	un := NewCache(Config{Size: 4096, Assoc: 2, LineSize: 64})
+	if un.Bank(0x38) != 0 {
+		t.Fatal("unbanked cache should report bank 0")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	tree := stats.NewTree()
+	h := NewHierarchy(K8Hierarchy(), tree, "c")
+	// Cold: L1 miss, L2 miss -> memory.
+	r := h.Load(0x10000, 100)
+	if r.Level != LevelMem {
+		t.Fatalf("cold load level = %v", r.Level)
+	}
+	wantReady := uint64(100) + 3 + 10 + 112
+	if r.Ready != wantReady {
+		t.Fatalf("cold load ready = %d, want %d", r.Ready, wantReady)
+	}
+	// Hot: L1 hit.
+	r = h.Load(0x10000, 300)
+	if r.Level != LevelL1 || r.Ready != 303 {
+		t.Fatalf("hot load = %+v", r)
+	}
+	if tree.Lookup("c.l1d.accesses").Value() != 2 || tree.Lookup("c.l1d.misses").Value() != 1 {
+		t.Fatalf("stats: acc=%d miss=%d",
+			tree.Lookup("c.l1d.accesses").Value(), tree.Lookup("c.l1d.misses").Value())
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	tree := stats.NewTree()
+	cfg := HierarchyConfig{
+		L1D:        Config{Size: 128, Assoc: 1, LineSize: 64, Latency: 2}, // 2 sets
+		L1I:        Config{Size: 128, Assoc: 1, LineSize: 64, Latency: 1},
+		L2:         Config{Size: 4096, Assoc: 4, LineSize: 64, Latency: 9},
+		MemLatency: 100,
+		MSHRs:      4,
+	}
+	h := NewHierarchy(cfg, tree, "c")
+	h.Load(0x0000, 0)
+	h.Load(0x2000, 500) // evicts 0x0000 from the 1-way L1 set
+	r := h.Load(0x0000, 1000)
+	if r.Level != LevelL2 {
+		t.Fatalf("expected L2 hit, got %v", r.Level)
+	}
+	if r.Ready != 1000+2+9 {
+		t.Fatalf("L2 ready = %d", r.Ready)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	tree := stats.NewTree()
+	h := NewHierarchy(K8Hierarchy(), tree, "c")
+	r1 := h.Load(0x40000, 10)
+	r2 := h.Load(0x40008, 11) // same line, outstanding
+	if !r2.MSHRMerged {
+		t.Fatal("second miss to same line should merge")
+	}
+	if r2.Ready != r1.Ready {
+		t.Fatalf("merged miss ready %d != %d", r2.Ready, r1.Ready)
+	}
+	if tree.Lookup("c.mshr.merges").Value() != 1 {
+		t.Fatal("merge not counted")
+	}
+}
+
+func TestMSHRStructuralStall(t *testing.T) {
+	tree := stats.NewTree()
+	cfg := K8Hierarchy()
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg, tree, "c")
+	r1 := h.Load(0x100000, 0)
+	h.Load(0x200000, 0)
+	r3 := h.Load(0x300000, 0) // no free MSHR until r1/r2 complete
+	if r3.Ready <= r1.Ready {
+		t.Fatalf("structural stall not modeled: r3 ready %d vs r1 %d", r3.Ready, r1.Ready)
+	}
+}
+
+func TestPrefetchNextLine(t *testing.T) {
+	tree := stats.NewTree()
+	cfg := K8Hierarchy()
+	cfg.Prefetch = true
+	h := NewHierarchy(cfg, tree, "c")
+	h.Load(0x50000, 0)  // miss (trains)
+	h.Load(0x50040, 200) // consecutive miss -> prefetch 0x50080
+	r := h.Load(0x50080, 400)
+	if r.Level != LevelL1 {
+		t.Fatalf("prefetched line should hit L1, got %v", r.Level)
+	}
+	if tree.Lookup("c.prefetches").Value() != 1 {
+		t.Fatal("prefetch not counted")
+	}
+}
+
+func TestIFetchSeparateFromData(t *testing.T) {
+	tree := stats.NewTree()
+	h := NewHierarchy(K8Hierarchy(), tree, "c")
+	h.Fetch(0x7000, 0)
+	if tree.Lookup("c.l1i.accesses").Value() != 1 || tree.Lookup("c.l1d.accesses").Value() != 0 {
+		t.Fatal("ifetch must hit the I-cache path")
+	}
+	// Data access to same address still misses L1D (separate arrays)
+	// but hits L2 (unified).
+	r := h.Load(0x7000, 500)
+	if r.Level != LevelL2 {
+		t.Fatalf("load after fetch: level %v, want L2", r.Level)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tree := stats.NewTree()
+	h := NewHierarchy(K8Hierarchy(), tree, "c")
+	h.Load(0x9000, 0)
+	h.Flush()
+	r := h.Load(0x9000, 1000)
+	if r.Level != LevelMem {
+		t.Fatalf("after flush load should go to memory, got %v", r.Level)
+	}
+}
+
+func TestInstantCoherenceInvalidation(t *testing.T) {
+	tree := stats.NewTree()
+	cc := NewInstantCoherence(tree)
+	h0 := NewHierarchy(K8Hierarchy(), tree, "c0")
+	h1 := NewHierarchy(K8Hierarchy(), tree, "c1")
+	h0.AttachCoherence(cc, 0)
+	h1.AttachCoherence(cc, 1)
+
+	h0.Load(0x8000, 0) // core 0 reads: Exclusive
+	h1.Store(0x8000, 100)
+	// Core 0's copy must be gone.
+	if _, ok := h0.L1D().Probe(0x8000); ok {
+		t.Fatal("writer must invalidate remote copy")
+	}
+	if tree.Lookup("coherence.line_moves").Value() == 0 {
+		t.Fatal("line movement not counted")
+	}
+}
+
+func TestInstantCoherenceSharedRead(t *testing.T) {
+	tree := stats.NewTree()
+	cc := NewInstantCoherence(tree)
+	h0 := NewHierarchy(K8Hierarchy(), tree, "c0")
+	h1 := NewHierarchy(K8Hierarchy(), tree, "c1")
+	h0.AttachCoherence(cc, 0)
+	h1.AttachCoherence(cc, 1)
+
+	h0.Store(0x8000, 0) // core 0 dirty
+	h1.Load(0x8000, 100)
+	st, ok := h0.L1D().Probe(0x8000)
+	if !ok || (st != Owned && st != Shared) {
+		t.Fatalf("remote dirty copy should be downgraded, got %v %v", st, ok)
+	}
+}
+
+func TestMOESILatency(t *testing.T) {
+	tree := stats.NewTree()
+	cc := NewMOESICoherence(tree, 20, 30)
+	h0 := NewHierarchy(K8Hierarchy(), tree, "c0")
+	h1 := NewHierarchy(K8Hierarchy(), tree, "c1")
+	h0.AttachCoherence(cc, 0)
+	h1.AttachCoherence(cc, 1)
+
+	h0.Store(0x8000, 0)
+	r := h1.Load(0x8000, 1000)
+	// Cache-to-cache: L1 lat + L2 lat + bus + transfer, not memory.
+	want := uint64(1000) + 3 + 10 + 20 + 30
+	if r.Ready != want {
+		t.Fatalf("c2c transfer ready = %d, want %d", r.Ready, want)
+	}
+	if tree.Lookup("coherence.line_moves").Value() != 1 {
+		t.Fatal("line move not counted")
+	}
+}
+
+// MOESI invariant: after any access sequence, at most one core holds a
+// line in M or E state.
+func TestMOESISingleOwnerProperty(t *testing.T) {
+	tree := stats.NewTree()
+	cc := NewMOESICoherence(tree, 5, 10)
+	const ncores = 4
+	hs := make([]*Hierarchy, ncores)
+	for i := range hs {
+		hs[i] = NewHierarchy(K8Hierarchy(), tree, "c")
+		hs[i].AttachCoherence(cc, i)
+	}
+	r := rand.New(rand.NewSource(13))
+	lines := []uint64{0x1000, 0x2000, 0x3000}
+	for step := 0; step < 3000; step++ {
+		core := r.Intn(ncores)
+		line := lines[r.Intn(len(lines))]
+		if r.Intn(2) == 0 {
+			hs[core].Load(line, uint64(step)*10)
+		} else {
+			hs[core].Store(line, uint64(step)*10)
+		}
+		for _, l := range lines {
+			owners := 0
+			for _, h := range hs {
+				if st, ok := h.L1D().Probe(l); ok && (st == Modified || st == Exclusive) {
+					owners++
+				}
+			}
+			if owners > 1 {
+				t.Fatalf("step %d: line %#x has %d M/E owners", step, l, owners)
+			}
+		}
+	}
+}
+
+func TestUpgradeInvalidatesSharers(t *testing.T) {
+	tree := stats.NewTree()
+	cc := NewMOESICoherence(tree, 5, 10)
+	h0 := NewHierarchy(K8Hierarchy(), tree, "c0")
+	h1 := NewHierarchy(K8Hierarchy(), tree, "c1")
+	h0.AttachCoherence(cc, 0)
+	h1.AttachCoherence(cc, 1)
+	h0.Load(0x8000, 0)
+	h1.Load(0x8000, 10) // both Shared now
+	h0.Store(0x8000, 100)
+	if _, ok := h1.L1D().Probe(0x8000); ok {
+		t.Fatal("upgrade must invalidate the other sharer")
+	}
+	if tree.Lookup("coherence.upgrades").Value() == 0 {
+		t.Fatal("upgrade not counted")
+	}
+}
+
+func TestResidentCount(t *testing.T) {
+	c := NewCache(Config{Size: 4096, Assoc: 4, LineSize: 64, Latency: 1})
+	for i := uint64(0); i < 10; i++ {
+		c.Fill(i*64, Shared)
+	}
+	if c.Resident() != 10 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+	c.Invalidate(0)
+	if c.Resident() != 9 {
+		t.Fatalf("after invalidate = %d", c.Resident())
+	}
+}

@@ -1,0 +1,124 @@
+package cache
+
+import "ptlsim/internal/stats"
+
+// Controller is the multi-core coherence interface (the paper's §4.4:
+// PTLsim ships an "instant visibility" model by default, with the
+// infrastructure for MOESI-compatible models to be plugged in).
+type Controller interface {
+	// Register attaches a core's hierarchy to the controller.
+	Register(coreID int, h *Hierarchy)
+	// Fetch handles core's demand miss for lineAddr. It returns the
+	// extra latency and whether the line was supplied by a remote
+	// cache (cache-to-cache transfer).
+	Fetch(core int, lineAddr uint64, write bool, now uint64) (latency uint64, remote bool)
+	// Upgrade handles a Shared->Modified upgrade (invalidate sharers).
+	Upgrade(core int, lineAddr uint64, now uint64) uint64
+}
+
+// InstantCoherence is the zero-latency "instant visibility" model:
+// remote copies are invalidated or downgraded immediately and line
+// movement costs nothing beyond the local hierarchy's latencies.
+type InstantCoherence struct {
+	cores map[int]*Hierarchy
+	moves *stats.Counter
+}
+
+// NewInstantCoherence builds the instant-visibility controller.
+func NewInstantCoherence(tree *stats.Tree) *InstantCoherence {
+	return &InstantCoherence{
+		cores: make(map[int]*Hierarchy),
+		moves: tree.Counter("coherence.line_moves"),
+	}
+}
+
+// Register implements Controller.
+func (ic *InstantCoherence) Register(coreID int, h *Hierarchy) { ic.cores[coreID] = h }
+
+// Fetch implements Controller.
+func (ic *InstantCoherence) Fetch(core int, lineAddr uint64, write bool, _ uint64) (uint64, bool) {
+	remote := false
+	for id, h := range ic.cores {
+		if id == core {
+			continue
+		}
+		if h.snoop(lineAddr, write) {
+			remote = true
+			ic.moves.Inc()
+		}
+	}
+	return 0, remote
+}
+
+// Upgrade implements Controller.
+func (ic *InstantCoherence) Upgrade(core int, lineAddr uint64, _ uint64) uint64 {
+	for id, h := range ic.cores {
+		if id != core {
+			h.snoop(lineAddr, true)
+		}
+	}
+	return 0
+}
+
+// MOESICoherence models a snooping bus with cache-to-cache transfer
+// and invalidation latencies — the future-work interconnect model the
+// paper describes, usable for the coherence ablation benchmarks.
+type MOESICoherence struct {
+	cores map[int]*Hierarchy
+
+	// BusLatency is charged per remote transaction; TransferLatency is
+	// the additional cost of moving a dirty line between caches.
+	BusLatency      uint64
+	TransferLatency uint64
+
+	moves       *stats.Counter
+	invalidates *stats.Counter
+	upgrades    *stats.Counter
+}
+
+// NewMOESICoherence builds the detailed controller.
+func NewMOESICoherence(tree *stats.Tree, busLat, xferLat uint64) *MOESICoherence {
+	return &MOESICoherence{
+		cores:           make(map[int]*Hierarchy),
+		BusLatency:      busLat,
+		TransferLatency: xferLat,
+		moves:           tree.Counter("coherence.line_moves"),
+		invalidates:     tree.Counter("coherence.invalidations"),
+		upgrades:        tree.Counter("coherence.upgrades"),
+	}
+}
+
+// Register implements Controller.
+func (mc *MOESICoherence) Register(coreID int, h *Hierarchy) { mc.cores[coreID] = h }
+
+// Fetch implements Controller.
+func (mc *MOESICoherence) Fetch(core int, lineAddr uint64, write bool, _ uint64) (uint64, bool) {
+	lat := mc.BusLatency
+	remote := false
+	for id, h := range mc.cores {
+		if id == core {
+			continue
+		}
+		if h.snoop(lineAddr, write) {
+			remote = true
+			lat += mc.TransferLatency
+			mc.moves.Inc()
+			if write {
+				mc.invalidates.Inc()
+			}
+		}
+	}
+	return lat, remote
+}
+
+// Upgrade implements Controller.
+func (mc *MOESICoherence) Upgrade(core int, lineAddr uint64, _ uint64) uint64 {
+	mc.upgrades.Inc()
+	lat := mc.BusLatency
+	for id, h := range mc.cores {
+		if id != core && h.snoop(lineAddr, true) {
+			mc.invalidates.Inc()
+		}
+	}
+	return lat
+}

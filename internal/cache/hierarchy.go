@@ -1,0 +1,336 @@
+package cache
+
+import "ptlsim/internal/stats"
+
+// HierarchyConfig describes a per-core cache hierarchy. L3 may have
+// Size 0 to disable it (the K8 configuration in Table 1 is L1+L2).
+type HierarchyConfig struct {
+	L1D, L1I, L2, L3 Config
+	MemLatency       uint64
+	MSHRs            int  // outstanding line misses per hierarchy
+	Prefetch         bool // simple tagged next-line prefetcher on L1D misses
+}
+
+// DefaultHierarchy is a generic modern three-level configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:        Config{Size: 32 << 10, Assoc: 8, LineSize: 64, Latency: 4},
+		L1I:        Config{Size: 32 << 10, Assoc: 8, LineSize: 64, Latency: 1},
+		L2:         Config{Size: 512 << 10, Assoc: 8, LineSize: 64, Latency: 12},
+		L3:         Config{Size: 8 << 20, Assoc: 16, LineSize: 64, Latency: 30},
+		MemLatency: 180,
+		MSHRs:      16,
+	}
+}
+
+// K8Hierarchy matches the Table 1 configuration: 64 KB 2-way L1 D and
+// I caches with 8 banks, a 1 MB 16-way L2 10 cycles away, no L3, and
+// main memory 112 cycles away.
+func K8Hierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:        Config{Size: 64 << 10, Assoc: 2, LineSize: 64, Latency: 3, Banks: 8},
+		L1I:        Config{Size: 64 << 10, Assoc: 2, LineSize: 64, Latency: 1},
+		L2:         Config{Size: 1 << 20, Assoc: 16, LineSize: 64, Latency: 10},
+		MemLatency: 112,
+		MSHRs:      8,
+	}
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hit levels.
+const (
+	LevelL1 Level = 1
+	LevelL2 Level = 2
+	LevelL3 Level = 3
+	LevelMem Level = 4
+)
+
+// Result describes the timing outcome of a cache access.
+type Result struct {
+	Ready uint64 // cycle at which data is available
+	Level Level  // level that satisfied the access
+	MSHRMerged bool // folded into an outstanding miss for the same line
+}
+
+// mshr tracks one outstanding line miss.
+type mshr struct {
+	line  uint64
+	ready uint64
+}
+
+// Hierarchy is one core's cache hierarchy with miss buffers and an
+// optional coherence controller shared between cores.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1d *Cache
+	l1i *Cache
+	l2  *Cache
+	l3  *Cache
+
+	mshrs []mshr
+
+	coh    Controller // may be nil (single core, no coherence)
+	coreID int
+
+	prefetchLast uint64 // last line missed, for tagged next-line detection
+
+	// Statistics.
+	l1dAccess, l1dMiss   *stats.Counter
+	l1iAccess, l1iMiss   *stats.Counter
+	l2Access, l2Miss     *stats.Counter
+	l3Access, l3Miss     *stats.Counter
+	memAccess            *stats.Counter
+	mshrMerges, wbCount  *stats.Counter
+	prefetches           *stats.Counter
+	bankConflictsCounter *stats.Counter
+}
+
+// NewHierarchy builds a hierarchy, registering statistics under
+// prefix (e.g. "core0.cache") in tree.
+func NewHierarchy(cfg HierarchyConfig, tree *stats.Tree, prefix string) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		l1d: NewCache(cfg.L1D),
+		l1i: NewCache(cfg.L1I),
+		l2:  NewCache(cfg.L2),
+	}
+	if cfg.L3.Size > 0 {
+		h.l3 = NewCache(cfg.L3)
+	}
+	if cfg.MSHRs <= 0 {
+		h.cfg.MSHRs = 8
+	}
+	h.l1dAccess = tree.Counter(prefix + ".l1d.accesses")
+	h.l1dMiss = tree.Counter(prefix + ".l1d.misses")
+	h.l1iAccess = tree.Counter(prefix + ".l1i.accesses")
+	h.l1iMiss = tree.Counter(prefix + ".l1i.misses")
+	h.l2Access = tree.Counter(prefix + ".l2.accesses")
+	h.l2Miss = tree.Counter(prefix + ".l2.misses")
+	h.l3Access = tree.Counter(prefix + ".l3.accesses")
+	h.l3Miss = tree.Counter(prefix + ".l3.misses")
+	h.memAccess = tree.Counter(prefix + ".mem.accesses")
+	h.mshrMerges = tree.Counter(prefix + ".mshr.merges")
+	h.wbCount = tree.Counter(prefix + ".writebacks")
+	h.prefetches = tree.Counter(prefix + ".prefetches")
+	h.bankConflictsCounter = tree.Counter(prefix + ".l1d.bank_conflicts")
+	return h
+}
+
+// AttachCoherence links the hierarchy to a shared coherence controller
+// as the given core.
+func (h *Hierarchy) AttachCoherence(c Controller, coreID int) {
+	h.coh = c
+	h.coreID = coreID
+	c.Register(coreID, h)
+}
+
+// L1D exposes the level-1 data cache (for bank queries and tests).
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L1I exposes the level-1 instruction cache.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L2 exposes the unified level-2 cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// CountBankConflict records an L1D bank conflict replay (detected by
+// the core's load/store units).
+func (h *Hierarchy) CountBankConflict() { h.bankConflictsCounter.Inc() }
+
+// Flush empties all levels (used by -perfctr style cold-start runs).
+func (h *Hierarchy) Flush() {
+	h.l1d.Flush()
+	h.l1i.Flush()
+	h.l2.Flush()
+	if h.l3 != nil {
+		h.l3.Flush()
+	}
+	h.mshrs = h.mshrs[:0]
+}
+
+// mshrLookup merges a miss into an outstanding one, or allocates a new
+// MSHR. Returns the completion cycle and whether it was merged.
+func (h *Hierarchy) mshrAlloc(lineAddr, now, fillLatency uint64) (uint64, bool) {
+	// Retire completed MSHRs.
+	live := h.mshrs[:0]
+	for _, m := range h.mshrs {
+		if m.ready > now {
+			live = append(live, m)
+		}
+	}
+	h.mshrs = live
+	for _, m := range h.mshrs {
+		if m.line == lineAddr {
+			h.mshrMerges.Inc()
+			return m.ready, true
+		}
+	}
+	start := now
+	if len(h.mshrs) >= h.cfg.MSHRs {
+		// All miss buffers busy: the request waits for the earliest
+		// free slot (structural hazard).
+		earliest := h.mshrs[0].ready
+		for _, m := range h.mshrs[1:] {
+			if m.ready < earliest {
+				earliest = m.ready
+			}
+		}
+		start = earliest
+	}
+	ready := start + fillLatency
+	h.mshrs = append(h.mshrs, mshr{line: lineAddr, ready: ready})
+	return ready, false
+}
+
+// access is the shared lookup path for loads, stores and fetches.
+func (h *Hierarchy) access(pa uint64, now uint64, write, ifetch bool) Result {
+	l1 := h.l1d
+	acc, miss := h.l1dAccess, h.l1dMiss
+	if ifetch {
+		l1 = h.l1i
+		acc, miss = h.l1iAccess, h.l1iMiss
+	}
+	acc.Inc()
+	lineAddr := l1.LineAddr(pa)
+
+	if st, ok := l1.Touch(pa); ok {
+		ready := now + l1.cfg.Latency
+		// A hit on a line whose fill is still in flight completes when
+		// the outstanding MSHR does (miss merging).
+		merged := false
+		for _, m := range h.mshrs {
+			if m.line == lineAddr && m.ready > ready {
+				ready = m.ready
+				merged = true
+				h.mshrMerges.Inc()
+				break
+			}
+		}
+		if write && (st == Shared || st == Owned) && h.coh != nil {
+			// Upgrade: invalidate other sharers.
+			lat := h.coh.Upgrade(h.coreID, lineAddr, now)
+			l1.SetState(pa, Modified)
+			return Result{Ready: ready + lat, Level: LevelL1, MSHRMerged: merged}
+		}
+		if write {
+			l1.SetState(pa, Modified)
+		}
+		return Result{Ready: ready, Level: LevelL1, MSHRMerged: merged}
+	}
+	miss.Inc()
+
+	// Determine fill latency by probing deeper levels.
+	var fillLat uint64
+	var level Level
+	h.l2Access.Inc()
+	if _, ok := h.l2.Touch(pa); ok {
+		fillLat = h.l2.cfg.Latency
+		level = LevelL2
+	} else {
+		h.l2Miss.Inc()
+		if h.l3 != nil {
+			h.l3Access.Inc()
+			if _, ok := h.l3.Touch(pa); ok {
+				fillLat = h.l2.cfg.Latency + h.l3.cfg.Latency
+				level = LevelL3
+			} else {
+				h.l3Miss.Inc()
+				h.memAccess.Inc()
+				fillLat = h.l2.cfg.Latency + h.l3.cfg.Latency + h.cfg.MemLatency
+				level = LevelMem
+			}
+		} else {
+			h.memAccess.Inc()
+			fillLat = h.l2.cfg.Latency + h.cfg.MemLatency
+			level = LevelMem
+		}
+	}
+
+	// Coherence: fetching from another core's cache may be faster or
+	// slower than memory and invalidates/downgrades remote copies.
+	var cohLat uint64
+	newState := Exclusive
+	if h.coh != nil {
+		var remote bool
+		cohLat, remote = h.coh.Fetch(h.coreID, lineAddr, write, now)
+		if remote && level == LevelMem {
+			// Cache-to-cache transfer instead of memory access.
+			fillLat = h.l2.cfg.Latency + cohLat
+		}
+		if write {
+			newState = Modified
+		} else if remote {
+			newState = Shared
+		}
+	} else if write {
+		newState = Modified
+	}
+
+	ready, merged := h.mshrAlloc(lineAddr, now+l1.cfg.Latency, fillLat)
+
+	// Fill L1 (and L2/L3 inclusively).
+	if ev := l1.Fill(pa, newState); ev.Valid && (ev.State == Modified || ev.State == Owned) {
+		h.wbCount.Inc()
+		h.l2.Fill(ev.LineAddr, Modified)
+	}
+	if level == LevelMem || level == LevelL3 {
+		if ev := h.l2.Fill(pa, Shared); ev.Valid && (ev.State == Modified || ev.State == Owned) {
+			h.wbCount.Inc()
+		}
+	}
+	if h.l3 != nil && level == LevelMem {
+		h.l3.Fill(pa, Shared)
+	}
+
+	// Tagged next-line prefetch: a second consecutive line miss
+	// triggers a prefetch of the following line into L1.
+	if h.cfg.Prefetch && !ifetch {
+		if lineAddr == h.prefetchLast+uint64(l1.cfg.LineSize) {
+			next := lineAddr + uint64(l1.cfg.LineSize)
+			if _, ok := l1.Probe(next); !ok {
+				l1.Fill(next, Exclusive)
+				h.l2.Fill(next, Shared)
+				h.prefetches.Inc()
+			}
+		}
+		h.prefetchLast = lineAddr
+	}
+
+	return Result{Ready: ready, Level: level, MSHRMerged: merged}
+}
+
+// Load performs a data read at physical address pa at cycle now.
+func (h *Hierarchy) Load(pa, now uint64) Result { return h.access(pa, now, false, false) }
+
+// Store performs a data write at physical address pa at cycle now
+// (write-allocate, write-back).
+func (h *Hierarchy) Store(pa, now uint64) Result { return h.access(pa, now, true, false) }
+
+// Fetch performs an instruction fetch at physical address pa.
+func (h *Hierarchy) Fetch(pa, now uint64) Result { return h.access(pa, now, false, true) }
+
+// snoop handles a remote coherence request against this hierarchy:
+// invalidate on write intent, downgrade to Shared/Owned on read.
+// It reports whether any level held the line.
+func (h *Hierarchy) snoop(lineAddr uint64, invalidate bool) bool {
+	held := false
+	for _, c := range []*Cache{h.l1d, h.l1i, h.l2, h.l3} {
+		if c == nil {
+			continue
+		}
+		st, ok := c.Probe(lineAddr)
+		if !ok {
+			continue
+		}
+		held = true
+		if invalidate {
+			c.Invalidate(lineAddr)
+		} else if st == Modified || st == Exclusive {
+			c.SetState(lineAddr, Owned)
+		}
+		_ = st
+	}
+	return held
+}

@@ -1,0 +1,496 @@
+// Package core is the public facade of the simulator: a Machine binds
+// a paravirtualized domain to PTLsim's core models and provides the
+// simulation control the paper describes — native-mode execution (the
+// fast functional engine standing in for host silicon), cycle accurate
+// simulation on the out-of-order core, seamless switching between the
+// two driven by ptlcall command lists, statistics snapshots, and the
+// per-cycle user/kernel/idle accounting behind Figure 2.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/cache"
+	"ptlsim/internal/hv"
+	"ptlsim/internal/ooo"
+	"ptlsim/internal/seqcore"
+	"ptlsim/internal/stats"
+)
+
+// Mode selects the execution engine.
+type Mode int
+
+// Execution modes.
+const (
+	ModeNative Mode = iota // fast functional execution
+	ModeSim                // cycle accurate out-of-order model
+)
+
+// Config configures a Machine.
+type Config struct {
+	Core ooo.Config
+	// NativeCPI is how many virtual cycles each instruction advances
+	// the clock in native mode (time virtualization for timers).
+	NativeCPI float64
+	// SnapshotCycles takes a statistics snapshot every N cycles
+	// (0 disables); the paper used one per 2.2M cycles.
+	SnapshotCycles uint64
+	// ThreadsPerCore assigns this many VCPUs to each core (SMT); the
+	// remainder get their own cores.
+	ThreadsPerCore int
+	// Coherence selects the multi-core cache coherence model: nil
+	// means per-core hierarchies with instant visibility.
+	UseMOESI bool
+	// BBCacheCapacity bounds the basic block cache (0 = default 16384).
+	// Setting 1 effectively disables translation caching (the ablation
+	// for the paper's §2.1 claim that the BB cache is a simulator
+	// speed optimization with no architectural effect).
+	BBCacheCapacity int
+}
+
+// DefaultConfig runs the default out-of-order core.
+func DefaultConfig() Config {
+	return Config{Core: ooo.DefaultConfig(), NativeCPI: 1.0, ThreadsPerCore: 1}
+}
+
+// Machine drives one domain through the simulator.
+type Machine struct {
+	Dom  *hv.Domain
+	Tree *stats.Tree
+
+	cfg  Config
+	mode Mode
+
+	bbc      *bbcache.Cache
+	seqCores []*seqcore.Core
+	oooCores []*ooo.Core
+
+	// Cycle is the domain's virtual cycle counter (shared with the
+	// hypervisor clock).
+	Cycle uint64
+
+	collector *stats.Collector
+
+	// Pending ptlcall command phases.
+	phases []phase
+
+	// Stop conditions for the current phase.
+	stopInsns  int64 // committed-instruction budget (-1 = unlimited)
+	baseInsns  int64
+
+	cyclesNative, cyclesSim              *stats.Counter
+	cyclesUser, cyclesKernel, cyclesIdle *stats.Counter
+	modeSwitches                         *stats.Counter
+}
+
+type phase struct {
+	mode      Mode
+	stopInsns int64
+	kill      bool
+}
+
+// NewMachine wires a domain to the simulator.
+func NewMachine(dom *hv.Domain, tree *stats.Tree, cfg Config) *Machine {
+	m := &Machine{
+		Dom:  dom,
+		Tree: tree,
+		cfg:  cfg,
+		mode: ModeNative,
+
+		cyclesNative: tree.Counter("external.cycles_in_mode.native"),
+		cyclesSim:    tree.Counter("external.cycles_in_mode.sim"),
+		cyclesUser:   tree.Counter("external.cycles_in_mode.user"),
+		cyclesKernel: tree.Counter("external.cycles_in_mode.kernel"),
+		cyclesIdle:   tree.Counter("external.cycles_in_mode.idle"),
+		modeSwitches: tree.Counter("external.mode_switches"),
+	}
+	if cfg.NativeCPI <= 0 {
+		m.cfg.NativeCPI = 1.0
+	}
+	cap := cfg.BBCacheCapacity
+	if cap <= 0 {
+		cap = 16384
+	}
+	m.bbc = bbcache.New(cap, tree, "bbcache")
+	m.stopInsns = -1
+	if cfg.SnapshotCycles > 0 {
+		m.collector = stats.NewCollector(tree, cfg.SnapshotCycles)
+	}
+	// Sequential cores: one per VCPU.
+	for i, ctx := range dom.VCPUs {
+		sc := seqcore.New(ctx, dom, m.bbc, tree, fmt.Sprintf("seq%d", i))
+		m.seqCores = append(m.seqCores, sc)
+	}
+	// Out-of-order cores: ThreadsPerCore VCPUs each.
+	tpc := cfg.ThreadsPerCore
+	if tpc <= 0 {
+		tpc = 1
+	}
+	coreCfg := cfg.Core
+	if tpc > coreCfg.MaxThreads {
+		coreCfg.MaxThreads = tpc
+	}
+	var coh cache.Controller
+	ncores := (len(dom.VCPUs) + tpc - 1) / tpc
+	if ncores > 1 {
+		if cfg.UseMOESI {
+			coh = cache.NewMOESICoherence(tree, 20, 30)
+		} else {
+			coh = cache.NewInstantCoherence(tree)
+		}
+	}
+	il := ooo.NewInterlock()
+	for c := 0; c < ncores; c++ {
+		lo := c * tpc
+		hi := lo + tpc
+		if hi > len(dom.VCPUs) {
+			hi = len(dom.VCPUs)
+		}
+		oc := ooo.New(c, coreCfg, dom.VCPUs[lo:hi], dom, m.bbc, tree, fmt.Sprintf("core%d", c))
+		oc.SetInterlock(il)
+		if coh != nil {
+			oc.Hierarchy().AttachCoherence(coh, c)
+		}
+		m.oooCores = append(m.oooCores, oc)
+	}
+	return m
+}
+
+// Mode returns the current execution mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// OOOCores exposes the cycle-accurate cores (stats, tests).
+func (m *Machine) OOOCores() []*ooo.Core { return m.oooCores }
+
+// SeqCores exposes the functional cores.
+func (m *Machine) SeqCores() []*seqcore.Core { return m.seqCores }
+
+// Insns returns total committed x86 instructions in the current mode's
+// engines (native + simulated are tracked separately and summed).
+func (m *Machine) Insns() int64 {
+	var n int64
+	for _, c := range m.seqCores {
+		n += c.Insns()
+	}
+	for _, c := range m.oooCores {
+		n += c.Insns()
+	}
+	return n
+}
+
+// SwitchMode changes execution engine at an instruction boundary,
+// preserving virtual time (the TSC and all timers run on the shared
+// domain clock, so the guest cannot observe the transition).
+func (m *Machine) SwitchMode(mode Mode) {
+	if mode == m.mode {
+		return
+	}
+	// Flush the out-of-order pipelines on every transition: leaving
+	// sim mode discards uncommitted work (each context stays at its
+	// last committed boundary); entering sim mode resynchronizes the
+	// fetch units with the architectural RIP the native engine
+	// advanced to.
+	for _, c := range m.oooCores {
+		for t := 0; t < c.Threads(); t++ {
+			c.FullFlush(t)
+		}
+	}
+	m.mode = mode
+	m.modeSwitches.Inc()
+}
+
+// accountCycle attributes n cycles to user/kernel/idle based on VCPU0
+// (the paper's Figure 2 classification).
+func (m *Machine) accountCycle(n uint64) {
+	ctx := m.Dom.VCPUs[0]
+	switch {
+	case !ctx.Running:
+		m.cyclesIdle.Add(int64(n))
+	case ctx.Kernel:
+		m.cyclesKernel.Add(int64(n))
+	default:
+		m.cyclesUser.Add(int64(n))
+	}
+}
+
+// advance moves the shared clock forward n cycles with bookkeeping.
+func (m *Machine) advance(n uint64) {
+	if n == 0 {
+		return
+	}
+	m.accountCycle(n)
+	if m.mode == ModeNative {
+		m.cyclesNative.Add(int64(n))
+	} else {
+		m.cyclesSim.Add(int64(n))
+	}
+	m.Cycle += n
+	m.Dom.Tick(m.Cycle)
+	if m.collector != nil {
+		m.collector.Tick(m.Cycle)
+	}
+}
+
+// allIdle reports whether every VCPU is halted.
+func (m *Machine) allIdle() bool {
+	for _, ctx := range m.Dom.VCPUs {
+		if ctx.Running {
+			return false
+		}
+	}
+	if m.mode == ModeSim {
+		for _, c := range m.oooCores {
+			if !c.Idle() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// skipIdle fast-forwards the clock to the next timer/DMA deadline when
+// the whole domain is halted. Returns false on true deadlock.
+func (m *Machine) skipIdle() bool {
+	ddl := m.Dom.NextTimerDeadline()
+	if ddl == 0 {
+		return false
+	}
+	if ddl <= m.Cycle {
+		ddl = m.Cycle + 1
+	}
+	m.advance(ddl - m.Cycle)
+	return true
+}
+
+// stepNative advances native mode by one scheduling quantum (one basic
+// block per VCPU), advancing virtual time by NativeCPI per instruction.
+func (m *Machine) stepNative() error {
+	before := int64(0)
+	for _, c := range m.seqCores {
+		before += c.Insns()
+	}
+	ran := false
+	for _, c := range m.seqCores {
+		kind, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if kind == seqcore.StepRan {
+			ran = true
+		}
+	}
+	after := int64(0)
+	for _, c := range m.seqCores {
+		after += c.Insns()
+	}
+	if ran {
+		n := uint64(float64(after-before) * m.cfg.NativeCPI)
+		if n == 0 {
+			n = 1
+		}
+		m.advance(n)
+		return nil
+	}
+	if !m.skipIdle() {
+		return fmt.Errorf("core: domain deadlocked at cycle %d (all VCPUs halted, no timers)", m.Cycle)
+	}
+	return nil
+}
+
+// stepSim advances the cycle accurate model by one cycle (all cores in
+// round-robin order, as §2.2 describes).
+func (m *Machine) stepSim() error {
+	if m.allIdle() {
+		if !m.skipIdle() {
+			return fmt.Errorf("core: domain deadlocked at cycle %d", m.Cycle)
+		}
+		return nil
+	}
+	for _, c := range m.oooCores {
+		if err := c.Cycle(m.Cycle); err != nil {
+			return err
+		}
+	}
+	m.advance(1)
+	return nil
+}
+
+// Step advances the machine by one unit in the current mode.
+func (m *Machine) Step() error {
+	if m.mode == ModeNative {
+		return m.stepNative()
+	}
+	return m.stepSim()
+}
+
+// RunUntilInsns advances the machine until exactly target instructions
+// have committed in total (or the domain shuts down). In native mode
+// the functional core single-steps near the boundary; in simulation
+// mode the commit stage is gated, so both engines pause at a precise
+// instruction boundary — the property native↔sim switching and the
+// divergence search rely on.
+func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) error {
+	if m.mode == ModeSim {
+		for _, c := range m.oooCores {
+			c.SetCommitLimit(target)
+		}
+		defer func() {
+			for _, c := range m.oooCores {
+				c.SetCommitLimit(0)
+			}
+		}()
+	} else {
+		for _, c := range m.seqCores {
+			c.MaxInsnsPerStep = 1
+		}
+		defer func() {
+			for _, c := range m.seqCores {
+				c.MaxInsnsPerStep = 0
+			}
+		}()
+	}
+	start := m.Cycle
+	for m.Insns() < target && !m.Dom.ShutdownReq {
+		if maxCycles > 0 && m.Cycle-start >= maxCycles {
+			return fmt.Errorf("core: RunUntilInsns(%d): cycle budget exhausted at %d insns", target, m.Insns())
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+		m.processCommands()
+	}
+	return nil
+}
+
+// RunUntilRIP runs in native mode, single stepping, until VCPU 0
+// reaches the trigger RIP (the paper's RIP trigger points, §2.3).
+func (m *Machine) RunUntilRIP(rip uint64, maxInsns int64) error {
+	if m.mode != ModeNative {
+		return fmt.Errorf("core: RIP triggers require native mode")
+	}
+	m.seqCores[0].MaxInsnsPerStep = 1
+	defer func() { m.seqCores[0].MaxInsnsPerStep = 0 }()
+	start := m.Insns()
+	for m.Dom.VCPUs[0].RIP != rip && !m.Dom.ShutdownReq {
+		if maxInsns > 0 && m.Insns()-start >= maxInsns {
+			return fmt.Errorf("core: trigger rip %#x not reached within %d insns", rip, maxInsns)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes until the domain shuts down or maxCycles elapses
+// (0 = unlimited), honoring ptlcall command lists submitted from
+// inside the guest.
+func (m *Machine) Run(maxCycles uint64) error {
+	for !m.Dom.ShutdownReq {
+		if maxCycles > 0 && m.Cycle >= maxCycles {
+			return fmt.Errorf("core: cycle budget %d exhausted (cycle %d)", maxCycles, m.Cycle)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+		m.processCommands()
+		if m.stopInsns >= 0 && m.Insns()-m.baseInsns >= m.stopInsns {
+			m.stopInsns = -1
+			m.nextPhase()
+		}
+	}
+	if m.collector != nil {
+		m.collector.Tick(m.Cycle)
+	}
+	return nil
+}
+
+// Series returns the collected time-lapse statistics series.
+func (m *Machine) Series() stats.Series {
+	if m.collector == nil {
+		return stats.Series{}
+	}
+	return m.collector.Finish(m.Cycle)
+}
+
+// processCommands drains ptlcall command lists into phases.
+func (m *Machine) processCommands() {
+	for _, cmd := range m.Dom.TakeCommands() {
+		m.phases = append(m.phases, parseCommandList(cmd)...)
+		// Not currently in a bounded phase: act on the new command now.
+		if m.stopInsns < 0 {
+			m.nextPhase()
+		}
+	}
+}
+
+// nextPhase applies the next queued phase.
+func (m *Machine) nextPhase() {
+	if len(m.phases) == 0 {
+		return
+	}
+	ph := m.phases[0]
+	m.phases = m.phases[1:]
+	if ph.kill {
+		m.Dom.ShutdownReq = true
+		return
+	}
+	m.SwitchMode(ph.mode)
+	if ph.stopInsns > 0 {
+		m.stopInsns = ph.stopInsns
+		m.baseInsns = m.Insns()
+	} else {
+		m.stopInsns = -1
+	}
+}
+
+// parseCommandList parses a PTLsim command list like
+// "-run -stopinsns 10m : -native" into phases (paper §4.1).
+func parseCommandList(s string) []phase {
+	var out []phase
+	for _, part := range strings.Split(s, ":") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		ph := phase{mode: ModeSim, stopInsns: -1}
+		for i := 0; i < len(fields); i++ {
+			switch fields[i] {
+			case "-run", "-switch":
+				ph.mode = ModeSim
+			case "-native":
+				ph.mode = ModeNative
+			case "-kill":
+				ph.kill = true
+			case "-stopinsns":
+				if i+1 < len(fields) {
+					i++
+					ph.stopInsns = parseCount(fields[i])
+				}
+			}
+		}
+		out = append(out, ph)
+	}
+	return out
+}
+
+// parseCount parses "10m", "1k", "2g" style counts.
+func parseCount(s string) int64 {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1_000, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1_000_000, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1_000_000_000, strings.TrimSuffix(s, "g")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n * mult
+}

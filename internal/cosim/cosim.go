@@ -1,0 +1,124 @@
+// Package cosim implements PTLsim's native-mode co-simulation features
+// (paper §2.3): trigger points for starting cycle accurate simulation
+// at interesting program locations, statistical sampled simulation
+// (simulate K instructions out of every M, spending the rest in fast
+// native mode), and the self-debugging divergence search that isolates
+// — by binary search over instruction counts — the first instruction
+// at which the cycle accurate core's architectural state departs from
+// the reference engine.
+package cosim
+
+import (
+	"fmt"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/hv"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/vm"
+)
+
+// SampleConfig describes statistical sampled simulation: simulate
+// SimInsns out of every SimInsns+NativeInsns instructions.
+type SampleConfig struct {
+	SimInsns    int64
+	NativeInsns int64
+}
+
+// RunSampled drives the machine to completion, alternating between the
+// cycle accurate core and native mode at instruction boundaries.
+func RunSampled(m *core.Machine, cfg SampleConfig, maxCycles uint64) error {
+	if cfg.SimInsns <= 0 || cfg.NativeInsns <= 0 {
+		return fmt.Errorf("cosim: sample periods must be positive")
+	}
+	for !m.Dom.ShutdownReq {
+		if maxCycles > 0 && m.Cycle >= maxCycles {
+			return fmt.Errorf("cosim: cycle budget exhausted during sampling")
+		}
+		m.SwitchMode(core.ModeSim)
+		if err := m.RunUntilInsns(m.Insns()+cfg.SimInsns, maxCycles); err != nil {
+			return err
+		}
+		if m.Dom.ShutdownReq {
+			break
+		}
+		m.SwitchMode(core.ModeNative)
+		if err := m.RunUntilInsns(m.Insns()+cfg.NativeInsns, maxCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DomainBuilder deterministically constructs a fresh copy of the guest
+// under test. Deterministic reconstruction is what lets the divergence
+// search re-run from the start instead of checkpointing (the paper
+// isolates the domain from non-deterministic outside events for the
+// same reason).
+type DomainBuilder func() (*hv.Domain, error)
+
+// Probe runs to instruction boundary n and reports whether the two
+// engines agree there; diag carries a human-readable difference.
+type Probe func(n int64) (equal bool, diag string, err error)
+
+// MakeArchProbe builds a Probe comparing the functional engine against
+// the cycle accurate core configured by simCfg. The guest must be free
+// of timing-dependent event delivery (no timers), or instruction
+// trajectories legitimately differ.
+func MakeArchProbe(build DomainBuilder, simCfg core.Config) Probe {
+	runTo := func(mode core.Mode, n int64) (*vm.Context, error) {
+		dom, err := build()
+		if err != nil {
+			return nil, err
+		}
+		m := core.NewMachine(dom, stats.NewTree(), simCfg)
+		m.SwitchMode(mode)
+		if err := m.RunUntilInsns(n, 0); err != nil {
+			return nil, err
+		}
+		return dom.VCPUs[0], nil
+	}
+	return func(n int64) (bool, string, error) {
+		ref, err := runTo(core.ModeNative, n)
+		if err != nil {
+			return false, "", fmt.Errorf("cosim: reference run: %w", err)
+		}
+		sim, err := runTo(core.ModeSim, n)
+		if err != nil {
+			return false, "", fmt.Errorf("cosim: sim run: %w", err)
+		}
+		if vm.ArchEqual(ref, sim) {
+			return true, "", nil
+		}
+		return false, vm.DiffArch(ref, sim), nil
+	}
+}
+
+// FirstDivergence binary searches [1, max] for the smallest n at which
+// probe reports divergence, assuming divergence is persistent once it
+// appears (the property the paper's binary-search debugging relies
+// on). Returns -1 if the engines agree everywhere up to max.
+func FirstDivergence(max int64, probe Probe) (int64, string, error) {
+	eq, diag, err := probe(max)
+	if err != nil {
+		return 0, "", err
+	}
+	if eq {
+		return -1, "", nil
+	}
+	lo, hi := int64(1), max // invariant: diverged at hi, unknown below
+	hiDiag := diag
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		eq, diag, err := probe(mid)
+		if err != nil {
+			return 0, "", err
+		}
+		if eq {
+			lo = mid + 1
+		} else {
+			hi = mid
+			hiDiag = diag
+		}
+	}
+	return hi, hiDiag, nil
+}

@@ -1,0 +1,93 @@
+package cosim
+
+import (
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/hv"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/vm"
+)
+
+func buildSmall(t *testing.T) func() (*hv.Domain, error) {
+	cs := guest.CorpusSpec{NFiles: 1, FileSize: 1024, Seed: 5, ChangeFraction: 0.4}
+	return func() (*hv.Domain, error) {
+		spec, err := guest.RsyncBenchmark(cs, 4_000_000_000)
+		if err != nil {
+			return nil, err
+		}
+		spec.Tree = stats.NewTree()
+		img, err := kern.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		return img.Domain, nil
+	}
+}
+
+// runMixed runs alternating sim(2000)/native(8000) phases to target.
+func runMixed(t *testing.T, build func() (*hv.Domain, error), target int64) *vm.Context {
+	dom, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(dom, stats.NewTree(), core.DefaultConfig())
+	mode := core.ModeSim
+	for m.Insns() < target && !dom.ShutdownReq {
+		m.SwitchMode(mode)
+		next := m.Insns() + 2000
+		if mode == core.ModeNative {
+			next = m.Insns() + 8000
+		}
+		if next > target {
+			next = target
+		}
+		if err := m.RunUntilInsns(next, 0); err != nil {
+			t.Fatal(err)
+		}
+		if mode == core.ModeSim {
+			mode = core.ModeNative
+		} else {
+			mode = core.ModeSim
+		}
+	}
+	return dom.VCPUs[0]
+}
+
+func runPure(t *testing.T, build func() (*hv.Domain, error), target int64) *vm.Context {
+	dom, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(dom, stats.NewTree(), core.DefaultConfig())
+	if err := m.RunUntilInsns(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	return dom.VCPUs[0]
+}
+
+// The strongest co-simulation property: a run that ping-pongs between
+// the native and cycle accurate engines every few thousand instructions
+// commits exactly the architectural trajectory of a pure native run.
+// (Two mode-switch bugs were found by this search: stale TLBs across a
+// native-mode CR3 switch, and a stale fetch RIP on sim re-entry.)
+func TestMixedModeNoDivergence(t *testing.T) {
+	build := buildSmall(t)
+	probe := func(n int64) (bool, string, error) {
+		ref := runPure(t, build, n)
+		mix := runMixed(t, build, n)
+		if vm.ArchEqual(ref, mix) {
+			return true, "", nil
+		}
+		return false, vm.DiffArch(ref, mix), nil
+	}
+	n, diag, err := FirstDivergence(60000, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 0 {
+		t.Fatalf("mixed-mode run diverged at instruction %d: %s", n, diag)
+	}
+}

@@ -1,0 +1,102 @@
+package decode
+
+import (
+	"errors"
+
+	"ptlsim/internal/uops"
+	"ptlsim/internal/x86"
+)
+
+// Basic block construction limits (PTLsim caps block length so the
+// frontend can rename a block per cycle group).
+const (
+	MaxBBX86Insns = 24
+	MaxBBUops     = 96
+)
+
+// BasicBlock is a decoded, translated run of x86 instructions ending at
+// a branch (or at the block size cap). It is what the basic block cache
+// stores: the simulator fetches pre-decoded uops from here instead of
+// re-decoding x86 bytes every cycle, without affecting the modeled
+// timing (I-cache accesses are still simulated).
+type BasicBlock struct {
+	RIP    uint64
+	Uops   []uops.Uop
+	X86Len uint64 // total bytes of x86 code covered
+	NumX86 int    // instructions in the block (REP check not counted)
+
+	// EndsInBranch reports whether the final uop redirects fetch; if
+	// false the block fell off the cap and fetch falls through to
+	// RIP+X86Len.
+	EndsInBranch bool
+}
+
+// FallThrough returns the next fetch RIP when the block does not end
+// in a taken branch.
+func (bb *BasicBlock) FallThrough() uint64 { return bb.RIP + bb.X86Len }
+
+// FetchFunc reads guest code bytes at a virtual address into buf,
+// returning how many contiguous bytes were readable and a fault if the
+// very first byte cannot be fetched. Page-crossing instructions are
+// handled by the builder calling again at the next page.
+type FetchFunc func(va uint64, buf []byte) (int, uops.Fault)
+
+// BuildBB decodes and translates a basic block starting at rip. A
+// fetch fault on the first instruction is returned to the caller (the
+// core delivers a page fault); an undefined instruction becomes a #UD
+// assist uop so the fault is raised precisely when it executes.
+func BuildBB(fetch FetchFunc, rip uint64) (*BasicBlock, uops.Fault) {
+	bb := &BasicBlock{RIP: rip}
+	var window [x86.MaxInstLen]byte
+	cur := rip
+	for bb.NumX86 < MaxBBX86Insns && len(bb.Uops) < MaxBBUops {
+		n, fault := fetch(cur, window[:])
+		if n == 0 {
+			if bb.NumX86 == 0 {
+				if fault == uops.FaultNone {
+					fault = uops.FaultPageExec
+				}
+				return nil, fault
+			}
+			// Fault will be taken when fetch reaches this RIP.
+			break
+		}
+		inst, err := x86.Decode(window[:n])
+		if err != nil {
+			if errors.Is(err, x86.ErrTruncated) && n < len(window) {
+				// Instruction runs into an unfetchable page: fault on
+				// reaching it, not now.
+				if bb.NumX86 == 0 {
+					return nil, uops.FaultPageExec
+				}
+				break
+			}
+			// Undefined opcode: raise #UD when executed.
+			ud := uops.Uop{Op: uops.OpAssist, Assist: uops.AssistUD,
+				RIP: cur, X86Len: 1, SOM: true, EOM: true}
+			bb.Uops = append(bb.Uops, ud)
+			bb.NumX86++
+			bb.X86Len = cur + 1 - rip
+			bb.EndsInBranch = true // treat as block end
+			return bb, uops.FaultNone
+		}
+		us, terr := Translate(&inst, cur)
+		if terr != nil {
+			ud := uops.Uop{Op: uops.OpAssist, Assist: uops.AssistUD,
+				RIP: cur, X86Len: inst.Len, SOM: true, EOM: true}
+			us = []uops.Uop{ud}
+		}
+		bb.Uops = append(bb.Uops, us...)
+		bb.NumX86++
+		cur += uint64(inst.Len)
+		bb.X86Len = cur - rip
+		if inst.IsBranch() {
+			bb.EndsInBranch = true
+			break
+		}
+	}
+	if len(bb.Uops) == 0 {
+		return nil, uops.FaultPageExec
+	}
+	return bb, uops.FaultNone
+}

@@ -1,0 +1,87 @@
+package guest
+
+import "math/rand"
+
+// CorpusSpec describes the synthetic file set for the rsync benchmark
+// (the paper used 6186 text files totalling 48 MB split in two similar
+// groups; the sizes here are scaled by configuration).
+type CorpusSpec struct {
+	NFiles   int
+	FileSize int // bytes; must be a multiple of BlockSize
+	Seed     int64
+	// ChangeFraction is the fraction of blocks mutated between the old
+	// (server) and new (client) copies of each file.
+	ChangeFraction float64
+}
+
+// BlockSize is the rsync block size used by the guest implementation.
+const BlockSize = 512
+
+// DefaultCorpus is the bench-scale corpus.
+func DefaultCorpus() CorpusSpec {
+	return CorpusSpec{NFiles: 8, FileSize: 8192, Seed: 20070425, ChangeFraction: 0.25}
+}
+
+// Generate builds the old (server-side) and new (client-side) file
+// sets. Files are concatenated; file i occupies [i*FileSize, (i+1)*FileSize).
+func (cs CorpusSpec) Generate() (oldData, newData []byte) {
+	r := rand.New(rand.NewSource(cs.Seed))
+	total := cs.NFiles * cs.FileSize
+	oldData = make([]byte, total)
+	// Compressible, text-like content: runs of repeated printable
+	// bytes (gives the RLE "gzip" stage something to do).
+	for i := 0; i < total; {
+		run := 1 + r.Intn(24)
+		ch := byte('a' + r.Intn(26))
+		for j := 0; j < run && i < total; j++ {
+			oldData[i] = ch
+			i++
+		}
+	}
+	newData = make([]byte, total)
+	copy(newData, oldData)
+	blocks := cs.FileSize / BlockSize
+	for f := 0; f < cs.NFiles; f++ {
+		for b := 0; b < blocks; b++ {
+			if r.Float64() < cs.ChangeFraction {
+				off := f*cs.FileSize + b*BlockSize
+				n := 1 + r.Intn(BlockSize)
+				for j := 0; j < n; j++ {
+					newData[off+j] = byte('A' + r.Intn(26))
+				}
+			}
+		}
+	}
+	return oldData, newData
+}
+
+// fnv64 is the strong hash both sides of the guest protocol use.
+func fnv64(data []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// ExpectedChecksum computes the value the rsync client prints on
+// success: the wrapping sum of per-file FNV-64 hashes of the new data.
+func (cs CorpusSpec) ExpectedChecksum(newData []byte) uint64 {
+	var sum uint64
+	for f := 0; f < cs.NFiles; f++ {
+		sum += fnv64(newData[f*cs.FileSize : (f+1)*cs.FileSize])
+	}
+	return sum
+}
+
+// RollingSums computes the (a, b) block checksums exactly as the guest
+// assembly does, for tests.
+func RollingSums(block []byte) (a, b uint64) {
+	n := uint64(len(block))
+	for i, by := range block {
+		a += uint64(by)
+		b += (n - uint64(i)) * uint64(by)
+	}
+	return a, b
+}

@@ -1,0 +1,119 @@
+// Package guest contains the user-space workloads run inside the
+// simulated domain — most importantly the rsync client/server pair,
+// the stream cipher ("ssh") filter and the compressor that together
+// reproduce the paper's full system benchmark — plus the small syscall
+// runtime they share. All are x86-64 programs emitted through the DSL
+// assembler and executed as ordinary guest code.
+package guest
+
+import (
+	"ptlsim/internal/kern"
+	"ptlsim/internal/x86"
+)
+
+// Prog is a buildable user program.
+type Prog struct {
+	Name string
+	Body func(a *x86.Assembler)
+}
+
+// Build assembles the program at the user text base.
+func (p Prog) Build() ([]byte, error) {
+	a := x86.NewAssembler(kern.UserTextVA)
+	p.Body(a)
+	return a.Bytes()
+}
+
+// Syscall wrappers: arguments are placed in RDI/RSI/RDX by the caller;
+// these clobber RAX (number + result) and RCX/R11 (hardware syscall).
+
+// SysExit emits exit().
+func SysExit(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysExit))
+	a.Syscall()
+}
+
+// SysWrite emits write(pipe=RDI, buf=RSI, n=RDX) -> RAX.
+func SysWrite(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysWrite))
+	a.Syscall()
+}
+
+// SysRead emits read(pipe=RDI, buf=RSI, n=RDX) -> RAX.
+func SysRead(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysRead))
+	a.Syscall()
+}
+
+// SysYield emits yield().
+func SysYield(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysYield))
+	a.Syscall()
+}
+
+// SysClose emits close(pipe=RDI).
+func SysClose(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysClose))
+	a.Syscall()
+}
+
+// SysConsWrite emits conswrite(buf=RDI, n=RSI).
+func SysConsWrite(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysConsWrite))
+	a.Syscall()
+}
+
+// SysSleep emits sleep(ticks=RDI): the process blocks until the
+// kernel's timer tick counter advances by that many ticks.
+func SysSleep(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysSleep))
+	a.Syscall()
+}
+
+// SysGetTSC emits gettsc() -> RAX.
+func SysGetTSC(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RAX), x86.I(kern.SysGetTSC))
+	a.Syscall()
+}
+
+// WriteAll emits a loop performing write(pipe, buf, n) until all n
+// bytes are written (handles partial writes). Registers: pipe in RDI,
+// buf in RSI, n in RDX; clobbers RAX/RCX/R11 and advances RSI/RDX.
+func WriteAll(a *x86.Assembler) {
+	top := a.Mark()
+	done := a.NewLabel()
+	a.Cmp(x86.R(x86.RDX), x86.I(0))
+	a.Jcc(x86.CondE, done)
+	a.Push(x86.R(x86.RDI))
+	SysWrite(a)
+	a.Pop(x86.R(x86.RDI))
+	a.Add(x86.R(x86.RSI), x86.R(x86.RAX))
+	a.Sub(x86.R(x86.RDX), x86.R(x86.RAX))
+	a.Jmp(top)
+	a.Bind(done)
+}
+
+// ReadFull emits a loop reading exactly n bytes (pipe in RDI, buf in
+// RSI, n in RDX); sets RAX=0 on EOF before completion, 1 otherwise.
+func ReadFull(a *x86.Assembler) {
+	top := a.Mark()
+	done := a.NewLabel()
+	eof := a.NewLabel()
+	out := a.NewLabel()
+	a.Cmp(x86.R(x86.RDX), x86.I(0))
+	a.Jcc(x86.CondE, done)
+	a.Push(x86.R(x86.RDI))
+	SysRead(a)
+	a.Pop(x86.R(x86.RDI))
+	a.Cmp(x86.R(x86.RAX), x86.I(0))
+	a.Jcc(x86.CondE, eof)
+	a.Add(x86.R(x86.RSI), x86.R(x86.RAX))
+	a.Sub(x86.R(x86.RDX), x86.R(x86.RAX))
+	a.Jmp(top)
+	a.Bind(done)
+	a.Mov(x86.R(x86.RAX), x86.I(1))
+	a.Jmp(out)
+	a.Bind(eof)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Bind(out)
+}

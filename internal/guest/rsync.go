@@ -1,0 +1,409 @@
+package guest
+
+import (
+	"ptlsim/internal/kern"
+	"ptlsim/internal/x86"
+)
+
+// This file implements the paper's benchmark workload as guest x86-64
+// programs: a genuine rsync delta-transfer protocol (rolling checksum +
+// strong hash block matching, literal runs compressed with an RLE
+// "gzip" stage) between a client and server process, tunneled through
+// stream-cipher relay processes standing in for ssh/sshd, over
+// checksummed loopback "TCP" socket pipes. The protocol is phase
+// structured exactly like rsync: per file, the server sends its block
+// signature table, the client slides a window over its new copy
+// emitting COPY/LITERAL tokens, and the server reconstructs and
+// acknowledges with a strong checksum of the rebuilt file.
+
+// Pipe assignments (indexes into the kernel pipe table).
+const (
+	PipeClientUp   = 0 // client -> upEnc (plaintext)
+	PipeDownClient = 1 // downDec -> client (plaintext)
+	PipeUpWire     = 2 // upEnc -> upDec ("TCP", ciphered)
+	PipeDownWire   = 3 // downEnc -> downDec ("TCP", ciphered)
+	PipeUpServer   = 4 // upDec -> server (plaintext)
+	PipeServerDown = 5 // server -> downEnc (plaintext)
+)
+
+// Token types in the delta stream.
+const (
+	tokCopy = 1
+	tokLit  = 2
+	tokEOF  = 3
+)
+
+// Workspace offsets from the per-process workspace base (which sits
+// after the corpus in the data region, page aligned).
+const (
+	wsBlockTab = 0x0000 // client: received block table; server: out file
+	wsSlotTab  = 0x2000 // client: 1024-entry hash slot table
+	wsFrame    = 0x6000 // frame buffer: [len][payload...]
+	wsRLE      = 0x8000 // RLE staging
+	wsOut      = 0xA000 // server: reconstructed file buffer
+	wsSize     = 0xA000 + 0x20000
+)
+
+// litRunCap flushes literal runs at this size (fits a frame easily).
+const litRunCap = 1024
+
+// wsBase returns the workspace virtual address for a corpus size.
+func wsBase(cs CorpusSpec) uint64 {
+	corpus := uint64(cs.NFiles * cs.FileSize)
+	return kern.UserDataVA + (corpus+0xFFF)&^uint64(0xFFF) + 0x1000
+}
+
+// dataPages returns the DataPages needed for corpus + workspace.
+func dataPages(cs CorpusSpec) int {
+	end := wsBase(cs) + wsSize - kern.UserDataVA
+	return int((end + 0xFFF) / 0x1000)
+}
+
+// --- shared emitters -------------------------------------------------
+
+// emitFNV64 defines fnv64(rdi=buf, rsi=len) -> rax. Clobbers rdi, rsi,
+// rcx, rdx.
+func emitFNV64(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		a.Mov(x86.R(x86.RAX), x86.I(-3750763034362895579)) // 0xcbf29ce484222325
+		a.Mov(x86.R(x86.RDX), x86.I(0x100000001b3))
+		top := a.Mark()
+		done := a.NewLabel()
+		a.Cmp(x86.R(x86.RSI), x86.I(0))
+		a.Jcc(x86.CondE, done)
+		a.Movzx(x86.RCX, x86.M(x86.RDI, 0), 1)
+		a.Xor(x86.R(x86.RAX), x86.R(x86.RCX))
+		a.Imul(x86.RAX, x86.R(x86.RDX))
+		a.Inc(x86.R(x86.RDI))
+		a.Dec(x86.R(x86.RSI))
+		a.Jmp(top)
+		a.Bind(done)
+		a.Ret()
+	})
+}
+
+// emitRollBlock defines rollblock(rdi=buf) -> rax=a, rdx=b over one
+// BlockSize block. Clobbers rcx, rsi, r8.
+func emitRollBlock(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		a.Mov(x86.R(x86.RAX), x86.I(0)) // a
+		a.Mov(x86.R(x86.RDX), x86.I(0)) // b
+		a.Mov(x86.R(x86.RCX), x86.I(BlockSize))
+		top := a.Mark()
+		a.Movzx(x86.RSI, x86.M(x86.RDI, 0), 1)
+		a.Add(x86.R(x86.RAX), x86.R(x86.RSI))
+		// b += weight * byte, weight = rcx (counts B..1)
+		a.Mov(x86.R(x86.R8), x86.R(x86.RCX))
+		a.Imul(x86.R8, x86.R(x86.RSI))
+		a.Add(x86.R(x86.RDX), x86.R(x86.R8))
+		a.Inc(x86.R(x86.RDI))
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, top)
+		a.Ret()
+	})
+}
+
+// emitRecvFrame defines recvframe(rdi=pipe, rsi=dst) -> rax=payload len.
+// dst receives [len][payload]. Clobbers rcx, rdx, r8, r11.
+func emitRecvFrame(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		a.Push(x86.R(x86.RBX))
+		a.Mov(x86.R(x86.RBX), x86.R(x86.RSI)) // dst
+		a.Push(x86.R(x86.RDI))
+		// Read the 8-byte length.
+		a.Mov(x86.R(x86.RDX), x86.I(8))
+		ReadFull(a)
+		a.Pop(x86.R(x86.RDI))
+		// len
+		a.Mov(x86.R(x86.R8), x86.M(x86.RBX, 0))
+		done := a.NewLabel()
+		a.Cmp(x86.R(x86.R8), x86.I(0))
+		a.Jcc(x86.CondE, done)
+		a.Lea(x86.RSI, x86.M(x86.RBX, 8))
+		a.Mov(x86.R(x86.RDX), x86.R(x86.R8))
+		ReadFull(a)
+		a.Bind(done)
+		a.Mov(x86.R(x86.RAX), x86.M(x86.RBX, 0))
+		a.Pop(x86.R(x86.RBX))
+		a.Ret()
+	})
+}
+
+// emitSendFrame defines sendframe(rdi=pipe, rsi=frame) where frame is
+// [len][payload]; writes len+8 bytes. Clobbers rax, rcx, rdx, r11.
+func emitSendFrame(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		a.Mov(x86.R(x86.RDX), x86.M(x86.RSI, 0))
+		a.Add(x86.R(x86.RDX), x86.I(8))
+		WriteAll(a)
+		a.Ret()
+	})
+}
+
+// emitRLEEncode defines rleenc(rdi=src, rsi=len, rdx=dst) -> rax=outlen.
+// Runs of >= 4 equal bytes become [0xFE][count][byte] (count <= 255);
+// 0xFE itself is escaped as [0xFE][0][0xFE]. Clobbers r8-r11, rcx.
+func emitRLEEncode(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		// r8 = src, r9 = end, r10 = dst base, rdx = dst cursor
+		a.Mov(x86.R(x86.R8), x86.R(x86.RDI))
+		a.Lea(x86.R9, x86.MIdx(x86.RDI, x86.RSI, 1, 0))
+		a.Mov(x86.R(x86.R10), x86.R(x86.RDX))
+		top := a.Mark()
+		done := a.NewLabel()
+		a.Cmp(x86.R(x86.R8), x86.R(x86.R9))
+		a.Jcc(x86.CondAE, done)
+		a.Movzx(x86.RCX, x86.M(x86.R8, 0), 1) // current byte
+		// Count the run length (max 255, bounded by end).
+		a.Mov(x86.R(x86.R11), x86.I(1))
+		runTop := a.Mark()
+		runEnd := a.NewLabel()
+		a.Cmp(x86.R(x86.R11), x86.I(255))
+		a.Jcc(x86.CondAE, runEnd)
+		a.Lea(x86.RAX, x86.MIdx(x86.R8, x86.R11, 1, 0))
+		a.Cmp(x86.R(x86.RAX), x86.R(x86.R9))
+		a.Jcc(x86.CondAE, runEnd)
+		a.Movzx(x86.RAX, x86.MIdx(x86.R8, x86.R11, 1, 0), 1)
+		a.Cmp(x86.R(x86.RAX), x86.R(x86.RCX))
+		a.Jcc(x86.CondNE, runEnd)
+		a.Inc(x86.R(x86.R11))
+		a.Jmp(runTop)
+		a.Bind(runEnd)
+		// Escape or run?
+		emitRun := a.NewLabel()
+		plain := a.NewLabel()
+		next := a.NewLabel()
+		a.Cmp(x86.R(x86.RCX), x86.I(0xFE))
+		a.Jcc(x86.CondE, emitRun) // 0xFE always escaped via run form
+		a.Cmp(x86.R(x86.R11), x86.I(4))
+		a.Jcc(x86.CondAE, emitRun)
+		a.Bind(plain)
+		// Copy r11 plain bytes.
+		a.Mov(x86.R(x86.RAX), x86.I(0))
+		plTop := a.Mark()
+		plEnd := a.NewLabel()
+		a.Cmp(x86.R(x86.RAX), x86.R(x86.R11))
+		a.Jcc(x86.CondAE, plEnd)
+		a.Movzx(x86.RSI, x86.MIdx(x86.R8, x86.RAX, 1, 0), 1)
+		a.Movb(x86.M(x86.RDX, 0), x86.R(x86.RSI))
+		a.Inc(x86.R(x86.RDX))
+		a.Inc(x86.R(x86.RAX))
+		a.Jmp(plTop)
+		a.Bind(plEnd)
+		a.Jmp(next)
+		a.Bind(emitRun)
+		// [0xFE][count][byte]; count 0 encodes a literal 0xFE.
+		a.Movb(x86.M(x86.RDX, 0), x86.I(0xFE))
+		a.Cmp(x86.R(x86.RCX), x86.I(0xFE))
+		isEsc := a.NewLabel()
+		notEsc := a.NewLabel()
+		a.Jcc(x86.CondE, isEsc)
+		a.Movb(x86.M(x86.RDX, 1), x86.R(x86.R11))
+		a.Movb(x86.M(x86.RDX, 2), x86.R(x86.RCX))
+		a.Jmp(notEsc)
+		a.Bind(isEsc)
+		a.Mov(x86.R(x86.R11), x86.I(1)) // consume one 0xFE
+		a.Movb(x86.M(x86.RDX, 1), x86.I(0))
+		a.Movb(x86.M(x86.RDX, 2), x86.I(0xFE))
+		a.Bind(notEsc)
+		a.Add(x86.R(x86.RDX), x86.I(3))
+		a.Bind(next)
+		a.Add(x86.R(x86.R8), x86.R(x86.R11))
+		a.Jmp(top)
+		a.Bind(done)
+		a.Mov(x86.R(x86.RAX), x86.R(x86.RDX))
+		a.Sub(x86.R(x86.RAX), x86.R(x86.R10))
+		a.Ret()
+	})
+}
+
+// emitRLEDecode defines rledec(rdi=src, rsi=len, rdx=dst) -> rax=outlen.
+func emitRLEDecode(a *x86.Assembler) x86.Label {
+	return a.Func(func() {
+		a.Mov(x86.R(x86.R8), x86.R(x86.RDI))
+		a.Lea(x86.R9, x86.MIdx(x86.RDI, x86.RSI, 1, 0))
+		a.Mov(x86.R(x86.R10), x86.R(x86.RDX))
+		top := a.Mark()
+		done := a.NewLabel()
+		a.Cmp(x86.R(x86.R8), x86.R(x86.R9))
+		a.Jcc(x86.CondAE, done)
+		a.Movzx(x86.RCX, x86.M(x86.R8, 0), 1)
+		run := a.NewLabel()
+		next := a.NewLabel()
+		a.Cmp(x86.R(x86.RCX), x86.I(0xFE))
+		a.Jcc(x86.CondE, run)
+		a.Movb(x86.M(x86.RDX, 0), x86.R(x86.RCX))
+		a.Inc(x86.R(x86.RDX))
+		a.Inc(x86.R(x86.R8))
+		a.Jmp(next)
+		a.Bind(run)
+		a.Movzx(x86.RCX, x86.M(x86.R8, 1), 1) // count
+		a.Movzx(x86.R11, x86.M(x86.R8, 2), 1) // byte
+		a.Add(x86.R(x86.R8), x86.I(3))
+		esc := a.NewLabel()
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondE, esc)
+		runTop := a.Mark()
+		a.Movb(x86.M(x86.RDX, 0), x86.R(x86.R11))
+		a.Inc(x86.R(x86.RDX))
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, runTop)
+		a.Jmp(next)
+		a.Bind(esc)
+		a.Movb(x86.M(x86.RDX, 0), x86.I(0xFE))
+		a.Inc(x86.R(x86.RDX))
+		a.Bind(next)
+		a.Jmp(top)
+		a.Bind(done)
+		a.Mov(x86.R(x86.RAX), x86.R(x86.RDX))
+		a.Sub(x86.R(x86.RAX), x86.R(x86.R10))
+		a.Ret()
+	})
+}
+
+// --- cipher relay ----------------------------------------------------
+
+// CipherRelay builds the "ssh" stream-cipher relay: it reads frames
+// from arg0, XORs the payload with an xorshift64 keystream seeded by
+// arg2, and forwards to arg1, exiting after relaying a zero frame.
+func CipherRelay() Prog {
+	return Prog{Name: "ssh-relay", Body: func(a *x86.Assembler) {
+		fb := int64(wsBase(CorpusSpec{NFiles: 0, FileSize: 0})) // no corpus: ws right at data base
+		// r12 = in pipe, r13 = out pipe, r14 = keystream state
+		a.Mov(x86.R(x86.R12), x86.R(x86.RDI))
+		a.Mov(x86.R(x86.R13), x86.R(x86.RSI))
+		a.Mov(x86.R(x86.R14), x86.R(x86.RDX))
+
+		recvFrame := a.NewLabel()
+		sendFrame := a.NewLabel()
+		mainEntry := a.NewLabel()
+		a.Jmp(mainEntry)
+		a.Bind(recvFrame)
+		emitRecvFrameBody(a)
+		a.Bind(sendFrame)
+		emitSendFrameBody(a)
+
+		a.Bind(mainEntry)
+		loop := a.Mark()
+		a.Mov(x86.R(x86.RDI), x86.R(x86.R12))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvFrame)
+		a.Mov(x86.R(x86.R15), x86.R(x86.RAX)) // payload len
+		// XOR payload with keystream: full 8-byte words then tail.
+		a.Mov(x86.R(x86.RBX), x86.I(fb+8)) // cursor
+		a.Mov(x86.R(x86.RBP), x86.R(x86.R15))
+		a.Shr(x86.R(x86.RBP), x86.I(3)) // words
+		wordTop := a.Mark()
+		wordEnd := a.NewLabel()
+		a.Cmp(x86.R(x86.RBP), x86.I(0))
+		a.Jcc(x86.CondE, wordEnd)
+		emitXorShift(a, x86.R14)
+		a.Xor(x86.M(x86.RBX, 0), x86.R(x86.R14))
+		a.Add(x86.R(x86.RBX), x86.I(8))
+		a.Dec(x86.R(x86.RBP))
+		a.Jmp(wordTop)
+		a.Bind(wordEnd)
+		a.Mov(x86.R(x86.RBP), x86.R(x86.R15))
+		a.And(x86.R(x86.RBP), x86.I(7)) // tail bytes
+		noTail := a.NewLabel()
+		a.Cmp(x86.R(x86.RBP), x86.I(0))
+		a.Jcc(x86.CondE, noTail)
+		emitXorShift(a, x86.R14)
+		a.Mov(x86.R(x86.RDX), x86.R(x86.R14))
+		tailTop := a.Mark()
+		a.Xor(x86.R(x86.RCX), x86.R(x86.RCX))
+		a.Movb(x86.R(x86.RCX), x86.R(x86.RDX)) // low byte of keystream
+		a.Xor(x86.R(x86.RAX), x86.R(x86.RAX))
+		a.Movb(x86.R(x86.RAX), x86.M(x86.RBX, 0))
+		a.Xor(x86.R(x86.RAX), x86.R(x86.RCX))
+		a.Movb(x86.M(x86.RBX, 0), x86.R(x86.RAX))
+		a.Inc(x86.R(x86.RBX))
+		a.Shr(x86.R(x86.RDX), x86.I(8))
+		a.Dec(x86.R(x86.RBP))
+		a.Cmp(x86.R(x86.RBP), x86.I(0))
+		a.Jcc(x86.CondNE, tailTop)
+		a.Bind(noTail)
+		// Forward.
+		a.Mov(x86.R(x86.RDI), x86.R(x86.R13))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendFrame)
+		// Zero frame terminates the relay.
+		a.Cmp(x86.R(x86.R15), x86.I(0))
+		a.Jcc(x86.CondNE, loop)
+		SysExit(a)
+	}}
+}
+
+// emitXorShift advances the keystream register in place.
+func emitXorShift(a *x86.Assembler, r x86.Reg) {
+	a.Mov(x86.R(x86.RCX), x86.R(r))
+	a.Shl(x86.R(x86.RCX), x86.I(13))
+	a.Xor(x86.R(r), x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RCX), x86.R(r))
+	a.Shr(x86.R(x86.RCX), x86.I(7))
+	a.Xor(x86.R(r), x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RCX), x86.R(r))
+	a.Shl(x86.R(x86.RCX), x86.I(17))
+	a.Xor(x86.R(r), x86.R(x86.RCX))
+}
+
+// emitRecvFrameBody / emitSendFrameBody inline the frame helpers as
+// plain function bodies ending in Ret (bound to caller labels).
+func emitRecvFrameBody(a *x86.Assembler) {
+	a.Push(x86.R(x86.RBX))
+	a.Mov(x86.R(x86.RBX), x86.R(x86.RSI))
+	a.Push(x86.R(x86.RDI))
+	a.Mov(x86.R(x86.RDX), x86.I(8))
+	ReadFull(a)
+	a.Pop(x86.R(x86.RDI))
+	a.Mov(x86.R(x86.R8), x86.M(x86.RBX, 0))
+	done := a.NewLabel()
+	a.Cmp(x86.R(x86.R8), x86.I(0))
+	a.Jcc(x86.CondE, done)
+	a.Lea(x86.RSI, x86.M(x86.RBX, 8))
+	a.Mov(x86.R(x86.RDX), x86.R(x86.R8))
+	ReadFull(a)
+	a.Bind(done)
+	a.Mov(x86.R(x86.RAX), x86.M(x86.RBX, 0))
+	a.Pop(x86.R(x86.RBX))
+	a.Ret()
+}
+
+func emitSendFrameBody(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RDX), x86.M(x86.RSI, 0))
+	a.Add(x86.R(x86.RDX), x86.I(8))
+	WriteAll(a)
+	a.Ret()
+}
+
+// emitPrintHex emits code writing RAX as 16 hex digits at [RDI],
+// advancing RDI. Clobbers rbx, rcx, rdx.
+func emitPrintHex(a *x86.Assembler) {
+	a.Mov(x86.R(x86.RCX), x86.I(16))
+	top := a.Mark()
+	a.Mov(x86.R(x86.RDX), x86.R(x86.RAX))
+	a.Mov(x86.R(x86.RBX), x86.R(x86.RCX))
+	a.Dec(x86.R(x86.RBX))
+	a.Shl(x86.R(x86.RBX), x86.I(2))
+	a.Push(x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RCX), x86.R(x86.RBX))
+	a.Shr(x86.R(x86.RDX), x86.R(x86.RCX))
+	a.Pop(x86.R(x86.RCX))
+	a.And(x86.R(x86.RDX), x86.I(15))
+	alpha := a.NewLabel()
+	out := a.NewLabel()
+	a.Cmp(x86.R(x86.RDX), x86.I(10))
+	a.Jcc(x86.CondGE, alpha)
+	a.Add(x86.R(x86.RDX), x86.I('0'))
+	a.Jmp(out)
+	a.Bind(alpha)
+	a.Add(x86.R(x86.RDX), x86.I('a'-10))
+	a.Bind(out)
+	a.Movb(x86.M(x86.RDI, 0), x86.R(x86.RDX))
+	a.Inc(x86.R(x86.RDI))
+	a.Dec(x86.R(x86.RCX))
+	a.Cmp(x86.R(x86.RCX), x86.I(0))
+	a.Jcc(x86.CondNE, top)
+}

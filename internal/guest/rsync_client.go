@@ -1,0 +1,305 @@
+package guest
+
+import (
+	"ptlsim/internal/kern"
+	"ptlsim/internal/x86"
+)
+
+// RsyncClient builds the rsync client: per file it receives the
+// server's block signature table, slides the rolling-checksum window
+// over its new copy of the file, emits COPY/LITERAL tokens (literals
+// RLE-compressed), and verifies the server's reconstruction ack.
+// Persistent registers: RBX=file index, RBP=file base, R12=pos,
+// R13=rolling a, R14=rolling b, R15=literal run start.
+func RsyncClient(cs CorpusSpec) Prog {
+	ws := int64(wsBase(cs))
+	tab := ws + wsBlockTab + 8 // payload of the received table frame
+	fb := ws + wsFrame
+	vars := ws + wsBlockTab + 0x1800 // scratch vars after table
+	const (
+		vAccum = 0
+		vBad   = 8
+		vK     = 16
+	)
+	fs := int64(cs.FileSize)
+
+	return Prog{Name: "rsync", Body: func(a *x86.Assembler) {
+		skip := a.NewLabel()
+		a.Jmp(skip)
+		fnv := emitFNV64(a)
+		roll := emitRollBlock(a)
+		rleenc := emitRLEEncode(a)
+		recvF := emitRecvFrame(a)
+		sendF := emitSendFrame(a)
+
+		// flushLits(litStart=R15 .. pos=R12): RLE-compress and send.
+		flush := a.Func(func() {
+			done := a.NewLabel()
+			a.Mov(x86.R(x86.RSI), x86.R(x86.R12))
+			a.Sub(x86.R(x86.RSI), x86.R(x86.R15))
+			a.Cmp(x86.R(x86.RSI), x86.I(0))
+			a.Jcc(x86.CondE, done)
+			a.Lea(x86.RDI, x86.MIdx(x86.RBP, x86.R15, 1, 0))
+			a.Mov(x86.R(x86.RDX), x86.I(ws+wsRLE))
+			a.Call(rleenc) // rax = rle length
+			// Frame: [16+rlelen][tokLit][rawlen][rle bytes].
+			a.Mov(x86.R(x86.RDX), x86.R(x86.RAX))
+			a.Mov(x86.R(x86.RCX), x86.R(x86.RAX))
+			a.Add(x86.R(x86.RDX), x86.I(16))
+			a.Mov(x86.R(x86.RDI), x86.I(fb))
+			a.Mov(x86.M(x86.RDI, 0), x86.R(x86.RDX))
+			a.Mov(x86.M(x86.RDI, 8), x86.I(tokLit))
+			a.Mov(x86.R(x86.RSI), x86.R(x86.R12))
+			a.Sub(x86.R(x86.RSI), x86.R(x86.R15))
+			a.Mov(x86.M(x86.RDI, 16), x86.R(x86.RSI))
+			// Copy the RLE bytes into the frame.
+			a.Mov(x86.R(x86.RSI), x86.I(ws+wsRLE))
+			a.Lea(x86.RDI, x86.M(x86.RDI, 24))
+			a.RepMovs(1)
+			a.Mov(x86.R(x86.RDI), x86.I(PipeClientUp))
+			a.Mov(x86.R(x86.RSI), x86.I(fb))
+			a.Call(sendF)
+			a.Bind(done)
+			a.Ret()
+		})
+
+		a.Bind(skip)
+		// Startup delay: page-in / ssh connection establishment (the
+		// paper's phases (a)-(b) include waits that show up as idle).
+		a.Mov(x86.R(x86.RDI), x86.I(3))
+		SysSleep(a)
+		// Zero the accumulator vars.
+		a.Mov(x86.R(x86.RDI), x86.I(vars))
+		a.Mov(x86.M(x86.RDI, vAccum), x86.I(0))
+		a.Mov(x86.M(x86.RDI, vBad), x86.I(0))
+
+		// Handshake: HELO up, config down.
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(8))
+		a.Mov(x86.M(x86.RDI, 8), x86.I(0x4F4C4548)) // "HELO"
+		a.Mov(x86.R(x86.RDI), x86.I(PipeClientUp))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		a.Mov(x86.R(x86.RDI), x86.I(PipeDownClient))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+
+		a.Mov(x86.R(x86.RBX), x86.I(0)) // file index
+		fileLoop := a.Mark()
+		allDone := a.NewLabel()
+		a.Cmp(x86.R(x86.RBX), x86.I(int64(cs.NFiles)))
+		a.Jcc(x86.CondGE, allDone)
+		// RBP = file base.
+		a.Mov(x86.R(x86.RBP), x86.R(x86.RBX))
+		a.Imul3(x86.RBP, x86.R(x86.RBP), fs)
+		a.Add(x86.R(x86.RBP), x86.I(kern.UserDataVA))
+
+		// Receive the block table.
+		a.Mov(x86.R(x86.RDI), x86.I(PipeDownClient))
+		a.Mov(x86.R(x86.RSI), x86.I(ws+wsBlockTab))
+		a.Call(recvF)
+		a.Shr(x86.R(x86.RAX), x86.I(4)) // K = len/16
+		a.Mov(x86.R(x86.RDI), x86.I(vars))
+		a.Mov(x86.M(x86.RDI, vK), x86.R(x86.RAX))
+
+		// Clear + fill the slot table.
+		a.Mov(x86.R(x86.RDI), x86.I(ws+wsSlotTab))
+		a.Mov(x86.R(x86.RCX), x86.I(1024))
+		a.Mov(x86.R(x86.RAX), x86.I(0))
+		a.RepStos(8)
+		a.Mov(x86.R(x86.RCX), x86.I(0)) // idx
+		fillTop := a.Mark()
+		fillEnd := a.NewLabel()
+		a.Mov(x86.R(x86.RDI), x86.I(vars))
+		a.Cmp(x86.R(x86.RCX), x86.M(x86.RDI, vK))
+		a.Jcc(x86.CondGE, fillEnd)
+		a.Mov(x86.R(x86.RDX), x86.R(x86.RCX))
+		a.Shl(x86.R(x86.RDX), x86.I(4))
+		a.Add(x86.R(x86.RDX), x86.I(tab))
+		a.Mov(x86.R(x86.RAX), x86.M(x86.RDX, 0)) // roll key
+		// slot = (key ^ key>>32) & 1023
+		a.Mov(x86.R(x86.RSI), x86.R(x86.RAX))
+		a.Shr(x86.R(x86.RSI), x86.I(32))
+		a.Xor(x86.R(x86.RSI), x86.R(x86.RAX))
+		a.And(x86.R(x86.RSI), x86.I(1023))
+		a.Shl(x86.R(x86.RSI), x86.I(3))
+		a.Add(x86.R(x86.RSI), x86.I(ws+wsSlotTab))
+		a.Cmp(x86.M(x86.RSI, 0), x86.I(0))
+		fillNext := a.NewLabel()
+		a.Jcc(x86.CondNE, fillNext)
+		a.Lea(x86.RDX, x86.M(x86.RCX, 1)) // idx+1
+		a.Mov(x86.M(x86.RSI, 0), x86.R(x86.RDX))
+		a.Bind(fillNext)
+		a.Inc(x86.R(x86.RCX))
+		a.Jmp(fillTop)
+		a.Bind(fillEnd)
+
+		// Delta scan.
+		a.Mov(x86.R(x86.R12), x86.I(0)) // pos
+		a.Mov(x86.R(x86.R15), x86.I(0)) // litStart
+		a.Mov(x86.R(x86.RDI), x86.R(x86.RBP))
+		a.Call(roll)
+		a.Mov(x86.R(x86.R13), x86.R(x86.RAX))
+		a.Mov(x86.R(x86.R14), x86.R(x86.RDX))
+
+		deltaTop := a.Mark()
+		tail := a.NewLabel()
+		noMatch := a.NewLabel()
+		a.Lea(x86.RAX, x86.M(x86.R12, BlockSize))
+		a.Cmp(x86.R(x86.RAX), x86.I(fs))
+		a.Jcc(x86.CondA, tail)
+		// Slot lookup.
+		a.Mov(x86.R(x86.RSI), x86.R(x86.R13))
+		a.Xor(x86.R(x86.RSI), x86.R(x86.R14))
+		a.And(x86.R(x86.RSI), x86.I(1023))
+		a.Shl(x86.R(x86.RSI), x86.I(3))
+		a.Add(x86.R(x86.RSI), x86.I(ws+wsSlotTab))
+		a.Mov(x86.R(x86.RDX), x86.M(x86.RSI, 0))
+		a.Cmp(x86.R(x86.RDX), x86.I(0))
+		a.Jcc(x86.CondE, noMatch)
+		a.Dec(x86.R(x86.RDX)) // block index
+		// Compare the full rolling key.
+		a.Mov(x86.R(x86.RAX), x86.R(x86.R14))
+		a.Shl(x86.R(x86.RAX), x86.I(32))
+		a.Or(x86.R(x86.RAX), x86.R(x86.R13))
+		a.Mov(x86.R(x86.RSI), x86.R(x86.RDX))
+		a.Shl(x86.R(x86.RSI), x86.I(4))
+		a.Add(x86.R(x86.RSI), x86.I(tab))
+		a.Cmp(x86.R(x86.RAX), x86.M(x86.RSI, 0))
+		a.Jcc(x86.CondNE, noMatch)
+		// Strong hash verify.
+		a.Push(x86.R(x86.RDX))
+		a.Push(x86.R(x86.RSI))
+		a.Lea(x86.RDI, x86.MIdx(x86.RBP, x86.R12, 1, 0))
+		a.Mov(x86.R(x86.RSI), x86.I(BlockSize))
+		a.Call(fnv)
+		a.Pop(x86.R(x86.RSI))
+		a.Pop(x86.R(x86.RDX))
+		a.Cmp(x86.R(x86.RAX), x86.M(x86.RSI, 8))
+		a.Jcc(x86.CondNE, noMatch)
+		// Match: flush literals, emit COPY(idx in RDX).
+		a.Push(x86.R(x86.RDX))
+		a.Call(flush)
+		a.Pop(x86.R(x86.RDX))
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(16))
+		a.Mov(x86.M(x86.RDI, 8), x86.I(tokCopy))
+		a.Mov(x86.M(x86.RDI, 16), x86.R(x86.RDX))
+		a.Mov(x86.R(x86.RDI), x86.I(PipeClientUp))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		a.Add(x86.R(x86.R12), x86.I(BlockSize))
+		a.Mov(x86.R(x86.R15), x86.R(x86.R12))
+		// Fresh window if one still fits.
+		a.Lea(x86.RAX, x86.M(x86.R12, BlockSize))
+		a.Cmp(x86.R(x86.RAX), x86.I(fs))
+		a.Jcc(x86.CondA, deltaTop)
+		a.Lea(x86.RDI, x86.MIdx(x86.RBP, x86.R12, 1, 0))
+		a.Call(roll)
+		a.Mov(x86.R(x86.R13), x86.R(x86.RAX))
+		a.Mov(x86.R(x86.R14), x86.R(x86.RDX))
+		a.Jmp(deltaTop)
+
+		a.Bind(noMatch)
+		// Cap the literal run.
+		a.Mov(x86.R(x86.RAX), x86.R(x86.R12))
+		a.Sub(x86.R(x86.RAX), x86.R(x86.R15))
+		a.Cmp(x86.R(x86.RAX), x86.I(litRunCap))
+		noFlush := a.NewLabel()
+		a.Jcc(x86.CondB, noFlush)
+		a.Call(flush)
+		a.Mov(x86.R(x86.R15), x86.R(x86.R12))
+		a.Bind(noFlush)
+		// Slide if the window stays in bounds after advancing.
+		a.Lea(x86.RAX, x86.M(x86.R12, BlockSize+1))
+		a.Cmp(x86.R(x86.RAX), x86.I(fs))
+		bump := a.NewLabel()
+		a.Jcc(x86.CondA, bump)
+		a.Movzx(x86.RCX, x86.MIdx(x86.RBP, x86.R12, 1, 0), 1)         // outgoing
+		a.Movzx(x86.RDX, x86.MIdx(x86.RBP, x86.R12, 1, BlockSize), 1) // incoming
+		a.Sub(x86.R(x86.R13), x86.R(x86.RCX))
+		a.Add(x86.R(x86.R13), x86.R(x86.RDX))
+		a.Shl(x86.R(x86.RCX), x86.I(9)) // *BlockSize
+		a.Sub(x86.R(x86.R14), x86.R(x86.RCX))
+		a.Add(x86.R(x86.R14), x86.R(x86.R13))
+		a.Inc(x86.R(x86.R12))
+		a.Jmp(deltaTop)
+		a.Bind(bump)
+		a.Inc(x86.R(x86.R12))
+		a.Jmp(deltaTop)
+
+		a.Bind(tail)
+		a.Mov(x86.R(x86.R12), x86.I(fs))
+		a.Call(flush)
+		// EOF token.
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(8))
+		a.Mov(x86.M(x86.RDI, 8), x86.I(tokEOF))
+		a.Mov(x86.R(x86.RDI), x86.I(PipeClientUp))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		// Ack: the server's checksum of the rebuilt file.
+		a.Mov(x86.R(x86.RDI), x86.I(PipeDownClient))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+		a.Mov(x86.R(x86.R12), x86.I(fb))
+		a.Mov(x86.R(x86.R12), x86.M(x86.R12, 8)) // server checksum
+		// Our own checksum of the new file.
+		a.Mov(x86.R(x86.RDI), x86.R(x86.RBP))
+		a.Mov(x86.R(x86.RSI), x86.I(fs))
+		a.Call(fnv)
+		a.Mov(x86.R(x86.RDI), x86.I(vars))
+		a.Add(x86.M(x86.RDI, vAccum), x86.R(x86.RAX))
+		a.Cmp(x86.R(x86.RAX), x86.R(x86.R12))
+		ok := a.NewLabel()
+		a.Jcc(x86.CondE, ok)
+		a.Mov(x86.M(x86.RDI, vBad), x86.I(1))
+		a.Bind(ok)
+		a.Inc(x86.R(x86.RBX))
+		a.Jmp(fileLoop)
+
+		a.Bind(allDone)
+		// Zero frame up; wait for the zero frame down.
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(0))
+		a.Mov(x86.R(x86.RDI), x86.I(PipeClientUp))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		a.Mov(x86.R(x86.RDI), x86.I(PipeDownClient))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+
+		// Shutdown wait (the paper's phase (g)).
+		a.Mov(x86.R(x86.RDI), x86.I(2))
+		SysSleep(a)
+		// Report: "rsync ok <hex>\n" or "rsync BAD <hex>\n".
+		msg := ws + wsRLE // reuse as message buffer
+		a.Mov(x86.R(x86.RDI), x86.I(msg))
+		for i, ch := range []byte("rsync ") {
+			a.Movb(x86.M(x86.RDI, int32(i)), x86.I(int64(ch)))
+		}
+		a.Mov(x86.R(x86.RSI), x86.I(vars))
+		a.Cmp(x86.M(x86.RSI, vBad), x86.I(0))
+		bad := a.NewLabel()
+		wrote := a.NewLabel()
+		a.Jcc(x86.CondNE, bad)
+		for i, ch := range []byte("ok  ") {
+			a.Movb(x86.M(x86.RDI, int32(6+i)), x86.I(int64(ch)))
+		}
+		a.Jmp(wrote)
+		a.Bind(bad)
+		for i, ch := range []byte("BAD ") {
+			a.Movb(x86.M(x86.RDI, int32(6+i)), x86.I(int64(ch)))
+		}
+		a.Bind(wrote)
+		a.Add(x86.R(x86.RDI), x86.I(10))
+		a.Mov(x86.R(x86.RSI), x86.I(vars))
+		a.Mov(x86.R(x86.RAX), x86.M(x86.RSI, vAccum))
+		emitPrintHex(a)
+		a.Movb(x86.M(x86.RDI, 0), x86.I('\n'))
+		a.Mov(x86.R(x86.RDI), x86.I(msg))
+		a.Mov(x86.R(x86.RSI), x86.I(27))
+		SysConsWrite(a)
+		SysExit(a)
+	}}
+}

@@ -1,0 +1,205 @@
+package guest
+
+import (
+	"fmt"
+
+	"ptlsim/internal/kern"
+	"ptlsim/internal/x86"
+)
+
+// RsyncServer builds the rsync server/receiver: per file it computes
+// and sends the block signature table over its old copy, then applies
+// the client's COPY/LITERAL token stream to reconstruct the new file,
+// acknowledging each file with a strong checksum of the result.
+func RsyncServer(cs CorpusSpec) Prog {
+	ws := int64(wsBase(cs))
+	fb := ws + wsFrame
+	out := ws + wsOut
+	fs := int64(cs.FileSize)
+	blocks := int64(cs.FileSize / BlockSize)
+
+	return Prog{Name: "rsync-server", Body: func(a *x86.Assembler) {
+		skip := a.NewLabel()
+		a.Jmp(skip)
+		fnv := emitFNV64(a)
+		roll := emitRollBlock(a)
+		rledec := emitRLEDecode(a)
+		recvF := emitRecvFrame(a)
+		sendF := emitSendFrame(a)
+
+		a.Bind(skip)
+		// sshd startup delay.
+		a.Mov(x86.R(x86.RDI), x86.I(1))
+		SysSleep(a)
+		// Handshake: HELO in, config out.
+		a.Mov(x86.R(x86.RDI), x86.I(PipeUpServer))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(16))
+		a.Mov(x86.M(x86.RDI, 8), x86.I(int64(cs.NFiles)))
+		a.Mov(x86.M(x86.RDI, 16), x86.R(x86.RAX)) // echo length (unused)
+		a.Mov(x86.R(x86.RDI), x86.I(PipeServerDown))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+
+		a.Mov(x86.R(x86.RBX), x86.I(0)) // file index
+		fileLoop := a.Mark()
+		allDone := a.NewLabel()
+		a.Cmp(x86.R(x86.RBX), x86.I(int64(cs.NFiles)))
+		a.Jcc(x86.CondGE, allDone)
+		a.Mov(x86.R(x86.RBP), x86.R(x86.RBX))
+		a.Imul3(x86.RBP, x86.R(x86.RBP), fs)
+		a.Add(x86.R(x86.RBP), x86.I(kern.UserDataVA))
+
+		// Build and send the signature table (this is the "build file
+		// list" phase: CPU + memory heavy).
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(blocks*16))
+		a.Mov(x86.R(x86.R13), x86.I(0)) // block k
+		sigTop := a.Mark()
+		sigEnd := a.NewLabel()
+		a.Cmp(x86.R(x86.R13), x86.I(blocks))
+		a.Jcc(x86.CondGE, sigEnd)
+		a.Mov(x86.R(x86.RDI), x86.R(x86.R13))
+		a.Shl(x86.R(x86.RDI), x86.I(9))
+		a.Add(x86.R(x86.RDI), x86.R(x86.RBP))
+		a.Push(x86.R(x86.RDI))
+		a.Call(roll) // rax = a, rdx = b
+		a.Shl(x86.R(x86.RDX), x86.I(32))
+		a.Or(x86.R(x86.RAX), x86.R(x86.RDX))
+		// entry address = fb + 8 + k*16
+		a.Mov(x86.R(x86.RSI), x86.R(x86.R13))
+		a.Shl(x86.R(x86.RSI), x86.I(4))
+		a.Add(x86.R(x86.RSI), x86.I(fb+8))
+		a.Mov(x86.M(x86.RSI, 0), x86.R(x86.RAX))
+		a.Pop(x86.R(x86.RDI))
+		a.Push(x86.R(x86.RSI))
+		a.Mov(x86.R(x86.RSI), x86.I(BlockSize))
+		a.Call(fnv)
+		a.Pop(x86.R(x86.RSI))
+		a.Mov(x86.M(x86.RSI, 8), x86.R(x86.RAX))
+		a.Inc(x86.R(x86.R13))
+		a.Jmp(sigTop)
+		a.Bind(sigEnd)
+		a.Mov(x86.R(x86.RDI), x86.I(PipeServerDown))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+
+		// Apply the token stream.
+		a.Mov(x86.R(x86.R12), x86.I(0)) // outpos
+		tokTop := a.Mark()
+		tokEOFL := a.NewLabel()
+		a.Mov(x86.R(x86.RDI), x86.I(PipeUpServer))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+		a.Mov(x86.R(x86.R13), x86.R(x86.RAX)) // payload len
+		a.Mov(x86.R(x86.RDX), x86.I(fb))
+		a.Mov(x86.R(x86.RCX), x86.M(x86.RDX, 8)) // type
+		isCopy := a.NewLabel()
+		isLit := a.NewLabel()
+		a.Cmp(x86.R(x86.RCX), x86.I(tokCopy))
+		a.Jcc(x86.CondE, isCopy)
+		a.Cmp(x86.R(x86.RCX), x86.I(tokLit))
+		a.Jcc(x86.CondE, isLit)
+		a.Jmp(tokEOFL)
+
+		a.Bind(isCopy)
+		a.Mov(x86.R(x86.RSI), x86.M(x86.RDX, 16)) // block idx
+		a.Shl(x86.R(x86.RSI), x86.I(9))
+		a.Add(x86.R(x86.RSI), x86.R(x86.RBP))
+		a.Mov(x86.R(x86.RDI), x86.I(out))
+		a.Add(x86.R(x86.RDI), x86.R(x86.R12))
+		a.Mov(x86.R(x86.RCX), x86.I(BlockSize))
+		a.RepMovs(1)
+		a.Add(x86.R(x86.R12), x86.I(BlockSize))
+		a.Jmp(tokTop)
+
+		a.Bind(isLit)
+		// payload: [type][rawlen][rle...]; rle length = len-16.
+		a.Lea(x86.RDI, x86.M(x86.RDX, 24))
+		a.Mov(x86.R(x86.RSI), x86.R(x86.R13))
+		a.Sub(x86.R(x86.RSI), x86.I(16))
+		a.Mov(x86.R(x86.RDX), x86.I(out))
+		a.Add(x86.R(x86.RDX), x86.R(x86.R12))
+		a.Call(rledec)
+		a.Add(x86.R(x86.R12), x86.R(x86.RAX))
+		a.Jmp(tokTop)
+
+		a.Bind(tokEOFL)
+		// Checksum the reconstruction and ack.
+		a.Mov(x86.R(x86.RDI), x86.I(out))
+		a.Mov(x86.R(x86.RSI), x86.I(fs))
+		a.Call(fnv)
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(8))
+		a.Mov(x86.M(x86.RDI, 8), x86.R(x86.RAX))
+		a.Mov(x86.R(x86.RDI), x86.I(PipeServerDown))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		a.Inc(x86.R(x86.RBX))
+		a.Jmp(fileLoop)
+
+		a.Bind(allDone)
+		// Read the zero frame, forward shutdown down the stack.
+		a.Mov(x86.R(x86.RDI), x86.I(PipeUpServer))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(recvF)
+		a.Mov(x86.R(x86.RDI), x86.I(fb))
+		a.Mov(x86.M(x86.RDI, 0), x86.I(0))
+		a.Mov(x86.R(x86.RDI), x86.I(PipeServerDown))
+		a.Mov(x86.R(x86.RSI), x86.I(fb))
+		a.Call(sendF)
+		SysExit(a)
+	}}
+}
+
+// RsyncBenchmark assembles the full 6-process benchmark domain spec:
+// client and server rsync processes plus four cipher relay processes
+// (encrypt/decrypt on each direction — the select()-less equivalent of
+// the paper's ssh/sshd pair), wired through plaintext pipes at the
+// edges and checksummed loopback "TCP" socket pipes in the middle.
+func RsyncBenchmark(cs CorpusSpec, timerPeriod uint64) (kern.BuildSpec, error) {
+	if cs.FileSize%BlockSize != 0 {
+		return kern.BuildSpec{}, fmt.Errorf("guest: file size %d not a multiple of %d", cs.FileSize, BlockSize)
+	}
+	if cs.FileSize/BlockSize > 128 {
+		return kern.BuildSpec{}, fmt.Errorf("guest: too many blocks per file (max 128)")
+	}
+	oldData, newData := cs.Generate()
+
+	client, err := RsyncClient(cs).Build()
+	if err != nil {
+		return kern.BuildSpec{}, fmt.Errorf("guest: client: %w", err)
+	}
+	server, err := RsyncServer(cs).Build()
+	if err != nil {
+		return kern.BuildSpec{}, fmt.Errorf("guest: server: %w", err)
+	}
+	relay, err := CipherRelay().Build()
+	if err != nil {
+		return kern.BuildSpec{}, fmt.Errorf("guest: relay: %w", err)
+	}
+
+	const seedUp, seedDown = 0x5DEECE66D, 0x2545F4914F6CDD1D
+	dp := dataPages(cs)
+	return kern.BuildSpec{
+		Procs: []kern.ProcSpec{
+			{Name: "rsync", Code: client, Data: newData, DataPages: dp},
+			{Name: "rsync-server", Code: server, Data: oldData, DataPages: dp},
+			{Name: "ssh-enc", Code: relay, Args: [3]uint64{PipeClientUp, PipeUpWire, seedUp}, DataPages: 4},
+			{Name: "sshd-dec", Code: relay, Args: [3]uint64{PipeUpWire, PipeUpServer, seedUp}, DataPages: 4},
+			{Name: "sshd-enc", Code: relay, Args: [3]uint64{PipeServerDown, PipeDownWire, seedDown}, DataPages: 4},
+			{Name: "ssh-dec", Code: relay, Args: [3]uint64{PipeDownWire, PipeDownClient, seedDown}, DataPages: 4},
+		},
+		Pipes: []kern.PipeSpec{
+			{},             // 0 client -> upEnc
+			{},             // 1 downDec -> client
+			{Socket: true}, // 2 wire up
+			{Socket: true}, // 3 wire down
+			{},             // 4 upDec -> server
+			{},             // 5 server -> downEnc
+		},
+		TimerPeriod: timerPeriod,
+	}, nil
+}

@@ -1,0 +1,453 @@
+// Package hv is the hypervisor substrate: the stand-in for the
+// PTLsim-enhanced Xen hypervisor of the paper (§3-§4). It provides
+// paravirtualized domains — VCPU contexts, machine memory, MMU
+// hypercalls, event channels (the "Xen APIC"), virtual timers keyed to
+// the simulated cycle counter, a console, and virtual block/network
+// device backends — plus the time-virtualization machinery (virtual
+// TSC offsets) that makes native↔simulation switching invisible to the
+// guest.
+package hv
+
+import (
+	"bytes"
+	"fmt"
+
+	"ptlsim/internal/mem"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// Hypercall numbers (RAX on entry; result in RAX).
+const (
+	HcConsoleWrite  = 1  // RDI=buf va, RSI=len
+	HcSetTrapEntry  = 2  // RDI=entry rip
+	HcSetSyscall    = 3  // RDI=entry rip
+	HcStackSwitch   = 4  // RDI=kernel stack top
+	HcSetTimer      = 5  // RDI=delta cycles (one shot, channel 0)
+	HcEventSend     = 6  // RDI=vcpu, RSI=channel
+	HcEventAck      = 7  // returns and clears pending channel mask
+	HcNewBasePtr    = 8  // RDI=new cr3 (machine physical address)
+	HcMMUUpdate     = 9  // RDI=pte machine address, RSI=value
+	HcShutdown      = 10 // RDI=reason
+	HcYield         = 11
+	HcVCPUUp        = 12 // RDI=vcpu, RSI=entry, RDX=stack
+	HcGetVCPUID     = 13
+	HcSetPeriodic   = 14 // RDI=period cycles (channel 0)
+	HcBlockRead     = 15 // RDI=sector, RSI=buf va, RDX=sector count (channel 2)
+	HcBlockWrite    = 16
+	HcGetCycles     = 17 // virtual cycle counter
+	HcMemoryMap     = 18 // RDI=index: returns reserved MFN for guest allocator
+)
+
+// Event channels.
+const (
+	ChanTimer = 0
+	ChanIPI   = 1
+	ChanBlock = 2
+	NumChans  = 64
+)
+
+// Clock is the domain's virtual time source. In simulation mode the
+// machine advances it cycle by cycle; in native mode it advances by a
+// calibrated cycles-per-instruction rate. Timer events and the virtual
+// TSC both derive from it, which is what keeps I/O timing consistent
+// under time dilation (paper §4.2).
+type Clock struct {
+	Cycle uint64
+	// Hz is the modeled core frequency (cycles per second), used to
+	// convert wall-clock style requests.
+	Hz uint64
+}
+
+// Domain is one paravirtualized guest domain.
+type Domain struct {
+	M     *vm.Machine
+	VCPUs []*vm.Context
+	Clock Clock
+
+	// Event channel state: per-VCPU pending bitmask.
+	pending []uint64
+
+	// Timers (per VCPU): one-shot deadline and periodic interval.
+	oneshot  []uint64 // 0 = unarmed
+	periodic []uint64 // 0 = off
+	nextTick []uint64
+
+	// Virtual block device (RAM-backed) with DMA completion latency.
+	Disk        []byte
+	BlockLat    uint64 // cycles from request to completion event
+	pendingDMA  []dmaOp
+	// Reserved page pool handed to the guest kernel allocator.
+	ReservedMFNs []uint64
+
+	ConsoleBuf bytes.Buffer
+
+	// Shutdown state.
+	ShutdownReq    bool
+	ShutdownReason uint64
+
+	// Sink, when set, records device events and DMA completions (the
+	// paper's interrupt/DMA trace recording, §4.2).
+	Sink TraceSink
+	// Source, when set, injects recorded events at their original
+	// cycles; the domain's own device completions are suppressed so
+	// replay is deterministic regardless of simulation speed.
+	Source TraceSource
+
+	// Ptlcall command queue (command lists submitted by ptlctl inside
+	// the guest, e.g. "-run -stopinsns 10m : -native").
+	PtlCommands []string
+
+	// Statistics.
+	hypercalls, eventsSent, eventsDelivered *stats.Counter
+	timerFires, dmaOps                      *stats.Counter
+}
+
+// TraceSink receives device events for trace recording.
+type TraceSink interface {
+	// RecordDeviceEvent is called when a device (not the timer, which
+	// stays cycle-keyed internally) posts an event channel.
+	RecordDeviceEvent(cycle uint64, vcpu, ch int)
+	// RecordDMAWrite is called with the memory image a DMA transfer
+	// deposited into the guest.
+	RecordDMAWrite(cycle uint64, vcpu int, bufVA uint64, data []byte)
+}
+
+// TraceSource supplies recorded events during replay.
+type TraceSource interface {
+	// NextBefore returns events due at or before cycle, consuming them.
+	NextBefore(cycle uint64) []InjectedEvent
+	// NextCycle peeks at the next pending event's cycle (ok=false when
+	// the trace is exhausted) so idle skipping can wake for it.
+	NextCycle() (uint64, bool)
+}
+
+// InjectedEvent is one replayed device event.
+type InjectedEvent struct {
+	Cycle uint64
+	VCPU  int
+	Chan  int
+	BufVA uint64
+	Data  []byte // DMA payload written into guest memory (may be nil)
+}
+
+type dmaOp struct {
+	vcpu     int
+	complete uint64 // cycle at which the event fires
+	write    bool
+	sector   uint64
+	bufVA    uint64
+	count    uint64
+}
+
+// NewDomain creates a domain with n VCPUs and the given machine memory.
+func NewDomain(m *vm.Machine, n int, tree *stats.Tree) *Domain {
+	d := &Domain{
+		M:        m,
+		pending:  make([]uint64, n),
+		oneshot:  make([]uint64, n),
+		periodic: make([]uint64, n),
+		nextTick: make([]uint64, n),
+		BlockLat: 50000,
+		Clock:    Clock{Hz: 2_200_000_000},
+
+		hypercalls:      tree.Counter("hv.hypercalls"),
+		eventsSent:      tree.Counter("hv.events.sent"),
+		eventsDelivered: tree.Counter("hv.events.delivered"),
+		timerFires:      tree.Counter("hv.timer.fires"),
+		dmaOps:          tree.Counter("hv.dma.ops"),
+	}
+	for i := 0; i < n; i++ {
+		ctx := vm.NewContext(m, i)
+		if i > 0 {
+			ctx.Running = false // APs wait for VCPUUp
+		}
+		d.VCPUs = append(d.VCPUs, ctx)
+	}
+	return d
+}
+
+// Tick advances domain time bookkeeping to cycle: firing timers and
+// completing DMA. The machine loop calls this once per simulated cycle
+// (or in larger steps during native mode).
+func (d *Domain) Tick(cycle uint64) {
+	d.Clock.Cycle = cycle
+	for v := range d.VCPUs {
+		if t := d.oneshot[v]; t != 0 && cycle >= t {
+			d.oneshot[v] = 0
+			d.post(v, ChanTimer)
+			d.timerFires.Inc()
+		}
+		if p := d.periodic[v]; p != 0 && cycle >= d.nextTick[v] {
+			d.nextTick[v] += p
+			d.post(v, ChanTimer)
+			d.timerFires.Inc()
+		}
+	}
+	if len(d.pendingDMA) > 0 {
+		live := d.pendingDMA[:0]
+		for _, op := range d.pendingDMA {
+			if cycle >= op.complete {
+				d.completeDMA(op)
+			} else {
+				live = append(live, op)
+			}
+		}
+		d.pendingDMA = live
+	}
+	if d.Source != nil {
+		for _, ev := range d.Source.NextBefore(cycle) {
+			if len(ev.Data) > 0 {
+				_ = d.VCPUs[ev.VCPU].WriteVirtBytes(ev.BufVA, ev.Data)
+			}
+			d.post(ev.VCPU, ev.Chan)
+		}
+	}
+}
+
+// NextTimerDeadline returns the earliest pending timer/DMA cycle (0 if
+// none), letting the native-mode loop skip idle time deterministically.
+func (d *Domain) NextTimerDeadline() uint64 {
+	var min uint64
+	take := func(t uint64) {
+		if t != 0 && (min == 0 || t < min) {
+			min = t
+		}
+	}
+	for v := range d.VCPUs {
+		take(d.oneshot[v])
+		if d.periodic[v] != 0 {
+			take(d.nextTick[v])
+		}
+	}
+	for _, op := range d.pendingDMA {
+		take(op.complete)
+	}
+	if d.Source != nil {
+		if c, ok := d.Source.NextCycle(); ok {
+			take(c)
+		}
+	}
+	return min
+}
+
+// post marks an event channel pending and wakes the target VCPU.
+func (d *Domain) post(vcpu, ch int) {
+	d.pending[vcpu] |= 1 << ch
+	d.eventsSent.Inc()
+	d.VCPUs[vcpu].Running = true
+}
+
+// Post delivers an external (device) event into the domain.
+func (d *Domain) Post(vcpu, ch int) { d.post(vcpu, ch) }
+
+// EventPending implements vm.EventSource.
+func (d *Domain) EventPending(c *vm.Context) bool {
+	return d.pending[c.ID] != 0
+}
+
+// ReadTSC implements vm.Hooks: the virtualized timestamp counter.
+func (d *Domain) ReadTSC(c *vm.Context) uint64 {
+	return d.Clock.Cycle + c.TSCOffset
+}
+
+// Cpuid implements vm.Hooks with a minimal identification leaf.
+func (d *Domain) Cpuid(c *vm.Context) {
+	leaf := c.Regs[uops.RegRAX]
+	switch leaf {
+	case 0:
+		c.Regs[uops.RegRAX] = 1
+		c.Regs[uops.RegRBX] = 0x4C545020 // "PTL "
+		c.Regs[uops.RegRDX] = 0x6D697357 // "Wsim"
+		c.Regs[uops.RegRCX] = 0x2F586E65 // "en/X"
+	case 1:
+		c.Regs[uops.RegRAX] = 0x0F4A // family/model
+		c.Regs[uops.RegRBX] = uint64(len(d.VCPUs)) << 16
+		c.Regs[uops.RegRCX] = 0
+		c.Regs[uops.RegRDX] = 1 << 25 // sse-ish
+	default:
+		c.Regs[uops.RegRAX] = 0
+		c.Regs[uops.RegRBX] = 0
+		c.Regs[uops.RegRCX] = 0
+		c.Regs[uops.RegRDX] = 0
+	}
+}
+
+// Ptlcall implements vm.Hooks: the breakout opcode. RDI points at a
+// command list string of RSI bytes (ptlctl); RDI=0 requests a plain
+// mode switch recorded as "-switch".
+func (d *Domain) Ptlcall(c *vm.Context) {
+	va := c.Regs[uops.RegRDI]
+	n := c.Regs[uops.RegRSI]
+	if va == 0 || n == 0 || n > 4096 {
+		d.PtlCommands = append(d.PtlCommands, "-switch")
+		return
+	}
+	buf := make([]byte, n)
+	if f := c.ReadVirtBytes(va, buf); f != uops.FaultNone {
+		d.PtlCommands = append(d.PtlCommands, "-switch")
+		return
+	}
+	d.PtlCommands = append(d.PtlCommands, string(buf))
+}
+
+// TakeCommands drains the queued ptlcall command lists.
+func (d *Domain) TakeCommands() []string {
+	cmds := d.PtlCommands
+	d.PtlCommands = nil
+	return cmds
+}
+
+// Hypercall implements vm.Hooks: dispatch the paravirt hypercall in
+// c's registers.
+func (d *Domain) Hypercall(c *vm.Context) uops.Fault {
+	d.hypercalls.Inc()
+	op := c.Regs[uops.RegRAX]
+	a1 := c.Regs[uops.RegRDI]
+	a2 := c.Regs[uops.RegRSI]
+	a3 := c.Regs[uops.RegRDX]
+	ret := uint64(0)
+	switch op {
+	case HcConsoleWrite:
+		if a2 > 65536 {
+			a2 = 65536
+		}
+		buf := make([]byte, a2)
+		if f := c.ReadVirtBytes(a1, buf); f != uops.FaultNone {
+			return f
+		}
+		d.ConsoleBuf.Write(buf)
+		ret = a2
+	case HcSetTrapEntry:
+		c.TrapEntry = a1
+	case HcSetSyscall:
+		c.SyscallEntry = a1
+	case HcStackSwitch:
+		c.KernelRSP = a1
+	case HcSetTimer:
+		d.oneshot[c.ID] = d.Clock.Cycle + a1
+	case HcSetPeriodic:
+		d.periodic[c.ID] = a1
+		d.nextTick[c.ID] = d.Clock.Cycle + a1
+	case HcEventSend:
+		if int(a1) < len(d.VCPUs) && a2 < NumChans {
+			d.post(int(a1), int(a2))
+		} else {
+			ret = ^uint64(0)
+		}
+	case HcEventAck:
+		ret = d.pending[c.ID]
+		d.pending[c.ID] = 0
+		d.eventsDelivered.Inc()
+	case HcNewBasePtr:
+		// Xen validates the new base; here presence of the root frame
+		// is the invariant we can check.
+		if !d.M.PM.Present(a1 >> mem.PageShift) {
+			ret = ^uint64(0)
+			break
+		}
+		c.CR3 = a1
+		c.FlushGen++
+	case HcMMUUpdate:
+		// Validate the target is an allocated machine frame (Xen's
+		// type checks are far richer; presence is the critical one).
+		if !d.M.PM.Present(a1 >> mem.PageShift) {
+			ret = ^uint64(0)
+			break
+		}
+		if err := d.M.PM.Write(a1, a2, 8); err != nil {
+			ret = ^uint64(0)
+		}
+		c.FlushGen++
+	case HcShutdown:
+		d.ShutdownReq = true
+		d.ShutdownReason = a1
+		for _, v := range d.VCPUs {
+			v.Running = false
+		}
+	case HcYield:
+		// Scheduling hint only; a single-domain hypervisor ignores it.
+	case HcVCPUUp:
+		if int(a1) >= len(d.VCPUs) || int(a1) == c.ID {
+			ret = ^uint64(0)
+			break
+		}
+		ap := d.VCPUs[a1]
+		ap.RIP = a2
+		ap.Regs[uops.RegRSP] = a3
+		ap.CR3 = c.CR3
+		ap.Kernel = true
+		ap.TrapEntry = c.TrapEntry
+		ap.SyscallEntry = c.SyscallEntry
+		ap.Running = true
+	case HcGetVCPUID:
+		ret = uint64(c.ID)
+	case HcBlockRead, HcBlockWrite:
+		if d.Disk == nil {
+			ret = ^uint64(0)
+			break
+		}
+		end := (a1 + a3) * 512
+		if end > uint64(len(d.Disk)) || a3 == 0 {
+			ret = ^uint64(0)
+			break
+		}
+		if d.Source == nil {
+			// Normal operation: schedule the DMA and completion event.
+			// In replay mode the traced events supply both the data
+			// and the interrupt at the recorded cycles.
+			d.pendingDMA = append(d.pendingDMA, dmaOp{
+				vcpu: c.ID, complete: d.Clock.Cycle + d.BlockLat,
+				write: op == HcBlockWrite, sector: a1, bufVA: a2, count: a3,
+			})
+		}
+		d.dmaOps.Inc()
+	case HcGetCycles:
+		ret = d.Clock.Cycle
+	case HcMemoryMap:
+		if int(a1) < len(d.ReservedMFNs) {
+			ret = d.ReservedMFNs[a1]
+		} else {
+			ret = ^uint64(0)
+		}
+	default:
+		return uops.FaultGP
+	}
+	c.Regs[uops.RegRAX] = ret
+	return uops.FaultNone
+}
+
+// completeDMA copies block data and fires the completion event — the
+// deterministic, cycle-keyed interrupt delivery the paper requires for
+// repeatable simulation.
+func (d *Domain) completeDMA(op dmaOp) {
+	c := d.VCPUs[op.vcpu]
+	buf := d.Disk[op.sector*512 : (op.sector+op.count)*512]
+	if op.write {
+		tmp := make([]byte, len(buf))
+		if f := c.ReadVirtBytes(op.bufVA, tmp); f == uops.FaultNone {
+			copy(buf, tmp)
+		}
+	} else {
+		tmp := make([]byte, len(buf))
+		copy(tmp, buf)
+		_ = c.WriteVirtBytes(op.bufVA, tmp)
+		if d.Sink != nil {
+			d.Sink.RecordDMAWrite(d.Clock.Cycle, op.vcpu, op.bufVA, tmp)
+		}
+	}
+	if d.Sink != nil {
+		d.Sink.RecordDeviceEvent(d.Clock.Cycle, op.vcpu, ChanBlock)
+	}
+	d.post(op.vcpu, ChanBlock)
+}
+
+// Console returns everything the guest has written to the console.
+func (d *Domain) Console() string { return d.ConsoleBuf.String() }
+
+// String summarizes the domain.
+func (d *Domain) String() string {
+	return fmt.Sprintf("domain: %d vcpus, %d pages, cycle %d",
+		len(d.VCPUs), d.M.PM.NumPages(), d.Clock.Cycle)
+}

@@ -1,0 +1,323 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/mem"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// testDomain builds a 2-VCPU domain with one mapped scratch page so
+// hypercalls that touch guest memory can run.
+func testDomain(t *testing.T) (*Domain, *mem.AddressSpace) {
+	t.Helper()
+	pm := mem.NewPhysMem()
+	m := &vm.Machine{PM: pm}
+	d := NewDomain(m, 2, stats.NewTree())
+	as := mem.NewAddressSpace(pm)
+	if err := as.Map(0x1000, pm.AllocPage(), mem.PTEWritable|mem.PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.VCPUs {
+		c.CR3 = as.CR3()
+		c.Kernel = true
+	}
+	return d, as
+}
+
+// hc performs a hypercall with the given registers.
+func hc(t *testing.T, d *Domain, c *vm.Context, op, a1, a2, a3 uint64) uint64 {
+	t.Helper()
+	c.Regs[uops.RegRAX] = op
+	c.Regs[uops.RegRDI] = a1
+	c.Regs[uops.RegRSI] = a2
+	c.Regs[uops.RegRDX] = a3
+	if f := d.Hypercall(c); f != uops.FaultNone {
+		t.Fatalf("hypercall %d faulted: %v", op, f)
+	}
+	return c.Regs[uops.RegRAX]
+}
+
+func TestConsoleWrite(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	if f := c.WriteVirtBytes(0x1000, []byte("hello hv")); f != uops.FaultNone {
+		t.Fatal(f)
+	}
+	n := hc(t, d, c, HcConsoleWrite, 0x1000, 8, 0)
+	if n != 8 || d.Console() != "hello hv" {
+		t.Fatalf("n=%d console=%q", n, d.Console())
+	}
+}
+
+func TestEntryRegistration(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	hc(t, d, c, HcSetTrapEntry, 0xAAA, 0, 0)
+	hc(t, d, c, HcSetSyscall, 0xBBB, 0, 0)
+	hc(t, d, c, HcStackSwitch, 0xCCC, 0, 0)
+	if c.TrapEntry != 0xAAA || c.SyscallEntry != 0xBBB || c.KernelRSP != 0xCCC {
+		t.Fatalf("entries: %#x %#x %#x", c.TrapEntry, c.SyscallEntry, c.KernelRSP)
+	}
+}
+
+func TestOneShotTimer(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	d.Tick(100)
+	hc(t, d, c, HcSetTimer, 500, 0, 0) // fires at 600
+	d.Tick(599)
+	if d.EventPending(c) {
+		t.Fatal("timer fired early")
+	}
+	c.Running = false
+	d.Tick(600)
+	if !d.EventPending(c) {
+		t.Fatal("timer did not fire")
+	}
+	if !c.Running {
+		t.Fatal("timer event must wake the VCPU")
+	}
+	// Ack clears.
+	mask := hc(t, d, c, HcEventAck, 0, 0, 0)
+	if mask&(1<<ChanTimer) == 0 {
+		t.Fatalf("ack mask %#x", mask)
+	}
+	if d.EventPending(c) {
+		t.Fatal("ack did not clear pending")
+	}
+	// One-shot: no refire.
+	d.Tick(2000)
+	if d.EventPending(c) {
+		t.Fatal("one-shot timer refired")
+	}
+}
+
+func TestPeriodicTimer(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	hc(t, d, c, HcSetPeriodic, 100, 0, 0)
+	fires := 0
+	for cyc := uint64(1); cyc <= 1000; cyc++ {
+		d.Tick(cyc)
+		if d.EventPending(c) {
+			fires++
+			hc(t, d, c, HcEventAck, 0, 0, 0)
+		}
+	}
+	if fires != 10 {
+		t.Fatalf("periodic fired %d times in 1000 cycles at period 100", fires)
+	}
+}
+
+func TestNextTimerDeadline(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	if d.NextTimerDeadline() != 0 {
+		t.Fatal("no timers armed")
+	}
+	d.Tick(50)
+	hc(t, d, c, HcSetTimer, 100, 0, 0)
+	
+	if ddl := d.NextTimerDeadline(); ddl != 150 {
+		t.Fatalf("deadline = %d, want 150", ddl)
+	}
+}
+
+func TestEventSendIPI(t *testing.T) {
+	d, _ := testDomain(t)
+	c0, c1 := d.VCPUs[0], d.VCPUs[1]
+	c1.Running = false
+	hc(t, d, c0, HcEventSend, 1, ChanIPI, 0)
+	if !d.EventPending(c1) || !c1.Running {
+		t.Fatal("IPI not delivered/woken")
+	}
+	if d.EventPending(c0) {
+		t.Fatal("IPI leaked to sender")
+	}
+	// Bad target.
+	if ret := hc(t, d, c0, HcEventSend, 99, 0, 0); ret != ^uint64(0) {
+		t.Fatalf("bad vcpu accepted: %#x", ret)
+	}
+}
+
+func TestNewBasePtrValidation(t *testing.T) {
+	d, as := testDomain(t)
+	c := d.VCPUs[0]
+	gen := c.FlushGen
+	hc(t, d, c, HcNewBasePtr, as.CR3(), 0, 0)
+	if c.CR3 != as.CR3() || c.FlushGen == gen {
+		t.Fatal("cr3 switch did not apply/flush")
+	}
+	// Unallocated frame rejected.
+	if ret := hc(t, d, c, HcNewBasePtr, 0xDEAD000, 0, 0); ret != ^uint64(0) {
+		t.Fatalf("bogus cr3 accepted: %#x", ret)
+	}
+}
+
+func TestMMUUpdate(t *testing.T) {
+	d, as := testDomain(t)
+	c := d.VCPUs[0]
+	// Write a PTE slot through the hypercall.
+	leaf, err := as.LeafPTEAddr(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc(t, d, c, HcMMUUpdate, leaf, 0, 0) // unmap the page
+	if _, f := c.ReadVirt(0x1000, 8); f == uops.FaultNone {
+		t.Fatal("mmu_update did not take effect")
+	}
+	if ret := hc(t, d, c, HcMMUUpdate, 0xDEAD000, 7, 0); ret != ^uint64(0) {
+		t.Fatal("update of unallocated frame accepted")
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	hc(t, d, c, HcShutdown, 42, 0, 0)
+	if !d.ShutdownReq || d.ShutdownReason != 42 {
+		t.Fatal("shutdown not recorded")
+	}
+	for _, v := range d.VCPUs {
+		if v.Running {
+			t.Fatal("VCPUs still running after shutdown")
+		}
+	}
+}
+
+func TestVCPUUp(t *testing.T) {
+	d, _ := testDomain(t)
+	c0, c1 := d.VCPUs[0], d.VCPUs[1]
+	c0.TrapEntry = 0x111
+	c0.SyscallEntry = 0x222
+	c1.Running = false
+	hc(t, d, c0, HcVCPUUp, 1, 0x5000, 0x9000)
+	if !c1.Running || c1.RIP != 0x5000 || c1.Regs[uops.RegRSP] != 0x9000 {
+		t.Fatalf("AP state: run=%v rip=%#x rsp=%#x", c1.Running, c1.RIP, c1.Regs[uops.RegRSP])
+	}
+	if c1.CR3 != c0.CR3 || c1.TrapEntry != 0x111 || c1.SyscallEntry != 0x222 {
+		t.Fatal("AP did not inherit BSP configuration")
+	}
+	// Self-up rejected.
+	if ret := hc(t, d, c0, HcVCPUUp, 0, 0, 0); ret != ^uint64(0) {
+		t.Fatal("self VCPUUp accepted")
+	}
+}
+
+func TestGetVCPUIDAndCycles(t *testing.T) {
+	d, _ := testDomain(t)
+	if hc(t, d, d.VCPUs[1], HcGetVCPUID, 0, 0, 0) != 1 {
+		t.Fatal("vcpu id wrong")
+	}
+	d.Tick(777)
+	if hc(t, d, d.VCPUs[0], HcGetCycles, 0, 0, 0) != 777 {
+		t.Fatal("cycle counter wrong")
+	}
+}
+
+func TestBlockDeviceDMA(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	d.Disk = make([]byte, 8*512)
+	for i := range d.Disk {
+		d.Disk[i] = byte(i)
+	}
+	d.BlockLat = 100
+	d.Tick(10)
+	hc(t, d, c, HcBlockRead, 1, 0x1000, 1) // sector 1 -> va 0x1000
+	d.Tick(50)
+	if d.EventPending(c) {
+		t.Fatal("DMA completed before its latency")
+	}
+	d.Tick(110)
+	if !d.EventPending(c) {
+		t.Fatal("DMA completion event missing")
+	}
+	v, f := c.ReadVirt(0x1000, 8)
+	if f != uops.FaultNone {
+		t.Fatal(f)
+	}
+	// sector 1 starts at disk byte 512 -> 0x00,0x01.. pattern offset.
+	if byte(v) != d.Disk[512] {
+		t.Fatalf("DMA data wrong: %#x", v)
+	}
+	// Write path.
+	_ = c.WriteVirt(0x1080, 0xCAFEBABE, 8)
+	hc(t, d, c, HcBlockWrite, 4, 0x1080, 1)
+	d.Tick(300)
+	if d.Disk[4*512] != 0xBE {
+		t.Fatalf("block write did not land: %#x", d.Disk[4*512])
+	}
+	// Out-of-range rejected.
+	if ret := hc(t, d, c, HcBlockRead, 7, 0x1000, 5); ret != ^uint64(0) {
+		t.Fatal("OOB block read accepted")
+	}
+}
+
+func TestReadTSCUsesOffset(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	d.Tick(1000)
+	c.TSCOffset = 234
+	if tsc := d.ReadTSC(c); tsc != 1234 {
+		t.Fatalf("tsc = %d", tsc)
+	}
+}
+
+func TestCpuidLeaves(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	c.Regs[uops.RegRAX] = 0
+	d.Cpuid(c)
+	if c.Regs[uops.RegRAX] != 1 {
+		t.Fatal("leaf 0 max leaf wrong")
+	}
+	c.Regs[uops.RegRAX] = 1
+	d.Cpuid(c)
+	if c.Regs[uops.RegRBX]>>16 != 2 {
+		t.Fatal("leaf 1 vcpu count wrong")
+	}
+	c.Regs[uops.RegRAX] = 99
+	d.Cpuid(c)
+	if c.Regs[uops.RegRAX] != 0 {
+		t.Fatal("unknown leaf should zero")
+	}
+}
+
+func TestPtlcallCommandCapture(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	cmd := "-run -stopinsns 10m : -native"
+	if f := c.WriteVirtBytes(0x1000, []byte(cmd)); f != uops.FaultNone {
+		t.Fatal(f)
+	}
+	c.Regs[uops.RegRDI] = 0x1000
+	c.Regs[uops.RegRSI] = uint64(len(cmd))
+	d.Ptlcall(c)
+	cmds := d.TakeCommands()
+	if len(cmds) != 1 || cmds[0] != cmd {
+		t.Fatalf("commands = %q", cmds)
+	}
+	if len(d.TakeCommands()) != 0 {
+		t.Fatal("TakeCommands must drain")
+	}
+	// Null pointer form records a bare switch.
+	c.Regs[uops.RegRDI] = 0
+	d.Ptlcall(c)
+	if cmds := d.TakeCommands(); len(cmds) != 1 || !strings.Contains(cmds[0], "-switch") {
+		t.Fatalf("bare ptlcall = %q", cmds)
+	}
+}
+
+func TestUnknownHypercallFaults(t *testing.T) {
+	d, _ := testDomain(t)
+	c := d.VCPUs[0]
+	c.Regs[uops.RegRAX] = 9999
+	if f := d.Hypercall(c); f != uops.FaultGP {
+		t.Fatalf("unknown hypercall: %v", f)
+	}
+}

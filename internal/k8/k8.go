@@ -1,0 +1,241 @@
+// Package k8 implements the "reference silicon" side of the paper's
+// Table 1 experiment. The paper compared PTLsim's statistics against a
+// real Athlon 64's hardware performance counters; with no silicon
+// available, this package emulates what those counters would report by
+// replaying the functional core's architectural event stream through
+// silicon-grade structures the simulated PTLsim core deliberately lacks
+// (or models more simply):
+//
+//   - a two-level TLB (32-entry L1, 1024-entry 4-way L2) with a
+//     24-entry PDE cache — the reason the paper's DTLB miss counts are
+//     2.4x lower on silicon than in PTLsim (Table 1's 144% row);
+//   - an L1 data cache with the K8's more aggressive prefetcher
+//     (slightly lower miss rate, Table 1's +7% row);
+//   - the K8 branch predictor with its larger effective history;
+//   - macro-op ("uop triad") retirement counting, which undercounts
+//     relative to PTLsim's individual uops (Table 1's +31% row);
+//   - a calibrated event-cost cycle model (K8-like 3-wide retire with
+//     standard miss penalties) standing in for the cycle counter.
+package k8
+
+import (
+	"ptlsim/internal/bpred"
+	"ptlsim/internal/cache"
+	"ptlsim/internal/seqcore"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/tlb"
+	"ptlsim/internal/uops"
+)
+
+// CostModel holds the cycle-estimate coefficients: a base CPI for the
+// 3-wide K8 pipeline plus standard penalties per event. The defaults
+// are derived from the K8 documentation latencies used elsewhere in the
+// simulator (L2 10 cycles, memory 112, redirect 11).
+type CostModel struct {
+	BaseCPI        float64
+	L1MissPenalty  float64 // L2 hit cost
+	L2MissPenalty  float64 // memory cost
+	MispredPenalty float64
+	TLBMissPenalty float64 // full four-level walk
+	TLBPDEPenalty  float64 // walk shortened by the PDE cache
+}
+
+// DefaultCostModel uses the measured K8 latencies.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		// The K8 sustains roughly 0.9 IPC on integer server code
+		// (Table 1's native run measured CPI 1.50 including stalls);
+		// the base covers issue-width and dependence stalls the event
+		// costs below do not.
+		BaseCPI:        1.10,
+		L1MissPenalty:  10,
+		L2MissPenalty:  112,
+		MispredPenalty: 11,
+		TLBMissPenalty: 20,
+		TLBPDEPenalty:  5,
+	}
+}
+
+// Model is the hardware-counter emulation. It implements
+// seqcore.Observer; attach it to the functional core with
+// core.Obs = model.
+type Model struct {
+	cost CostModel
+
+	dtlb *tlb.Hierarchy
+	itlb *tlb.Hierarchy
+	hier *cache.Hierarchy
+	pred *bpred.Predictor
+
+	// Counters (the four-at-a-time rdpmc counters of the paper, all
+	// available at once here).
+	Insns, Uops              *stats.Counter
+	Loads, Stores            *stats.Counter
+	L1DAccesses, L1DMisses   *stats.Counter
+	Branches, CondBranches   *stats.Counter
+	Mispredicts              *stats.Counter
+	DTLBMisses, DTLBPDEShort *stats.Counter
+	ITLBMisses               *stats.Counter
+	ContextSwitches          *stats.Counter
+	KernelInsns, UserInsns   *stats.Counter
+
+	cycleAccum float64
+}
+
+// New builds the reference model, registering counters under prefix.
+func New(tree *stats.Tree, prefix string) *Model {
+	cfg := cache.K8Hierarchy()
+	cfg.Prefetch = true // the silicon's prefetch unit (paper §5)
+	m := &Model{
+		cost: DefaultCostModel(),
+		// K8: 32-entry fully associative L1 TLB, 1024-entry 4-way L2,
+		// 24-entry PDE cache (paper §5 discussion of Table 1).
+		dtlb: tlb.NewHierarchy(32, 32, 1024, 4, 24),
+		itlb: tlb.NewHierarchy(32, 32, 512, 4, 24),
+		hier: cache.NewHierarchy(cfg, tree, prefix+".cache"),
+		pred: bpred.New(bpred.K8Config()),
+
+		Insns:           tree.Counter(prefix + ".insns"),
+		Uops:            tree.Counter(prefix + ".uops"),
+		Loads:           tree.Counter(prefix + ".loads"),
+		Stores:          tree.Counter(prefix + ".stores"),
+		L1DAccesses:     tree.Counter(prefix + ".l1d.accesses"),
+		L1DMisses:       tree.Counter(prefix + ".l1d.misses"),
+		Branches:        tree.Counter(prefix + ".branches"),
+		CondBranches:    tree.Counter(prefix + ".cond_branches"),
+		Mispredicts:     tree.Counter(prefix + ".mispredicts"),
+		DTLBMisses:      tree.Counter(prefix + ".dtlb.misses"),
+		DTLBPDEShort:    tree.Counter(prefix + ".dtlb.pde_short_walks"),
+		ITLBMisses:      tree.Counter(prefix + ".itlb.misses"),
+		ContextSwitches: tree.Counter(prefix + ".context_switches"),
+		KernelInsns:     tree.Counter(prefix + ".kernel_insns"),
+		UserInsns:       tree.Counter(prefix + ".user_insns"),
+	}
+	return m
+}
+
+var _ seqcore.Observer = (*Model)(nil)
+
+// Cycles returns the emulated cycle counter reading.
+func (m *Model) Cycles() uint64 { return uint64(m.cycleAccum) }
+
+// AddIdleCycles accounts halted time (the cycle counter keeps running
+// while the CPU idles).
+func (m *Model) AddIdleCycles(n uint64) { m.cycleAccum += float64(n) }
+
+// OnInsn implements seqcore.Observer: macro-op (triad) counting.
+func (m *Model) OnInsn(rip uint64, kernel bool, uopCount int) {
+	m.Insns.Inc()
+	if kernel {
+		m.KernelInsns.Inc()
+	} else {
+		m.UserInsns.Inc()
+	}
+	// The K8 decodes most instructions into one macro-op and counts
+	// triads rather than individual operations: one macro-op per three
+	// uops of work, minimum one.
+	triads := (uopCount + 2) / 3
+	m.Uops.Add(int64(triads))
+	m.cycleAccum += m.cost.BaseCPI
+}
+
+// access runs the D-side TLB and cache for one data reference.
+func (m *Model) access(va, pa uint64, write bool) {
+	vpn := va >> 12
+	if _, res := m.dtlb.Lookup(vpn); res == tlb.Miss {
+		m.DTLBMisses.Inc()
+		if m.dtlb.PDEHit(vpn) {
+			m.DTLBPDEShort.Inc()
+			m.cycleAccum += m.cost.TLBPDEPenalty
+		} else {
+			m.cycleAccum += m.cost.TLBMissPenalty
+		}
+		m.dtlb.Insert(tlb.Entry{VPN: vpn, MFN: pa >> 12})
+	}
+	m.L1DAccesses.Inc()
+	var r cache.Result
+	if write {
+		r = m.hier.Store(pa, uint64(m.cycleAccum))
+	} else {
+		r = m.hier.Load(pa, uint64(m.cycleAccum))
+	}
+	if r.Level != cache.LevelL1 {
+		m.L1DMisses.Inc()
+		m.cycleAccum += m.cost.L1MissPenalty
+		if r.Level == cache.LevelMem {
+			m.cycleAccum += m.cost.L2MissPenalty
+		}
+	}
+}
+
+// OnLoad implements seqcore.Observer.
+func (m *Model) OnLoad(va, pa uint64, size uint8) {
+	m.Loads.Inc()
+	m.access(va, pa, false)
+}
+
+// OnStore implements seqcore.Observer.
+func (m *Model) OnStore(va, pa uint64, size uint8) {
+	m.Stores.Inc()
+	m.access(va, pa, true)
+}
+
+// OnBranch implements seqcore.Observer.
+func (m *Model) OnBranch(rip uint64, taken bool, target uint64, kind uops.BranchKind) {
+	m.Branches.Inc()
+	switch kind {
+	case uops.BranchCond:
+		m.CondBranches.Inc()
+		pred, snap := m.pred.PredictDirection(rip)
+		if pred != taken {
+			m.Mispredicts.Inc()
+			m.cycleAccum += m.cost.MispredPenalty
+			m.pred.Recover(snap, taken)
+		}
+		m.pred.Update(rip, taken, snap)
+	case uops.BranchCall:
+		m.pred.RAS().Push(rip + 5)
+		m.pred.BTBUpdate(rip, target)
+	case uops.BranchRet:
+		if m.pred.RAS().Pop() != target {
+			m.Mispredicts.Inc()
+			m.cycleAccum += m.cost.MispredPenalty
+		}
+	case uops.BranchIndirect:
+		if t, ok := m.pred.BTBLookup(rip); !ok || t != target {
+			m.Mispredicts.Inc()
+			m.cycleAccum += m.cost.MispredPenalty
+		}
+		m.pred.BTBUpdate(rip, target)
+	}
+}
+
+// OnAddressSpaceSwitch implements seqcore.Observer: CR3 reloads flush
+// the untagged TLB hierarchy (and the PDE cache) exactly as the K8
+// does — its DTLB advantage over the simulated 32-entry single-level
+// TLB comes from the PDE cache shortening refill walks and the larger
+// within-timeslice reach, not from surviving context switches.
+func (m *Model) OnAddressSpaceSwitch(cr3 uint64) {
+	m.dtlb.Flush()
+	m.itlb.Flush()
+	m.ContextSwitches.Inc()
+}
+
+// OnFetchBlock implements seqcore.Observer: I-side TLB and cache.
+func (m *Model) OnFetchBlock(rip, pa uint64) {
+	vpn := rip >> 12
+	if _, res := m.itlb.Lookup(vpn); res == tlb.Miss {
+		m.ITLBMisses.Inc()
+		m.cycleAccum += m.cost.TLBMissPenalty
+		m.itlb.Insert(tlb.Entry{VPN: vpn, MFN: pa >> 12})
+	}
+	m.hier.Fetch(pa, uint64(m.cycleAccum))
+}
+
+// FlushCaches models the -perfctr cold-start (the paper flushed all
+// CPU caches before switching to native counting).
+func (m *Model) FlushCaches() {
+	m.hier.Flush()
+	m.dtlb.Flush()
+	m.itlb.Flush()
+}

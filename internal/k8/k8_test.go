@@ -1,0 +1,89 @@
+package k8
+
+import (
+	"testing"
+
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+)
+
+func TestTriadCounting(t *testing.T) {
+	tree := stats.NewTree()
+	m := New(tree, "k8")
+	m.OnInsn(0x1000, false, 1) // 1 uop -> 1 triad
+	m.OnInsn(0x1001, false, 3) // 3 uops -> 1 triad
+	m.OnInsn(0x1002, false, 4) // 4 uops -> 2 triads
+	m.OnInsn(0x1003, true, 7)  // 7 uops -> 3 triads
+	if m.Insns.Value() != 4 || m.Uops.Value() != 7 {
+		t.Fatalf("insns=%d uops=%d", m.Insns.Value(), m.Uops.Value())
+	}
+	if m.KernelInsns.Value() != 1 || m.UserInsns.Value() != 3 {
+		t.Fatal("mode attribution wrong")
+	}
+}
+
+func TestTwoLevelTLBAbsorbsMisses(t *testing.T) {
+	tree := stats.NewTree()
+	m := New(tree, "k8")
+	// Touch 200 pages (beyond the 32-entry L1 TLB, within the 1024 L2).
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 200; p++ {
+			m.OnLoad(p<<12, p<<12, 8)
+		}
+	}
+	// First pass misses cold; later passes hit L2 and refill silently,
+	// so total misses should stay near the cold 200 (L2 hits are not
+	// "TLB misses" on K8's counters... they are L1 misses; the paper's
+	// counter counts walks. Here DTLBMisses counts hierarchy misses.)
+	if m.DTLBMisses.Value() != 200 {
+		t.Fatalf("two-level TLB misses = %d, want 200 (cold only)", m.DTLBMisses.Value())
+	}
+}
+
+func TestPDECacheShortensWalks(t *testing.T) {
+	tree := stats.NewTree()
+	m := New(tree, "k8")
+	// Sequential pages share PDEs: most walks after the first in each
+	// 2MB region should be shortened.
+	for p := uint64(0); p < 64; p++ {
+		m.OnLoad(p<<12, p<<12, 8)
+	}
+	if m.DTLBPDEShort.Value() == 0 {
+		t.Fatal("PDE cache never shortened a walk")
+	}
+	if m.DTLBPDEShort.Value() >= m.DTLBMisses.Value() {
+		t.Fatal("every walk shortened, including cold PDEs")
+	}
+}
+
+func TestBranchCounters(t *testing.T) {
+	tree := stats.NewTree()
+	m := New(tree, "k8")
+	// A biased branch becomes predictable.
+	for i := 0; i < 100; i++ {
+		m.OnBranch(0x4004, true, 0x5000, uops.BranchCond)
+	}
+	if m.CondBranches.Value() != 100 {
+		t.Fatalf("cond branches = %d", m.CondBranches.Value())
+	}
+	// gshare warms up one counter per distinct history value; with a
+	// 12-bit history the warmup tail is bounded by ~historyBits.
+	if m.Mispredicts.Value() > 20 {
+		t.Fatalf("mispredicts on biased branch = %d", m.Mispredicts.Value())
+	}
+}
+
+func TestCycleModelMonotone(t *testing.T) {
+	tree := stats.NewTree()
+	m := New(tree, "k8")
+	m.OnInsn(0, false, 1)
+	c1 := m.Cycles()
+	m.OnLoad(0x999000, 0x999000, 8) // cold miss chain
+	if m.Cycles() <= c1 {
+		t.Fatal("misses must add cycles")
+	}
+	m.AddIdleCycles(1000)
+	if m.Cycles() < c1+1000 {
+		t.Fatal("idle cycles not accounted")
+	}
+}

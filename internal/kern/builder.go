@@ -1,0 +1,208 @@
+package kern
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ptlsim/internal/hv"
+	"ptlsim/internal/mem"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// ProcSpec describes one guest process to preload (the equivalent of
+// the init script starting sshd/rsync processes in the paper's
+// benchmark image).
+type ProcSpec struct {
+	Name      string
+	Code      []byte // user text, assembled at UserTextVA
+	Args      [3]uint64
+	Data      []byte // preloaded at UserDataVA
+	DataPages int    // total writable pages at UserDataVA (>= len(Data) pages)
+}
+
+// PipeSpec configures one kernel pipe.
+type PipeSpec struct {
+	Socket bool // loopback-TCP mode: segmented + checksummed
+}
+
+// BuildSpec describes a complete domain.
+type BuildSpec struct {
+	Procs       []ProcSpec
+	Pipes       []PipeSpec
+	TimerPeriod uint64
+	VCPUs       int
+	Tree        *stats.Tree
+}
+
+// Image is a built, bootable domain.
+type Image struct {
+	Domain  *hv.Domain
+	Kernel  *KernelImage
+	BootCR3 uint64
+	// KernCtx is a kernel-privileged context for inspection from tests
+	// and tools (reading guest memory after a run).
+	KernCtx *vm.Context
+}
+
+const pml4KernelSlot = 256 // 0xFFFF800000000000 >> 39
+
+// Build constructs the domain: assembles the kernel, lays out physical
+// memory, builds the shared kernel mappings and per-process address
+// spaces, initializes the kernel data structures (process table, pipe
+// headers), and prepares VCPU 0 to boot at the kernel entry.
+func Build(spec BuildSpec) (*Image, error) {
+	if len(spec.Procs) == 0 || len(spec.Procs) > NProc {
+		return nil, fmt.Errorf("kern: %d processes (max %d)", len(spec.Procs), NProc)
+	}
+	if len(spec.Pipes) > NPipes {
+		return nil, fmt.Errorf("kern: %d pipes (max %d)", len(spec.Pipes), NPipes)
+	}
+	if spec.Tree == nil {
+		spec.Tree = stats.NewTree()
+	}
+	if spec.VCPUs <= 0 {
+		spec.VCPUs = 1
+	}
+
+	kimg, err := AssembleKernel(spec.TimerPeriod)
+	if err != nil {
+		return nil, err
+	}
+
+	pm := mem.NewPhysMem()
+	m := &vm.Machine{PM: pm}
+	dom := hv.NewDomain(m, spec.VCPUs, spec.Tree)
+
+	// Kernel address space (boot CR3). All kernel mappings live under
+	// PML4 slot 256 and are shared into every process space.
+	kas := mem.NewAddressSpace(pm)
+	kflags := mem.PTEWritable // supervisor-only
+	mapRange := func(as *mem.AddressSpace, va uint64, pages int, flags uint64) error {
+		return as.MapRange(va, pm.AllocPages(pages), flags)
+	}
+	if err := mapRange(kas, KernelTextVA, KernelTextPages, kflags); err != nil {
+		return nil, err
+	}
+	if err := mapRange(kas, KernelDataVA, KernelDataPages, kflags); err != nil {
+		return nil, err
+	}
+	stackPages := NProc * KernelStackSize / mem.PageSize
+	// One extra stack for the boot path (before any process runs).
+	if err := mapRange(kas, KernelStackVA, stackPages+4, kflags); err != nil {
+		return nil, err
+	}
+	if err := mapRange(kas, PipeBufVA, NPipes, kflags); err != nil {
+		return nil, err
+	}
+
+	// Kernel-privileged context over the boot space for loading.
+	kctx := vm.NewContext(m, 0)
+	kctx.Kernel = true
+	kctx.CR3 = kas.CR3()
+	if f := kctx.WriteVirtBytes(KernelTextVA, kimg.Code); f != uops.FaultNone {
+		return nil, fmt.Errorf("kern: loading kernel text: %v", f)
+	}
+
+	// Kernel globals and tables.
+	kdata := make([]byte, GPipeTable+NPipes*PipeHdrSize)
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(kdata[off:], v) }
+	put(GCurrent, NProc) // none
+	put(GNeedResched, 0)
+	put(GLiveProcs, uint64(len(spec.Procs)))
+	put(GTickCount, 0)
+
+	// Per-process address spaces and PCBs.
+	for pid, ps := range spec.Procs {
+		as := mem.NewAddressSpace(pm)
+		if err := as.ShareTopLevel(kas, pml4KernelSlot); err != nil {
+			return nil, err
+		}
+		uflags := mem.PTEWritable | mem.PTEUser
+		textPages := (len(ps.Code) + mem.PageSize - 1) / mem.PageSize
+		if textPages == 0 {
+			textPages = 1
+		}
+		if err := mapRange(as, UserTextVA, textPages, uflags); err != nil {
+			return nil, err
+		}
+		dataPages := ps.DataPages
+		if min := (len(ps.Data) + mem.PageSize - 1) / mem.PageSize; dataPages < min {
+			dataPages = min
+		}
+		if dataPages > 0 {
+			if err := mapRange(as, UserDataVA, dataPages, uflags); err != nil {
+				return nil, err
+			}
+		}
+		if err := mapRange(as, UserStackVA-UserStackPages*mem.PageSize, UserStackPages, uflags); err != nil {
+			return nil, err
+		}
+
+		// Load user text and data through a context on this space.
+		uctx := vm.NewContext(m, 0)
+		uctx.Kernel = true
+		uctx.CR3 = as.CR3()
+		if f := uctx.WriteVirtBytes(UserTextVA, ps.Code); f != uops.FaultNone {
+			return nil, fmt.Errorf("kern: loading %s text: %v", ps.Name, f)
+		}
+		if len(ps.Data) > 0 {
+			if f := uctx.WriteVirtBytes(UserDataVA, ps.Data); f != uops.FaultNone {
+				return nil, fmt.Errorf("kern: loading %s data: %v", ps.Name, f)
+			}
+		}
+
+		off := GProcTable + pid*PCBSize
+		put(off+PCBState, StateNew)
+		put(off+PCBCr3, as.CR3())
+		put(off+PCBKstackTop, KernelStackVA+uint64(pid+1)*KernelStackSize)
+		put(off+PCBWaitCh, 0)
+		put(off+PCBPid, uint64(pid))
+		put(off+PCBEntry, UserTextVA)
+		put(off+PCBUstack, UserStackVA)
+		put(off+PCBArg0, ps.Args[0])
+		put(off+PCBArg1, ps.Args[1])
+		put(off+PCBArg2, ps.Args[2])
+	}
+
+	// Pipe headers.
+	for i, p := range spec.Pipes {
+		off := GPipeTable + i*PipeHdrSize
+		mode := uint64(0)
+		if p.Socket {
+			mode = PipeModeSocket
+		}
+		put(off+PipeMode, mode)
+		put(off+PipeBufPtr, PipeBufVA+uint64(i)*PipeBufSize)
+	}
+	// Pipes beyond the spec still get valid buffer pointers.
+	for i := len(spec.Pipes); i < NPipes; i++ {
+		off := GPipeTable + i*PipeHdrSize
+		put(off+PipeBufPtr, PipeBufVA+uint64(i)*PipeBufSize)
+	}
+
+	if f := kctx.WriteVirtBytes(KernelDataVA, kdata); f != uops.FaultNone {
+		return nil, fmt.Errorf("kern: writing kernel data: %v", f)
+	}
+
+	// VCPU 0 boots the kernel on a dedicated boot stack above the
+	// process stacks.
+	boot := dom.VCPUs[0]
+	boot.Kernel = true
+	boot.CR3 = kas.CR3()
+	boot.RIP = kimg.BootEntry
+	boot.Regs[uops.RegRSP] = KernelStackVA + uint64(stackPages+4)*mem.PageSize
+	boot.KernelRSP = boot.Regs[uops.RegRSP]
+
+	return &Image{Domain: dom, Kernel: kimg, BootCR3: kas.CR3(), KernCtx: kctx}, nil
+}
+
+// ReadKernelData reads a kernel global (tests and tools).
+func (img *Image) ReadKernelData(off int) (uint64, error) {
+	v, f := img.KernCtx.ReadVirt(KernelDataVA+uint64(off), 8)
+	if f != uops.FaultNone {
+		return 0, fmt.Errorf("kern: reading kdata+%#x: %v", off, f)
+	}
+	return v, nil
+}

@@ -1,0 +1,24 @@
+package kern
+
+import (
+	"testing"
+
+	"ptlsim/internal/x86"
+)
+
+func TestDebugDisasm2(t *testing.T) {
+	img, err := AssembleKernel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := uint64(0x2a0)
+	for pos < 0x330 {
+		inst, err := x86.Decode(img.Code[pos:])
+		if err != nil {
+			pos++
+			continue
+		}
+		t.Logf("%#x: %s", KernelTextVA+pos, &inst)
+		pos += uint64(inst.Len)
+	}
+}

@@ -1,0 +1,374 @@
+package kern
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/x86"
+)
+
+// emitString stores a string at [RDI] using immediate bytes; clobbers
+// RAX. Returns the length.
+func emitString(a *x86.Assembler, s string) {
+	for i := 0; i < len(s); i++ {
+		a.Movb(x86.M(x86.RDI, int32(i)), x86.I(int64(s[i])))
+	}
+}
+
+// helloProg writes a string to the console and exits.
+func helloProg(msg string) []byte {
+	a := x86.NewAssembler(UserTextVA)
+	buf := int64(UserDataVA)
+	a.Mov(x86.R(x86.RDI), x86.I(buf))
+	emitString(a, msg)
+	a.Mov(x86.R(x86.RDI), x86.I(buf))
+	a.Mov(x86.R(x86.RSI), x86.I(int64(len(msg))))
+	a.Mov(x86.R(x86.RAX), x86.I(SysConsWrite))
+	a.Syscall()
+	a.Mov(x86.R(x86.RAX), x86.I(SysExit))
+	a.Syscall()
+	code, err := a.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// runMachine boots the image and runs it to shutdown in the given mode.
+func runMachine(t *testing.T, img *Image, tree *stats.Tree, mode core.Mode, maxCycles uint64) *core.Machine {
+	t.Helper()
+	m := core.NewMachine(img.Domain, tree, core.DefaultConfig())
+	m.SwitchMode(mode)
+	if err := m.Run(maxCycles); err != nil {
+		t.Fatalf("run: %v (cycle %d, console %q)", err, m.Cycle, img.Domain.Console())
+	}
+	return m
+}
+
+func TestBootHelloNative(t *testing.T) {
+	tree := stats.NewTree()
+	img, err := Build(BuildSpec{
+		Procs: []ProcSpec{{Name: "hello", Code: helloProg("hello from guest\n"), DataPages: 1}},
+		Tree:  tree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMachine(t, img, tree, core.ModeNative, 500_000_000)
+	if got := img.Domain.Console(); got != "hello from guest\n" {
+		t.Fatalf("console = %q", got)
+	}
+}
+
+func TestBootHelloSim(t *testing.T) {
+	tree := stats.NewTree()
+	img, err := Build(BuildSpec{
+		Procs: []ProcSpec{{Name: "hello", Code: helloProg("sim mode\n"), DataPages: 1}},
+		Tree:  tree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runMachine(t, img, tree, core.ModeSim, 50_000_000)
+	if got := img.Domain.Console(); got != "sim mode\n" {
+		t.Fatalf("console = %q", got)
+	}
+	if tree.Lookup("core0.commit.kernel_insns").Value() == 0 {
+		t.Fatal("no kernel instructions committed in sim mode")
+	}
+	if tree.Lookup("core0.commit.user_insns").Value() == 0 {
+		t.Fatal("no user instructions committed in sim mode")
+	}
+	_ = m
+}
+
+// producerConsumer builds a two-process pipeline: proc0 writes a
+// deterministic pattern into pipe 0, proc1 reads and checksums it,
+// reporting the sum over the console.
+func producerConsumer(total int64, socket bool) BuildSpec {
+	producer := func(a *x86.Assembler) {
+		// r14 = remaining, r15 = value counter.
+		a.Mov(x86.R(x86.R14), x86.I(total))
+		a.Mov(x86.R(x86.R15), x86.I(0))
+		outer := a.Mark()
+		done := a.NewLabel()
+		a.Cmp(x86.R(x86.R14), x86.I(0))
+		a.Jcc(x86.CondE, done)
+		// Fill a 512-byte chunk at UserDataVA with counter bytes.
+		a.Mov(x86.R(x86.RDI), x86.I(UserDataVA))
+		a.Mov(x86.R(x86.RCX), x86.I(512))
+		fill := a.Mark()
+		a.Movb(x86.M(x86.RDI, 0), x86.R(x86.R15))
+		a.Inc(x86.R(x86.RDI))
+		a.Inc(x86.R(x86.R15))
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, fill)
+		// write-all 512 bytes to pipe 0.
+		a.Mov(x86.R(x86.RDI), x86.I(0))
+		a.Mov(x86.R(x86.RSI), x86.I(UserDataVA))
+		a.Mov(x86.R(x86.RDX), x86.I(512))
+		wtop := a.Mark()
+		wdone := a.NewLabel()
+		a.Cmp(x86.R(x86.RDX), x86.I(0))
+		a.Jcc(x86.CondE, wdone)
+		a.Push(x86.R(x86.RDI))
+		a.Mov(x86.R(x86.RAX), x86.I(SysWrite))
+		a.Syscall()
+		a.Pop(x86.R(x86.RDI))
+		a.Add(x86.R(x86.RSI), x86.R(x86.RAX))
+		a.Sub(x86.R(x86.RDX), x86.R(x86.RAX))
+		a.Jmp(wtop)
+		a.Bind(wdone)
+		a.Sub(x86.R(x86.R14), x86.I(512))
+		a.Jmp(outer)
+		a.Bind(done)
+		a.Mov(x86.R(x86.RDI), x86.I(0))
+		a.Mov(x86.R(x86.RAX), x86.I(SysClose))
+		a.Syscall()
+		a.Mov(x86.R(x86.RAX), x86.I(SysExit))
+		a.Syscall()
+	}
+	consumer := func(a *x86.Assembler) {
+		// r14 = byte sum, loops reading 512-byte chunks until EOF.
+		a.Mov(x86.R(x86.R14), x86.I(0))
+		rtop := a.Mark()
+		eof := a.NewLabel()
+		a.Mov(x86.R(x86.RDI), x86.I(0))
+		a.Mov(x86.R(x86.RSI), x86.I(UserDataVA))
+		a.Mov(x86.R(x86.RDX), x86.I(512))
+		a.Mov(x86.R(x86.RAX), x86.I(SysRead))
+		a.Syscall()
+		a.Cmp(x86.R(x86.RAX), x86.I(0))
+		a.Jcc(x86.CondE, eof)
+		// sum bytes
+		a.Mov(x86.R(x86.RSI), x86.I(UserDataVA))
+		a.Mov(x86.R(x86.RCX), x86.R(x86.RAX))
+		stop := a.Mark()
+		a.Movzx(x86.RDX, x86.M(x86.RSI, 0), 1)
+		a.Add(x86.R(x86.R14), x86.R(x86.RDX))
+		a.Inc(x86.R(x86.RSI))
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, stop)
+		a.Jmp(rtop)
+		a.Bind(eof)
+		// Render the sum as 16 hex digits + newline on the console.
+		a.Mov(x86.R(x86.RDI), x86.I(UserDataVA + 0x800))
+		a.Mov(x86.R(x86.RCX), x86.I(16))
+		hexloop := a.Mark()
+		a.Mov(x86.R(x86.RDX), x86.R(x86.R14))
+		// nibble = (sum >> ((rcx-1)*4)) & 15
+		a.Mov(x86.R(x86.RBX), x86.R(x86.RCX))
+		a.Dec(x86.R(x86.RBX))
+		a.Shl(x86.R(x86.RBX), x86.I(2))
+		// rdx >>= rbx  (shift by CL)
+		a.Push(x86.R(x86.RCX))
+		a.Mov(x86.R(x86.RCX), x86.R(x86.RBX))
+		a.Shr(x86.R(x86.RDX), x86.R(x86.RCX))
+		a.Pop(x86.R(x86.RCX))
+		a.And(x86.R(x86.RDX), x86.I(15))
+		a.Cmp(x86.R(x86.RDX), x86.I(10))
+		useAlpha := a.NewLabel()
+		digitOut := a.NewLabel()
+		a.Jcc(x86.CondGE, useAlpha)
+		a.Add(x86.R(x86.RDX), x86.I('0'))
+		a.Jmp(digitOut)
+		a.Bind(useAlpha)
+		a.Add(x86.R(x86.RDX), x86.I('a'-10))
+		a.Bind(digitOut)
+		a.Movb(x86.M(x86.RDI, 0), x86.R(x86.RDX))
+		a.Inc(x86.R(x86.RDI))
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, hexloop)
+		a.Movb(x86.M(x86.RDI, 0), x86.I('\n'))
+		a.Mov(x86.R(x86.RDI), x86.I(UserDataVA+0x800))
+		a.Mov(x86.R(x86.RSI), x86.I(17))
+		a.Mov(x86.R(x86.RAX), x86.I(SysConsWrite))
+		a.Syscall()
+		a.Mov(x86.R(x86.RAX), x86.I(SysExit))
+		a.Syscall()
+	}
+	build := func(f func(*x86.Assembler)) []byte {
+		a := x86.NewAssembler(UserTextVA)
+		f(a)
+		code, err := a.Bytes()
+		if err != nil {
+			panic(err)
+		}
+		return code
+	}
+	return BuildSpec{
+		Procs: []ProcSpec{
+			{Name: "producer", Code: build(producer), DataPages: 2},
+			{Name: "consumer", Code: build(consumer), DataPages: 2},
+		},
+		Pipes: []PipeSpec{{Socket: socket}},
+	}
+}
+
+// expectedSum computes the reference checksum for producerConsumer.
+func expectedSum(total int64) uint64 {
+	var sum uint64
+	var ctr byte
+	for i := int64(0); i < total; i++ {
+		sum += uint64(ctr)
+		ctr++
+	}
+	return sum
+}
+
+func checkSumOutput(t *testing.T, consoleOut string, total int64) {
+	t.Helper()
+	want := expectedSum(total)
+	out := strings.TrimSpace(consoleOut)
+	var got uint64
+	for _, c := range out {
+		got <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			got |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			got |= uint64(c-'a') + 10
+		default:
+			t.Fatalf("bad console output %q", consoleOut)
+		}
+	}
+	if got != want {
+		t.Fatalf("checksum = %#x, want %#x (console %q)", got, want, consoleOut)
+	}
+}
+
+func TestPipeProducerConsumerNative(t *testing.T) {
+	tree := stats.NewTree()
+	spec := producerConsumer(16384, false)
+	spec.Tree = tree
+	img, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMachine(t, img, tree, core.ModeNative, 2_000_000_000)
+	checkSumOutput(t, img.Domain.Console(), 16384)
+}
+
+func TestPipeProducerConsumerSim(t *testing.T) {
+	tree := stats.NewTree()
+	spec := producerConsumer(4096, false)
+	spec.Tree = tree
+	img, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMachine(t, img, tree, core.ModeSim, 200_000_000)
+	checkSumOutput(t, img.Domain.Console(), 4096)
+}
+
+func TestSocketPipeChecksumPath(t *testing.T) {
+	tree := stats.NewTree()
+	spec := producerConsumer(8192, true)
+	spec.Tree = tree
+	img, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMachine(t, img, tree, core.ModeNative, 2_000_000_000)
+	checkSumOutput(t, img.Domain.Console(), 8192)
+}
+
+// Native and sim mode must produce identical guest-visible results —
+// the co-simulation correctness property at full system scope.
+func TestNativeSimConsistency(t *testing.T) {
+	run := func(mode core.Mode) string {
+		tree := stats.NewTree()
+		spec := producerConsumer(4096, true)
+		spec.Tree = tree
+		img, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runMachine(t, img, tree, mode, 2_000_000_000)
+		return img.Domain.Console()
+	}
+	if n, s := run(core.ModeNative), run(core.ModeSim); n != s {
+		t.Fatalf("native %q != sim %q", n, s)
+	}
+}
+
+// The timer must preempt a CPU-bound process so a second process makes
+// progress (round-robin scheduling via timer ticks).
+func TestTimerPreemption(t *testing.T) {
+	spin := func(a *x86.Assembler) {
+		// Spin until the flag at UserDataVA (set by proc 1 via its own
+		// exit) ... simply spin a bounded loop then exit.
+		a.Mov(x86.R(x86.RCX), x86.I(2_000_000))
+		top := a.Mark()
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, top)
+		a.Mov(x86.R(x86.RAX), x86.I(SysExit))
+		a.Syscall()
+	}
+	hello := func(a *x86.Assembler) {
+		a.Mov(x86.R(x86.RDI), x86.I(UserDataVA))
+		emitString(a, "B ran\n")
+		a.Mov(x86.R(x86.RDI), x86.I(UserDataVA))
+		a.Mov(x86.R(x86.RSI), x86.I(6))
+		a.Mov(x86.R(x86.RAX), x86.I(SysConsWrite))
+		a.Syscall()
+		a.Mov(x86.R(x86.RAX), x86.I(SysExit))
+		a.Syscall()
+	}
+	build := func(f func(*x86.Assembler)) []byte {
+		a := x86.NewAssembler(UserTextVA)
+		f(a)
+		code, err := a.Bytes()
+		if err != nil {
+			panic(err)
+		}
+		return code
+	}
+	tree := stats.NewTree()
+	img, err := Build(BuildSpec{
+		Procs: []ProcSpec{
+			{Name: "spin", Code: build(spin), DataPages: 1},
+			{Name: "hello", Code: build(hello), DataPages: 1},
+		},
+		TimerPeriod: 50_000,
+		Tree:        tree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMachine(t, img, tree, core.ModeNative, 4_000_000_000)
+	if img.Domain.Console() != "B ran\n" {
+		t.Fatalf("console = %q", img.Domain.Console())
+	}
+	if ticks, _ := img.ReadKernelData(GTickCount); ticks == 0 {
+		t.Fatal("no timer ticks observed")
+	}
+}
+
+// Determinism: two identical sim runs produce bit-identical statistics
+// (the paper's -maskints guarantee).
+func TestSimDeterminism(t *testing.T) {
+	run := func() (uint64, int64, int64) {
+		tree := stats.NewTree()
+		spec := producerConsumer(2048, false)
+		spec.Tree = tree
+		img, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := runMachine(t, img, tree, core.ModeSim, 200_000_000)
+		return m.Cycle, tree.Lookup("core0.commit.insns").Value(),
+			tree.Lookup("core0.cache.l1d.misses").Value()
+	}
+	c1, i1, m1 := run()
+	c2, i2, m2 := run()
+	if c1 != c2 || i1 != i2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", c1, i1, m1, c2, i2, m2)
+	}
+}

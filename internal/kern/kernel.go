@@ -1,0 +1,711 @@
+package kern
+
+import (
+	"fmt"
+
+	"ptlsim/internal/hv"
+	"ptlsim/internal/vm"
+	"ptlsim/internal/x86"
+)
+
+// KernelImage is the assembled kernel plus the entry points the domain
+// builder must know.
+type KernelImage struct {
+	Code        []byte
+	BootEntry   uint64
+	TrapEntry   uint64
+	SysEntry    uint64
+	FirstRun    uint64
+	TimerPeriod uint64
+}
+
+// immU wraps a 64-bit unsigned value (e.g. an upper-half kernel
+// address) as an immediate operand.
+func immU(v uint64) x86.Operand { return x86.ImmOp(int64(v)) }
+
+// kasm carries kernel-assembly helpers over the DSL assembler.
+type kasm struct {
+	*x86.Assembler
+}
+
+// Registers with fixed roles inside kernel entry paths (after the
+// user's registers have been saved): R12 holds the kernel data base.
+const (
+	regKD = x86.R12
+)
+
+var allGPRs = []x86.Reg{
+	x86.RAX, x86.RCX, x86.RDX, x86.RBX, x86.RBP, x86.RSI, x86.RDI,
+	x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14, x86.R15,
+}
+
+// savedOff is the stack offset of a saved register after pushAll.
+func savedOff(r x86.Reg) int32 {
+	for i, g := range allGPRs {
+		if g == r {
+			return int32(len(allGPRs)-1-i) * 8
+		}
+	}
+	panic("kern: not a saved register")
+}
+
+func (k kasm) pushAll() {
+	for _, r := range allGPRs {
+		k.Push(x86.R(r))
+	}
+}
+
+func (k kasm) popAll() {
+	for i := len(allGPRs) - 1; i >= 0; i-- {
+		k.Pop(x86.R(allGPRs[i]))
+	}
+}
+
+// loadKD materializes the kernel data base in regKD.
+func (k kasm) loadKD() {
+	k.Mov(x86.R(regKD), immU(KernelDataVA))
+}
+
+// hcall2 issues hypercall op with up to two arguments already in
+// RDI/RSI; result lands in RAX.
+func (k kasm) hcall(op int64) {
+	k.Mov(x86.R(x86.RAX), x86.I(op))
+	k.Hypercall()
+}
+
+// pcbFromPid computes dst = &proctable[pidReg]; clobbers dst only.
+func (k kasm) pcbFromPid(dst, pid x86.Reg) {
+	k.Mov(x86.R(dst), x86.R(pid))
+	k.Shl(x86.R(dst), x86.I(7)) // PCBSize = 128
+	k.Lea(dst, x86.MIdx(regKD, dst, 1, GProcTable))
+}
+
+// curPCB loads the current process's PCB address into dst (clobbers
+// dst and tmp).
+func (k kasm) curPCB(dst, tmp x86.Reg) {
+	k.Mov(x86.R(tmp), x86.M(regKD, GCurrent))
+	k.Mov(x86.R(dst), x86.R(tmp))
+	k.Shl(x86.R(dst), x86.I(7))
+	k.Lea(dst, x86.MIdx(regKD, dst, 1, GProcTable))
+}
+
+// AssembleKernel builds the guest kernel at KernelTextVA.
+func AssembleKernel(timerPeriod uint64) (*KernelImage, error) {
+	if timerPeriod == 0 {
+		timerPeriod = DefaultTimerPeriod
+	}
+	a := x86.NewAssembler(KernelTextVA)
+	k := kasm{a}
+
+	lBoot := a.NewLabel()
+	lTrap := a.NewLabel()
+	lSyscall := a.NewLabel()
+	lSchedule := a.NewLabel()
+	lSwitchTo := a.NewLabel() // rdi = next pid
+	lFirstRun := a.NewLabel()
+	lWake := a.NewLabel()     // rdi = wait channel
+	lChecksum := a.NewLabel() // rdi = buf, rsi = len -> rax
+	lPipeRead := a.NewLabel() // rdi = pipe, rsi = buf, rdx = n -> rax
+	lPipeWrite := a.NewLabel()
+	lExitProc := a.NewLabel()
+
+	// ----- boot entry (VCPU 0, kernel mode, boot CR3) -----
+	a.Bind(lBoot)
+	k.loadKD()
+	// Register paravirt entry points.
+	a.LeaLabel(x86.RDI, lTrap)
+	k.hcall(hv.HcSetTrapEntry)
+	a.LeaLabel(x86.RDI, lSyscall)
+	k.hcall(hv.HcSetSyscall)
+	// Periodic timer.
+	a.Mov(x86.R(x86.RDI), immU(timerPeriod))
+	k.hcall(hv.HcSetPeriodic)
+	// Enter the scheduler; it will start process 0. GCurrent begins at
+	// -1 (no current), written by the builder as NProc meaning "none".
+	a.Call(lSchedule)
+	// Unreachable: if the scheduler ever returns with nothing to do it
+	// idles internally. Shut down defensively.
+	a.Mov(x86.R(x86.RDI), x86.I(0xDEAD))
+	k.hcall(hv.HcShutdown)
+	a.Hlt()
+
+	// ----- syscall entry -----
+	// Frame: [RIP][mode][RFLAGS][RSP] on the kernel stack. User regs
+	// live; nr in RAX, args in RDI/RSI/RDX.
+	a.Bind(lSyscall)
+	k.pushAll()
+	k.loadKD()
+	// Dispatch.
+	sysDone := a.NewLabel()
+	sysBad := a.NewLabel()
+	var sysLabels [10]x86.Label
+	for i := range sysLabels {
+		sysLabels[i] = a.NewLabel()
+	}
+	for i := range sysLabels {
+		a.Cmp(x86.R(x86.RAX), x86.I(int64(i)))
+		a.Jcc(x86.CondE, sysLabels[i])
+	}
+	a.Jmp(sysBad)
+
+	// SysExit.
+	a.Bind(sysLabels[SysExit])
+	a.Call(lExitProc) // does not return
+
+	// SysWrite(pipe, buf, n).
+	a.Bind(sysLabels[SysWrite])
+	a.Call(lPipeWrite)
+	a.Jmp(sysDone)
+
+	// SysRead(pipe, buf, n).
+	a.Bind(sysLabels[SysRead])
+	a.Call(lPipeRead)
+	a.Jmp(sysDone)
+
+	// SysYield.
+	a.Bind(sysLabels[SysYield])
+	k.curPCB(x86.RBX, x86.RCX)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateReady))
+	a.Call(lSchedule)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Jmp(sysDone)
+
+	// SysGetTSC.
+	a.Bind(sysLabels[SysGetTSC])
+	a.Rdtsc()
+	a.Shl(x86.R(x86.RDX), x86.I(32))
+	a.Or(x86.R(x86.RAX), x86.R(x86.RDX))
+	a.Jmp(sysDone)
+
+	// SysGetPid.
+	a.Bind(sysLabels[SysGetPid])
+	a.Mov(x86.R(x86.RAX), x86.M(regKD, GCurrent))
+	a.Jmp(sysDone)
+
+	// SysConsWrite(buf, n).
+	a.Bind(sysLabels[SysConsWrite])
+	k.hcall(hv.HcConsoleWrite)
+	a.Jmp(sysDone)
+
+	// SysClose(pipe): set writer-closed; wake readers.
+	a.Bind(sysLabels[SysClose])
+	k.pipeHdr(x86.RBX, x86.RDI)
+	a.Or(x86.M(x86.RBX, PipeMode), x86.I(PipeModeClosed))
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBX))
+	a.Call(lWake)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Jmp(sysDone)
+
+	// SysTicks.
+	a.Bind(sysLabels[SysTicks])
+	a.Mov(x86.R(x86.RAX), x86.M(regKD, GTickCount))
+	a.Jmp(sysDone)
+
+	// SysSleep(ticks): block on the tick counter until it reaches
+	// target; timer processing wakes all sleepers, who re-check.
+	a.Bind(sysLabels[SysSleep])
+	a.Mov(x86.R(x86.RBX), x86.M(regKD, GTickCount))
+	a.Add(x86.R(x86.RBX), x86.R(x86.RDI)) // target tick
+	slTop := a.Mark()
+	slDone := a.NewLabel()
+	a.Cmp(x86.M(regKD, GTickCount), x86.R(x86.RBX))
+	a.Jcc(x86.CondGE, slDone)
+	a.Lea(x86.RDX, x86.M(regKD, GTickCount))
+	k.block(x86.RDX, lSchedule)
+	a.Jmp(slTop)
+	a.Bind(slDone)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Jmp(sysDone)
+
+	a.Bind(sysBad)
+	a.Mov(x86.R(x86.RAX), x86.I(-1))
+
+	a.Bind(sysDone)
+	// Store the result into the saved RAX slot so popAll restores it.
+	a.Mov(x86.M(x86.RSP, savedOff(x86.RAX)), x86.R(x86.RAX))
+	// Preemption point on the way out.
+	a.Cmp(x86.M(regKD, GNeedResched), x86.I(0))
+	noResched := a.NewLabel()
+	a.Jcc(x86.CondE, noResched)
+	a.Mov(x86.M(regKD, GNeedResched), x86.I(0))
+	k.curPCB(x86.RBX, x86.RCX)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateReady))
+	a.Call(lSchedule)
+	a.Bind(noResched)
+	k.popAll()
+	a.Iretq()
+
+	// ----- trap entry (exceptions and event upcalls) -----
+	// Frame: [vector][err][RIP][mode][RFLAGS][RSP].
+	a.Bind(lTrap)
+	k.pushAll()
+	k.loadKD()
+	// vector at rsp+15*8, err at rsp+16*8.
+	a.Mov(x86.R(x86.RBX), x86.M(x86.RSP, int32(len(allGPRs))*8))
+	a.Cmp(x86.R(x86.RBX), x86.I(vm.VecEvent))
+	notEvent := a.NewLabel()
+	trapDone := a.NewLabel()
+	a.Jcc(x86.CondNE, notEvent)
+	// Event upcall: ack all channels, process the bits.
+	k.hcall(hv.HcEventAck)
+	a.Test(x86.R(x86.RAX), x86.I(1<<hv.ChanTimer))
+	noTimer := a.NewLabel()
+	a.Jcc(x86.CondE, noTimer)
+	a.Inc(x86.M(regKD, GTickCount))
+	a.Mov(x86.M(regKD, GNeedResched), x86.I(1))
+	a.Lea(x86.RDI, x86.M(regKD, GTickCount))
+	a.Call(lWake) // wake SysSleep waiters (they re-check their target)
+	a.Bind(noTimer)
+	// Block-device completions wake whoever waits on the pipe/global
+	// DMA channel (channel address = kernel data base + GPipeTable-8,
+	// an otherwise unused slot used as the disk wait channel).
+	a.Test(x86.R(x86.RAX), x86.I(1<<hv.ChanBlock))
+	noBlk := a.NewLabel()
+	a.Jcc(x86.CondE, noBlk)
+	a.Lea(x86.RDI, x86.M(regKD, GPipeTable-8))
+	a.Call(lWake)
+	a.Bind(noBlk)
+	a.Jmp(trapDone)
+
+	a.Bind(notEvent)
+	// Fatal exception in guest code: report and kill the process.
+	// (The benchmark workloads are not expected to fault.)
+	a.Call(lExitProc)
+
+	a.Bind(trapDone)
+	a.Cmp(x86.M(regKD, GNeedResched), x86.I(0))
+	noResched2 := a.NewLabel()
+	a.Jcc(x86.CondE, noResched2)
+	// Only reschedule when returning to user mode (mode slot != 0):
+	// the kernel itself is non-preemptive.
+	a.Mov(x86.R(x86.RCX), x86.M(x86.RSP, int32(len(allGPRs)+3)*8))
+	a.Cmp(x86.R(x86.RCX), x86.I(0))
+	a.Jcc(x86.CondE, noResched2)
+	a.Mov(x86.M(regKD, GNeedResched), x86.I(0))
+	k.curPCB(x86.RBX, x86.RCX)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateReady))
+	a.Call(lSchedule)
+	a.Bind(noResched2)
+	k.popAll()
+	a.Add(x86.R(x86.RSP), x86.I(16)) // drop vector/err
+	a.Iretq()
+
+	// ----- exit: current process becomes a zombie -----
+	a.Bind(lExitProc)
+	k.curPCB(x86.RBX, x86.RCX)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateZombie))
+	a.Dec(x86.M(regKD, GLiveProcs))
+	// Wake anything blocked on pipes this process fed: simplest safe
+	// policy is waking everything (they re-check their conditions).
+	a.Mov(x86.R(x86.RDI), x86.I(-1))
+	a.Call(lWake)
+	a.Cmp(x86.M(regKD, GLiveProcs), x86.I(0))
+	someLeft := a.NewLabel()
+	a.Jcc(x86.CondNE, someLeft)
+	a.Mov(x86.R(x86.RDI), x86.I(0))
+	k.hcall(hv.HcShutdown)
+	a.Hlt()
+	a.Bind(someLeft)
+	a.Call(lSchedule) // never returns here (zombie is never picked)
+	a.Hlt()
+
+	// ----- wake(rdi = channel; -1 wakes every blocked process) -----
+	a.Bind(lWake)
+	a.Push(x86.R(x86.RBX))
+	a.Push(x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RCX), x86.I(0))
+	wkTop := a.Mark()
+	wkNext := a.NewLabel()
+	wkDone := a.NewLabel()
+	a.Cmp(x86.R(x86.RCX), x86.I(NProc))
+	a.Jcc(x86.CondGE, wkDone)
+	k.pcbFromPid(x86.RBX, x86.RCX)
+	a.Cmp(x86.M(x86.RBX, PCBState), x86.I(StateBlocked))
+	a.Jcc(x86.CondNE, wkNext)
+	a.Cmp(x86.R(x86.RDI), x86.I(-1))
+	wkHit := a.NewLabel()
+	a.Jcc(x86.CondE, wkHit)
+	a.Cmp(x86.M(x86.RBX, PCBWaitCh), x86.R(x86.RDI))
+	a.Jcc(x86.CondNE, wkNext)
+	a.Bind(wkHit)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateReady))
+	a.Mov(x86.M(x86.RBX, PCBWaitCh), x86.I(0))
+	a.Bind(wkNext)
+	a.Inc(x86.R(x86.RCX))
+	a.Jmp(wkTop)
+	a.Bind(wkDone)
+	a.Pop(x86.R(x86.RCX))
+	a.Pop(x86.R(x86.RBX))
+	a.Ret()
+
+	// ----- schedule: pick the next runnable process -----
+	// Caller has already moved the current process out of Running
+	// state if it should stop running (Ready/Blocked/Zombie).
+	a.Bind(lSchedule)
+	a.Push(x86.R(x86.RBX))
+	a.Push(x86.R(x86.RCX))
+	a.Push(x86.R(x86.RDX))
+	schedRescan := a.Mark()
+	// Scan pids (current+1 .. current+NProc) mod NProc.
+	a.Mov(x86.R(x86.RCX), x86.M(regKD, GCurrent))
+	a.Mov(x86.R(x86.RDX), x86.I(1))
+	scanTop := a.Mark()
+	scanNext := a.NewLabel()
+	schedIdle := a.NewLabel()
+	schedFound := a.NewLabel()
+	a.Cmp(x86.R(x86.RDX), x86.I(NProc+1))
+	a.Jcc(x86.CondG, schedIdle)
+	a.Mov(x86.R(x86.RBX), x86.R(x86.RCX))
+	a.Add(x86.R(x86.RBX), x86.R(x86.RDX))
+	// rbx %= NProc (NProc is a power of two).
+	a.And(x86.R(x86.RBX), x86.I(NProc-1))
+	k.pcbFromPid(x86.RAX, x86.RBX)
+	a.Cmp(x86.M(x86.RAX, PCBState), x86.I(StateReady))
+	a.Jcc(x86.CondE, schedFound)
+	a.Cmp(x86.M(x86.RAX, PCBState), x86.I(StateNew))
+	a.Jcc(x86.CondE, schedFound)
+	a.Bind(scanNext)
+	a.Inc(x86.R(x86.RDX))
+	a.Jmp(scanTop)
+
+	// Nothing runnable: if the current process is still Running it
+	// simply continues; otherwise idle until an event changes things.
+	a.Bind(schedIdle)
+	idleLoop := a.NewLabel()
+	schedOut := a.NewLabel()
+	// At boot GCurrent is NProc ("none"): go straight to idle.
+	a.Mov(x86.R(x86.RCX), x86.M(regKD, GCurrent))
+	a.Cmp(x86.R(x86.RCX), x86.I(NProc))
+	a.Jcc(x86.CondGE, idleLoop)
+	k.curPCB(x86.RBX, x86.RCX)
+	a.Cmp(x86.M(x86.RBX, PCBState), x86.I(StateRunning))
+	a.Jcc(x86.CondE, schedOut)
+	a.Bind(idleLoop)
+	// Idle: halt until any event, acknowledge it, then rescan.
+	a.Hlt()
+	k.hcall(hv.HcEventAck)
+	a.Test(x86.R(x86.RAX), x86.I(1<<hv.ChanTimer))
+	idleNoTimer := a.NewLabel()
+	a.Jcc(x86.CondE, idleNoTimer)
+	a.Inc(x86.M(regKD, GTickCount))
+	a.Lea(x86.RDI, x86.M(regKD, GTickCount))
+	a.Call(lWake)
+	a.Bind(idleNoTimer)
+	a.Test(x86.R(x86.RAX), x86.I(1<<hv.ChanBlock))
+	idleNoBlk := a.NewLabel()
+	a.Jcc(x86.CondE, idleNoBlk)
+	a.Lea(x86.RDI, x86.M(regKD, GPipeTable-8))
+	a.Call(lWake)
+	a.Bind(idleNoBlk)
+	a.Jmp(schedRescan)
+
+	// Found pid in RBX: switch to it.
+	a.Bind(schedFound)
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBX))
+	a.Call(lSwitchTo)
+	a.Bind(schedOut)
+	a.Pop(x86.R(x86.RDX))
+	a.Pop(x86.R(x86.RCX))
+	a.Pop(x86.R(x86.RBX))
+	a.Ret()
+
+	// ----- switchTo(rdi = next pid) -----
+	a.Bind(lSwitchTo)
+	// Save callee state of the outgoing context.
+	a.Push(x86.R(x86.RBP))
+	a.Push(x86.R(x86.RBX))
+	a.Push(x86.R(x86.R12))
+	a.Push(x86.R(x86.R13))
+	a.Push(x86.R(x86.R14))
+	a.Push(x86.R(x86.R15))
+	k.pcbFromPid(x86.RBX, x86.RDI) // next PCB
+	// Save outgoing ksp (GCurrent may be NProc at boot: skip save).
+	a.Mov(x86.R(x86.RCX), x86.M(regKD, GCurrent))
+	a.Cmp(x86.R(x86.RCX), x86.I(NProc))
+	noSave := a.NewLabel()
+	a.Jcc(x86.CondGE, noSave)
+	k.curPCB(x86.RDX, x86.RCX)
+	a.Mov(x86.M(x86.RDX, PCBKsp), x86.R(x86.RSP))
+	a.Bind(noSave)
+	// current = next; state bookkeeping.
+	a.Mov(x86.R(x86.RCX), x86.M(x86.RBX, PCBPid))
+	a.Mov(x86.M(regKD, GCurrent), x86.R(x86.RCX))
+	// Tell the hypervisor about the new kernel stack (Xen
+	// stack_switch) and address space (MMUEXT_NEW_BASEPTR).
+	a.Push(x86.R(x86.RBX))
+	a.Mov(x86.R(x86.RDI), x86.M(x86.RBX, PCBKstackTop))
+	k.hcall(hv.HcStackSwitch)
+	a.Pop(x86.R(x86.RBX))
+	a.Push(x86.R(x86.RBX))
+	a.Mov(x86.R(x86.RDI), x86.M(x86.RBX, PCBCr3))
+	k.hcall(hv.HcNewBasePtr)
+	a.Pop(x86.R(x86.RBX))
+	// First run? (state New -> jump to firstRun on the new stack).
+	a.Cmp(x86.M(x86.RBX, PCBState), x86.I(StateNew))
+	notNew := a.NewLabel()
+	a.Jcc(x86.CondNE, notNew)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateRunning))
+	a.Mov(x86.R(x86.RSP), x86.M(x86.RBX, PCBKstackTop))
+	a.Jmp(lFirstRun)
+	a.Bind(notNew)
+	a.Mov(x86.M(x86.RBX, PCBState), x86.I(StateRunning))
+	a.Mov(x86.R(x86.RSP), x86.M(x86.RBX, PCBKsp))
+	a.Pop(x86.R(x86.R15))
+	a.Pop(x86.R(x86.R14))
+	a.Pop(x86.R(x86.R13))
+	a.Pop(x86.R(x86.R12))
+	a.Pop(x86.R(x86.RBX))
+	a.Pop(x86.R(x86.RBP))
+	a.Ret()
+
+	// ----- firstRun: enter user mode for the first time -----
+	// RBX = PCB, RSP = fresh kernel stack top.
+	a.Bind(lFirstRun)
+	// Build the iretq frame: [RIP][mode][RFLAGS][RSP].
+	a.Push(x86.M(x86.RBX, PCBUstack))
+	a.Mov(x86.R(x86.RCX), x86.I(int64(x86.FlagIF)))
+	a.Push(x86.R(x86.RCX)) // user RFLAGS: interrupts on
+	a.Mov(x86.R(x86.RCX), x86.I(3))
+	a.Push(x86.R(x86.RCX)) // user mode
+	a.Push(x86.M(x86.RBX, PCBEntry))
+	// Argument registers, clean state.
+	a.Mov(x86.R(x86.RDI), x86.M(x86.RBX, PCBArg0))
+	a.Mov(x86.R(x86.RSI), x86.M(x86.RBX, PCBArg1))
+	a.Mov(x86.R(x86.RDX), x86.M(x86.RBX, PCBArg2))
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Mov(x86.R(x86.RBX), x86.I(0))
+	a.Mov(x86.R(x86.RCX), x86.I(0))
+	a.Mov(x86.R(x86.RBP), x86.I(0))
+	a.Iretq()
+
+	// ----- checksum(rdi = buf, rsi = len) -> rax -----
+	// 64-bit folded ones-complement-style sum over 8-byte words, the
+	// per-segment cost of the loopback TCP path.
+	a.Bind(lChecksum)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	ckWords := a.NewLabel()
+	ckBytes := a.NewLabel()
+	ckDone := a.NewLabel()
+	a.Bind(ckWords)
+	a.Cmp(x86.R(x86.RSI), x86.I(8))
+	a.Jcc(x86.CondL, ckBytes)
+	a.Add(x86.R(x86.RAX), x86.M(x86.RDI, 0))
+	a.Adc(x86.R(x86.RAX), x86.I(0))
+	a.Add(x86.R(x86.RDI), x86.I(8))
+	a.Sub(x86.R(x86.RSI), x86.I(8))
+	a.Jmp(ckWords)
+	a.Bind(ckBytes)
+	a.Cmp(x86.R(x86.RSI), x86.I(0))
+	a.Jcc(x86.CondE, ckDone)
+	a.Movzx(x86.RCX, x86.M(x86.RDI, 0), 1)
+	a.Add(x86.R(x86.RAX), x86.R(x86.RCX))
+	a.Inc(x86.R(x86.RDI))
+	a.Dec(x86.R(x86.RSI))
+	a.Jmp(ckBytes)
+	a.Bind(ckDone)
+	a.Ret()
+
+	// ----- pipeRead(rdi = pipe idx, rsi = user buf, rdx = n) -> rax -----
+	emitPipeRead(k, lPipeRead, lSchedule, lWake, lChecksum)
+
+	// ----- pipeWrite(rdi = pipe idx, rsi = user buf, rdx = n) -> rax -----
+	emitPipeWrite(k, lPipeWrite, lSchedule, lWake, lChecksum)
+
+	code, err := a.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("kern: assembling kernel: %w", err)
+	}
+	if len(code) > KernelTextPages*4096 {
+		return nil, fmt.Errorf("kern: kernel text %d bytes exceeds %d pages", len(code), KernelTextPages)
+	}
+	return &KernelImage{
+		Code:        code,
+		BootEntry:   a.Addr(lBoot),
+		TrapEntry:   a.Addr(lTrap),
+		SysEntry:    a.Addr(lSyscall),
+		FirstRun:    a.Addr(lFirstRun),
+		TimerPeriod: timerPeriod,
+	}, nil
+}
+
+// pipeHdr computes dst = &pipeTable[idxReg]; clobbers dst.
+func (k kasm) pipeHdr(dst, idx x86.Reg) {
+	k.Mov(x86.R(dst), x86.R(idx))
+	k.Shl(x86.R(dst), x86.I(6)) // PipeHdrSize = 64
+	k.Lea(dst, x86.MIdx(regKD, dst, 1, GPipeTable))
+}
+
+// block marks the current process blocked on the channel in chReg and
+// schedules away; on return the process has been woken. chReg must not
+// be RAX or RCX (scratch).
+func (k kasm) block(chReg x86.Reg, lSchedule x86.Label) {
+	if chReg == x86.RAX || chReg == x86.RCX {
+		panic("kern: block channel register clobbered by scratch")
+	}
+	k.curPCB(x86.RAX, x86.RCX)
+	k.Mov(x86.M(x86.RAX, PCBState), x86.I(StateBlocked))
+	k.Mov(x86.M(x86.RAX, PCBWaitCh), x86.R(chReg))
+	k.Call(lSchedule)
+}
+
+// emitPipeRead generates the blocking pipe/socket read.
+//
+// Register plan inside: RBX = pipe header, RBP = user buf, R13 = n,
+// R14 = bytes available/chunk, R15 = ring offset.
+func emitPipeRead(k kasm, entry, lSchedule, lWake, lChecksum x86.Label) {
+	a := k.Assembler
+	a.Bind(entry)
+	a.Push(x86.R(x86.RBX))
+	a.Push(x86.R(x86.RBP))
+	a.Push(x86.R(x86.R13))
+	a.Push(x86.R(x86.R14))
+	a.Push(x86.R(x86.R15))
+	k.pipeHdr(x86.RBX, x86.RDI)
+	a.Mov(x86.R(x86.RBP), x86.R(x86.RSI))
+	a.Mov(x86.R(x86.R13), x86.R(x86.RDX))
+
+	waitLoop := a.Mark()
+	haveData := a.NewLabel()
+	retEOF := a.NewLabel()
+	out := a.NewLabel()
+	// avail = wpos - rpos
+	a.Mov(x86.R(x86.R14), x86.M(x86.RBX, PipeWPos))
+	a.Sub(x86.R(x86.R14), x86.M(x86.RBX, PipeRPos))
+	a.Cmp(x86.R(x86.R14), x86.I(0))
+	a.Jcc(x86.CondNE, haveData)
+	// Empty: EOF if closed, else block.
+	a.Test(x86.M(x86.RBX, PipeMode), x86.I(PipeModeClosed))
+	a.Jcc(x86.CondNE, retEOF)
+	k.block(x86.RBX, lSchedule)
+	a.Jmp(waitLoop)
+
+	a.Bind(haveData)
+	// chunk = min(n, avail, contiguous to ring end)
+	a.Cmp(x86.R(x86.R14), x86.R(x86.R13))
+	capN := a.NewLabel()
+	a.Jcc(x86.CondBE, capN)
+	a.Mov(x86.R(x86.R14), x86.R(x86.R13))
+	a.Bind(capN)
+	// ring offset = rpos & (PipeBufSize-1)
+	a.Mov(x86.R(x86.R15), x86.M(x86.RBX, PipeRPos))
+	a.And(x86.R(x86.R15), x86.I(PipeBufSize-1))
+	// contiguous = PipeBufSize - offset
+	a.Mov(x86.R(x86.RCX), x86.I(PipeBufSize))
+	a.Sub(x86.R(x86.RCX), x86.R(x86.R15))
+	a.Cmp(x86.R(x86.R14), x86.R(x86.RCX))
+	capC := a.NewLabel()
+	a.Jcc(x86.CondBE, capC)
+	a.Mov(x86.R(x86.R14), x86.R(x86.RCX))
+	a.Bind(capC)
+	// copy: rsi = buf base + offset, rdi = user buf, rcx = chunk.
+	a.Mov(x86.R(x86.RSI), x86.M(x86.RBX, PipeBufPtr))
+	a.Add(x86.R(x86.RSI), x86.R(x86.R15))
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBP))
+	a.Mov(x86.R(x86.RCX), x86.R(x86.R14))
+	a.RepMovs(1)
+	// Socket mode: checksum the received segment (RX verify pass).
+	a.Test(x86.M(x86.RBX, PipeMode), x86.I(PipeModeSocket))
+	noCk := a.NewLabel()
+	a.Jcc(x86.CondE, noCk)
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBP))
+	a.Mov(x86.R(x86.RSI), x86.R(x86.R14))
+	a.Call(lChecksum)
+	a.Bind(noCk)
+	// rpos += chunk; wake writers.
+	a.Mov(x86.R(x86.RCX), x86.M(x86.RBX, PipeRPos))
+	a.Add(x86.R(x86.RCX), x86.R(x86.R14))
+	a.Mov(x86.M(x86.RBX, PipeRPos), x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBX))
+	a.Call(lWake)
+	a.Mov(x86.R(x86.RAX), x86.R(x86.R14))
+	a.Jmp(out)
+
+	a.Bind(retEOF)
+	a.Mov(x86.R(x86.RAX), x86.I(0))
+	a.Bind(out)
+	a.Pop(x86.R(x86.R15))
+	a.Pop(x86.R(x86.R14))
+	a.Pop(x86.R(x86.R13))
+	a.Pop(x86.R(x86.RBP))
+	a.Pop(x86.R(x86.RBX))
+	a.Ret()
+}
+
+// emitPipeWrite generates the blocking pipe/socket write.
+func emitPipeWrite(k kasm, entry, lSchedule, lWake, lChecksum x86.Label) {
+	a := k.Assembler
+	a.Bind(entry)
+	a.Push(x86.R(x86.RBX))
+	a.Push(x86.R(x86.RBP))
+	a.Push(x86.R(x86.R13))
+	a.Push(x86.R(x86.R14))
+	a.Push(x86.R(x86.R15))
+	k.pipeHdr(x86.RBX, x86.RDI)
+	a.Mov(x86.R(x86.RBP), x86.R(x86.RSI))
+	a.Mov(x86.R(x86.R13), x86.R(x86.RDX))
+
+	waitLoop := a.Mark()
+	haveSpace := a.NewLabel()
+	out := a.NewLabel()
+	// free = PipeBufSize - (wpos - rpos)
+	a.Mov(x86.R(x86.R14), x86.M(x86.RBX, PipeWPos))
+	a.Sub(x86.R(x86.R14), x86.M(x86.RBX, PipeRPos))
+	a.Mov(x86.R(x86.RCX), x86.I(PipeBufSize))
+	a.Sub(x86.R(x86.RCX), x86.R(x86.R14))
+	a.Mov(x86.R(x86.R14), x86.R(x86.RCX))
+	a.Cmp(x86.R(x86.R14), x86.I(0))
+	a.Jcc(x86.CondNE, haveSpace)
+	k.block(x86.RBX, lSchedule)
+	a.Jmp(waitLoop)
+
+	a.Bind(haveSpace)
+	// chunk = min(n, free, segment cap in socket mode, contiguous)
+	a.Cmp(x86.R(x86.R14), x86.R(x86.R13))
+	capN := a.NewLabel()
+	a.Jcc(x86.CondBE, capN)
+	a.Mov(x86.R(x86.R14), x86.R(x86.R13))
+	a.Bind(capN)
+	a.Test(x86.M(x86.RBX, PipeMode), x86.I(PipeModeSocket))
+	noSeg := a.NewLabel()
+	a.Jcc(x86.CondE, noSeg)
+	a.Cmp(x86.R(x86.R14), x86.I(SegmentSize))
+	a.Jcc(x86.CondBE, noSeg)
+	a.Mov(x86.R(x86.R14), x86.I(SegmentSize))
+	a.Bind(noSeg)
+	a.Mov(x86.R(x86.R15), x86.M(x86.RBX, PipeWPos))
+	a.And(x86.R(x86.R15), x86.I(PipeBufSize-1))
+	a.Mov(x86.R(x86.RCX), x86.I(PipeBufSize))
+	a.Sub(x86.R(x86.RCX), x86.R(x86.R15))
+	a.Cmp(x86.R(x86.R14), x86.R(x86.RCX))
+	capC := a.NewLabel()
+	a.Jcc(x86.CondBE, capC)
+	a.Mov(x86.R(x86.R14), x86.R(x86.RCX))
+	a.Bind(capC)
+	// Socket mode: checksum the outgoing segment first (TX pass).
+	a.Test(x86.M(x86.RBX, PipeMode), x86.I(PipeModeSocket))
+	noCk := a.NewLabel()
+	a.Jcc(x86.CondE, noCk)
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBP))
+	a.Mov(x86.R(x86.RSI), x86.R(x86.R14))
+	a.Call(lChecksum)
+	a.Bind(noCk)
+	// copy user -> ring
+	a.Mov(x86.R(x86.RSI), x86.R(x86.RBP))
+	a.Mov(x86.R(x86.RDI), x86.M(x86.RBX, PipeBufPtr))
+	a.Add(x86.R(x86.RDI), x86.R(x86.R15))
+	a.Mov(x86.R(x86.RCX), x86.R(x86.R14))
+	a.RepMovs(1)
+	a.Mov(x86.R(x86.RCX), x86.M(x86.RBX, PipeWPos))
+	a.Add(x86.R(x86.RCX), x86.R(x86.R14))
+	a.Mov(x86.M(x86.RBX, PipeWPos), x86.R(x86.RCX))
+	a.Mov(x86.R(x86.RDI), x86.R(x86.RBX))
+	a.Call(lWake)
+	a.Mov(x86.R(x86.RAX), x86.R(x86.R14))
+	a.Bind(out)
+	a.Pop(x86.R(x86.R15))
+	a.Pop(x86.R(x86.R14))
+	a.Pop(x86.R(x86.R13))
+	a.Pop(x86.R(x86.RBP))
+	a.Pop(x86.R(x86.RBX))
+	a.Ret()
+}

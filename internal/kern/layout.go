@@ -1,0 +1,117 @@
+// Package kern provides the guest operating system used by the full
+// system benchmarks: a small paravirtualized kernel written in x86-64
+// assembly (generated through the x86 DSL), plus the domain builder
+// that loads it — the role PTLmon plays for Xen domains in the paper.
+//
+// The kernel implements the facilities the rsync benchmark exercises:
+// a round-robin preemptive scheduler over a fixed process table,
+// syscall entry/exit with full register save, blocking pipes, loopback
+// "socket" pipes that run a per-segment checksum pass to mimic TCP/IP
+// stack cost, timer-event handling, an idle loop (hlt), and console
+// output — all running as simulated guest instructions so that kernel
+// time, user time and idle time are all visible to the core models
+// (the property Figure 2 of the paper depends on).
+package kern
+
+// Virtual memory layout. The kernel lives in the canonical upper half
+// (supervisor-only), mapped into every process address space through a
+// shared PML4 slot, exactly like a real x86-64 OS under Xen.
+const (
+	KernelTextVA  = 0xFFFF800000100000
+	KernelDataVA  = 0xFFFF800000400000
+	KernelStackVA = 0xFFFF800000600000 // per-process kernel stacks
+	PipeBufVA     = 0xFFFF800000800000 // pipe ring buffers
+
+	UserTextVA  = 0x400000
+	UserDataVA  = 0x1000000  // workload data (file corpus etc.)
+	UserStackVA = 0x7FFF0000 // top of user stack
+
+	KernelTextPages  = 8
+	KernelDataPages  = 8
+	KernelStackSize  = 0x4000 // 16 KiB per process
+	UserStackPages   = 4
+)
+
+// Process table geometry.
+const (
+	NProc   = 8
+	PCBSize = 128
+)
+
+// PCB field offsets (within the proc table at KernelDataVA+ProcTableOff).
+const (
+	PCBState     = 0  // 0 unused, 1 new, 2 ready, 3 running, 4 blocked, 5 zombie
+	PCBCr3       = 8  // address space root (machine physical)
+	PCBKsp       = 16 // saved kernel stack pointer
+	PCBKstackTop = 24
+	PCBWaitCh    = 32 // blocked-on channel (address), 0 if none
+	PCBPid       = 40
+	PCBEntry     = 48 // user entry RIP (for first run)
+	PCBUstack    = 56 // initial user RSP
+	PCBArg0      = 64
+	PCBArg1      = 72
+	PCBArg2      = 80
+	PCBWakeTick  = 88 // sleep-until tick for SysSleep
+)
+
+// Process states.
+const (
+	StateUnused  = 0
+	StateNew     = 1
+	StateReady   = 2
+	StateRunning = 3
+	StateBlocked = 4
+	StateZombie  = 5
+)
+
+// Kernel global variable offsets within KernelDataVA.
+const (
+	GCurrent     = 0  // current pid
+	GNeedResched = 8
+	GLiveProcs   = 16 // count of non-zombie processes
+	GTickCount   = 24 // timer ticks observed
+	GProcTable   = 64 // NProc * PCBSize bytes
+	GPipeTable   = GProcTable + NProc*PCBSize
+)
+
+// Pipe table geometry. Each pipe has a 64-byte header here and a
+// 4 KiB ring buffer at PipeBufVA + idx*PipeBufSize.
+const (
+	NPipes      = 16
+	PipeHdrSize = 64
+	PipeBufSize = 4096
+
+	PipeRPos   = 0  // absolute read counter
+	PipeWPos   = 8  // absolute write counter
+	PipeMode   = 16 // bit 0: socket (checksummed segments); bit 1: closed
+	PipeBufPtr = 24 // VA of the ring buffer
+)
+
+// Pipe mode bits.
+const (
+	PipeModeSocket = 1
+	PipeModeClosed = 2
+)
+
+// SegmentSize is the payload quantum for socket-mode pipes (the TCP
+// MSS the loopback path mimics); each segment gets a checksum pass.
+const SegmentSize = 1460
+
+// Syscall numbers (RAX; args RDI/RSI/RDX; result RAX).
+const (
+	SysExit      = 0
+	SysWrite     = 1 // write(pipe, buf, n) -> n written (may be partial)
+	SysRead      = 2 // read(pipe, buf, n) -> n read (may be partial, 0 = EOF)
+	SysYield     = 3
+	SysGetTSC    = 4
+	SysGetPid    = 5
+	SysConsWrite = 6 // conswrite(buf, n)
+	SysClose     = 7 // close(pipe): mark writer-closed
+	SysTicks     = 8 // timer ticks since boot
+	SysSleep     = 9 // sleep(ticks): block until the tick counter advances
+)
+
+// Timer configuration: the builder programs this periodic interval
+// (cycles) into the hypervisor; at 2.2 GHz a 2.2M-cycle period is the
+// 1 kHz tick SuSE's kernel used in the paper's setup.
+const DefaultTimerPeriod = 2_200_000

@@ -1,0 +1,177 @@
+// Package mem implements the physical memory substrate of the full
+// system simulator: machine pages addressed by MFN (machine frame
+// number), 4-level x86-64 page tables, and the hardware page-table walk
+// engine. As under Xen, a domain's physical pages are deliberately
+// non-contiguous MFNs, so cache indexing and TLB behavior see realistic
+// physical address patterns rather than a linear span from zero.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Page is one 4 KiB machine page.
+type Page [PageSize]byte
+
+// PhysMem is the machine's physical memory: a sparse set of allocated
+// machine pages. All simulator state (guest RAM, page tables, DMA
+// buffers) lives here and is addressed physically.
+type PhysMem struct {
+	pages map[uint64]*Page
+	// MFN allocation state: a deterministic linear-congruential walk
+	// over a window of frame numbers produces scattered MFNs like a
+	// real hypervisor under memory pressure.
+	nextSeq uint64
+	salt    uint64
+}
+
+// NewPhysMem creates an empty physical memory.
+func NewPhysMem() *PhysMem {
+	return &PhysMem{pages: make(map[uint64]*Page), salt: 0x9E3779B97F4A7C15}
+}
+
+// AllocPage allocates a fresh zeroed machine page and returns its MFN.
+// Allocation order is deterministic but intentionally non-contiguous.
+func (pm *PhysMem) AllocPage() uint64 {
+	for {
+		seq := pm.nextSeq
+		pm.nextSeq++
+		// Feistel-ish scatter within a 2^20-frame window (4 GiB of
+		// physical space), keeping MFNs bounded but shuffled.
+		h := seq * pm.salt
+		mfn := (h>>44 ^ h>>20) & 0xFFFFF
+		if _, ok := pm.pages[mfn]; ok {
+			continue
+		}
+		pm.pages[mfn] = &Page{}
+		return mfn
+	}
+}
+
+// AllocPages allocates n pages and returns their MFNs.
+func (pm *PhysMem) AllocPages(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = pm.AllocPage()
+	}
+	return out
+}
+
+// Present reports whether mfn is an allocated machine page.
+func (pm *PhysMem) Present(mfn uint64) bool {
+	_, ok := pm.pages[mfn]
+	return ok
+}
+
+// NumPages returns the number of allocated machine pages.
+func (pm *PhysMem) NumPages() int { return len(pm.pages) }
+
+// PagePtr returns the backing page for mfn, or nil if unallocated.
+func (pm *PhysMem) PagePtr(mfn uint64) *Page { return pm.pages[mfn] }
+
+// errBadPhys formats an unmapped-physical-address error.
+func errBadPhys(pa uint64) error {
+	return fmt.Errorf("mem: access to unmapped physical address %#x (mfn %#x)", pa, pa>>PageShift)
+}
+
+// Read reads size bytes (1, 2, 4 or 8) at physical address pa,
+// zero-extended into a uint64. Accesses may cross page boundaries
+// (hardware handles unaligned access transparently on x86).
+func (pm *PhysMem) Read(pa uint64, size uint8) (uint64, error) {
+	off := pa & PageMask
+	if off+uint64(size) <= PageSize {
+		page := pm.pages[pa>>PageShift]
+		if page == nil {
+			return 0, errBadPhys(pa)
+		}
+		switch size {
+		case 1:
+			return uint64(page[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(page[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(page[off:])), nil
+		case 8:
+			return binary.LittleEndian.Uint64(page[off:]), nil
+		}
+	}
+	// Page-crossing access: assemble byte by byte.
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		page := pm.pages[(pa+uint64(i))>>PageShift]
+		if page == nil {
+			return 0, errBadPhys(pa + uint64(i))
+		}
+		v |= uint64(page[(pa+uint64(i))&PageMask]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write writes the low size bytes of v at physical address pa.
+func (pm *PhysMem) Write(pa uint64, v uint64, size uint8) error {
+	off := pa & PageMask
+	if off+uint64(size) <= PageSize {
+		page := pm.pages[pa>>PageShift]
+		if page == nil {
+			return errBadPhys(pa)
+		}
+		switch size {
+		case 1:
+			page[off] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(page[off:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(page[off:], uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(page[off:], v)
+		}
+		return nil
+	}
+	for i := uint8(0); i < size; i++ {
+		page := pm.pages[(pa+uint64(i))>>PageShift]
+		if page == nil {
+			return errBadPhys(pa + uint64(i))
+		}
+		page[(pa+uint64(i))&PageMask] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadBytes copies len(buf) bytes starting at physical address pa.
+func (pm *PhysMem) ReadBytes(pa uint64, buf []byte) error {
+	for n := 0; n < len(buf); {
+		page := pm.pages[pa>>PageShift]
+		if page == nil {
+			return errBadPhys(pa)
+		}
+		off := pa & PageMask
+		c := copy(buf[n:], page[off:])
+		n += c
+		pa += uint64(c)
+	}
+	return nil
+}
+
+// WriteBytes copies buf into physical memory starting at pa (used by
+// the domain builder and DMA injection).
+func (pm *PhysMem) WriteBytes(pa uint64, buf []byte) error {
+	for n := 0; n < len(buf); {
+		page := pm.pages[pa>>PageShift]
+		if page == nil {
+			return errBadPhys(pa)
+		}
+		off := pa & PageMask
+		c := copy(page[off:], buf[n:])
+		n += c
+		pa += uint64(c)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package ooo
+
+import (
+	"fmt"
+
+	"ptlsim/internal/mem"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// commit retires completed instructions in program order with x86
+// atomic-commit semantics: either every uop of an instruction commits
+// or (on a fault) none do and the exception is delivered precisely.
+// Event upcalls are delivered only at instruction boundaries.
+func (c *Core) commit() error {
+	budget := c.cfg.CommitWidth
+	for i := 0; i < len(c.threads) && budget > 0; i++ {
+		th := c.threads[(int(c.now)+i)%len(c.threads)]
+		var err error
+		budget, err = c.commitThread(th, budget)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Core) commitThread(th *thread, budget int) (int, error) {
+	ctx := th.ctx
+	for budget > 0 {
+		if c.commitLimit > 0 && c.cInsns.Value() >= c.commitLimit {
+			return budget, nil
+		}
+		// Wake halted threads and deliver pending events precisely at
+		// instruction boundaries (ROB head is a SOM or the ROB is
+		// empty).
+		atBoundary := th.robCount == 0 || th.robAt(0).uop.SOM
+		if atBoundary && ctx.IF() && c.sys.EventPending(ctx) {
+			if !ctx.Running {
+				ctx.Running = true
+			}
+			// ctx.RIP currently points at the next uncommitted
+			// instruction; flush everything and enter the handler.
+			if th.robCount > 0 {
+				ctx.RIP = th.robAt(0).uop.RIP
+			} else if th.fetchFault != uops.FaultNone || th.curBB != nil || len(th.fetchQ) > 0 {
+				// keep ctx.RIP (committed boundary)
+			}
+			// Deliver first (it rewrites RSP/RFLAGS/RIP), then flush so
+			// the fresh rename table snapshots the post-delivery state.
+			if err := ctx.DeliverEvent(); err != nil {
+				return budget, err
+			}
+			c.FullFlush(th.id)
+			th.fetchRIP = ctx.RIP
+			c.cInterrupts.Inc()
+			return budget, nil
+		}
+
+		if th.robCount == 0 {
+			// Nothing in flight: a pending fetch fault becomes an
+			// exception now (its RIP is the fetch RIP).
+			if th.fetchFault != uops.FaultNone && len(th.fetchQ) == 0 {
+				fault := th.fetchFault
+				dbgf("fetch fault %v at rip %#x", fault, th.fetchRIP)
+				ctx.RIP = th.fetchRIP
+				ctx.CR2 = th.fetchRIP
+				vec, errInfo := vm.FaultVector(ctx, fault)
+				if err := ctx.DeliverException(vec, errInfo, ctx.RIP); err != nil {
+					return budget, err
+				}
+				c.FullFlush(th.id)
+				th.fetchRIP = ctx.RIP
+			}
+			return budget, nil
+		}
+
+		// Find the instruction group SOM..EOM at the head.
+		n, complete, faultAt := c.groupStatus(th)
+		if !complete {
+			return budget, nil
+		}
+
+		head := th.robAt(0)
+		if faultAt >= 0 {
+			// Precise exception: restore to instruction start.
+			fe := th.robAt(faultAt)
+			fault := fe.fault
+			dbgf("commit fault %v at rip %#x uop %s ea %#x", fault, fe.uop.RIP, &fe.uop, fe.ea)
+			ctx.RIP = head.uop.RIP
+			if fe.uop.IsLoad() || fe.uop.IsStore() {
+				ctx.CR2 = fe.ea
+			}
+			vec, errInfo := vm.FaultVector(ctx, fault)
+			if err := ctx.DeliverException(vec, errInfo, ctx.RIP); err != nil {
+				return budget, err
+			}
+			c.FullFlush(th.id)
+			th.fetchRIP = ctx.RIP
+			return budget, nil
+		}
+
+		if head.isAssist() {
+			// Serializing microcode assist: executes against the
+			// architectural state, then the pipeline restarts.
+			c.cAssists.Inc()
+			fault := vm.ExecAssist(ctx, &head.uop, c.sys, c)
+			if fault != uops.FaultNone {
+				ctx.RIP = head.uop.RIP
+				vec, errInfo := vm.FaultVector(ctx, fault)
+				if err := ctx.DeliverException(vec, errInfo, ctx.RIP); err != nil {
+					return budget, err
+				}
+				c.FullFlush(th.id)
+				th.fetchRIP = ctx.RIP
+				return budget, nil
+			}
+			c.cUops.Inc()
+			if !head.uop.NoCount {
+				c.countInsn(ctx)
+			}
+			// Hypercalls may have switched address spaces (Xen
+			// MMUEXT_NEW_BASEPTR / mmu_update): honor the shootdown
+			// generation by flushing this core's TLBs.
+			if th.flushGen != ctx.FlushGen {
+				th.flushGen = ctx.FlushGen
+				c.FlushTLB()
+			}
+			c.FullFlush(th.id)
+			th.fetchRIP = ctx.RIP
+			return budget, nil
+		}
+
+		// Commit the whole group atomically this cycle.
+		smcPage := uint64(0)
+		smcHit := false
+		var mispredictRedirect bool
+		for k := 0; k < n; k++ {
+			e := th.robAt(0)
+			u := &e.uop
+			if u.Rd != uops.RegZero && e.rdPhys >= 0 {
+				ctx.Regs[u.Rd] = c.prf[e.rdPhys].value
+			}
+			if e.flPhys >= 0 {
+				ctx.Regs[uops.RegFlags] = uops.MergeFlags(ctx.Regs[uops.RegFlags],
+					c.prf[e.flPhys].value, u.SetFlags)
+			}
+			if u.IsStore() {
+				if page, hit := c.applyStore(th, e); hit {
+					smcPage, smcHit = page, true
+				}
+			}
+			if u.IsBranch() {
+				c.cBranches.Inc()
+				if u.Branch == uops.BranchCond {
+					th.pred.Update(u.RIP, e.result == u.RIPTaken, e.predSnapshot)
+				}
+				if e.result != u.RIPNot {
+					c.cTaken.Inc()
+					th.pred.BTBUpdate(u.RIP, e.result)
+				}
+				if e.mispredicted {
+					c.cMispredicts.Inc()
+				}
+			}
+			if e.lockHeld {
+				c.interlock.Release(e.lockLine, c.ID, th.id, e.seq)
+				e.lockHeld = false
+			}
+			if u.EOM {
+				ctx.RIP = e.result // branches store next RIP in result
+				if !u.IsBranch() {
+					ctx.RIP = u.RIP + uint64(u.X86Len)
+				}
+				if !u.NoCount {
+					c.countInsn(ctx)
+				}
+			}
+			c.cUops.Inc()
+			// Free the previous mappings and pop the entry.
+			c.freePhys(e.rdOld)
+			c.freePhys(e.flOld)
+			c.popLSQ(th, e)
+			e.valid = false
+			th.robHead = (th.robHead + 1) % len(th.rob)
+			th.robCount--
+		}
+		budget -= n
+		if budget < 0 {
+			budget = 0
+		}
+
+		if smcHit {
+			// Self-modifying code: flush everything decoded from the
+			// written page and restart the pipeline after this insn.
+			c.bbc.InvalidatePage(smcPage)
+			c.cSMC.Inc()
+			c.FullFlush(th.id)
+			th.fetchRIP = ctx.RIP
+			return budget, nil
+		}
+		_ = mispredictRedirect
+	}
+	return budget, nil
+}
+
+// countInsn counts a committed x86 instruction with mode attribution.
+func (c *Core) countInsn(ctx *vm.Context) {
+	c.cInsns.Inc()
+	if ctx.Kernel {
+		c.cKernelInsns.Inc()
+	} else {
+		c.cUserInsns.Inc()
+	}
+}
+
+// groupStatus inspects the instruction group at the ROB head: its
+// length in uops, whether every uop is complete, and the index of the
+// first faulting uop (-1 if clean). An incomplete group (EOM not yet
+// renamed) reports complete=false.
+func (c *Core) groupStatus(th *thread) (n int, complete bool, faultAt int) {
+	faultAt = -1
+	for i := 0; i < th.robCount; i++ {
+		e := th.robAt(i)
+		if i == 0 && !e.uop.SOM {
+			// Should not happen: commit always leaves SOM at head.
+			panic(fmt.Sprintf("ooo: ROB head not SOM at rip %#x", e.uop.RIP))
+		}
+		if e.state != stateDone {
+			return 0, false, -1
+		}
+		if e.fault != uops.FaultNone && faultAt < 0 {
+			faultAt = i
+		}
+		if e.uop.EOM {
+			return i + 1, true, faultAt
+		}
+	}
+	return 0, false, -1
+}
+
+// applyStore writes a committed store to physical memory through the
+// cache hierarchy and reports whether it hit a code page (SMC).
+func (c *Core) applyStore(th *thread, e *robEntry) (uint64, bool) {
+	size := e.uop.MemSize
+	first := mem.PageSize - e.ea&mem.PageMask
+	if first >= uint64(size) {
+		_ = th.ctx.M.PM.Write(e.pa, e.storeData, size)
+	} else {
+		f := uint8(first)
+		_ = th.ctx.M.PM.Write(e.pa, e.storeData&uops.Mask(f), f)
+		_ = th.ctx.M.PM.Write(e.pa2, e.storeData>>(8*f), size-f)
+	}
+	c.hier.Store(e.pa, c.now)
+	mfn := e.pa >> mem.PageShift
+	if c.bbc.IsCodePage(mfn) {
+		return mfn, true
+	}
+	if uint64(first) < uint64(size) {
+		mfn2 := e.pa2 >> mem.PageShift
+		if c.bbc.IsCodePage(mfn2) {
+			return mfn2, true
+		}
+	}
+	return 0, false
+}
+
+// popLSQ removes a committed entry from the head of its LDQ/STQ.
+func (c *Core) popLSQ(th *thread, e *robEntry) {
+	if e.uop.IsLoad() && len(th.ldq) > 0 {
+		th.ldq = th.ldq[1:]
+	}
+	if e.uop.IsStore() && len(th.stq) > 0 {
+		th.stq = th.stq[1:]
+	}
+}

@@ -1,0 +1,191 @@
+// Package ooo implements the default PTLsim core model: a modern
+// superscalar out-of-order x86-64 core fetching pre-decoded uops from
+// the basic block cache, with physical-register renaming, clustered
+// collapsing issue queues with broadcast wakeup, configurable
+// functional units and latencies, load/store queues with store→load
+// forwarding and replay, TLBs backed by a cycle-level page walker,
+// atomic x86 commit with precise exceptions, SMT with per-thread
+// frontend/ROB/LDQ/STQ and shared execution resources, and interlocked
+// instruction support via an interlock controller (paper §2.2, §4.4).
+package ooo
+
+import (
+	"ptlsim/internal/bpred"
+	"ptlsim/internal/cache"
+)
+
+// OpClass buckets uops for issue-queue and functional-unit routing.
+type OpClass uint8
+
+// Operation classes.
+const (
+	ClassALU OpClass = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassFP
+	ClassFDiv
+	NumClasses
+)
+
+// ClassMask selects a set of op classes.
+type ClassMask uint16
+
+// Has reports whether the mask contains class c.
+func (m ClassMask) Has(c OpClass) bool { return m&(1<<c) != 0 }
+
+// MaskOf builds a ClassMask.
+func MaskOf(cs ...OpClass) ClassMask {
+	var m ClassMask
+	for _, c := range cs {
+		m |= 1 << c
+	}
+	return m
+}
+
+// IntClasses covers everything but FP.
+func IntClasses() ClassMask {
+	return MaskOf(ClassALU, ClassMul, ClassDiv, ClassLoad, ClassStore, ClassBranch)
+}
+
+// ClusterConfig describes one issue queue / execution cluster. PTLsim
+// models clustered microarchitectures with configurable inter-cluster
+// latencies; ExtraLatency is the distance of this cluster from the
+// integer core (the K8 FP scheduler sits two cycles away).
+type ClusterConfig struct {
+	Name         string
+	IQSize       int
+	IssueWidth   int
+	Classes      ClassMask
+	ExtraLatency uint64
+}
+
+// Config is the full core configuration.
+type Config struct {
+	FetchWidth  int // uops fetched per cycle
+	RenameWidth int
+	CommitWidth int
+
+	FetchQSize int
+	ROBSize    int
+	LDQSize    int
+	STQSize    int
+	PhysRegs   int
+
+	Clusters []ClusterConfig
+
+	// Latencies by op class (cycles). Loads take the cache latency on
+	// top of address generation.
+	Latency [NumClasses]uint64
+
+	// LoadHoisting allows loads to issue speculatively past unresolved
+	// older stores (replay/flush on mis-speculation). The K8 does not
+	// hoist loads this way, so the Table 1 configuration disables it.
+	LoadHoisting bool
+
+	// EnforceBanking models K8-style L1 bank conflicts: two same-cycle
+	// accesses to the same bank of different lines replay the younger.
+	EnforceBanking bool
+
+	// FrontendLatency is the redirect penalty in cycles after a
+	// mispredicted branch (pipeline refill depth).
+	FrontendLatency uint64
+
+	Caches cache.HierarchyConfig
+	Bpred  bpred.Config
+
+	DTLBEntries, DTLBAssoc int
+	ITLBEntries, ITLBAssoc int
+
+	// SMT thread limit for this core (hardware contexts).
+	MaxThreads int
+}
+
+// DefaultConfig is a generic modern 4-wide core.
+func DefaultConfig() Config {
+	cfg := Config{
+		FetchWidth:  4,
+		RenameWidth: 4,
+		CommitWidth: 4,
+		FetchQSize:  32,
+		ROBSize:     128,
+		LDQSize:     32,
+		STQSize:     24,
+		PhysRegs:    256,
+		Clusters: []ClusterConfig{
+			{Name: "int", IQSize: 32, IssueWidth: 4, Classes: IntClasses()},
+			{Name: "fp", IQSize: 24, IssueWidth: 2, Classes: MaskOf(ClassFP, ClassFDiv), ExtraLatency: 1},
+		},
+		LoadHoisting:    true,
+		FrontendLatency: 10,
+		Caches:          cache.DefaultHierarchy(),
+		Bpred:           bpred.DefaultConfig(),
+		DTLBEntries:     64, DTLBAssoc: 4,
+		ITLBEntries: 64, ITLBAssoc: 4,
+		MaxThreads: 1,
+	}
+	cfg.Latency = defaultLatencies()
+	return cfg
+}
+
+// K8Config reproduces the Table 1 experiment configuration: 72-entry
+// ROB, 44-entry load/store queue, three 8-entry integer issue queues
+// (the K8's three lanes), a 36-entry FP queue two cycles away, 128-entry
+// register files sized so the ROB is the bottleneck, no load hoisting,
+// enforced L1 banking, a 16K gshare-like predictor, 32-entry TLBs, and
+// the measured K8 memory latencies.
+func K8Config() Config {
+	cfg := Config{
+		FetchWidth:  3,
+		RenameWidth: 3,
+		CommitWidth: 3,
+		FetchQSize:  24,
+		ROBSize:     72,
+		LDQSize:     22,
+		STQSize:     22,
+		PhysRegs:    256, // 2 x 128-entry files; ROB is the bottleneck
+		Clusters: []ClusterConfig{
+			{Name: "int0", IQSize: 8, IssueWidth: 1, Classes: IntClasses()},
+			{Name: "int1", IQSize: 8, IssueWidth: 1, Classes: IntClasses()},
+			{Name: "int2", IQSize: 8, IssueWidth: 1, Classes: IntClasses()},
+			{Name: "fp", IQSize: 36, IssueWidth: 3, Classes: MaskOf(ClassFP, ClassFDiv), ExtraLatency: 2},
+		},
+		LoadHoisting:    false,
+		EnforceBanking:  true,
+		FrontendLatency: 11,
+		Caches:          cache.K8Hierarchy(),
+		Bpred:           bpred.K8Config(),
+		DTLBEntries:     32, DTLBAssoc: 32, // fully associative 32-entry
+		ITLBEntries: 32, ITLBAssoc: 32,
+		MaxThreads: 1,
+	}
+	cfg.Latency = defaultLatencies()
+	cfg.Latency[ClassMul] = 3
+	cfg.Latency[ClassDiv] = 23
+	return cfg
+}
+
+// SMTConfig is the default core with n hardware threads.
+func SMTConfig(n int) Config {
+	cfg := DefaultConfig()
+	if n > 16 {
+		n = 16 // paper: up to 16 threads per core
+	}
+	cfg.MaxThreads = n
+	return cfg
+}
+
+func defaultLatencies() [NumClasses]uint64 {
+	var l [NumClasses]uint64
+	l[ClassALU] = 1
+	l[ClassMul] = 3
+	l[ClassDiv] = 20
+	l[ClassLoad] = 0 // cache adds its own latency
+	l[ClassStore] = 1
+	l[ClassBranch] = 1
+	l[ClassFP] = 4
+	l[ClassFDiv] = 16
+	return l
+}

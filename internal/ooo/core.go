@@ -1,0 +1,444 @@
+package ooo
+
+import (
+	"fmt"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/bpred"
+	"ptlsim/internal/cache"
+	"ptlsim/internal/decode"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/tlb"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// robState tracks a uop's progress through the backend.
+type robState uint8
+
+const (
+	stateWaiting robState = iota // in an issue queue
+	stateIssued                  // executing, completes at readyCycle
+	stateDone                    // result available / ready to commit
+)
+
+// physReg is one physical register file entry.
+type physReg struct {
+	value uint64
+	ready bool
+}
+
+// robEntry is one reorder buffer slot (one uop).
+type robEntry struct {
+	valid bool
+	uop   uops.Uop
+	seq   uint64
+
+	rdPhys, rdOld int // -1 when no destination
+	flPhys, flOld int // -1 when no flag write
+	src           [3]int
+
+	state      robState
+	readyCycle uint64
+	earliest   uint64 // replay backoff: do not issue before this cycle
+	cluster    int
+
+	result uint64
+	fault  uops.Fault
+
+	// Memory state.
+	ea, pa, pa2 uint64
+	storeData   uint64
+	addrValid   bool
+	lockLine    uint64
+	lockHeld    bool
+
+	// Branch state.
+	predTarget   uint64
+	predSnapshot uint64
+	rasSnap      bpred.RASSnapshot
+	hasRASSnap   bool
+	mispredicted bool
+}
+
+func (e *robEntry) isMem() bool   { return e.uop.IsLoad() || e.uop.IsStore() }
+func (e *robEntry) isAssist() bool { return e.uop.Op == uops.OpAssist }
+
+// fetched is a predicted uop waiting in the fetch queue for rename.
+type fetched struct {
+	uop          uops.Uop
+	predTarget   uint64
+	predSnapshot uint64
+	rasSnap      bpred.RASSnapshot
+	hasRASSnap   bool
+}
+
+// thread is one SMT hardware context: private frontend, ROB, LDQ and
+// STQ; shared issue queues, physical registers, FUs and caches.
+type thread struct {
+	id  int
+	ctx *vm.Context
+
+	rat [uops.NumArchRegs]int
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+
+	ldq []int // rob indices of loads, program order
+	stq []int // rob indices of stores, program order
+
+	fetchRIP        uint64
+	fetchQ          []fetched
+	curBB           *decode.BasicBlock
+	bbIdx           int
+	fetchStallUntil uint64
+	fetchFault      uops.Fault
+	flushGen        uint64
+
+	pred *bpred.Predictor
+
+	// Per-thread TLBs (tagged-by-thread model: SMT threads may run in
+	// different address spaces).
+	dtlb *tlb.TLB
+	itlb *tlb.TLB
+}
+
+// iqEntry is an issue queue slot referring back to a ROB entry.
+type iqEntry struct {
+	thread, rob int
+	seq         uint64
+}
+
+// Core is one out-of-order core instance.
+type Core struct {
+	ID  int
+	cfg Config
+
+	threads []*thread
+	prf     []physReg
+	free    []int
+	iqs     [][]iqEntry
+
+	hier *cache.Hierarchy
+
+	bbc       *bbcache.Cache
+	sys       vm.System
+	interlock *Interlock
+
+	now uint64
+	seq uint64
+
+	// Per-cycle L1D bank usage: bank -> line address.
+	bankUse map[int]uint64
+
+	// Deferred branch/load-speculation recoveries, applied once per
+	// cycle after the issue stage.
+	redirects []redirect
+
+	// commitLimit, when positive, stops the commit stage once that
+	// many x86 instructions have committed (used by co-simulation to
+	// pause at an exact instruction boundary).
+	commitLimit int64
+
+	// Statistics.
+	cInsns, cUops, cCycles                  *stats.Counter
+	cBranches, cMispredicts, cTaken        *stats.Counter
+	cLoads, cStores                        *stats.Counter
+	cDTLBMiss, cITLBMiss, cWalks           *stats.Counter
+	cReplays, cBankReplays, cForwards      *stats.Counter
+	cFlushes, cAssists, cInterrupts        *stats.Counter
+	cLockReplays, cSMC, cLoadSpecFlush     *stats.Counter
+	cFetchStallIQ, cFetchStallROB          *stats.Counter
+	cKernelInsns, cUserInsns               *stats.Counter
+}
+
+// New creates a core with the given contexts as its SMT threads.
+func New(id int, cfg Config, ctxs []*vm.Context, sys vm.System, bbc *bbcache.Cache,
+	tree *stats.Tree, prefix string) *Core {
+	if len(ctxs) == 0 || len(ctxs) > cfg.MaxThreads {
+		panic(fmt.Sprintf("ooo: core %d: %d contexts with MaxThreads=%d", id, len(ctxs), cfg.MaxThreads))
+	}
+	c := &Core{
+		ID:        id,
+		cfg:       cfg,
+		prf:       make([]physReg, cfg.PhysRegs),
+		iqs:       make([][]iqEntry, len(cfg.Clusters)),
+		hier:      cache.NewHierarchy(cfg.Caches, tree, prefix+".cache"),
+		bbc:       bbc,
+		sys:       sys,
+		interlock: NewInterlock(),
+		bankUse:   make(map[int]uint64),
+
+		cInsns:        tree.Counter(prefix + ".commit.insns"),
+		cUops:         tree.Counter(prefix + ".commit.uops"),
+		cCycles:       tree.Counter(prefix + ".cycles"),
+		cBranches:     tree.Counter(prefix + ".branches"),
+		cMispredicts:  tree.Counter(prefix + ".mispredicts"),
+		cTaken:        tree.Counter(prefix + ".taken_branches"),
+		cLoads:        tree.Counter(prefix + ".loads"),
+		cStores:       tree.Counter(prefix + ".stores"),
+		cDTLBMiss:     tree.Counter(prefix + ".dtlb.misses"),
+		cITLBMiss:     tree.Counter(prefix + ".itlb.misses"),
+		cWalks:        tree.Counter(prefix + ".pagewalks"),
+		cReplays:      tree.Counter(prefix + ".replays"),
+		cBankReplays:  tree.Counter(prefix + ".bank_replays"),
+		cForwards:     tree.Counter(prefix + ".store_forwards"),
+		cFlushes:      tree.Counter(prefix + ".pipeline_flushes"),
+		cAssists:      tree.Counter(prefix + ".assists"),
+		cInterrupts:   tree.Counter(prefix + ".interrupts"),
+		cLockReplays:  tree.Counter(prefix + ".lock_replays"),
+		cSMC:          tree.Counter(prefix + ".smc_flushes"),
+		cLoadSpecFlush: tree.Counter(prefix + ".load_spec_flushes"),
+		cFetchStallIQ: tree.Counter(prefix + ".stall.iq_full"),
+		cFetchStallROB: tree.Counter(prefix + ".stall.rob_full"),
+		cKernelInsns:  tree.Counter(prefix + ".commit.kernel_insns"),
+		cUserInsns:    tree.Counter(prefix + ".commit.user_insns"),
+	}
+	for i := range c.prf {
+		c.free = append(c.free, len(c.prf)-1-i)
+	}
+	for i, ctx := range ctxs {
+		th := &thread{id: i, ctx: ctx, fetchRIP: ctx.RIP,
+			rob:  make([]robEntry, cfg.ROBSize),
+			pred: bpred.New(cfg.Bpred),
+			dtlb: tlb.New(cfg.DTLBEntries, cfg.DTLBAssoc),
+			itlb: tlb.New(cfg.ITLBEntries, cfg.ITLBAssoc),
+		}
+		c.threads = append(c.threads, th)
+		c.initRAT(th)
+	}
+	return c
+}
+
+// Hierarchy exposes the core's cache hierarchy (for coherence wiring).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// SetInterlock shares an interlock controller across cores.
+func (c *Core) SetInterlock(il *Interlock) { c.interlock = il }
+
+// Interlock returns the core's interlock controller.
+func (c *Core) Interlock() *Interlock { return c.interlock }
+
+// Threads returns the number of hardware threads.
+func (c *Core) Threads() int { return len(c.threads) }
+
+// Ctx returns thread t's VCPU context.
+func (c *Core) Ctx(t int) *vm.Context { return c.threads[t].ctx }
+
+// Insns returns total committed x86 instructions.
+func (c *Core) Insns() int64 { return c.cInsns.Value() }
+
+// SetCommitLimit pauses commit after n total committed instructions
+// (0 disables). Used by co-simulation to stop at an exact boundary.
+func (c *Core) SetCommitLimit(n int64) { c.commitLimit = n }
+
+// allocPhys takes a physical register off the free list (-2 when
+// exhausted; callers treat that as a rename stall).
+func (c *Core) allocPhys(value uint64, ready bool) int {
+	if len(c.free) == 0 {
+		return -2
+	}
+	p := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.prf[p] = physReg{value: value, ready: ready}
+	return p
+}
+
+func (c *Core) freePhys(p int) {
+	if p >= 0 {
+		c.free = append(c.free, p)
+	}
+}
+
+// initRAT builds a fresh rename table from the thread's architectural
+// state (used at startup and on full pipeline flushes).
+func (c *Core) initRAT(th *thread) {
+	for r := uops.ArchReg(0); r < uops.NumArchRegs; r++ {
+		v := uint64(0)
+		if r != uops.RegZero {
+			v = th.ctx.Regs[r]
+		}
+		p := c.allocPhys(v, true)
+		if p < 0 {
+			panic("ooo: out of physical registers during RAT init")
+		}
+		th.rat[r] = p
+	}
+}
+
+// releaseRAT returns all RAT-mapped physical registers to the free
+// list (precedes initRAT during a full flush).
+func (c *Core) releaseRAT(th *thread) {
+	for r := uops.ArchReg(0); r < uops.NumArchRegs; r++ {
+		c.freePhys(th.rat[r])
+	}
+}
+
+// robIndex converts a logical offset from head to a physical slot.
+func (th *thread) robAt(offset int) *robEntry {
+	return &th.rob[(th.robHead+offset)%len(th.rob)]
+}
+
+// FullFlush squashes everything in flight for thread t and restarts
+// fetch at the context's RIP (used for exceptions, assists, interrupts
+// and SMC). The RAT is rebuilt from architectural state.
+func (c *Core) FullFlush(t int) {
+	th := c.threads[t]
+	// Roll back renames youngest-first so each physical register is
+	// freed exactly once (the RAT must not still point at a freed
+	// in-flight destination when releaseRAT runs).
+	for i := th.robCount - 1; i >= 0; i-- {
+		e := th.robAt(i)
+		if e.uop.Rd != uops.RegZero && e.rdPhys >= 0 {
+			th.rat[e.uop.Rd] = e.rdOld
+			c.freePhys(e.rdPhys)
+		}
+		if e.flPhys >= 0 {
+			th.rat[uops.RegFlags] = e.flOld
+			c.freePhys(e.flPhys)
+		}
+		e.valid = false
+	}
+	th.robCount = 0
+	th.robHead = 0
+	th.ldq = th.ldq[:0]
+	th.stq = th.stq[:0]
+	th.fetchQ = th.fetchQ[:0]
+	th.curBB = nil
+	th.fetchFault = uops.FaultNone
+	th.fetchRIP = th.ctx.RIP
+	th.fetchStallUntil = c.now + c.cfg.FrontendLatency
+	c.interlock.ReleaseAllFor(c.ID, t, 0)
+	// Remove this thread's entries from all issue queues.
+	for q := range c.iqs {
+		keep := c.iqs[q][:0]
+		for _, ent := range c.iqs[q] {
+			if ent.thread != t {
+				keep = append(keep, ent)
+			}
+		}
+		c.iqs[q] = keep
+	}
+	c.releaseRAT(th)
+	c.initRAT(th)
+	c.cFlushes.Inc()
+}
+
+// squashAfter removes all ROB entries of thread t strictly younger
+// than seq (branch misprediction / load mis-speculation recovery),
+// rolling the RAT back and restarting fetch at newRIP.
+func (c *Core) squashAfter(t int, seq uint64, newRIP uint64) {
+	th := c.threads[t]
+	// Walk from tail (youngest) toward head, undoing renames.
+	for th.robCount > 0 {
+		e := th.robAt(th.robCount - 1)
+		if e.seq <= seq {
+			break
+		}
+		if e.uop.Rd != uops.RegZero && e.rdPhys >= 0 {
+			th.rat[e.uop.Rd] = e.rdOld
+			c.freePhys(e.rdPhys)
+		}
+		if e.flPhys >= 0 {
+			th.rat[uops.RegFlags] = e.flOld
+			c.freePhys(e.flPhys)
+		}
+		if e.lockHeld {
+			c.interlock.Release(e.lockLine, c.ID, t, insnSeqOf(e))
+		}
+		e.valid = false
+		th.robCount--
+	}
+	// Trim LDQ/STQ.
+	trim := func(q []int) []int {
+		for len(q) > 0 {
+			idx := q[len(q)-1]
+			if th.rob[idx].valid && th.rob[idx].seq <= seq {
+				break
+			}
+			q = q[:len(q)-1]
+		}
+		return q
+	}
+	th.ldq = trim(th.ldq)
+	th.stq = trim(th.stq)
+	// Remove squashed entries from issue queues.
+	for q := range c.iqs {
+		keep := c.iqs[q][:0]
+		for _, ent := range c.iqs[q] {
+			if ent.thread == t && ent.seq > seq {
+				continue
+			}
+			keep = append(keep, ent)
+		}
+		c.iqs[q] = keep
+	}
+	th.fetchQ = th.fetchQ[:0]
+	th.curBB = nil
+	th.fetchFault = uops.FaultNone
+	th.fetchRIP = newRIP
+	th.fetchStallUntil = c.now + c.cfg.FrontendLatency
+}
+
+// insnSeqOf returns the sequence number identifying the x86 instruction
+// owning e for interlock purposes (the SOM uop's seq is unknown here,
+// so the RIP-stamped seq of the entry itself is used consistently at
+// acquire and release time via the ld.acq entry).
+func insnSeqOf(e *robEntry) uint64 { return e.seq }
+
+// FlushTLB implements vm.CoreHooks: a serializing TLB flush clears
+// every hardware thread's TLBs (conservative for shared-core SMT).
+func (c *Core) FlushTLB() {
+	for _, th := range c.threads {
+		th.dtlb.Flush()
+		th.itlb.Flush()
+	}
+}
+
+// FlushTLBPage implements vm.CoreHooks.
+func (c *Core) FlushTLBPage(va uint64) {
+	for _, th := range c.threads {
+		th.dtlb.FlushPage(va >> 12)
+		th.itlb.FlushPage(va >> 12)
+	}
+}
+
+// Idle reports whether every thread is halted with nothing in flight.
+func (c *Core) Idle() bool {
+	for _, th := range c.threads {
+		if th.ctx.Running || th.robCount > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycle advances the core by one clock (the machine scheduler calls
+// each core in round-robin order, paper §2.2). Stage order is reversed
+// (commit first) so same-cycle structural hazards resolve like
+// latched hardware.
+func (c *Core) Cycle(now uint64) error {
+	c.now = now
+	c.cCycles.Inc()
+	for b := range c.bankUse {
+		delete(c.bankUse, b)
+	}
+	if err := c.commit(); err != nil {
+		return err
+	}
+	c.writeback()
+	c.issue()
+	c.applyRedirects()
+	c.rename()
+	c.fetch()
+	return nil
+}
+
+// redirect is a deferred pipeline recovery: squash everything with
+// seq > afterSeq on thread and refetch from rip.
+type redirect struct {
+	thread   int
+	afterSeq uint64
+	rip      uint64
+}

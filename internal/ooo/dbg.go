@@ -1,0 +1,14 @@
+package ooo
+
+// debugHook, when set via SetDebugHook, receives internal diagnostic
+// trace lines (fault deliveries, fetch faults). Used by tests.
+var debugHook func(format string, args ...interface{})
+
+// SetDebugHook installs (or clears, with nil) the diagnostic trace sink.
+func SetDebugHook(f func(format string, args ...interface{})) { debugHook = f }
+
+func dbgf(format string, args ...interface{}) {
+	if debugHook != nil {
+		debugHook(format, args...)
+	}
+}

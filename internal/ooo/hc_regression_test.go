@@ -1,0 +1,82 @@
+package ooo
+
+import (
+	"testing"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/mem"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+	"ptlsim/internal/x86"
+)
+
+// crSwitchSys switches CR3 between two equivalent address spaces on
+// each hypercall.
+type crSwitchSys struct {
+	testSys
+	cr3s []uint64
+	n    int
+}
+
+func (s *crSwitchSys) Hypercall(c *vm.Context) uops.Fault {
+	s.n++
+	c.CR3 = s.cr3s[s.n%2]
+	c.FlushGen++
+	return uops.FaultNone
+}
+
+// Regression: stack traffic straddling a CR3-switching hypercall must
+// survive the serializing flush (stale-TLB / stale-RAT hazards).
+func TestHypercallPushPopAcrossCR3Switch(t *testing.T) {
+	code := asmProg(t, func(a *x86.Assembler) {
+		a.Mov(x86.R(x86.RBX), x86.I(42))
+		a.Mov(x86.R(x86.RCX), x86.I(50))
+		top := a.Mark()
+		a.Push(x86.R(x86.RBX))
+		a.Hypercall()
+		a.Pop(x86.R(x86.RBX))
+		a.Cmp(x86.R(x86.RBX), x86.I(42))
+		bad := a.NewLabel()
+		a.Jcc(x86.CondNE, bad)
+		a.Dec(x86.R(x86.RCX))
+		a.Cmp(x86.R(x86.RCX), x86.I(0))
+		a.Jcc(x86.CondNE, top)
+		a.Mov(x86.R(x86.R9), x86.I(1)) // success
+		a.Ptlcall()
+		a.Bind(bad)
+		a.Mov(x86.R(x86.R9), x86.I(2)) // corrupted
+		a.Ptlcall()
+	})
+	g := buildGuest(t, code, 1)
+	ctx := g.newCtx(0)
+	ctx.Kernel = true
+	// Second address space mapping the same pages.
+	as2 := mem.NewAddressSpace(g.pm)
+	// Map same VAs to same MFNs by walking the original space.
+	for _, va := range []uint64{codeVA, codeVA + 0x1000, dataVA, stackVA} {
+		w := mem.Walk(g.pm, ctx.CR3, va, mem.Access{})
+		if w.Fault != uops.FaultNone {
+			continue
+		}
+		if err := as2.Map(va, w.MFN, mem.PTEWritable|mem.PTEUser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := &crSwitchSys{cr3s: []uint64{ctx.CR3, as2.CR3()}}
+	sys.testSys = *newTestSys(1)
+	tree := stats.NewTree()
+	bbc := bbcache.New(4096, tree, "bb")
+	core := New(0, K8Config(), []*vm.Context{ctx}, sys, bbc, tree, "ooo")
+	for cyc := uint64(0); cyc < 500_000 && !sys.stopped[0]; cyc++ {
+		if err := core.Cycle(cyc); err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+	}
+	if !sys.stopped[0] {
+		t.Fatalf("did not finish rip=%#x", ctx.RIP)
+	}
+	if ctx.Regs[uops.RegR9] != 1 {
+		t.Fatalf("push/pop across hypercall corrupted rbx (r9=%d rbx=%#x)", ctx.Regs[uops.RegR9], ctx.Regs[uops.RegRBX])
+	}
+}

@@ -1,0 +1,58 @@
+package ooo
+
+// Interlock is the interlock controller shared by all SMT threads in a
+// core and (via the memory hierarchy) all cores in a machine: x86
+// LOCK-prefixed instructions acquire a lock on the physical cache line
+// at their ld.acq uop and release it when the owning instruction
+// commits (or is squashed). Competing accesses replay until they can
+// acquire the lock — the paper's §4.4 semantics, matching Pentium 4
+// hyperthreading behavior.
+type Interlock struct {
+	owners map[uint64]lockOwner // line address -> owner
+}
+
+type lockOwner struct {
+	core, thread int
+	seq          uint64 // owning instruction's sequence number
+}
+
+// NewInterlock creates an empty controller.
+func NewInterlock() *Interlock {
+	return &Interlock{owners: make(map[uint64]lockOwner)}
+}
+
+// Acquire attempts to lock line for (core, thread, seq). It succeeds if
+// the line is free or already held by the same instruction. Deadlock
+// freedom: a younger instruction can never block an older one of the
+// same thread because each thread holds at most one interlock at a
+// time and locks are acquired at a single uop.
+func (il *Interlock) Acquire(line uint64, core, thread int, seq uint64) bool {
+	if o, held := il.owners[line]; held {
+		return o.core == core && o.thread == thread && o.seq == seq
+	}
+	il.owners[line] = lockOwner{core: core, thread: thread, seq: seq}
+	return true
+}
+
+// Release unlocks line if (core, thread, seq) owns it.
+func (il *Interlock) Release(line uint64, core, thread int, seq uint64) {
+	if o, held := il.owners[line]; held && o.core == core && o.thread == thread && o.seq == seq {
+		delete(il.owners, line)
+	}
+}
+
+// ReleaseAllFor releases every lock held by instructions of (core,
+// thread) with sequence >= minSeq — used when squashing.
+func (il *Interlock) ReleaseAllFor(core, thread int, minSeq uint64) {
+	for line, o := range il.owners {
+		if o.core == core && o.thread == thread && o.seq >= minSeq {
+			delete(il.owners, line)
+		}
+	}
+}
+
+// Held reports whether line is locked (for tests).
+func (il *Interlock) Held(line uint64) bool {
+	_, ok := il.owners[line]
+	return ok
+}

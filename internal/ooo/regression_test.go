@@ -1,0 +1,92 @@
+package ooo
+
+import (
+	"testing"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+	"ptlsim/internal/x86"
+)
+
+// Regression: a page-aligned store must not be misclassified as
+// page-crossing (a uint8 truncation of the page remainder once sent
+// store data to physical page zero, corrupting the PML4).
+func TestPageAlignedStoreRegression(t *testing.T) {
+	code := asmProg(t, func(a *x86.Assembler) {
+		a.Mov(x86.R(x86.RDI), x86.I(dataVA)) // page-aligned
+		a.Mov(x86.M(x86.RDI, 0), x86.I(100))
+		a.Mov(x86.R(x86.RBX), x86.I(1))
+		a.LockXadd(x86.M(x86.RDI, 0), x86.R(x86.RBX))
+		a.Mov(x86.R(x86.R8), x86.M(x86.RDI, 0))
+		a.Ptlcall()
+	})
+	got, _, _ := runOOO(t, code, DefaultConfig(), 100000)
+	if got.Regs[uops.RegR8] != 101 {
+		t.Fatalf("r8 = %d, want 101", got.Regs[uops.RegR8])
+	}
+}
+
+// Regression: repeated full flushes (an interrupt storm) must neither
+// leak nor double-free physical registers. A double free once let two
+// renames share one register, wedging the pipeline after delivery.
+func TestInterruptStormPhysRegBalance(t *testing.T) {
+	const handlerVA = codeVA + 0x800
+	code := asmProg(t, func(a *x86.Assembler) {
+		a.Mov(x86.R(x86.RBX), x86.I(0))
+		a.While(func() x86.Cond {
+			a.Cmp(x86.R(x86.R15), x86.I(40)) // handler increments R15
+			return x86.CondL
+		}, func() {
+			a.Inc(x86.R(x86.RBX))
+		})
+		a.Ptlcall()
+	})
+	h := x86.NewAssembler(handlerVA)
+	h.Pop(x86.R(x86.R10))
+	h.Pop(x86.R(x86.R11))
+	h.Inc(x86.R(x86.R15))
+	h.Iretq()
+	handler, err := h.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGuest(t, code, 1)
+	ctx := g.newCtx(0)
+	if f := ctx.WriteVirtBytes(handlerVA, handler); f != uops.FaultNone {
+		t.Fatal(f)
+	}
+	ctx.TrapEntry = handlerVA
+	ctx.KernelRSP = stackTop - 0x800
+	ctx.SetFlags(ctx.Flags() | x86.FlagIF)
+	tree := stats.NewTree()
+	bbc := bbcache.New(4096, tree, "bb")
+	core := New(0, DefaultConfig(), []*vm.Context{ctx}, g.sys, bbc, tree, "ooo")
+	for cyc := uint64(0); cyc < 1_000_000 && !g.sys.stopped[0]; cyc++ {
+		// Fire an event every 500 cycles while in user mode.
+		if cyc%500 == 0 && !ctx.Kernel {
+			g.sys.events[0] = true
+		}
+		if err := core.Cycle(cyc); err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+		if g.sys.events[0] && ctx.Kernel {
+			g.sys.events[0] = false
+		}
+	}
+	if !g.sys.stopped[0] {
+		t.Fatalf("wedged: rip=%#x r15=%d flushes=%d", ctx.RIP,
+			ctx.Regs[uops.RegR15], tree.Lookup("ooo.pipeline_flushes").Value())
+	}
+	if got := tree.Lookup("ooo.interrupts").Value(); got < 40 {
+		t.Fatalf("interrupts delivered = %d, want >= 40", got)
+	}
+	// Physical register accounting: everything in flight was flushed
+	// at the final assist, so free + RAT-resident must equal the total.
+	inRAT := int(uops.NumArchRegs)
+	if len(core.free)+inRAT != core.cfg.PhysRegs {
+		t.Fatalf("phys reg leak: free=%d + rat=%d != %d",
+			len(core.free), inRAT, core.cfg.PhysRegs)
+	}
+}

@@ -1,0 +1,417 @@
+// Package seqcore implements the in-order sequential core: a fast
+// functional uop interpreter with no timing model. It serves three
+// roles from the paper: the rapid-testing/microcode-debugging core, the
+// reference half of co-simulation (PTLsim's "native mode" stands in for
+// host execution, which a simulator written in Go cannot hand off to
+// real silicon), and the execution engine behind the hardware-counter
+// reference model.
+package seqcore
+
+import (
+	"fmt"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/decode"
+	"ptlsim/internal/mem"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// StepKind describes what a Step call did.
+type StepKind int
+
+// Step outcomes.
+const (
+	StepRan  StepKind = iota // executed at least one instruction
+	StepIdle                 // VCPU halted with no pending event
+)
+
+// pendingStore is a store buffered until its instruction commits.
+type pendingStore struct {
+	va, pa uint64
+	val    uint64
+	size   uint8
+}
+
+// regUndo records a register overwrite for intra-instruction rollback.
+type regUndo struct {
+	reg uops.ArchReg
+	old uint64
+}
+
+// Observer receives the architectural event stream of the functional
+// core: the hardware-counter reference model (internal/k8) feeds these
+// events through silicon-like cache/TLB/predictor structures to emulate
+// what real performance counters would report.
+type Observer interface {
+	// OnInsn fires at each committed x86 instruction; uopCount is the
+	// number of uops the instruction expanded to.
+	OnInsn(rip uint64, kernel bool, uopCount int)
+	// OnLoad/OnStore fire per data access with virtual and physical
+	// addresses.
+	OnLoad(va, pa uint64, size uint8)
+	OnStore(va, pa uint64, size uint8)
+	// OnBranch fires at each branch with its outcome.
+	OnBranch(rip uint64, taken bool, target uint64, kind uops.BranchKind)
+	// OnFetchBlock fires once per basic block entered, with the
+	// physical address of its first byte.
+	OnFetchBlock(rip, pa uint64)
+	// OnAddressSpaceSwitch fires when CR3 changed (context switch):
+	// untagged TLBs flush here, exactly as on real silicon.
+	OnAddressSpaceSwitch(cr3 uint64)
+}
+
+// Core is one sequential functional core bound to a VCPU context.
+type Core struct {
+	Ctx *vm.Context
+	Sys vm.System
+
+	// Obs, when non-nil, receives the event stream.
+	Obs    Observer
+	obsCR3 uint64
+
+	bb *bbcache.Cache
+
+	// Per-instruction atomicity buffers.
+	stores []pendingStore
+	undo   []regUndo
+
+	// MaxInsnsPerStep bounds one Step call (0 = one basic block).
+	MaxInsnsPerStep int
+
+	// Statistics.
+	insns, uopsC, branches, takenBranches *stats.Counter
+	loads, storesC, smcFlushes            *stats.Counter
+}
+
+// New creates a sequential core. The basic block cache may be shared
+// with other cores of the same domain.
+func New(ctx *vm.Context, sys vm.System, bb *bbcache.Cache, tree *stats.Tree, prefix string) *Core {
+	return &Core{
+		Ctx: ctx, Sys: sys, bb: bb,
+		insns:         tree.Counter(prefix + ".insns"),
+		uopsC:         tree.Counter(prefix + ".uops"),
+		branches:      tree.Counter(prefix + ".branches"),
+		takenBranches: tree.Counter(prefix + ".taken_branches"),
+		loads:         tree.Counter(prefix + ".loads"),
+		storesC:       tree.Counter(prefix + ".stores"),
+		smcFlushes:    tree.Counter(prefix + ".smc_flushes"),
+	}
+}
+
+// Insns returns the number of x86 instructions committed by this core.
+func (c *Core) Insns() int64 { return c.insns.Value() }
+
+// Uops returns the number of uops executed.
+func (c *Core) Uops() int64 { return c.uopsC.Value() }
+
+func (c *Core) readReg(r uops.ArchReg) uint64 {
+	if r == uops.RegZero {
+		return 0
+	}
+	return c.Ctx.Regs[r]
+}
+
+func (c *Core) writeReg(r uops.ArchReg, v uint64) {
+	if r == uops.RegZero {
+		return
+	}
+	c.undo = append(c.undo, regUndo{reg: r, old: c.Ctx.Regs[r]})
+	c.Ctx.Regs[r] = v
+}
+
+// rollback undoes the current instruction's register writes and
+// discards its buffered stores.
+func (c *Core) rollback() {
+	for i := len(c.undo) - 1; i >= 0; i-- {
+		c.Ctx.Regs[c.undo[i].reg] = c.undo[i].old
+	}
+	c.undo = c.undo[:0]
+	c.stores = c.stores[:0]
+}
+
+// commitStores applies the instruction's buffered stores and performs
+// the SMC store-side check.
+func (c *Core) commitStores() {
+	for _, s := range c.stores {
+		// The page(s) were translated at execute time; write physically.
+		first := mem.PageSize - s.pa&mem.PageMask
+		if first >= uint64(s.size) {
+			_ = c.Ctx.M.PM.Write(s.pa, s.val, s.size)
+		} else {
+			f := uint8(first)
+			_ = c.Ctx.M.PM.Write(s.pa, s.val&uops.Mask(f), f)
+			// Page-crossing store: retranslate the second half (same
+			// translation that succeeded at execute time).
+			pa2, fault := c.Ctx.Translate(s.va+first, true, false)
+			if fault == uops.FaultNone {
+				_ = c.Ctx.M.PM.Write(pa2, s.val>>(8*f), s.size-f)
+			}
+		}
+		mfn := s.pa >> mem.PageShift
+		if c.bb != nil && c.bb.IsCodePage(mfn) {
+			c.bb.InvalidatePage(mfn)
+			c.smcFlushes.Inc()
+		}
+	}
+	c.stores = c.stores[:0]
+	c.undo = c.undo[:0]
+}
+
+// fetchBB obtains the translated basic block at the context's RIP.
+func (c *Core) fetchBB() (*decode.BasicBlock, uops.Fault) {
+	ctx := c.Ctx
+	pa, fault := ctx.Translate(ctx.RIP, false, true)
+	if fault != uops.FaultNone {
+		return nil, fault
+	}
+	if c.Obs != nil {
+		c.Obs.OnFetchBlock(ctx.RIP, pa)
+	}
+	key := bbcache.Key{RIP: ctx.RIP, MFN: pa >> mem.PageShift, Kernel: ctx.Kernel}
+	if c.bb != nil {
+		if bb, ok := c.bb.Lookup(key); ok {
+			return bb, uops.FaultNone
+		}
+	}
+	bb, fault := decode.BuildBB(ctx.FetchCode, ctx.RIP)
+	if fault != uops.FaultNone {
+		return nil, fault
+	}
+	if c.bb != nil {
+		// Track the ending page for page-crossing blocks.
+		if endPA, f := ctx.Translate(ctx.RIP+bb.X86Len-1, false, true); f == uops.FaultNone {
+			if endMFN := endPA >> mem.PageShift; endMFN != key.MFN {
+				key.MFN2 = endMFN
+			}
+		}
+		c.bb.Insert(key, bb)
+	}
+	return bb, uops.FaultNone
+}
+
+// deliverFault routes a uop fault through the guest's trap entry.
+func (c *Core) deliverFault(f uops.Fault, rip uint64) error {
+	c.rollback()
+	c.Ctx.RIP = rip
+	vec, errInfo := vm.FaultVector(c.Ctx, f)
+	return c.Ctx.DeliverException(vec, errInfo, rip)
+}
+
+// Step executes up to one basic block (or MaxInsnsPerStep x86
+// instructions, if set). Event upcalls are delivered at instruction
+// boundaries before the block starts.
+func (c *Core) Step() (StepKind, error) {
+	ctx := c.Ctx
+	if !ctx.Running {
+		if c.Sys.EventPending(ctx) && ctx.IF() {
+			ctx.Running = true
+		} else {
+			return StepIdle, nil
+		}
+	}
+	if ctx.IF() && c.Sys.EventPending(ctx) {
+		if err := ctx.DeliverEvent(); err != nil {
+			return StepRan, err
+		}
+	}
+
+	if c.Obs != nil && ctx.CR3 != c.obsCR3 {
+		c.obsCR3 = ctx.CR3
+		c.Obs.OnAddressSpaceSwitch(ctx.CR3)
+	}
+
+	bb, fault := c.fetchBB()
+	if fault != uops.FaultNone {
+		if err := c.deliverFault(fault, ctx.RIP); err != nil {
+			return StepRan, err
+		}
+		return StepRan, nil
+	}
+
+	insnsThisStep := 0
+	i := 0
+	for i < len(bb.Uops) {
+		redirect, consumed, err := c.execInsn(bb, i)
+		if err != nil {
+			return StepRan, err
+		}
+		// Pseudo-instructions (the REP entry check, NoCount) must not
+		// end a bounded step: they leave RIP unchanged, so breaking
+		// here would re-execute them forever.
+		if !bb.Uops[i+consumed-1].NoCount {
+			insnsThisStep++
+		}
+		if redirect {
+			return StepRan, nil
+		}
+		i += consumed
+		if c.MaxInsnsPerStep > 0 && insnsThisStep >= c.MaxInsnsPerStep {
+			if i < len(bb.Uops) {
+				ctx.RIP = bb.Uops[i].RIP
+			} else {
+				ctx.RIP = bb.FallThrough()
+			}
+			return StepRan, nil
+		}
+	}
+	ctx.RIP = bb.FallThrough()
+	return StepRan, nil
+}
+
+// execInsn executes one x86 instruction's uop group starting at index
+// start. It returns redirect=true when control left the basic block
+// (branch taken elsewhere, assist, or exception).
+func (c *Core) execInsn(bb *decode.BasicBlock, start int) (redirect bool, consumed int, err error) {
+	ctx := c.Ctx
+	n := 0
+	for start+n < len(bb.Uops) {
+		u := &bb.Uops[start+n]
+		n++
+
+		if u.Op == uops.OpAssist {
+			fault := vm.ExecAssist(ctx, u, c.Sys, vm.NopCoreHooks{})
+			c.uopsC.Inc()
+			if fault != uops.FaultNone {
+				if err := c.deliverFault(fault, u.RIP); err != nil {
+					return true, n, err
+				}
+				return true, n, nil
+			}
+			if !u.NoCount {
+				c.insns.Inc()
+				if c.Obs != nil {
+					c.Obs.OnInsn(u.RIP, ctx.Kernel, 1)
+				}
+			}
+			return true, n, nil
+		}
+
+		a := c.readReg(u.Ra)
+		var b uint64
+		if u.BImm {
+			b = uint64(u.Imm)
+		} else {
+			b = c.readReg(u.Rb)
+		}
+		cv := c.readReg(u.Rc)
+
+		res, flagsOut, fault := uops.Exec(u, a, b, cv)
+		if fault != uops.FaultNone {
+			if err := c.deliverFault(fault, u.RIP); err != nil {
+				return true, n, err
+			}
+			return true, n, nil
+		}
+
+		switch {
+		case u.IsLoad():
+			va := res
+			val, f := c.loadValue(va, u.MemSize)
+			if f != uops.FaultNone {
+				if err := c.deliverFault(f, u.RIP); err != nil {
+					return true, n, err
+				}
+				return true, n, nil
+			}
+			c.writeReg(u.Rd, val)
+			c.loads.Inc()
+			if c.Obs != nil {
+				if pa, f := ctx.Translate(va, false, false); f == uops.FaultNone {
+					c.Obs.OnLoad(va, pa, u.MemSize)
+				}
+			}
+		case u.IsStore():
+			va := res
+			pa, f := ctx.Translate(va, true, false)
+			if f != uops.FaultNone {
+				if err := c.deliverFault(f, u.RIP); err != nil {
+					return true, n, err
+				}
+				return true, n, nil
+			}
+			// Probe a page-crossing store's second page now so the
+			// whole instruction faults before any byte is written.
+			if first := mem.PageSize - va&mem.PageMask; first < uint64(u.MemSize) {
+				if _, f := ctx.Translate(va+first, true, false); f != uops.FaultNone {
+					if err := c.deliverFault(f, u.RIP); err != nil {
+						return true, n, err
+					}
+					return true, n, nil
+				}
+			}
+			c.stores = append(c.stores, pendingStore{va: va, pa: pa, val: cv & uops.Mask(u.MemSize), size: u.MemSize})
+			c.storesC.Inc()
+			if c.Obs != nil {
+				c.Obs.OnStore(va, pa, u.MemSize)
+			}
+		case u.IsBranch():
+			c.branches.Inc()
+			if res != u.RIPNot {
+				c.takenBranches.Inc()
+			}
+			if c.Obs != nil {
+				c.Obs.OnBranch(u.RIP, res != u.RIPNot, res, u.Branch)
+			}
+			if u.SetFlags != 0 {
+				c.writeReg(uops.RegFlags, flagsOut)
+			}
+			// Branches end the instruction.
+			if !u.EOM {
+				return true, n, fmt.Errorf("seqcore: branch uop not at EOM at rip %#x", u.RIP)
+			}
+			c.commitStores()
+			c.uopsC.Add(int64(n))
+			if !u.NoCount {
+				c.insns.Inc()
+				if c.Obs != nil {
+					c.Obs.OnInsn(u.RIP, ctx.Kernel, n)
+				}
+			}
+			next := bb.FallThrough()
+			if start+n < len(bb.Uops) {
+				next = bb.Uops[start+n].RIP
+			}
+			ctx.RIP = res
+			if res != next {
+				return true, n, nil
+			}
+			return false, n, nil
+		default:
+			c.writeReg(u.Rd, res)
+			if u.SetFlags != 0 {
+				c.writeReg(uops.RegFlags, flagsOut)
+			}
+		}
+
+		if u.EOM {
+			c.commitStores()
+			c.uopsC.Add(int64(n))
+			if !u.NoCount {
+				c.insns.Inc()
+				if c.Obs != nil {
+					c.Obs.OnInsn(u.RIP, ctx.Kernel, n)
+				}
+			}
+			if start+n < len(bb.Uops) {
+				ctx.RIP = bb.Uops[start+n].RIP
+			} else {
+				ctx.RIP = bb.FallThrough()
+			}
+			return false, n, nil
+		}
+	}
+	return true, n, fmt.Errorf("seqcore: basic block at %#x ended without EOM", bb.RIP)
+}
+
+// loadValue reads memory for a load uop, forwarding from the current
+// instruction's buffered stores on an exact address/size match.
+func (c *Core) loadValue(va uint64, size uint8) (uint64, uops.Fault) {
+	for i := len(c.stores) - 1; i >= 0; i-- {
+		if c.stores[i].va == va && c.stores[i].size == size {
+			return c.stores[i].val, uops.FaultNone
+		}
+	}
+	return c.Ctx.ReadVirt(va, size)
+}

@@ -1,0 +1,152 @@
+// Package stats implements PTLsim's hierarchical statistics subsystem
+// (the engine behind the PTLstats tool): a tree of named counters that
+// can be snapshotted at any simulated cycle, subtracted to isolate an
+// interval, and collected into time-lapse series like the ones plotted
+// in Figures 2 and 3 of the paper.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a single int64 statistic registered in a Tree. Handles are
+// stable for the life of the Tree, so hot simulator paths hold a
+// *Counter and bump it directly instead of doing a map lookup per event.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set overwrites the counter value. Used for level-style statistics
+// (e.g. occupancy high-water marks) rather than event counts.
+func (c *Counter) Set(n int64) { c.v = n }
+
+// Value returns the current counter value.
+func (c *Counter) Value() int64 { return c.v }
+
+// Tree is a hierarchical collection of counters addressed by
+// dot-separated paths such as "ooo.commit.insns" or
+// "external.cycles_in_mode.kernel". The tree itself is not safe for
+// concurrent mutation of a single counter, matching the simulator's
+// single-threaded cycle loop; registration is guarded so helper
+// goroutines (e.g. the monitor) may register lazily.
+type Tree struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	order    []string
+}
+
+// NewTree returns an empty statistics tree.
+func NewTree() *Tree {
+	return &Tree{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered at path, creating it (at zero)
+// on first use.
+func (t *Tree) Counter(path string) *Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.counters[path]; ok {
+		return c
+	}
+	c := &Counter{}
+	t.counters[path] = c
+	t.order = append(t.order, path)
+	return c
+}
+
+// Lookup returns the counter at path, or nil if none is registered.
+func (t *Tree) Lookup(path string) *Counter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[path]
+}
+
+// Paths returns all registered counter paths in sorted order.
+func (t *Tree) Paths() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot is a point-in-time copy of every counter in a Tree, stamped
+// with the simulated cycle at which it was taken. Snapshots are plain
+// values: they remain valid after the tree continues to advance.
+type Snapshot struct {
+	Cycle  uint64
+	Values map[string]int64
+}
+
+// Snapshot captures the current value of every registered counter.
+func (t *Tree) Snapshot(cycle uint64) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{Cycle: cycle, Values: make(map[string]int64, len(t.counters))}
+	for p, c := range t.counters {
+		s.Values[p] = c.v
+	}
+	return s
+}
+
+// Get returns the value recorded for path, or zero if absent.
+func (s Snapshot) Get(path string) int64 { return s.Values[path] }
+
+// Sub returns the interval statistics b - a: each counter's growth
+// between snapshot a and the later snapshot b. This is the PTLstats
+// "subtract snapshots" operation used to strip warmup periods.
+func Sub(b, a Snapshot) Snapshot {
+	d := Snapshot{Cycle: b.Cycle - a.Cycle, Values: make(map[string]int64, len(b.Values))}
+	for p, v := range b.Values {
+		d.Values[p] = v - a.Values[p]
+	}
+	for p, v := range a.Values {
+		if _, ok := b.Values[p]; !ok {
+			d.Values[p] = -v
+		}
+	}
+	return d
+}
+
+// WriteTable renders the snapshot as an aligned two-column text table,
+// one row per counter, sorted by path. Rows matching none of the
+// prefixes are skipped; an empty prefix list keeps everything.
+func (s Snapshot) WriteTable(w io.Writer, prefixes ...string) error {
+	paths := make([]string, 0, len(s.Values))
+	for p := range s.Values {
+		if len(prefixes) == 0 {
+			paths = append(paths, p)
+			continue
+		}
+		for _, pre := range prefixes {
+			if strings.HasPrefix(p, pre) {
+				paths = append(paths, p)
+				break
+			}
+		}
+	}
+	sort.Strings(paths)
+	width := 0
+	for _, p := range paths {
+		if len(p) > width {
+			width = len(p)
+		}
+	}
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%-*s %15d\n", width, p, s.Values[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

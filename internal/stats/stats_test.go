@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	tr := NewTree()
+	c := tr.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if tr.Counter("a.b") != c {
+		t.Fatal("Counter should return the same handle for the same path")
+	}
+	c.Set(7)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("after Set, Value = %d, want 7", got)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	tr := NewTree()
+	if tr.Lookup("nope") != nil {
+		t.Fatal("Lookup of unregistered path should be nil")
+	}
+	tr.Counter("yes")
+	if tr.Lookup("yes") == nil {
+		t.Fatal("Lookup of registered path should be non-nil")
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	tr := NewTree()
+	tr.Counter("z")
+	tr.Counter("a")
+	tr.Counter("m")
+	got := tr.Paths()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Paths = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Paths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tr := NewTree()
+	c := tr.Counter("x")
+	c.Add(5)
+	s := tr.Snapshot(100)
+	c.Add(5)
+	if s.Get("x") != 5 {
+		t.Fatalf("snapshot mutated: got %d, want 5", s.Get("x"))
+	}
+	if s.Cycle != 100 {
+		t.Fatalf("Cycle = %d, want 100", s.Cycle)
+	}
+}
+
+func TestSubBasic(t *testing.T) {
+	tr := NewTree()
+	c := tr.Counter("x")
+	c.Add(10)
+	a := tr.Snapshot(10)
+	c.Add(32)
+	b := tr.Snapshot(50)
+	d := Sub(b, a)
+	if d.Get("x") != 32 {
+		t.Fatalf("delta = %d, want 32", d.Get("x"))
+	}
+	if d.Cycle != 40 {
+		t.Fatalf("delta cycle = %d, want 40", d.Cycle)
+	}
+}
+
+func TestSubMissingKeys(t *testing.T) {
+	a := Snapshot{Cycle: 0, Values: map[string]int64{"old": 3}}
+	b := Snapshot{Cycle: 10, Values: map[string]int64{"new": 7}}
+	d := Sub(b, a)
+	if d.Get("new") != 7 || d.Get("old") != -3 {
+		t.Fatalf("delta = %v", d.Values)
+	}
+}
+
+// Snapshot subtraction must compose: (s2-s1)+(s1-s0) == s2-s0 for every
+// counter. This is the invariant PTLstats relies on when stripping
+// warmup intervals.
+func TestSnapshotAlgebraProperty(t *testing.T) {
+	f := func(v0, d1, d2 int32) bool {
+		tr := NewTree()
+		c := tr.Counter("k")
+		c.Add(int64(v0))
+		s0 := tr.Snapshot(0)
+		c.Add(int64(d1))
+		s1 := tr.Snapshot(1)
+		c.Add(int64(d2))
+		s2 := tr.Snapshot(2)
+		lhs := Sub(s2, s1).Get("k") + Sub(s1, s0).Get("k")
+		rhs := Sub(s2, s0).Get("k")
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTableFilters(t *testing.T) {
+	tr := NewTree()
+	tr.Counter("ooo.commit").Add(1)
+	tr.Counter("cache.l1d.miss").Add(2)
+	var buf bytes.Buffer
+	if err := tr.Snapshot(0).WriteTable(&buf, "cache."); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cache.l1d.miss") || strings.Contains(out, "ooo.commit") {
+		t.Fatalf("filtered table wrong:\n%s", out)
+	}
+}
+
+func TestCollectorIntervals(t *testing.T) {
+	tr := NewTree()
+	c := tr.Counter("ev")
+	col := NewCollector(tr, 100)
+	for cyc := uint64(1); cyc <= 350; cyc++ {
+		c.Inc()
+		col.Tick(cyc)
+	}
+	s := col.Finish(350)
+	if len(s.Snapshots) != 4 {
+		t.Fatalf("snapshots = %d, want 4 (100,200,300,350)", len(s.Snapshots))
+	}
+	if s.Snapshots[0].Cycle != 100 || s.Snapshots[3].Cycle != 350 {
+		t.Fatalf("cycles = %d..%d", s.Snapshots[0].Cycle, s.Snapshots[3].Cycle)
+	}
+	deltas := s.Deltas()
+	if deltas[0].Get("ev") != 100 || deltas[1].Get("ev") != 100 || deltas[3].Get("ev") != 50 {
+		t.Fatalf("deltas wrong: %d %d %d", deltas[0].Get("ev"), deltas[1].Get("ev"), deltas[3].Get("ev"))
+	}
+}
+
+func TestCollectorSkippedCycles(t *testing.T) {
+	tr := NewTree()
+	col := NewCollector(tr, 10)
+	col.Tick(35) // jumped over 3 boundaries at once
+	s := col.Finish(35)
+	if len(s.Snapshots) != 4 {
+		t.Fatalf("snapshots = %d, want 4", len(s.Snapshots))
+	}
+}
+
+func TestCollectorFinishNoDuplicate(t *testing.T) {
+	tr := NewTree()
+	col := NewCollector(tr, 10)
+	col.Tick(20)
+	s := col.Finish(20)
+	if len(s.Snapshots) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(s.Snapshots))
+	}
+}
+
+func TestRateColumn(t *testing.T) {
+	col := Rate("miss%", "miss", "acc")
+	d := Snapshot{Values: map[string]int64{"miss": 3, "acc": 60}}
+	if got := col.Value(d); got != 5 {
+		t.Fatalf("rate = %v, want 5", got)
+	}
+	empty := Snapshot{Values: map[string]int64{}}
+	if got := col.Value(empty); got != 0 {
+		t.Fatalf("rate on empty = %v, want 0", got)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	tr := NewTree()
+	m := tr.Counter("miss")
+	a := tr.Counter("acc")
+	col := NewCollector(tr, 100)
+	for cyc := uint64(1); cyc <= 200; cyc++ {
+		a.Inc()
+		if cyc%10 == 0 {
+			m.Inc()
+		}
+		col.Tick(cyc)
+	}
+	s := col.Finish(200)
+	var buf bytes.Buffer
+	if err := s.WriteSeries(&buf, Rate("miss%", "miss", "acc")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10.000") {
+		t.Fatalf("series output missing 10%% rate:\n%s", buf.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("occ", 4, 10)
+	for _, v := range []int64{0, 5, 10, 15, 39, 40, 1000, -2} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, -2 (clamped)
+		t.Fatalf("bucket0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 || h.Bucket(3) != 1 {
+		t.Fatalf("bucket1 = %d bucket3 = %d", h.Bucket(1), h.Bucket(3))
+	}
+	if h.Bucket(4) != 2 { // overflow: 40, 1000
+		t.Fatalf("overflow = %d, want 2", h.Bucket(4))
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "8 samples") {
+		t.Fatalf("histogram render:\n%s", buf.String())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram("m", 2, 1)
+	if h.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", h.Mean())
+	}
+}

@@ -1,0 +1,195 @@
+// Package tlb models translation lookaside buffers: the single-level
+// TLBs used by the simulated core (the paper's PTLsim models a 32-entry
+// L1 DTLB/ITLB), and the richer two-level hierarchy with a PDE cache
+// found in real K8 silicon (32 L1 entries, 1024 L2 entries 4-way, and a
+// 24-entry page directory entry cache) — the difference behind the
+// DTLB-miss gap in Table 1.
+package tlb
+
+// Entry is one TLB entry: a virtual page number mapped to a machine
+// frame number with its leaf PTE permission bits.
+type Entry struct {
+	VPN   uint64
+	MFN   uint64
+	Flags uint64 // leaf PTE flag bits (present/writable/user/NX/dirty)
+}
+
+type way struct {
+	entry Entry
+	valid bool
+	lru   uint64 // last-use stamp
+}
+
+// TLB is a set-associative TLB with true-LRU replacement.
+type TLB struct {
+	sets    [][]way
+	setMask uint64
+	stamp   uint64
+}
+
+// New creates a TLB with the given total entry count and associativity.
+// entries must be a multiple of assoc and entries/assoc a power of two.
+func New(entries, assoc int) *TLB {
+	if assoc <= 0 {
+		assoc = 1
+	}
+	nsets := entries / assoc
+	if nsets <= 0 {
+		nsets = 1
+	}
+	if nsets&(nsets-1) != 0 {
+		panic("tlb: set count must be a power of two")
+	}
+	t := &TLB{sets: make([][]way, nsets), setMask: uint64(nsets - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]way, assoc)
+	}
+	return t
+}
+
+// Lookup probes the TLB for vpn, updating LRU state on a hit.
+func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].entry.VPN == vpn {
+			t.stamp++
+			set[i].lru = t.stamp
+			return set[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert fills the TLB with e, evicting the LRU way of its set. If the
+// VPN is already present its entry is refreshed in place.
+func (t *TLB) Insert(e Entry) {
+	set := t.sets[e.VPN&t.setMask]
+	t.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].entry.VPN == e.VPN {
+			set[i].entry = e
+			set[i].lru = t.stamp
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = way{entry: e, valid: true, lru: t.stamp}
+}
+
+// Flush invalidates every entry (CR3 reload semantics; no global pages
+// or ASIDs are modeled, matching the paper's configuration).
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushPage invalidates the entry for vpn if present (invlpg).
+func (t *TLB) FlushPage(vpn uint64) {
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].entry.VPN == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+// Size returns the total number of entries.
+func (t *TLB) Size() int { return len(t.sets) * len(t.sets[0]) }
+
+// HierarchyResult reports which level of a two-level TLB hierarchy
+// satisfied a lookup.
+type HierarchyResult uint8
+
+// Hierarchy lookup outcomes.
+const (
+	HitL1 HierarchyResult = iota
+	HitL2
+	Miss
+)
+
+// Hierarchy is a two-level TLB with an optional PDE cache, modeling the
+// K8's translation machinery. A PDE-cache hit shortens the page walk
+// from four loads to one (only the final PT level must be read).
+type Hierarchy struct {
+	L1  *TLB
+	L2  *TLB // may be nil for a single-level configuration
+	PDE *TLB // page-directory-entry cache keyed by vpn>>9; may be nil
+}
+
+// NewHierarchy builds a two-level hierarchy. l2Entries or pdeEntries of
+// zero disable that structure.
+func NewHierarchy(l1Entries, l1Assoc, l2Entries, l2Assoc, pdeEntries int) *Hierarchy {
+	h := &Hierarchy{L1: New(l1Entries, l1Assoc)}
+	if l2Entries > 0 {
+		h.L2 = New(l2Entries, l2Assoc)
+	}
+	if pdeEntries > 0 {
+		h.PDE = New(pdeEntries, pdeEntries) // fully associative
+	}
+	return h
+}
+
+// Lookup probes L1 then L2; an L2 hit is promoted into L1.
+func (h *Hierarchy) Lookup(vpn uint64) (Entry, HierarchyResult) {
+	if e, ok := h.L1.Lookup(vpn); ok {
+		return e, HitL1
+	}
+	if h.L2 != nil {
+		if e, ok := h.L2.Lookup(vpn); ok {
+			h.L1.Insert(e)
+			return e, HitL2
+		}
+	}
+	return Entry{}, Miss
+}
+
+// Insert fills both levels after a walk, and records the PDE covering
+// the page in the PDE cache.
+func (h *Hierarchy) Insert(e Entry) {
+	h.L1.Insert(e)
+	if h.L2 != nil {
+		h.L2.Insert(e)
+	}
+	if h.PDE != nil {
+		h.PDE.Insert(Entry{VPN: e.VPN >> 9})
+	}
+}
+
+// PDEHit reports whether a walk for vpn could be shortened by the PDE
+// cache (the page's directory entry is cached).
+func (h *Hierarchy) PDEHit(vpn uint64) bool {
+	if h.PDE == nil {
+		return false
+	}
+	_, ok := h.PDE.Lookup(vpn >> 9)
+	return ok
+}
+
+// Flush invalidates all levels.
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	if h.L2 != nil {
+		h.L2.Flush()
+	}
+	if h.PDE != nil {
+		h.PDE.Flush()
+	}
+}
+
+// FlushPage invalidates one page in all levels.
+func (h *Hierarchy) FlushPage(vpn uint64) {
+	h.L1.FlushPage(vpn)
+	if h.L2 != nil {
+		h.L2.FlushPage(vpn)
+	}
+}

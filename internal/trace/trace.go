@@ -1,0 +1,171 @@
+// Package trace implements the interrupt and DMA trace record/inject
+// scheme of the paper's §4.2: device events (interrupts and the memory
+// a DMA transaction overwrote) are captured with their cycle-counter
+// timestamps during one run, then injected into a later simulation run
+// at exactly the recorded cycles — the technique used by commercial
+// simulation toolsuites to guarantee deterministic, repeatable
+// simulation of real external bus traffic.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ptlsim/internal/hv"
+)
+
+// Recorder captures a domain's device event stream. Attach with
+// dom.Sink = recorder.
+type Recorder struct {
+	events []hv.InjectedEvent
+	// pending DMA payload to pair with its event (the DMA write is
+	// recorded immediately before its completion interrupt).
+	pendingData  []byte
+	pendingBufVA uint64
+}
+
+var _ hv.TraceSink = (*Recorder)(nil)
+
+// RecordDMAWrite implements hv.TraceSink.
+func (r *Recorder) RecordDMAWrite(cycle uint64, vcpu int, bufVA uint64, data []byte) {
+	r.pendingBufVA = bufVA
+	r.pendingData = append([]byte(nil), data...)
+}
+
+// RecordDeviceEvent implements hv.TraceSink.
+func (r *Recorder) RecordDeviceEvent(cycle uint64, vcpu, ch int) {
+	ev := hv.InjectedEvent{Cycle: cycle, VCPU: vcpu, Chan: ch,
+		BufVA: r.pendingBufVA, Data: r.pendingData}
+	r.pendingData = nil
+	r.pendingBufVA = 0
+	r.events = append(r.events, ev)
+}
+
+// Trace returns the captured trace.
+func (r *Recorder) Trace() *Trace {
+	return &Trace{Events: append([]hv.InjectedEvent(nil), r.events...)}
+}
+
+// Trace is a recorded device event stream.
+type Trace struct {
+	Events []hv.InjectedEvent
+}
+
+// Injector replays a trace into a domain. Attach with
+// dom.Source = NewInjector(trace); the domain suppresses its own device
+// completions while a source is attached.
+type Injector struct {
+	events []hv.InjectedEvent
+	next   int
+}
+
+var _ hv.TraceSource = (*Injector)(nil)
+
+// NewInjector builds an injector over the trace (events must be in
+// cycle order, as the recorder produces them).
+func NewInjector(t *Trace) *Injector {
+	return &Injector{events: t.Events}
+}
+
+// NextBefore implements hv.TraceSource.
+func (in *Injector) NextBefore(cycle uint64) []hv.InjectedEvent {
+	start := in.next
+	for in.next < len(in.events) && in.events[in.next].Cycle <= cycle {
+		in.next++
+	}
+	return in.events[start:in.next]
+}
+
+// NextCycle implements hv.TraceSource.
+func (in *Injector) NextCycle() (uint64, bool) {
+	if in.next >= len(in.events) {
+		return 0, false
+	}
+	return in.events[in.next].Cycle, true
+}
+
+// Remaining reports how many events have not been injected yet.
+func (in *Injector) Remaining() int { return len(in.events) - in.next }
+
+// Serialization: a simple length-prefixed binary format so traces can
+// be written by cmd/ptlmon and replayed later.
+
+const magic = 0x50544C54 // "PTLT"
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	le := binary.LittleEndian
+	hdr := make([]byte, 12)
+	le.PutUint32(hdr, magic)
+	le.PutUint64(hdr[4:], uint64(len(t.Events)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		rec := make([]byte, 8+4+4+8+8)
+		le.PutUint64(rec[0:], ev.Cycle)
+		le.PutUint32(rec[8:], uint32(ev.VCPU))
+		le.PutUint32(rec[12:], uint32(ev.Chan))
+		le.PutUint64(rec[16:], ev.BufVA)
+		le.PutUint64(rec[24:], uint64(len(ev.Data)))
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+		if _, err := w.Write(ev.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (*Trace, error) {
+	le := binary.LittleEndian
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if le.Uint32(hdr) != magic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	n := le.Uint64(hdr[4:])
+	if n > 1<<24 {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	t := &Trace{Events: make([]hv.InjectedEvent, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		rec := make([]byte, 32)
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, err
+		}
+		ev := hv.InjectedEvent{
+			Cycle: le.Uint64(rec[0:]),
+			VCPU:  int(le.Uint32(rec[8:])),
+			Chan:  int(le.Uint32(rec[12:])),
+			BufVA: le.Uint64(rec[16:]),
+		}
+		dn := le.Uint64(rec[24:])
+		if dn > 1<<26 {
+			return nil, fmt.Errorf("trace: implausible DMA size %d", dn)
+		}
+		if dn > 0 {
+			ev.Data = make([]byte, dn)
+			if _, err := io.ReadFull(r, ev.Data); err != nil {
+				return nil, err
+			}
+		}
+		t.Events = append(t.Events, ev)
+	}
+	return t, nil
+}
+
+// RoundTrip is a convenience for tests: serialize and re-read.
+func (t *Trace) RoundTrip() (*Trace, error) {
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return nil, err
+	}
+	return Read(&buf)
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/hv"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/x86"
+)
+
+// diskGuest builds a domain whose single process asks the kernel...
+// the block device is kernel-level, so the "process" here is the
+// kernel boot path itself: we use a raw kernel-mode program as the
+// guest (no scheduler) that issues a block read, halts until the
+// completion event, checksums the DMA'd data and prints it.
+//
+// To keep this self-contained we construct the domain manually rather
+// than through the full kernel builder.
+func diskGuest(t *testing.T) (*hv.Domain, *stats.Tree) {
+	t.Helper()
+	tree := stats.NewTree()
+
+	// Reuse the kern builder for memory layout, but run our own
+	// kernel-mode program as the "kernel": program below at the boot
+	// entry performs the DMA dance directly.
+	a := x86.NewAssembler(kern.KernelTextVA)
+	// Block-read sectors 0..3 (2 KiB) into the kernel data area + 0x800.
+	kd := uint64(kern.KernelDataVA) // force non-constant conversion
+	bufVA := int64(kd + 0x800)
+	a.Mov(x86.R(x86.RDI), x86.I(0)) // sector
+	a.Mov(x86.R(x86.RSI), x86.I(bufVA))
+	a.Mov(x86.R(x86.RDX), x86.I(4)) // sectors
+	a.Mov(x86.R(x86.RAX), x86.I(hv.HcBlockRead))
+	a.Hypercall()
+	// Wait for the completion event: hlt, then ack.
+	wait := a.Mark()
+	a.Hlt()
+	a.Mov(x86.R(x86.RAX), x86.I(hv.HcEventAck))
+	a.Hypercall()
+	a.Test(x86.R(x86.RAX), x86.I(1<<hv.ChanBlock))
+	a.Jcc(x86.CondE, wait)
+	// Checksum the 2 KiB buffer.
+	a.Mov(x86.R(x86.RBX), x86.I(0))
+	a.Mov(x86.R(x86.RSI), x86.I(bufVA))
+	a.Mov(x86.R(x86.RCX), x86.I(2048))
+	top := a.Mark()
+	a.Movzx(x86.RDX, x86.M(x86.RSI, 0), 1)
+	a.Add(x86.R(x86.RBX), x86.R(x86.RDX))
+	a.Inc(x86.R(x86.RSI))
+	a.Dec(x86.R(x86.RCX))
+	a.Cmp(x86.R(x86.RCX), x86.I(0))
+	a.Jcc(x86.CondNE, top)
+	// Store result at bufVA-8 and read TSC for timing identity.
+	a.Mov(x86.R(x86.RDI), x86.I(bufVA - 8))
+	a.Mov(x86.M(x86.RDI, 0), x86.R(x86.RBX))
+	a.Rdtsc()
+	a.Mov(x86.R(x86.RDI), x86.I(bufVA - 16))
+	a.Mov(x86.M(x86.RDI, 0), x86.R(x86.RAX))
+	// Shut down.
+	a.Mov(x86.R(x86.RDI), x86.I(0))
+	a.Mov(x86.R(x86.RAX), x86.I(hv.HcShutdown))
+	a.Hypercall()
+	a.Hlt()
+	prog, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build via the kernel builder's memory plumbing: a dummy process
+	// keeps the builder happy; VCPU0 boots our program instead.
+	dummy := x86.NewAssembler(kern.UserTextVA)
+	dummy.Ptlcall()
+	dcode, _ := dummy.Bytes()
+	_ = dcode
+
+	spec := kern.BuildSpec{
+		Procs: []kern.ProcSpec{{Name: "dummy", Code: dcode, DataPages: 1}},
+		Tree:  tree,
+	}
+	img, err := kern.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the kernel text with our program and point the boot
+	// entry at it.
+	if f := img.KernCtx.WriteVirtBytes(kern.KernelTextVA, prog); f != 0 {
+		t.Fatalf("loading disk guest: %v", f)
+	}
+	img.Domain.VCPUs[0].RIP = kern.KernelTextVA
+
+	// A deterministic disk image.
+	img.Domain.Disk = make([]byte, 64*512)
+	for i := range img.Domain.Disk {
+		img.Domain.Disk[i] = byte(i*13 + 7)
+	}
+	img.Domain.BlockLat = 5000
+	return img.Domain, tree
+}
+
+func run(t *testing.T, dom *hv.Domain, tree *stats.Tree) *core.Machine {
+	t.Helper()
+	m := core.NewMachine(dom, tree, core.DefaultConfig())
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func readResult(t *testing.T, dom *hv.Domain) (sum, tsc uint64) {
+	t.Helper()
+	ctx := dom.VCPUs[0]
+	sum, f := ctx.ReadVirt(uint64(kern.KernelDataVA)+0x800-8, 8)
+	if f != 0 {
+		t.Fatal(f)
+	}
+	tsc, f = ctx.ReadVirt(uint64(kern.KernelDataVA)+0x800-16, 8)
+	if f != 0 {
+		t.Fatal(f)
+	}
+	return sum, tsc
+}
+
+func TestRecordThenInject(t *testing.T) {
+	// Run A: record the DMA completion trace.
+	domA, treeA := diskGuest(t)
+	rec := &Recorder{}
+	domA.Sink = rec
+	run(t, domA, treeA)
+	sumA, tscA := readResult(t, domA)
+	tr := rec.Trace()
+	if len(tr.Events) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(tr.Events))
+	}
+	if tr.Events[0].Chan != hv.ChanBlock || len(tr.Events[0].Data) != 2048 {
+		t.Fatalf("event: chan=%d data=%d", tr.Events[0].Chan, len(tr.Events[0].Data))
+	}
+
+	// Run B: replay. The domain's own DMA path is suppressed; data and
+	// interrupt come from the trace at the recorded cycle, so results
+	// and timing are identical.
+	domB, treeB := diskGuest(t)
+	// Corrupt B's disk to prove the data comes from the trace.
+	for i := range domB.Disk {
+		domB.Disk[i] = 0xEE
+	}
+	inj := NewInjector(tr)
+	domB.Source = inj
+	run(t, domB, treeB)
+	sumB, tscB := readResult(t, domB)
+	if sumB != sumA {
+		t.Fatalf("replayed checksum %#x != recorded %#x", sumB, sumA)
+	}
+	if tscB != tscA {
+		t.Fatalf("replay timing diverged: tsc %d vs %d", tscB, tscA)
+	}
+	if inj.Remaining() != 0 {
+		t.Fatalf("%d events never injected", inj.Remaining())
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	tr := &Trace{Events: []hv.InjectedEvent{
+		{Cycle: 12345, VCPU: 0, Chan: 2, BufVA: 0xFFFF800000400800, Data: []byte{1, 2, 3}},
+		{Cycle: 99999, VCPU: 1, Chan: 0},
+	}}
+	got, err := tr.RoundTrip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	e := got.Events[0]
+	if e.Cycle != 12345 || e.Chan != 2 || e.BufVA != 0xFFFF800000400800 || string(e.Data) != "\x01\x02\x03" {
+		t.Fatalf("event mismatch: %+v", e)
+	}
+	if got.Events[1].Data != nil {
+		t.Fatal("empty payload should stay nil-ish")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

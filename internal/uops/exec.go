@@ -1,0 +1,449 @@
+package uops
+
+import (
+	"math"
+	"math/bits"
+
+	"ptlsim/internal/x86"
+)
+
+// Mask returns the value mask for an operand size in bytes.
+func Mask(size uint8) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (size * 8)) - 1
+}
+
+// SignBit returns the sign-bit mask for an operand size.
+func SignBit(size uint8) uint64 {
+	return uint64(1) << (size*8 - 1)
+}
+
+// Truncate clips v to the operand size.
+func Truncate(v uint64, size uint8) uint64 { return v & Mask(size) }
+
+// SignExtend sign-extends the low size bytes of v to 64 bits.
+func SignExtend(v uint64, size uint8) uint64 {
+	if size >= 8 {
+		return v
+	}
+	shift := 64 - uint(size)*8
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// groupBits converts a SetFlags mask to the RFLAGS bits it covers.
+func groupBits(set uint8) uint64 {
+	var m uint64
+	if set&SetZAPS != 0 {
+		m |= x86.FlagZF | x86.FlagSF | x86.FlagPF | x86.FlagAF
+	}
+	if set&SetCF != 0 {
+		m |= x86.FlagCF
+	}
+	if set&SetOF != 0 {
+		m |= x86.FlagOF
+	}
+	return m
+}
+
+// MergeFlags overlays the groups in set from new onto old.
+func MergeFlags(old, new uint64, set uint8) uint64 {
+	m := groupBits(set)
+	return (old &^ m) | (new & m)
+}
+
+// zsp computes ZF, SF and PF for a result.
+func zsp(res uint64, size uint8) uint64 {
+	var f uint64
+	if Truncate(res, size) == 0 {
+		f |= x86.FlagZF
+	}
+	if res&SignBit(size) != 0 {
+		f |= x86.FlagSF
+	}
+	if bits.OnesCount8(uint8(res))%2 == 0 {
+		f |= x86.FlagPF
+	}
+	return f
+}
+
+// Exec executes one uop's value computation. a, b, c are the source
+// register values (c carries the old flags for flag-consuming or
+// partially-flag-writing uops, or the store data for stores). It
+// returns the result value, the full new flags value (already merged
+// with the old flags according to u.SetFlags), and any fault.
+//
+// Memory uops return the effective address as the result; the core is
+// responsible for the actual access, forwarding and faults. Branch uops
+// return the resolved next RIP.
+func Exec(u *Uop, a, b, c uint64) (res uint64, flagsOut uint64, fault Fault) {
+	size := u.Size
+	if size == 0 {
+		size = 8
+	}
+	old := c // by convention Rc=RegFlags whenever flags are read/merged
+	m := Mask(size)
+	sign := SignBit(size)
+
+	merge := func(raw uint64) uint64 { return MergeFlags(old, raw, u.SetFlags) }
+
+	switch u.Op {
+	case OpNop, OpFence, OpAssist:
+		return 0, old, FaultNone
+
+	case OpMov:
+		return Truncate(a+uint64(u.Imm), size), old, FaultNone
+
+	case OpAdd, OpAdc:
+		ci := uint64(0)
+		if u.Op == OpAdc && old&x86.FlagCF != 0 {
+			ci = 1
+		}
+		var carry uint64
+		if size == 8 {
+			res, carry = bits.Add64(a, b, ci)
+		} else {
+			sum := (a & m) + (b & m) + ci
+			res = sum & m
+			if sum > m {
+				carry = 1
+			}
+		}
+		var raw uint64
+		if carry != 0 {
+			raw |= x86.FlagCF
+		}
+		if (a^res)&(b^res)&sign != 0 {
+			raw |= x86.FlagOF
+		}
+		if (a^b^res)&0x10 != 0 {
+			raw |= x86.FlagAF
+		}
+		raw |= zsp(res, size)
+		return res, merge(raw), FaultNone
+
+	case OpSub, OpSbb:
+		bi := uint64(0)
+		if u.Op == OpSbb && old&x86.FlagCF != 0 {
+			bi = 1
+		}
+		var borrow uint64
+		if size == 8 {
+			res, borrow = bits.Sub64(a, b, bi)
+		} else {
+			res = (a - b - bi) & m
+			if (a & m) < (b&m)+bi {
+				borrow = 1
+			}
+		}
+		var raw uint64
+		if borrow != 0 {
+			raw |= x86.FlagCF
+		}
+		if (a^b)&(a^res)&sign != 0 {
+			raw |= x86.FlagOF
+		}
+		if (a^b^res)&0x10 != 0 {
+			raw |= x86.FlagAF
+		}
+		raw |= zsp(res, size)
+		return res, merge(raw), FaultNone
+
+	case OpAnd, OpOr, OpXor, OpAndNot:
+		switch u.Op {
+		case OpAnd:
+			res = a & b
+		case OpOr:
+			res = a | b
+		case OpXor:
+			res = a ^ b
+		case OpAndNot:
+			res = a &^ b
+		}
+		res &= m
+		return res, merge(zsp(res, size)), FaultNone
+
+	case OpShl, OpShr, OpSar, OpRol, OpRor:
+		return execShift(u, a, b, old, size)
+
+	case OpMull:
+		full := int64(SignExtend(a, size)) * int64(SignExtend(b, size))
+		res = uint64(full) & m
+		var raw uint64
+		if SignExtend(res, size) != uint64(full) {
+			raw |= x86.FlagCF | x86.FlagOF
+		}
+		raw |= zsp(res, size) // architecturally undefined; modeled from result
+		return res, merge(raw), FaultNone
+
+	case OpMulh:
+		var hi, lo uint64
+		if size == 8 {
+			hi, lo = bits.Mul64(a, b)
+			// Convert the unsigned 128-bit product high word to signed.
+			if int64(a) < 0 {
+				hi -= b
+			}
+			if int64(b) < 0 {
+				hi -= a
+			}
+		} else {
+			full := int64(SignExtend(a, size)) * int64(SignExtend(b, size))
+			lo = uint64(full) & m
+			hi = uint64(full) >> (size * 8) & m
+		}
+		res = hi & m
+		var raw uint64
+		// CF=OF=1 when the high word is not the sign extension of the
+		// low word (the product did not fit).
+		signFill := uint64(0)
+		if lo&sign != 0 {
+			signFill = m
+		}
+		if res != signFill&m {
+			raw |= x86.FlagCF | x86.FlagOF
+		}
+		raw |= zsp(res, size)
+		return res, merge(raw), FaultNone
+
+	case OpMulhu:
+		var hi uint64
+		if size == 8 {
+			hi, _ = bits.Mul64(a, b)
+		} else {
+			full := (a & m) * (b & m)
+			hi = full >> (size * 8)
+		}
+		res = hi & m
+		var raw uint64
+		if hi != 0 {
+			raw |= x86.FlagCF | x86.FlagOF
+		}
+		raw |= zsp(res, size)
+		return res, merge(raw), FaultNone
+
+	case OpDiv, OpRem:
+		return execDivU(u, a, b, c, size)
+	case OpDivs, OpRems:
+		return execDivS(u, a, b, c, size)
+
+	case OpSext:
+		res = Truncate(SignExtend(a, u.MemSize), size)
+		return res, old, FaultNone
+	case OpZext:
+		res = Truncate(a&Mask(u.MemSize), size)
+		return res, old, FaultNone
+	case OpIns:
+		res = a&^Mask(u.MemSize) | b&Mask(u.MemSize)
+		return res, old, FaultNone
+
+	case OpAdda, OpLd, OpLdAcq, OpSt, OpStRel:
+		res = a + (b << u.Scale) + uint64(u.Imm)
+		if u.Op == OpAdda {
+			res = Truncate(res, size)
+		}
+		return res, old, FaultNone
+
+	case OpBr:
+		return u.RIPTaken, old, FaultNone
+	case OpBrcc:
+		if u.Cond.Eval(old) {
+			return u.RIPTaken, old, FaultNone
+		}
+		return u.RIPNot, old, FaultNone
+	case OpBrInd:
+		return a + uint64(u.Imm), old, FaultNone
+	case OpBrZ:
+		if a == 0 {
+			return u.RIPTaken, old, FaultNone
+		}
+		return u.RIPNot, old, FaultNone
+	case OpBrNZ:
+		if a != 0 {
+			return u.RIPTaken, old, FaultNone
+		}
+		return u.RIPNot, old, FaultNone
+
+	case OpSetcc:
+		if u.Cond.Eval(old) {
+			return 1, old, FaultNone
+		}
+		return 0, old, FaultNone
+	case OpSel:
+		if u.Cond.Eval(old) {
+			return Truncate(b, size), old, FaultNone
+		}
+		return Truncate(a, size), old, FaultNone
+	case OpCollcc:
+		return old & x86.FlagsMask, old, FaultNone
+
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		x := math.Float64frombits(a)
+		y := math.Float64frombits(b)
+		var z float64
+		switch u.Op {
+		case OpFAdd:
+			z = x + y
+		case OpFSub:
+			z = x - y
+		case OpFMul:
+			z = x * y
+		case OpFDiv:
+			z = x / y
+		}
+		return math.Float64bits(z), old, FaultNone
+
+	case OpFCmp:
+		x := math.Float64frombits(a)
+		y := math.Float64frombits(b)
+		var raw uint64
+		switch {
+		case math.IsNaN(x) || math.IsNaN(y):
+			raw = x86.FlagZF | x86.FlagPF | x86.FlagCF
+		case x == y:
+			raw = x86.FlagZF
+		case x < y:
+			raw = x86.FlagCF
+		}
+		return 0, merge(raw), FaultNone
+
+	case OpFCvtID:
+		return math.Float64bits(float64(int64(a))), old, FaultNone
+	case OpFCvtDI:
+		x := math.Float64frombits(a)
+		if math.IsNaN(x) || x >= math.MaxInt64 || x < math.MinInt64 {
+			return 0x8000000000000000, old, FaultNone // x86 integer indefinite
+		}
+		return uint64(int64(x)), old, FaultNone
+	}
+	return 0, old, FaultUD
+}
+
+func execShift(u *Uop, a, b, old uint64, size uint8) (uint64, uint64, Fault) {
+	bitsN := uint(size) * 8
+	countMask := uint64(31)
+	if size == 8 {
+		countMask = 63
+	}
+	count := b & countMask
+	if u.Op == OpRol || u.Op == OpRor {
+		count %= uint64(bitsN)
+	}
+	if count == 0 {
+		// x86: shift/rotate by zero leaves all flags unchanged.
+		return Truncate(a, size), old, FaultNone
+	}
+	a = Truncate(a, size)
+	var res uint64
+	var cf, of bool
+	switch u.Op {
+	case OpShl:
+		if count >= uint64(bitsN) {
+			res = 0
+			cf = false
+		} else {
+			res = Truncate(a<<count, size)
+			cf = a&(uint64(1)<<(uint64(bitsN)-count)) != 0
+		}
+		of = (res&SignBit(size) != 0) != cf
+	case OpShr:
+		if count >= uint64(bitsN) {
+			res, cf = 0, false
+		} else {
+			res = a >> count
+			cf = a&(uint64(1)<<(count-1)) != 0
+		}
+		of = a&SignBit(size) != 0 // defined for count==1; modeled always
+	case OpSar:
+		s := SignExtend(a, size)
+		if count >= uint64(bitsN) {
+			count = uint64(bitsN) - 1
+		}
+		res = Truncate(uint64(int64(s)>>count), size)
+		cf = (s>>(count-1))&1 != 0
+		of = false
+	case OpRol:
+		res = Truncate(a<<count|a>>(uint64(bitsN)-count), size)
+		cf = res&1 != 0
+		of = (res&SignBit(size) != 0) != cf
+	case OpRor:
+		res = Truncate(a>>count|a<<(uint64(bitsN)-count), size)
+		cf = res&SignBit(size) != 0
+		msb2 := res&(SignBit(size)>>1) != 0
+		of = (res&SignBit(size) != 0) != msb2
+	}
+	raw := zsp(res, size)
+	if cf {
+		raw |= x86.FlagCF
+	}
+	if of {
+		raw |= x86.FlagOF
+	}
+	return res, MergeFlags(old, raw, u.SetFlags), FaultNone
+}
+
+// execDivU implements the unsigned divide/remainder: dividend is the
+// double-width value rc:ra (rc = high word), divisor rb.
+func execDivU(u *Uop, a, b, c uint64, size uint8) (uint64, uint64, Fault) {
+	m := Mask(size)
+	b &= m
+	if b == 0 {
+		return 0, c, FaultDivide
+	}
+	if size == 8 {
+		if c >= b { // quotient would overflow 64 bits
+			return 0, c, FaultDivide
+		}
+		q, r := bits.Div64(c, a, b)
+		if u.Op == OpDiv {
+			return q, c, FaultNone
+		}
+		return r, c, FaultNone
+	}
+	dividend := (c&m)<<(size*8) | (a & m)
+	q := dividend / b
+	r := dividend % b
+	if q > m {
+		return 0, c, FaultDivide
+	}
+	if u.Op == OpDiv {
+		return q, c, FaultNone
+	}
+	return r, c, FaultNone
+}
+
+// execDivS implements the signed divide/remainder on rc:ra by rb.
+func execDivS(u *Uop, a, b, c uint64, size uint8) (uint64, uint64, Fault) {
+	m := Mask(size)
+	db := int64(SignExtend(b, size))
+	if db == 0 {
+		return 0, c, FaultDivide
+	}
+	var dividend int64
+	if size == 8 {
+		// Only support dividends whose high word is the sign extension
+		// of the low word (the CQO+IDIV idiom); anything wider faults,
+		// as real hardware would on quotient overflow.
+		if c != uint64(int64(a)>>63) {
+			return 0, c, FaultDivide
+		}
+		dividend = int64(a)
+	} else {
+		dividend = int64(SignExtend((c&m)<<(size*8)|(a&m), size*2))
+	}
+	if dividend == math.MinInt64 && db == -1 {
+		return 0, c, FaultDivide
+	}
+	q := dividend / db
+	r := dividend % db
+	if size < 8 {
+		if q > int64(m>>1) || q < -int64(m>>1)-1 {
+			return 0, c, FaultDivide
+		}
+	}
+	if u.Op == OpDivs {
+		return uint64(q) & m, c, FaultNone
+	}
+	return uint64(r) & m, c, FaultNone
+}

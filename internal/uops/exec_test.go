@@ -1,0 +1,394 @@
+package uops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptlsim/internal/x86"
+)
+
+func u(op Op, size uint8) *Uop {
+	return &Uop{Op: op, Size: size, SetFlags: SetAll}
+}
+
+func TestAddFlags(t *testing.T) {
+	cases := []struct {
+		size    uint8
+		a, b    uint64
+		res     uint64
+		cf, of  bool
+		zf, sf  bool
+	}{
+		{1, 0x7F, 0x01, 0x80, false, true, false, true},
+		{1, 0xFF, 0x01, 0x00, true, false, true, false},
+		{1, 0x80, 0x80, 0x00, true, true, true, false},
+		{4, 0x7FFFFFFF, 1, 0x80000000, false, true, false, true},
+		{8, math.MaxUint64, 1, 0, true, false, true, false},
+		{8, 5, 7, 12, false, false, false, false},
+	}
+	for i, tc := range cases {
+		res, fl, fault := Exec(u(OpAdd, tc.size), tc.a, tc.b, 0)
+		if fault != FaultNone {
+			t.Fatalf("#%d fault %v", i, fault)
+		}
+		if res != tc.res {
+			t.Errorf("#%d res = %#x, want %#x", i, res, tc.res)
+		}
+		check := func(name string, bit uint64, want bool) {
+			if (fl&bit != 0) != want {
+				t.Errorf("#%d flag %s = %v, want %v", i, name, fl&bit != 0, want)
+			}
+		}
+		check("CF", x86.FlagCF, tc.cf)
+		check("OF", x86.FlagOF, tc.of)
+		check("ZF", x86.FlagZF, tc.zf)
+		check("SF", x86.FlagSF, tc.sf)
+	}
+}
+
+func TestSubFlags(t *testing.T) {
+	// 0 - 1 = 0xFF..: borrow set, SF set.
+	res, fl, _ := Exec(u(OpSub, 8), 0, 1, 0)
+	if res != math.MaxUint64 || fl&x86.FlagCF == 0 || fl&x86.FlagSF == 0 {
+		t.Fatalf("0-1: res=%#x flags=%#x", res, fl)
+	}
+	// INT_MIN - 1 overflows.
+	_, fl, _ = Exec(u(OpSub, 8), 0x8000000000000000, 1, 0)
+	if fl&x86.FlagOF == 0 {
+		t.Fatal("INT64_MIN - 1 should set OF")
+	}
+	// cmp equal: ZF.
+	_, fl, _ = Exec(u(OpSub, 4), 42, 42, 0)
+	if fl&x86.FlagZF == 0 || fl&x86.FlagCF != 0 {
+		t.Fatalf("42-42 flags=%#x", fl)
+	}
+}
+
+func TestAdcSbbChainProperty(t *testing.T) {
+	// A 128-bit add implemented as add+adc must match big arithmetic.
+	f := func(a0, a1, b0, b1 uint64) bool {
+		lo, fl, _ := Exec(u(OpAdd, 8), a0, b0, 0)
+		hi, _, _ := Exec(u(OpAdc, 8), a1, b1, fl)
+		carry := uint64(0)
+		if a0 > math.MaxUint64-b0 {
+			carry = 1
+		}
+		return lo == a0+b0 && hi == a1+b1+carry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncPreservesCF(t *testing.T) {
+	// INC writes ZAPS and OF but not CF: simulate by SetFlags without CF.
+	op := &Uop{Op: OpAdd, Size: 8, SetFlags: SetZAPS | SetOF, Imm: 0}
+	old := uint64(x86.FlagCF)
+	_, fl, _ := Exec(op, 1, 1, old)
+	if fl&x86.FlagCF == 0 {
+		t.Fatal("partial flag write clobbered CF")
+	}
+	if fl&x86.FlagZF != 0 {
+		t.Fatal("1+1 should clear ZF")
+	}
+}
+
+func TestLogicClearsCFOF(t *testing.T) {
+	old := uint64(x86.FlagCF | x86.FlagOF)
+	_, fl, _ := Exec(u(OpAnd, 8), 0xF0, 0x0F, old)
+	if fl&(x86.FlagCF|x86.FlagOF) != 0 {
+		t.Fatalf("and should clear CF/OF: %#x", fl)
+	}
+	if fl&x86.FlagZF == 0 {
+		t.Fatal("0xF0 & 0x0F should set ZF")
+	}
+}
+
+func TestShiftByZeroPreservesFlags(t *testing.T) {
+	old := uint64(x86.FlagCF | x86.FlagZF | x86.FlagOF)
+	res, fl, _ := Exec(u(OpShl, 8), 0x1234, 0, old)
+	if res != 0x1234 || fl != old {
+		t.Fatalf("shl by 0: res=%#x flags=%#x", res, fl)
+	}
+	// Count masking: shift of 64 on a 32-bit op uses count&31 = 0.
+	res, fl, _ = Exec(u(OpShl, 4), 0x1234, 64, old)
+	if res != 0x1234 || fl != old {
+		t.Fatalf("shl32 by 64: res=%#x flags=%#x", res, fl)
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	res, fl, _ := Exec(u(OpShl, 1), 0x81, 1, 0)
+	if res != 0x02 || fl&x86.FlagCF == 0 {
+		t.Fatalf("shl8 0x81,1: res=%#x fl=%#x", res, fl)
+	}
+	res, fl, _ = Exec(u(OpShr, 1), 0x03, 1, 0)
+	if res != 0x01 || fl&x86.FlagCF == 0 {
+		t.Fatalf("shr8 3,1: res=%#x fl=%#x", res, fl)
+	}
+	res, _, _ = Exec(u(OpSar, 1), 0x80, 7, 0)
+	if res != 0xFF {
+		t.Fatalf("sar8 0x80,7 = %#x, want 0xFF", res)
+	}
+	res, _, _ = Exec(u(OpRol, 1), 0x81, 1, 0)
+	if res != 0x03 {
+		t.Fatalf("rol8 0x81,1 = %#x", res)
+	}
+	res, _, _ = Exec(u(OpRor, 1), 0x01, 1, 0)
+	if res != 0x80 {
+		t.Fatalf("ror8 1,1 = %#x", res)
+	}
+}
+
+func TestMulDivIdentityProperty(t *testing.T) {
+	// For random a, b (b != 0): div/rem of the widened product plus
+	// remainder reconstructs the dividend.
+	f := func(a, b uint64) bool {
+		if b == 0 {
+			return true
+		}
+		hiU := &Uop{Op: OpMulhu, Size: 8, SetFlags: SetAll}
+		loU := &Uop{Op: OpMull, Size: 8, SetFlags: SetAll}
+		hi, _, _ := Exec(hiU, a, b, 0)
+		_, _, _ = Exec(loU, a, b, 0)
+		// unsigned (hi:lo)/b == a when lo = a*b.
+		lo := a * b
+		q, _, f1 := Exec(&Uop{Op: OpDiv, Size: 8}, lo, b, hi)
+		r, _, f2 := Exec(&Uop{Op: OpRem, Size: 8}, lo, b, hi)
+		return f1 == FaultNone && f2 == FaultNone && q == a && r == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivFaults(t *testing.T) {
+	if _, _, f := Exec(&Uop{Op: OpDiv, Size: 8}, 10, 0, 0); f != FaultDivide {
+		t.Fatal("divide by zero must fault")
+	}
+	// Quotient overflow: high word >= divisor.
+	if _, _, f := Exec(&Uop{Op: OpDiv, Size: 8}, 0, 5, 5); f != FaultDivide {
+		t.Fatal("quotient overflow must fault")
+	}
+	// Signed INT_MIN / -1 overflows.
+	minInt := uint64(0x8000000000000000)
+	if _, _, f := Exec(&Uop{Op: OpDivs, Size: 8}, minInt, ^uint64(0), ^uint64(0)); f != FaultDivide {
+		t.Fatal("INT_MIN / -1 must fault")
+	}
+}
+
+func TestSignedDiv(t *testing.T) {
+	// -7 / 2 = -3 rem -1 (x86 truncates toward zero).
+	a := uint64(0xFFFFFFFFFFFFFFF9) // -7
+	c := ^uint64(0)                 // sign extension
+	q, _, f := Exec(&Uop{Op: OpDivs, Size: 8}, a, 2, c)
+	if f != FaultNone || int64(q) != -3 {
+		t.Fatalf("-7/2 = %d fault %v", int64(q), f)
+	}
+	r, _, _ := Exec(&Uop{Op: OpRems, Size: 8}, a, 2, c)
+	if int64(r) != -1 {
+		t.Fatalf("-7%%2 = %d", int64(r))
+	}
+}
+
+func TestDiv32(t *testing.T) {
+	// 32-bit: dividend = EDX:EAX.
+	q, _, f := Exec(&Uop{Op: OpDiv, Size: 4}, 0x10, 0x3, 0x1)
+	// dividend = (1<<32)|0x10 = 4294967312; /3 = 1431655770 rem 2
+	if f != FaultNone || q != 1431655770 {
+		t.Fatalf("div32: q=%d fault=%v", q, f)
+	}
+	r, _, _ := Exec(&Uop{Op: OpRem, Size: 4}, 0x10, 0x3, 0x1)
+	if r != 2 {
+		t.Fatalf("rem32 = %d", r)
+	}
+}
+
+func TestSextZext(t *testing.T) {
+	res, _, _ := Exec(&Uop{Op: OpSext, Size: 8, MemSize: 1}, 0x80, 0, 0)
+	if res != 0xFFFFFFFFFFFFFF80 {
+		t.Fatalf("sext8 = %#x", res)
+	}
+	res, _, _ = Exec(&Uop{Op: OpZext, Size: 8, MemSize: 2}, 0xFFFF1234, 0, 0)
+	if res != 0x1234 {
+		t.Fatalf("zext16 = %#x", res)
+	}
+}
+
+func TestAddaAddressing(t *testing.T) {
+	op := &Uop{Op: OpAdda, Size: 8, Scale: 3, Imm: -16}
+	res, _, _ := Exec(op, 0x1000, 4, 0)
+	if res != 0x1000+32-16 {
+		t.Fatalf("adda = %#x", res)
+	}
+}
+
+func TestLoadEffectiveAddress(t *testing.T) {
+	op := &Uop{Op: OpLd, Size: 8, MemSize: 8, Scale: 2, Imm: 8}
+	addr, _, _ := Exec(op, 0x2000, 3, 0)
+	if addr != 0x2000+12+8 {
+		t.Fatalf("ld ea = %#x", addr)
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	br := &Uop{Op: OpBrcc, Cond: x86.CondE, RIPTaken: 0x100, RIPNot: 0x105}
+	next, _, _ := Exec(br, 0, 0, x86.FlagZF)
+	if next != 0x100 {
+		t.Fatalf("taken branch -> %#x", next)
+	}
+	next, _, _ = Exec(br, 0, 0, 0)
+	if next != 0x105 {
+		t.Fatalf("not-taken branch -> %#x", next)
+	}
+	ind := &Uop{Op: OpBrInd}
+	next, _, _ = Exec(ind, 0x4242, 0, 0)
+	if next != 0x4242 {
+		t.Fatalf("indirect -> %#x", next)
+	}
+}
+
+func TestSetccSel(t *testing.T) {
+	set := &Uop{Op: OpSetcc, Size: 1, Cond: x86.CondNE}
+	res, _, _ := Exec(set, 0, 0, 0)
+	if res != 1 {
+		t.Fatal("setne with ZF clear should be 1")
+	}
+	sel := &Uop{Op: OpSel, Size: 8, Cond: x86.CondE}
+	res, _, _ = Exec(sel, 111, 222, x86.FlagZF)
+	if res != 222 {
+		t.Fatalf("sel taken = %d", res)
+	}
+	res, _, _ = Exec(sel, 111, 222, 0)
+	if res != 111 {
+		t.Fatalf("sel not taken = %d", res)
+	}
+}
+
+func TestFPOps(t *testing.T) {
+	a := math.Float64bits(1.5)
+	b := math.Float64bits(2.25)
+	res, _, _ := Exec(&Uop{Op: OpFAdd, Size: 8}, a, b, 0)
+	if math.Float64frombits(res) != 3.75 {
+		t.Fatalf("fadd = %v", math.Float64frombits(res))
+	}
+	res, _, _ = Exec(&Uop{Op: OpFMul, Size: 8}, a, b, 0)
+	if math.Float64frombits(res) != 3.375 {
+		t.Fatalf("fmul = %v", math.Float64frombits(res))
+	}
+	res, _, _ = Exec(&Uop{Op: OpFCvtID, Size: 8}, uint64(42), 0, 0)
+	if math.Float64frombits(res) != 42.0 {
+		t.Fatalf("cvt i2d = %v", math.Float64frombits(res))
+	}
+	res, _, _ = Exec(&Uop{Op: OpFCvtDI, Size: 8}, math.Float64bits(-3.9), 0, 0)
+	if int64(res) != -3 {
+		t.Fatalf("cvt d2i truncation = %d", int64(res))
+	}
+	res, _, _ = Exec(&Uop{Op: OpFCvtDI, Size: 8}, math.Float64bits(math.NaN()), 0, 0)
+	if res != 0x8000000000000000 {
+		t.Fatalf("cvt NaN = %#x", res)
+	}
+}
+
+func TestFCmpFlags(t *testing.T) {
+	fc := &Uop{Op: OpFCmp, Size: 8, SetFlags: SetAll}
+	_, fl, _ := Exec(fc, math.Float64bits(1.0), math.Float64bits(2.0), 0)
+	if fl&x86.FlagCF == 0 || fl&x86.FlagZF != 0 {
+		t.Fatalf("1<2 flags=%#x", fl)
+	}
+	_, fl, _ = Exec(fc, math.Float64bits(2.0), math.Float64bits(2.0), 0)
+	if fl&x86.FlagZF == 0 || fl&x86.FlagCF != 0 {
+		t.Fatalf("2==2 flags=%#x", fl)
+	}
+	_, fl, _ = Exec(fc, math.Float64bits(math.NaN()), math.Float64bits(2.0), 0)
+	if fl&(x86.FlagZF|x86.FlagPF|x86.FlagCF) != x86.FlagZF|x86.FlagPF|x86.FlagCF {
+		t.Fatalf("NaN flags=%#x", fl)
+	}
+}
+
+func TestParityFlag(t *testing.T) {
+	// PF covers only the low byte; 0x03 has even parity.
+	_, fl, _ := Exec(u(OpOr, 8), 0x03, 0, 0)
+	if fl&x86.FlagPF == 0 {
+		t.Fatal("0x03 should have PF set (even parity)")
+	}
+	_, fl, _ = Exec(u(OpOr, 8), 0x01, 0, 0)
+	if fl&x86.FlagPF != 0 {
+		t.Fatal("0x01 should have PF clear")
+	}
+	// High bytes don't matter.
+	_, fl, _ = Exec(u(OpOr, 8), 0xFF00, 0, 0)
+	if fl&x86.FlagPF == 0 {
+		t.Fatal("0xFF00: low byte 0 -> even parity")
+	}
+}
+
+// Exec must be a pure function: same inputs, same outputs, and never
+// panic on any op/size/value combination.
+func TestExecPureAndTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sizes := []uint8{1, 2, 4, 8}
+	for i := 0; i < 50000; i++ {
+		op := &Uop{
+			Op:       Op(r.Intn(int(NumOps))),
+			Size:     sizes[r.Intn(4)],
+			MemSize:  sizes[r.Intn(4)],
+			Scale:    uint8(r.Intn(4)),
+			Cond:     x86.Cond(r.Intn(16)),
+			SetFlags: uint8(r.Intn(8)),
+			Imm:      r.Int63() - r.Int63(),
+			RIPTaken: r.Uint64(),
+			RIPNot:   r.Uint64(),
+		}
+		a, b, c := r.Uint64(), r.Uint64(), r.Uint64()
+		r1, f1, e1 := Exec(op, a, b, c)
+		r2, f2, e2 := Exec(op, a, b, c)
+		if r1 != r2 || f1 != f2 || e1 != e2 {
+			t.Fatalf("Exec not deterministic for %s", op)
+		}
+	}
+}
+
+func TestMergeFlags(t *testing.T) {
+	old := uint64(x86.FlagCF | x86.FlagZF)
+	merged := MergeFlags(old, x86.FlagOF|x86.FlagSF, SetOF)
+	if merged != x86.FlagCF|x86.FlagZF|x86.FlagOF {
+		t.Fatalf("merged = %#x", merged)
+	}
+	if MergeFlags(old, 0, SetAll) != 0 {
+		t.Fatal("SetAll should replace everything")
+	}
+}
+
+func TestTruncateSignExtend(t *testing.T) {
+	if Truncate(0x1FF, 1) != 0xFF {
+		t.Fatal("truncate 1")
+	}
+	if SignExtend(0xFF, 1) != math.MaxUint64 {
+		t.Fatal("sext -1")
+	}
+	if SignExtend(0x7F, 1) != 0x7F {
+		t.Fatal("sext positive")
+	}
+	if Mask(8) != ^uint64(0) || Mask(4) != 0xFFFFFFFF {
+		t.Fatal("masks")
+	}
+}
+
+func TestMulhSigned(t *testing.T) {
+	// (-1) * (-1) = 1: high word 0.
+	hi, fl, _ := Exec(&Uop{Op: OpMulh, Size: 8, SetFlags: SetAll}, ^uint64(0), ^uint64(0), 0)
+	if hi != 0 {
+		t.Fatalf("mulh(-1,-1) = %#x", hi)
+	}
+	if fl&x86.FlagCF != 0 {
+		t.Fatal("product fits: CF should be clear")
+	}
+	// INT64_MAX * 2: high word 0, low overflows -> CF set.
+	_, fl, _ = Exec(&Uop{Op: OpMulh, Size: 8, SetFlags: SetAll}, uint64(math.MaxInt64), 2, 0)
+	if fl&x86.FlagCF == 0 {
+		t.Fatal("overflowing product should set CF")
+	}
+}

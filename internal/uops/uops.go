@@ -1,0 +1,335 @@
+// Package uops defines PTLsim's internal micro-operation (uop)
+// instruction set: the RISC-like operations that every x86 instruction
+// is translated into before entering a simulated pipeline, together
+// with their exact execution semantics (including x86 condition-code
+// behavior). The same semantics functions back both the sequential
+// functional core and the out-of-order core, which is what makes
+// integrated (functional+timing) simulation self-checking.
+package uops
+
+import (
+	"fmt"
+
+	"ptlsim/internal/x86"
+)
+
+// ArchReg names a uop-level architectural register: the 16 GPRs, the
+// 16 XMM registers, the FLAGS register (renamed like a normal register,
+// split into ZAPS/CF/OF groups by the SetFlags mask), microcode
+// temporaries (live only within one x86 instruction), and a hardwired
+// zero register.
+type ArchReg uint8
+
+// Architectural register numbering.
+const (
+	// 0..15: GPRs, matching x86 encoding.
+	RegRAX ArchReg = iota
+	RegRCX
+	RegRDX
+	RegRBX
+	RegRSP
+	RegRBP
+	RegRSI
+	RegRDI
+	RegR8
+	RegR9
+	RegR10
+	RegR11
+	RegR12
+	RegR13
+	RegR14
+	RegR15
+	// 16..31: XMM scalar FP registers.
+	RegXMM0
+)
+
+// Remaining register numbers.
+const (
+	RegFlags ArchReg = 32 + iota // condition codes
+	RegT0                        // microcode temporaries
+	RegT1
+	RegT2
+	RegT3
+	RegT4
+	RegT5
+	RegZero // hardwired zero
+
+	// NumArchRegs is the size of the uop-level architectural register
+	// file (and hence the rename table).
+	NumArchRegs
+)
+
+// GPR converts an x86 general-purpose register to its uop register.
+func GPR(r x86.Reg) ArchReg { return ArchReg(r) }
+
+// XMM converts an x86 XMM register to its uop register.
+func XMM(r x86.Reg) ArchReg { return ArchReg(16 + r.Enc()) }
+
+// String names the register.
+func (r ArchReg) String() string {
+	switch {
+	case r < 16:
+		return x86.Reg(r).String()
+	case r < 32:
+		return fmt.Sprintf("xmm%d", r-16)
+	case r == RegFlags:
+		return "flags"
+	case r >= RegT0 && r <= RegT5:
+		return fmt.Sprintf("t%d", r-RegT0)
+	case r == RegZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("ar%d", uint8(r))
+	}
+}
+
+// Op is a micro-operation opcode.
+type Op uint8
+
+// Micro-operations.
+const (
+	OpNop Op = iota
+
+	// Integer ALU. rd = ra OP rb (rb may be RegZero with Imm instead).
+	OpMov // rd = ra + imm (ra often zero): move/load-immediate
+	OpAdd
+	OpSub
+	OpAdc // + carry from rc (flags operand)
+	OpSbb
+	OpAnd
+	OpOr
+	OpXor
+	OpAndNot // rd = ra &^ rb (used by microcode flag masking)
+
+	// Shifts/rotates: rd = ra shift (rb|imm).
+	OpShl
+	OpShr
+	OpSar
+	OpRol
+	OpRor
+
+	// Multiply/divide.
+	OpMull  // rd = low64(ra*rb)
+	OpMulh  // rd = high64(signed ra*rb)
+	OpMulhu // rd = high64(unsigned ra*rb)
+	OpDiv   // rd = unsigned (rc:ra)/rb, faults on rb==0 or overflow
+	OpRem   // rd = unsigned (rc:ra)%rb
+	OpDivs  // signed divide
+	OpRems  // signed remainder
+
+	// Width changes. MemSize gives the source width.
+	OpSext
+	OpZext
+	// Subword insert: rd = (ra &^ mask(MemSize)) | (rb & mask(MemSize)).
+	// Used to write 8/16-bit results into a GPR, which preserves the
+	// upper bits on x86 (unlike 32-bit writes, which zero them).
+	OpIns
+
+	// Address generation: rd = ra + (rb << Scale) + imm. Also used for
+	// LEA. Never sets flags.
+	OpAdda
+
+	// Memory. Address = ra + (rb << Scale) + imm; stores take data in
+	// rc. Locked forms implement x86 LOCK semantics (acquire on load,
+	// release on the final store of the instruction).
+	OpLd
+	OpLdAcq
+	OpSt
+	OpStRel
+	OpFence
+
+	// Control flow. Direct branches carry both possible targets
+	// (RIPTaken / RIPNot); indirect branches compute target = ra + imm.
+	OpBr    // unconditional direct
+	OpBrcc  // conditional on flags in rc
+	OpBrInd // indirect jump/call/ret target
+	OpBrZ   // taken when ra == 0 (REP iteration entry check; no flags)
+	OpBrNZ  // taken when ra != 0 (REP iteration loop-back; no flags)
+
+	// Conditional data: cond evaluated on flags in rc.
+	OpSetcc // rd = cond ? 1 : 0
+	OpSel   // rd = cond ? rb : ra
+
+	// Flag gathering: rd = current flags (rc), as a value.
+	OpCollcc
+
+	// Scalar double FP. Register values hold the raw IEEE754 bits.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmp   // writes ZF/PF/CF like ucomisd
+	OpFCvtID // int64 -> double
+	OpFCvtDI // double -> int64 (truncating)
+
+	// Assist: microcode escape for complex/privileged operations
+	// (syscall, hypercall, CR writes, interrupt entry...). Always a
+	// single-uop, serializing x86 instruction; the core invokes the
+	// system layer's assist handler at commit.
+	OpAssist
+
+	// NumOps is the number of defined uop opcodes.
+	NumOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpAdc: "adc", OpSbb: "sbb", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpAndNot: "andnot",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpRol: "rol", OpRor: "ror",
+	OpMull: "mull", OpMulh: "mulh", OpMulhu: "mulhu",
+	OpDiv: "div", OpRem: "rem", OpDivs: "divs", OpRems: "rems",
+	OpSext: "sext", OpZext: "zext", OpIns: "ins", OpAdda: "adda",
+	OpLd: "ld", OpLdAcq: "ld.acq", OpSt: "st", OpStRel: "st.rel",
+	OpFence: "fence",
+	OpBr: "br", OpBrcc: "br.cc", OpBrInd: "br.ind",
+	OpBrZ: "br.z", OpBrNZ: "br.nz",
+	OpSetcc: "set.cc", OpSel: "sel", OpCollcc: "collcc",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFCmp: "fcmp", OpFCvtID: "fcvt.id", OpFCvtDI: "fcvt.di",
+	OpAssist: "assist",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("uop(%d)", uint8(o))
+}
+
+// Flag group masks for Uop.SetFlags: which parts of RFLAGS a uop
+// writes. PTLsim renames the three groups separately so instructions
+// like INC (which preserves CF) don't serialize on the carry chain.
+const (
+	SetZAPS uint8 = 1 << iota // ZF, AF, PF, SF
+	SetCF
+	SetOF
+	SetAll = SetZAPS | SetCF | SetOF
+)
+
+// BranchKind classifies branch uops for the predictor.
+type BranchKind uint8
+
+// Branch kinds.
+const (
+	BranchNone BranchKind = iota
+	BranchCond
+	BranchUncond
+	BranchCall
+	BranchRet
+	BranchIndirect
+)
+
+// AssistID selects the microcode assist routine for OpAssist uops.
+type AssistID uint8
+
+// Assist routines.
+const (
+	AssistNone AssistID = iota
+	AssistSyscall
+	AssistSysret
+	AssistIretq
+	AssistHypercall
+	AssistPtlcall
+	AssistCpuid
+	AssistRdtsc
+	AssistHlt
+	AssistMovToCR
+	AssistMovFromCR
+	AssistInvlpg
+	AssistUD // undefined opcode: raise #UD when executed
+)
+
+// Fault is a synchronous exception raised by uop execution.
+type Fault uint8
+
+// Fault codes, mirroring the x86 exception vectors the simulator models.
+const (
+	FaultNone Fault = iota
+	FaultDivide
+	FaultDebug
+	FaultUD
+	FaultGP        // privilege violation
+	FaultPageRead  // page fault on load
+	FaultPageWrite // page fault on store
+	FaultPageExec  // page fault on instruction fetch
+	FaultUnaligned // unaligned access crossing forbidden boundary
+)
+
+var faultNames = [...]string{
+	FaultNone: "none", FaultDivide: "#DE", FaultDebug: "#DB",
+	FaultUD: "#UD", FaultGP: "#GP",
+	FaultPageRead: "#PF(read)", FaultPageWrite: "#PF(write)",
+	FaultPageExec: "#PF(exec)", FaultUnaligned: "#AC",
+}
+
+// String names the fault.
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Uop is one micro-operation. A decoded x86 instruction becomes a
+// sequence of uops; SOM marks the first and EOM the last, and the
+// commit unit retires all uops of an instruction atomically (x86
+// atomic-commit semantics).
+type Uop struct {
+	Op   Op
+	Size uint8 // result operand size in bytes (1/2/4/8)
+
+	Rd, Ra, Rb, Rc ArchReg
+	Imm            int64
+	BImm           bool // operand b is Imm rather than the Rb register
+
+	Cond     x86.Cond // for Brcc/Setcc/Sel
+	SetFlags uint8    // flag groups written
+
+	// Memory fields.
+	MemSize uint8 // access width (also sext/zext source width)
+	Scale   uint8 // index shift for adda/ld/st (0..3)
+
+	// Branch fields.
+	Branch   BranchKind
+	RIPTaken uint64 // target when taken (direct branches)
+	RIPNot   uint64 // fall-through RIP
+
+	Assist AssistID
+
+	// Instruction boundary markers and the x86 RIP of the owning
+	// instruction (for precise exceptions and SMC checks).
+	SOM, EOM bool
+	RIP      uint64
+	X86Len   uint8 // byte length of owning x86 instruction
+
+	// NoCount marks a pseudo-instruction (the REP entry check) whose
+	// EOM must not be counted as a committed x86 instruction.
+	NoCount bool
+}
+
+// IsLoad reports whether the uop reads memory.
+func (u *Uop) IsLoad() bool { return u.Op == OpLd || u.Op == OpLdAcq }
+
+// IsStore reports whether the uop writes memory.
+func (u *Uop) IsStore() bool { return u.Op == OpSt || u.Op == OpStRel }
+
+// IsBranch reports whether the uop may redirect the front end.
+func (u *Uop) IsBranch() bool { return u.Branch != BranchNone }
+
+// String renders the uop for traces.
+func (u *Uop) String() string {
+	s := fmt.Sprintf("%s", u.Op)
+	if u.Cond != 0 && (u.Op == OpBrcc || u.Op == OpSetcc || u.Op == OpSel) {
+		s += "." + u.Cond.String()
+	}
+	s += fmt.Sprintf(" rd=%s ra=%s rb=%s rc=%s imm=%#x", u.Rd, u.Ra, u.Rb, u.Rc, u.Imm)
+	if u.SOM {
+		s += " SOM"
+	}
+	if u.EOM {
+		s += " EOM"
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+package vm
+
+// debugHook, when set via SetDebugHook, traces exception/event
+// deliveries. Used by tests to diagnose guest-visible control flow.
+var debugHook func(format string, args ...interface{})
+
+// SetDebugHook installs (or clears, with nil) the trace sink.
+func SetDebugHook(f func(format string, args ...interface{})) { debugHook = f }
+
+func dbgf(format string, args ...interface{}) {
+	if debugHook != nil {
+		debugHook(format, args...)
+	}
+}

@@ -1,0 +1,13 @@
+package vm
+
+// EventSource tells cores whether an event-channel upcall is pending
+// for a VCPU; the hypervisor substrate implements it.
+type EventSource interface {
+	EventPending(c *Context) bool
+}
+
+// System bundles everything a core model needs from the system layer.
+type System interface {
+	Hooks
+	EventSource
+}

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"ptlsim/internal/mem"
+	"ptlsim/internal/uops"
+)
+
+// Translate walks the page tables for va under this context's CR3 and
+// privilege. The A/D tracking bits are updated as the microcoded walker
+// does on real hardware.
+func (c *Context) Translate(va uint64, write, exec bool) (uint64, uops.Fault) {
+	acc := mem.Access{Write: write, Exec: exec, User: !c.Kernel, SetAD: true}
+	w := mem.Walk(c.M.PM, c.CR3, va, acc)
+	if w.Fault != uops.FaultNone {
+		c.CR2 = va
+		return 0, w.Fault
+	}
+	return w.PhysAddr(va), uops.FaultNone
+}
+
+// splitAt returns how many bytes of an access at va fit on its page.
+func splitAt(va uint64, size uint8) uint8 {
+	left := mem.PageSize - va&mem.PageMask
+	if uint64(size) <= left {
+		return size
+	}
+	return uint8(left)
+}
+
+// ReadVirt reads size bytes (1/2/4/8) at guest virtual address va,
+// handling page-crossing accesses with two translations, exactly as
+// the unaligned-capable load unit does.
+func (c *Context) ReadVirt(va uint64, size uint8) (uint64, uops.Fault) {
+	first := splitAt(va, size)
+	pa, fault := c.Translate(va, false, false)
+	if fault != uops.FaultNone {
+		return 0, fault
+	}
+	if first == size {
+		v, err := c.M.PM.Read(pa, size)
+		if err != nil {
+			c.CR2 = va
+			return 0, uops.FaultPageRead
+		}
+		return v, uops.FaultNone
+	}
+	lo, err := c.M.PM.Read(pa, first)
+	if err != nil {
+		return 0, uops.FaultPageRead
+	}
+	pa2, fault := c.Translate(va+uint64(first), false, false)
+	if fault != uops.FaultNone {
+		return 0, fault
+	}
+	hi, err := c.M.PM.Read(pa2, size-first)
+	if err != nil {
+		return 0, uops.FaultPageRead
+	}
+	return lo | hi<<(8*first), uops.FaultNone
+}
+
+// WriteVirt writes the low size bytes of v at guest virtual va.
+func (c *Context) WriteVirt(va, v uint64, size uint8) uops.Fault {
+	first := splitAt(va, size)
+	pa, fault := c.Translate(va, true, false)
+	if fault != uops.FaultNone {
+		return fault
+	}
+	if first == size {
+		if err := c.M.PM.Write(pa, v, size); err != nil {
+			return uops.FaultPageWrite
+		}
+		return uops.FaultNone
+	}
+	if err := c.M.PM.Write(pa, v&uops.Mask(first), first); err != nil {
+		return uops.FaultPageWrite
+	}
+	pa2, fault := c.Translate(va+uint64(first), true, false)
+	if fault != uops.FaultNone {
+		return fault
+	}
+	if err := c.M.PM.Write(pa2, v>>(8*first), size-first); err != nil {
+		return uops.FaultPageWrite
+	}
+	return uops.FaultNone
+}
+
+// FetchCode reads up to len(buf) instruction bytes at va, stopping at
+// an unmapped or non-executable page. It returns the contiguous byte
+// count readable from va's page onward (at least enough for the basic
+// block builder to decode page-crossing instructions when the next
+// page is mapped).
+func (c *Context) FetchCode(va uint64, buf []byte) (int, uops.Fault) {
+	total := 0
+	for total < len(buf) {
+		pa, fault := c.Translate(va+uint64(total), false, true)
+		if fault != uops.FaultNone {
+			if total == 0 {
+				return 0, fault
+			}
+			return total, uops.FaultNone
+		}
+		n := int(mem.PageSize - pa&mem.PageMask)
+		if n > len(buf)-total {
+			n = len(buf) - total
+		}
+		if err := c.M.PM.ReadBytes(pa, buf[total:total+n]); err != nil {
+			if total == 0 {
+				return 0, uops.FaultPageExec
+			}
+			return total, uops.FaultNone
+		}
+		total += n
+	}
+	return total, uops.FaultNone
+}
+
+// ReadVirtBytes copies a byte range from guest virtual memory (used by
+// the hypervisor for console I/O and device DMA emulation).
+func (c *Context) ReadVirtBytes(va uint64, buf []byte) uops.Fault {
+	for i := 0; i < len(buf); {
+		pa, fault := c.Translate(va+uint64(i), false, false)
+		if fault != uops.FaultNone {
+			return fault
+		}
+		n := int(mem.PageSize - pa&mem.PageMask)
+		if n > len(buf)-i {
+			n = len(buf) - i
+		}
+		if err := c.M.PM.ReadBytes(pa, buf[i:i+n]); err != nil {
+			return uops.FaultPageRead
+		}
+		i += n
+	}
+	return uops.FaultNone
+}
+
+// WriteVirtBytes copies a byte range into guest virtual memory.
+func (c *Context) WriteVirtBytes(va uint64, buf []byte) uops.Fault {
+	for i := 0; i < len(buf); {
+		pa, fault := c.Translate(va+uint64(i), true, false)
+		if fault != uops.FaultNone {
+			return fault
+		}
+		n := int(mem.PageSize - pa&mem.PageMask)
+		if n > len(buf)-i {
+			n = len(buf) - i
+		}
+		if err := c.M.PM.WriteBytes(pa, buf[i:i+n]); err != nil {
+			return uops.FaultPageWrite
+		}
+		i += n
+	}
+	return uops.FaultNone
+}

@@ -1,0 +1,791 @@
+package x86
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated indicates the byte window ended mid-instruction; the
+	// caller (basic block builder) should fetch the next page and retry,
+	// which is how page-crossing instructions are handled.
+	ErrTruncated = errors.New("x86: truncated instruction")
+	// ErrUndefined indicates an undefined or unsupported opcode; the
+	// core raises #UD when such an instruction reaches execution.
+	ErrUndefined = errors.New("x86: undefined opcode")
+)
+
+// MaxInstLen is the architectural limit on x86 instruction length.
+const MaxInstLen = 15
+
+// Decode decodes a single x86-64 instruction (long mode) from the start
+// of code. It returns the instruction with Len set to the number of
+// bytes consumed. Relative branch displacements are left relative (from
+// the end of the instruction) in Dst.Imm.
+func Decode(code []byte) (Inst, error) {
+	d := decoder{code: code}
+	inst, err := d.decode()
+	if err != nil {
+		return Inst{}, err
+	}
+	if d.pos > MaxInstLen {
+		return Inst{}, fmt.Errorf("%w: %d bytes", ErrUndefined, d.pos)
+	}
+	inst.Len = uint8(d.pos)
+	return inst, nil
+}
+
+type decoder struct {
+	code []byte
+	pos  int
+
+	lock   bool
+	rep    bool // F3
+	repF2  bool // F2 (also SSE mandatory prefix)
+	osize  bool // 66 (also SSE mandatory prefix)
+	rex    byte
+	hasRex bool
+}
+
+func (d *decoder) peek() (byte, error) {
+	if d.pos >= len(d.code) {
+		return 0, ErrTruncated
+	}
+	return d.code[d.pos], nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	b, err := d.peek()
+	if err != nil {
+		return 0, err
+	}
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) s8() (int64, error) {
+	b, err := d.u8()
+	return int64(int8(b)), err
+}
+
+func (d *decoder) s16() (int64, error) {
+	if d.pos+2 > len(d.code) {
+		return 0, ErrTruncated
+	}
+	v := int64(int16(binary.LittleEndian.Uint16(d.code[d.pos:])))
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) s32() (int64, error) {
+	if d.pos+4 > len(d.code) {
+		return 0, ErrTruncated
+	}
+	v := int64(int32(binary.LittleEndian.Uint32(d.code[d.pos:])))
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) s64() (int64, error) {
+	if d.pos+8 > len(d.code) {
+		return 0, ErrTruncated
+	}
+	v := int64(binary.LittleEndian.Uint64(d.code[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+// imm reads a sign-extended immediate of the operand-size-appropriate
+// width (imm32 for 64-bit operands, as hardware does).
+func (d *decoder) imm(size uint8) (int64, error) {
+	switch size {
+	case 1:
+		return d.s8()
+	case 2:
+		return d.s16()
+	default:
+		return d.s32()
+	}
+}
+
+// opSize returns the effective operand size from the prefix state.
+func (d *decoder) opSize() uint8 {
+	if d.rex&8 != 0 {
+		return 8
+	}
+	if d.osize {
+		return 2
+	}
+	return 4
+}
+
+func (d *decoder) rexBit(bit byte) uint8 {
+	if d.rex&bit != 0 {
+		return 8
+	}
+	return 0
+}
+
+// modRM decodes a ModRM byte (plus SIB/displacement) into the reg field
+// value and an r/m operand. xmmRM selects XMM register naming for
+// register-direct r/m.
+func (d *decoder) modRM(xmmReg, xmmRM bool) (reg uint8, rm Operand, err error) {
+	b, err := d.u8()
+	if err != nil {
+		return 0, Operand{}, err
+	}
+	mod := b >> 6
+	regBits := (b >> 3) & 7
+	rmBits := b & 7
+	reg = regBits + d.rexBit(4)
+	_ = xmmReg // reg field is returned raw; caller maps to XMM if needed
+
+	if mod == 3 {
+		r := Reg(rmBits + d.rexBit(1))
+		if xmmRM {
+			r = XMM0 + r
+		}
+		return reg, RegOp(r), nil
+	}
+
+	mem := MemRef{Base: RegNone, Index: RegNone, Scale: 1}
+	if rmBits == 4 { // SIB follows
+		sb, err := d.u8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		scale := uint8(1) << (sb >> 6)
+		idx := (sb >> 3) & 7
+		base := sb & 7
+		if idx != 4 || d.rex&2 != 0 {
+			mem.Index = Reg(idx + d.rexBit(2))
+			mem.Scale = scale
+		}
+		if base == 5 && mod == 0 {
+			// No base, disp32.
+			disp, err := d.s32()
+			if err != nil {
+				return 0, Operand{}, err
+			}
+			mem.Disp = int32(disp)
+			return reg, MemOp(mem), nil
+		}
+		mem.Base = Reg(base + d.rexBit(1))
+	} else if rmBits == 5 && mod == 0 {
+		// RIP-relative.
+		disp, err := d.s32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		mem.Base = RIP
+		mem.Disp = int32(disp)
+		return reg, MemOp(mem), nil
+	} else {
+		mem.Base = Reg(rmBits + d.rexBit(1))
+	}
+	switch mod {
+	case 1:
+		disp, err := d.s8()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		mem.Disp = int32(disp)
+	case 2:
+		disp, err := d.s32()
+		if err != nil {
+			return 0, Operand{}, err
+		}
+		mem.Disp = int32(disp)
+	}
+	return reg, MemOp(mem), nil
+}
+
+func (d *decoder) decode() (Inst, error) {
+	// Prefix loop.
+	for {
+		b, err := d.peek()
+		if err != nil {
+			return Inst{}, err
+		}
+		switch b {
+		case 0xF0:
+			d.lock = true
+		case 0xF3:
+			d.rep = true
+		case 0xF2:
+			d.repF2 = true
+		case 0x66:
+			d.osize = true
+		default:
+			if b >= 0x40 && b <= 0x4F {
+				d.rex = b
+				d.hasRex = true
+				d.pos++
+				// REX must be the last prefix before the opcode.
+				return d.opcode()
+			}
+			return d.opcode()
+		}
+		d.pos++
+	}
+}
+
+func aluOps() [8]Op {
+	return [8]Op{OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp}
+}
+
+func (d *decoder) opcode() (Inst, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	size := d.opSize()
+
+	// Group-1 ALU: opcodes 0x00-0x3B in the pattern base+{0,1,2,3}.
+	if op < 0x40 && op&7 <= 3 {
+		alu := aluOps()[op>>3]
+		form := op & 7
+		sz := size
+		if form == 0 || form == 2 {
+			sz = 1
+		}
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		r := RegOp(Reg(reg))
+		if form <= 1 { // r/m, r
+			return Inst{Op: alu, OpSize: sz, Lock: d.lock, Dst: rm, Src: r}, nil
+		}
+		return Inst{Op: alu, OpSize: sz, Dst: r, Src: rm}, nil
+	}
+
+	switch {
+	case op >= 0x50 && op <= 0x57:
+		return Inst{Op: OpPush, OpSize: 8, Dst: RegOp(Reg(op - 0x50 + d.rexBit(1)))}, nil
+	case op >= 0x58 && op <= 0x5F:
+		return Inst{Op: OpPop, OpSize: 8, Dst: RegOp(Reg(op - 0x58 + d.rexBit(1)))}, nil
+	case op >= 0x70 && op <= 0x7F:
+		disp, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJcc, Cond: Cond(op - 0x70), OpSize: 8, Dst: ImmOp(disp)}, nil
+	case op >= 0xB0 && op <= 0xB7:
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, OpSize: 1, Dst: RegOp(Reg(op - 0xB0 + d.rexBit(1))), Src: ImmOp(imm)}, nil
+	case op >= 0xB8 && op <= 0xBF:
+		r := Reg(op - 0xB8 + d.rexBit(1))
+		if size == 8 {
+			imm, err := d.s64()
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: OpMov, OpSize: 8, Dst: RegOp(r), Src: ImmOp(imm)}, nil
+		}
+		imm, err := d.imm(size)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, OpSize: size, Dst: RegOp(r), Src: ImmOp(imm)}, nil
+	}
+
+	switch op {
+	case 0x63: // MOVSXD r64, r/m32
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMovsxd, OpSize: 8, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x68:
+		imm, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpPush, OpSize: 8, Dst: ImmOp(imm)}, nil
+	case 0x6A:
+		imm, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpPush, OpSize: 8, Dst: ImmOp(imm)}, nil
+	case 0x69, 0x6B:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		var imm int64
+		if op == 0x6B {
+			imm, err = d.s8()
+		} else {
+			imm, err = d.imm(size)
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpImul, OpSize: size, Dst: RegOp(Reg(reg)), Src: rm, Src2: ImmOp(imm)}, nil
+	case 0x80, 0x81, 0x83:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		var imm int64
+		switch op {
+		case 0x80:
+			sz = 1
+			imm, err = d.s8()
+		case 0x83:
+			imm, err = d.s8()
+		default:
+			imm, err = d.imm(size)
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: aluOps()[reg&7], OpSize: sz, Lock: d.lock, Dst: rm, Src: ImmOp(imm)}, nil
+	case 0x84, 0x85:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0x84 {
+			sz = 1
+		}
+		return Inst{Op: OpTest, OpSize: sz, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x86, 0x87:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0x86 {
+			sz = 1
+		}
+		return Inst{Op: OpXchg, OpSize: sz, Lock: d.lock, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x88, 0x89:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0x88 {
+			sz = 1
+		}
+		return Inst{Op: OpMov, OpSize: sz, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0x8A, 0x8B:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0x8A {
+			sz = 1
+		}
+		return Inst{Op: OpMov, OpSize: sz, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x8D:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if rm.Kind != KindMem {
+			return Inst{}, ErrUndefined
+		}
+		return Inst{Op: OpLea, OpSize: size, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x8F:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg&7 != 0 {
+			return Inst{}, ErrUndefined
+		}
+		return Inst{Op: OpPop, OpSize: 8, Dst: rm}, nil
+	case 0x90:
+		if d.rep {
+			return Inst{Op: OpPause, OpSize: size}, nil
+		}
+		return Inst{Op: OpNop, OpSize: size}, nil
+	case 0x98:
+		return Inst{Op: OpCdqe, OpSize: size}, nil
+	case 0x99:
+		return Inst{Op: OpCqo, OpSize: size}, nil
+	case 0xA4, 0xA5:
+		sz := size
+		if op == 0xA4 {
+			sz = 1
+		}
+		return Inst{Op: OpMovs, OpSize: sz, Rep: d.rep}, nil
+	case 0xAA, 0xAB:
+		sz := size
+		if op == 0xAA {
+			sz = 1
+		}
+		return Inst{Op: OpStos, OpSize: sz, Rep: d.rep}, nil
+	case 0xAC, 0xAD:
+		sz := size
+		if op == 0xAC {
+			sz = 1
+		}
+		return Inst{Op: OpLods, OpSize: sz, Rep: d.rep}, nil
+	case 0xC0, 0xC1, 0xD2, 0xD3:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		var shOp Op
+		switch reg & 7 {
+		case 0:
+			shOp = OpRol
+		case 1:
+			shOp = OpRor
+		case 4:
+			shOp = OpShl
+		case 5:
+			shOp = OpShr
+		case 7:
+			shOp = OpSar
+		default:
+			return Inst{}, ErrUndefined
+		}
+		sz := size
+		if op == 0xC0 || op == 0xD2 {
+			sz = 1
+		}
+		if op == 0xC0 || op == 0xC1 {
+			imm, err := d.s8()
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: shOp, OpSize: sz, Dst: rm, Src: ImmOp(imm)}, nil
+		}
+		return Inst{Op: shOp, OpSize: sz, Dst: rm, Src: RegOp(RCX)}, nil
+	case 0xC3:
+		return Inst{Op: OpRet, OpSize: 8}, nil
+	case 0xC6, 0xC7:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg&7 != 0 {
+			return Inst{}, ErrUndefined
+		}
+		sz := size
+		if op == 0xC6 {
+			sz = 1
+		}
+		var imm int64
+		if sz == 1 {
+			imm, err = d.s8()
+		} else {
+			imm, err = d.imm(sz)
+		}
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMov, OpSize: sz, Dst: rm, Src: ImmOp(imm)}, nil
+	case 0xCF:
+		if size == 8 {
+			return Inst{Op: OpIretq, OpSize: 8}, nil
+		}
+		return Inst{}, ErrUndefined
+	case 0xE8:
+		disp, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCall, OpSize: 8, Dst: ImmOp(disp)}, nil
+	case 0xE9:
+		disp, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJmp, OpSize: 8, Dst: ImmOp(disp)}, nil
+	case 0xEB:
+		disp, err := d.s8()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJmp, OpSize: 8, Dst: ImmOp(disp)}, nil
+	case 0xF4:
+		return Inst{Op: OpHlt, OpSize: 8}, nil
+	case 0xF6, 0xF7:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0xF6 {
+			sz = 1
+		}
+		switch reg & 7 {
+		case 0, 1: // TEST r/m, imm
+			var imm int64
+			if sz == 1 {
+				imm, err = d.s8()
+			} else {
+				imm, err = d.imm(sz)
+			}
+			if err != nil {
+				return Inst{}, err
+			}
+			return Inst{Op: OpTest, OpSize: sz, Dst: rm, Src: ImmOp(imm)}, nil
+		case 2:
+			return Inst{Op: OpNot, OpSize: sz, Lock: d.lock, Dst: rm}, nil
+		case 3:
+			return Inst{Op: OpNeg, OpSize: sz, Lock: d.lock, Dst: rm}, nil
+		case 4:
+			return Inst{Op: OpMul, OpSize: sz, Dst: rm}, nil
+		case 5:
+			return Inst{Op: OpImul, OpSize: sz, Dst: rm}, nil
+		case 6:
+			return Inst{Op: OpDiv, OpSize: sz, Dst: rm}, nil
+		default:
+			return Inst{Op: OpIdiv, OpSize: sz, Dst: rm}, nil
+		}
+	case 0xFE, 0xFF:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0xFE {
+			sz = 1
+		}
+		switch reg & 7 {
+		case 0:
+			return Inst{Op: OpInc, OpSize: sz, Lock: d.lock, Dst: rm}, nil
+		case 1:
+			return Inst{Op: OpDec, OpSize: sz, Lock: d.lock, Dst: rm}, nil
+		case 2:
+			if op == 0xFE {
+				return Inst{}, ErrUndefined
+			}
+			return Inst{Op: OpCall, OpSize: 8, Dst: rm}, nil
+		case 4:
+			if op == 0xFE {
+				return Inst{}, ErrUndefined
+			}
+			return Inst{Op: OpJmp, OpSize: 8, Dst: rm}, nil
+		case 6:
+			if op == 0xFE {
+				return Inst{}, ErrUndefined
+			}
+			return Inst{Op: OpPush, OpSize: 8, Dst: rm}, nil
+		default:
+			return Inst{}, ErrUndefined
+		}
+	case 0x0F:
+		return d.opcode0F()
+	}
+	return Inst{}, fmt.Errorf("%w: 0x%02x", ErrUndefined, op)
+}
+
+func (d *decoder) opcode0F() (Inst, error) {
+	op, err := d.u8()
+	if err != nil {
+		return Inst{}, err
+	}
+	size := d.opSize()
+
+	// SSE scalar double subset (F2 mandatory prefix).
+	if d.repF2 {
+		return d.sseF2(op)
+	}
+
+	switch {
+	case op >= 0x40 && op <= 0x4F:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCmovcc, Cond: Cond(op - 0x40), OpSize: size, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case op >= 0x80 && op <= 0x8F:
+		disp, err := d.s32()
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpJcc, Cond: Cond(op - 0x80), OpSize: 8, Dst: ImmOp(disp)}, nil
+	case op >= 0x90 && op <= 0x9F:
+		_, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpSetcc, Cond: Cond(op - 0x90), OpSize: 1, Dst: rm}, nil
+	}
+
+	switch op {
+	case 0x01:
+		b, err := d.peek()
+		if err != nil {
+			return Inst{}, err
+		}
+		if b == 0xC1 { // VMCALL: our paravirt hypercall
+			d.pos++
+			return Inst{Op: OpHypercall, OpSize: 8}, nil
+		}
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		if reg&7 == 7 && rm.Kind == KindMem {
+			return Inst{Op: OpInvlpg, OpSize: 8, Dst: rm}, nil
+		}
+		return Inst{}, ErrUndefined
+	case 0x05:
+		return Inst{Op: OpSyscall, OpSize: 8}, nil
+	case 0x07:
+		return Inst{Op: OpSysret, OpSize: 8}, nil
+	case 0x20, 0x22:
+		b, err := d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+		if b>>6 != 3 {
+			return Inst{}, ErrUndefined
+		}
+		crn := int64((b >> 3) & 7)
+		gpr := Reg(b&7 + d.rexBit(1))
+		if op == 0x22 {
+			return Inst{Op: OpMovToCR, OpSize: 8, Dst: ImmOp(crn), Src: RegOp(gpr)}, nil
+		}
+		return Inst{Op: OpMovFromCR, OpSize: 8, Dst: RegOp(gpr), Src: ImmOp(crn)}, nil
+	case 0x31:
+		return Inst{Op: OpRdtsc, OpSize: 8}, nil
+	case 0x37:
+		return Inst{Op: OpPtlcall, OpSize: 8}, nil
+	case 0x6E: // 66 REX.W 0F 6E: MOVQ xmm, r/m64
+		if !d.osize {
+			return Inst{}, ErrUndefined
+		}
+		reg, rm, err := d.modRM(true, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMovqXR, OpSize: 8, Dst: RegOp(XMM0 + Reg(reg)), Src: rm}, nil
+	case 0x7E:
+		if !d.osize {
+			return Inst{}, ErrUndefined
+		}
+		reg, rm, err := d.modRM(true, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMovqRX, OpSize: 8, Dst: rm, Src: RegOp(XMM0 + Reg(reg))}, nil
+	case 0x2E:
+		if !d.osize {
+			return Inst{}, ErrUndefined
+		}
+		reg, rm, err := d.modRM(true, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpUcomisd, OpSize: 8, Dst: RegOp(XMM0 + Reg(reg)), Src: rm}, nil
+	case 0xA2:
+		return Inst{Op: OpCpuid, OpSize: 8}, nil
+	case 0xAE:
+		b, err := d.u8()
+		if err != nil {
+			return Inst{}, err
+		}
+		if b == 0xF0 {
+			return Inst{Op: OpMfence, OpSize: 8}, nil
+		}
+		return Inst{}, ErrUndefined
+	case 0xAF:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpImul, OpSize: size, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0xB0, 0xB1:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0xB0 {
+			sz = 1
+		}
+		return Inst{Op: OpCmpxchg, OpSize: sz, Lock: d.lock, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	case 0xB6, 0xB7, 0xBE, 0xBF:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		mop := OpMovzx
+		if op >= 0xBE {
+			mop = OpMovsx
+		}
+		srcW := int64(1)
+		if op == 0xB7 || op == 0xBF {
+			srcW = 2
+		}
+		return Inst{Op: mop, OpSize: size, Dst: RegOp(Reg(reg)), Src: rm, Src2: ImmOp(srcW)}, nil
+	case 0xC0, 0xC1:
+		reg, rm, err := d.modRM(false, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		sz := size
+		if op == 0xC0 {
+			sz = 1
+		}
+		return Inst{Op: OpXadd, OpSize: sz, Lock: d.lock, Dst: rm, Src: RegOp(Reg(reg))}, nil
+	}
+	return Inst{}, fmt.Errorf("%w: 0x0f 0x%02x", ErrUndefined, op)
+}
+
+// sseF2 decodes the F2-prefixed scalar double operations.
+func (d *decoder) sseF2(op byte) (Inst, error) {
+	switch op {
+	case 0x10:
+		reg, rm, err := d.modRM(true, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMovsdLoad, OpSize: 8, Dst: RegOp(XMM0 + Reg(reg)), Src: rm}, nil
+	case 0x11:
+		reg, rm, err := d.modRM(true, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpMovsdStore, OpSize: 8, Dst: rm, Src: RegOp(XMM0 + Reg(reg))}, nil
+	case 0x2A: // CVTSI2SD xmm, r/m64
+		reg, rm, err := d.modRM(true, false)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCvtsi2sd, OpSize: 8, Dst: RegOp(XMM0 + Reg(reg)), Src: rm}, nil
+	case 0x2C: // CVTTSD2SI r64, xmm/m64
+		reg, rm, err := d.modRM(false, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		return Inst{Op: OpCvttsd2si, OpSize: 8, Dst: RegOp(Reg(reg)), Src: rm}, nil
+	case 0x58, 0x59, 0x5C, 0x5E:
+		reg, rm, err := d.modRM(true, true)
+		if err != nil {
+			return Inst{}, err
+		}
+		var fop Op
+		switch op {
+		case 0x58:
+			fop = OpAddsd
+		case 0x59:
+			fop = OpMulsd
+		case 0x5C:
+			fop = OpSubsd
+		default:
+			fop = OpDivsd
+		}
+		return Inst{Op: fop, OpSize: 8, Dst: RegOp(XMM0 + Reg(reg)), Src: rm}, nil
+	}
+	return Inst{}, fmt.Errorf("%w: f2 0x0f 0x%02x", ErrUndefined, op)
+}

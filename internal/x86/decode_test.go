@@ -1,0 +1,550 @@
+package x86
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// golden decode vectors, hand-checked against real assembler output.
+func TestDecodeGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		bytes []byte
+		want  string
+	}{
+		{"push rbp", []byte{0x55}, "push rbp"},
+		{"mov rbp, rsp", []byte{0x48, 0x89, 0xE5}, "mov rbp, rsp"},
+		{"sub rsp, 16", []byte{0x48, 0x83, 0xEC, 0x10}, "sub rsp, 0x10"},
+		{"mov eax, [rbp-4]", []byte{0x8B, 0x45, 0xFC}, "mov32 rax, [rbp-0x4]"},
+		{"lea rax, [rdx+rcx*4]", []byte{0x48, 0x8D, 0x04, 0x8A}, "lea rax, [rdx+rcx*4]"},
+		{"call rel32", []byte{0xE8, 0x00, 0x00, 0x00, 0x00}, "call 0x0"},
+		{"lock xadd [rdi], rax", []byte{0xF0, 0x48, 0x0F, 0xC1, 0x07}, "lock xadd [rdi], rax"},
+		{"rep movsq", []byte{0xF3, 0x48, 0xA5}, "rep movs"},
+		{"rep movsb", []byte{0xF3, 0xA4}, "rep movs8 "},
+		{"syscall", []byte{0x0F, 0x05}, "syscall"},
+		{"ptlcall", []byte{0x0F, 0x37}, "ptlcall"},
+		{"hypercall", []byte{0x0F, 0x01, 0xC1}, "hypercall"},
+		{"addsd xmm0, xmm1", []byte{0xF2, 0x0F, 0x58, 0xC1}, "addsd xmm0, xmm1"},
+		{"imul rax, rbx", []byte{0x48, 0x0F, 0xAF, 0xC3}, "imul rax, rbx"},
+		{"idiv rcx", []byte{0x48, 0xF7, 0xF9}, "idiv rcx"},
+		{"jmp -2", []byte{0xEB, 0xFE}, "jmp -0x2"},
+		{"je +5", []byte{0x74, 0x05}, "je 0x5"},
+		{"ret", []byte{0xC3}, "ret"},
+		{"hlt", []byte{0xF4}, "hlt"},
+		{"iretq", []byte{0x48, 0xCF}, "iretq"},
+		{"rdtsc", []byte{0x0F, 0x31}, "rdtsc"},
+		{"mov cr3, rax", []byte{0x0F, 0x22, 0xD8}, "mov_to_cr 0x3, rax"},
+		{"mov r15, imm64", append([]byte{0x49, 0xBF}, []byte{1, 0, 0, 0, 0, 0, 0, 0x80}...), "mov r15, -0x7fffffffffffffff"},
+		{"movzx eax, byte [rsi]", []byte{0x0F, 0xB6, 0x06}, "movzx32 rax, [rsi], 0x1"},
+		{"setne al", []byte{0x0F, 0x95, 0xC0}, "setne8 rax"},
+		{"cmovl rax, rbx", []byte{0x48, 0x0F, 0x4C, 0xC3}, "cmovl rax, rbx"},
+		{"pause", []byte{0xF3, 0x90}, "pause32 "},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := Decode(tc.bytes)
+			if err != nil {
+				t.Fatalf("decode %x: %v", tc.bytes, err)
+			}
+			if int(inst.Len) != len(tc.bytes) {
+				t.Fatalf("len = %d, want %d", inst.Len, len(tc.bytes))
+			}
+		})
+	}
+}
+
+func TestDecodeLengths(t *testing.T) {
+	// mov rax, [rbp-4] vs [rbp-1000]: disp8 vs disp32.
+	short := []byte{0x48, 0x8B, 0x45, 0xFC}
+	long := []byte{0x48, 0x8B, 0x85, 0x18, 0xFC, 0xFF, 0xFF}
+	i1, err := Decode(short)
+	if err != nil || i1.Len != 4 {
+		t.Fatalf("disp8 decode: %v len=%d", err, i1.Len)
+	}
+	i2, err := Decode(long)
+	if err != nil || i2.Len != 7 {
+		t.Fatalf("disp32 decode: %v len=%d", err, i2.Len)
+	}
+	if i1.Src.Mem.Disp != -4 || i2.Src.Mem.Disp != -1000 {
+		t.Fatalf("disps: %d %d", i1.Src.Mem.Disp, i2.Src.Mem.Disp)
+	}
+}
+
+func TestDecodeRIPRelative(t *testing.T) {
+	// lea rax, [rip+0x1234]
+	code := []byte{0x48, 0x8D, 0x05, 0x34, 0x12, 0x00, 0x00}
+	inst, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Src.Mem.Base != RIP || inst.Src.Mem.Disp != 0x1234 {
+		t.Fatalf("got %v", inst.Src.Mem)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := []byte{0x48, 0x8B, 0x85, 0x18, 0xFC, 0xFF, 0xFF}
+	for n := 1; n < len(full); n++ {
+		if _, err := Decode(full[:n]); err != ErrTruncated {
+			t.Fatalf("prefix len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeUndefined(t *testing.T) {
+	for _, b := range [][]byte{{0x0F, 0xFF}, {0xD8, 0x00}} {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("decode %x should fail", b)
+		}
+	}
+}
+
+// normalize cleans up representational differences that don't change
+// semantics before comparing round-tripped instructions.
+func normalize(i Inst) Inst {
+	i.Len = 0
+	for _, op := range []*Operand{&i.Dst, &i.Src, &i.Src2} {
+		if op.Kind == KindMem && op.Mem.Index == RegNone {
+			op.Mem.Scale = 1
+		}
+	}
+	return i
+}
+
+func randGPR(r *rand.Rand) Reg { return Reg(r.Intn(NumGPR)) }
+
+func randMem(r *rand.Rand) Operand {
+	m := MemRef{Base: RegNone, Index: RegNone, Scale: 1}
+	switch r.Intn(4) {
+	case 0: // base only
+		m.Base = randGPR(r)
+	case 1: // base + disp
+		m.Base = randGPR(r)
+		m.Disp = int32(r.Int63()) // full range
+	case 2: // base + index*scale + disp8
+		m.Base = randGPR(r)
+		for {
+			m.Index = randGPR(r)
+			if m.Index != RSP {
+				break
+			}
+		}
+		m.Scale = []uint8{1, 2, 4, 8}[r.Intn(4)]
+		m.Disp = int32(int8(r.Int()))
+	case 3: // rip-relative
+		m.Base = RIP
+		m.Disp = int32(r.Int63())
+	}
+	return MemOp(m)
+}
+
+// randInst generates a random instruction from the supported space.
+func randInst(r *rand.Rand) Inst {
+	sizes := []uint8{1, 2, 4, 8}
+	size := sizes[r.Intn(4)]
+	regOrMem := func() Operand {
+		if r.Intn(2) == 0 {
+			return RegOp(randGPR(r))
+		}
+		return randMem(r)
+	}
+	switch r.Intn(16) {
+	case 0: // ALU reg, r/m
+		ops := aluOps()
+		return Inst{Op: ops[r.Intn(8)], OpSize: size, Dst: RegOp(randGPR(r)), Src: regOrMem()}
+	case 1: // ALU r/m, reg
+		ops := aluOps()
+		return Inst{Op: ops[r.Intn(8)], OpSize: size, Dst: regOrMem(), Src: RegOp(randGPR(r))}
+	case 2: // ALU r/m, imm
+		ops := aluOps()
+		imm := int64(int32(r.Int63()))
+		if size == 1 {
+			imm = int64(int8(imm))
+		} else if size == 2 {
+			imm = int64(int16(imm))
+		}
+		return Inst{Op: ops[r.Intn(8)], OpSize: size, Dst: regOrMem(), Src: ImmOp(imm)}
+	case 3: // MOV forms
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpMov, OpSize: size, Dst: RegOp(randGPR(r)), Src: regOrMem()}
+		case 1:
+			return Inst{Op: OpMov, OpSize: size, Dst: regOrMem(), Src: RegOp(randGPR(r))}
+		default:
+			imm := int64(int32(r.Int63()))
+			if size == 1 {
+				imm = int64(int8(imm))
+			} else if size == 2 {
+				imm = int64(int16(imm))
+			} else if size == 8 && r.Intn(2) == 0 {
+				imm = r.Int63() // may need movabs
+				return Inst{Op: OpMov, OpSize: 8, Dst: RegOp(randGPR(r)), Src: ImmOp(imm)}
+			}
+			return Inst{Op: OpMov, OpSize: size, Dst: regOrMem(), Src: ImmOp(imm)}
+		}
+	case 4: // movzx/movsx
+		op := OpMovzx
+		if r.Intn(2) == 0 {
+			op = OpMovsx
+		}
+		srcW := int64(1 + r.Intn(2))
+		dsize := uint8(4)
+		if r.Intn(2) == 0 {
+			dsize = 8
+		}
+		return Inst{Op: op, OpSize: dsize, Dst: RegOp(randGPR(r)), Src: regOrMem(), Src2: ImmOp(srcW)}
+	case 5: // lea
+		return Inst{Op: OpLea, OpSize: 8, Dst: RegOp(randGPR(r)), Src: randMem(r)}
+	case 6: // push/pop reg
+		op := OpPush
+		if r.Intn(2) == 0 {
+			op = OpPop
+		}
+		return Inst{Op: op, OpSize: 8, Dst: RegOp(randGPR(r))}
+	case 7: // shifts
+		ops := []Op{OpShl, OpShr, OpSar, OpRol, OpRor}
+		src := ImmOp(int64(r.Intn(63) + 1))
+		if r.Intn(2) == 0 {
+			src = RegOp(RCX)
+		}
+		return Inst{Op: ops[r.Intn(5)], OpSize: size, Dst: regOrMem(), Src: src}
+	case 8: // unary group
+		ops := []Op{OpNot, OpNeg, OpInc, OpDec, OpMul, OpDiv, OpIdiv}
+		return Inst{Op: ops[r.Intn(7)], OpSize: size, Dst: regOrMem()}
+	case 9: // imul forms
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpImul, OpSize: size, Dst: regOrMem()}
+		case 1:
+			sz := size
+			if sz < 2 {
+				sz = 8
+			}
+			return Inst{Op: OpImul, OpSize: sz, Dst: RegOp(randGPR(r)), Src: regOrMem()}
+		default:
+			sz := size
+			if sz < 2 {
+				sz = 8
+			}
+			imm := int64(int32(r.Int63()))
+			if sz == 2 {
+				imm = int64(int16(imm))
+			}
+			return Inst{Op: OpImul, OpSize: sz, Dst: RegOp(randGPR(r)), Src: regOrMem(), Src2: ImmOp(imm)}
+		}
+	case 10: // test
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpTest, OpSize: size, Dst: regOrMem(), Src: RegOp(randGPR(r))}
+		}
+		imm := int64(int32(r.Int63()))
+		if size == 1 {
+			imm = int64(int8(imm))
+		} else if size == 2 {
+			imm = int64(int16(imm))
+		}
+		return Inst{Op: OpTest, OpSize: size, Dst: regOrMem(), Src: ImmOp(imm)}
+	case 11: // atomics
+		lock := r.Intn(2) == 0
+		dst := randMem(r)
+		switch r.Intn(3) {
+		case 0:
+			return Inst{Op: OpXchg, OpSize: size, Lock: lock, Dst: dst, Src: RegOp(randGPR(r))}
+		case 1:
+			return Inst{Op: OpCmpxchg, OpSize: size, Lock: lock, Dst: dst, Src: RegOp(randGPR(r))}
+		default:
+			return Inst{Op: OpXadd, OpSize: size, Lock: lock, Dst: dst, Src: RegOp(randGPR(r))}
+		}
+	case 12: // setcc / cmovcc
+		c := Cond(r.Intn(16))
+		if r.Intn(2) == 0 {
+			return Inst{Op: OpSetcc, Cond: c, OpSize: 1, Dst: regOrMem()}
+		}
+		sz := size
+		if sz < 2 {
+			sz = 8
+		}
+		return Inst{Op: OpCmovcc, Cond: c, OpSize: sz, Dst: RegOp(randGPR(r)), Src: regOrMem()}
+	case 13: // control flow
+		switch r.Intn(4) {
+		case 0:
+			return Inst{Op: OpJmp, OpSize: 8, Dst: ImmOp(int64(int32(r.Int63())))}
+		case 1:
+			return Inst{Op: OpJcc, Cond: Cond(r.Intn(16)), OpSize: 8, Dst: ImmOp(int64(int32(r.Int63())))}
+		case 2:
+			return Inst{Op: OpCall, OpSize: 8, Dst: ImmOp(int64(int32(r.Int63())))}
+		default:
+			return Inst{Op: OpJmp, OpSize: 8, Dst: RegOp(randGPR(r))}
+		}
+	case 14: // string ops
+		ops := []Op{OpMovs, OpStos, OpLods}
+		sz := uint8(1)
+		if r.Intn(2) == 0 {
+			sz = 8
+		}
+		return Inst{Op: ops[r.Intn(3)], OpSize: sz, Rep: r.Intn(2) == 0}
+	default: // system + SSE
+		switch r.Intn(8) {
+		case 0:
+			return Inst{Op: OpSyscall, OpSize: 8}
+		case 1:
+			return Inst{Op: OpRdtsc, OpSize: 8}
+		case 2:
+			return Inst{Op: OpPtlcall, OpSize: 8}
+		case 3:
+			return Inst{Op: OpHypercall, OpSize: 8}
+		case 4:
+			x := XMM0 + Reg(r.Intn(NumXMM))
+			y := XMM0 + Reg(r.Intn(NumXMM))
+			ops := []Op{OpAddsd, OpSubsd, OpMulsd, OpDivsd, OpUcomisd}
+			return Inst{Op: ops[r.Intn(5)], OpSize: 8, Dst: RegOp(x), Src: RegOp(y)}
+		case 5:
+			x := XMM0 + Reg(r.Intn(NumXMM))
+			if r.Intn(2) == 0 {
+				return Inst{Op: OpMovsdLoad, OpSize: 8, Dst: RegOp(x), Src: randMem(r)}
+			}
+			return Inst{Op: OpMovsdStore, OpSize: 8, Dst: randMem(r), Src: RegOp(x)}
+		case 6:
+			x := XMM0 + Reg(r.Intn(NumXMM))
+			if r.Intn(2) == 0 {
+				return Inst{Op: OpCvtsi2sd, OpSize: 8, Dst: RegOp(x), Src: RegOp(randGPR(r))}
+			}
+			return Inst{Op: OpCvttsd2si, OpSize: 8, Dst: RegOp(randGPR(r)), Src: RegOp(x)}
+		default:
+			return Inst{Op: OpHlt, OpSize: 8}
+		}
+	}
+}
+
+// The central property: every instruction the assembler can produce
+// decodes back to an equivalent instruction, and the decoder consumes
+// exactly the bytes the encoder produced.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		want := randInst(r)
+		code, err := Encode(&want)
+		if err != nil {
+			t.Fatalf("#%d encode %s: %v", i, &want, err)
+		}
+		got, err := Decode(code)
+		if err != nil {
+			t.Fatalf("#%d decode %x (%s): %v", i, code, &want, err)
+		}
+		if int(got.Len) != len(code) {
+			t.Fatalf("#%d %s: decoded len %d, encoded %d bytes (%x)", i, &want, got.Len, len(code), code)
+		}
+		g, w := normalize(got), normalize(want)
+		if g != w {
+			t.Fatalf("#%d round trip mismatch:\n  want %#v (%s)\n  got  %#v (%s)\n  code %x", i, w, &want, g, &got, code)
+		}
+	}
+}
+
+// Decoding must never loop or panic on arbitrary bytes; it either
+// yields an instruction with positive length or a decode error.
+func TestDecodeFuzzSafety(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	buf := make([]byte, 18)
+	for i := 0; i < 50000; i++ {
+		r.Read(buf)
+		inst, err := Decode(buf)
+		if err == nil && (inst.Len == 0 || int(inst.Len) > MaxInstLen) {
+			t.Fatalf("decode %x: bad length %d", buf, inst.Len)
+		}
+	}
+}
+
+func TestAssemblerLabels(t *testing.T) {
+	a := NewAssembler(0x1000)
+	top := a.NewLabel()
+	end := a.NewLabel()
+	a.Mov(R(RAX), I(0))
+	a.Bind(top)
+	a.Cmp(R(RAX), I(10))
+	a.Jcc(CondGE, end)
+	a.Inc(R(RAX))
+	a.Jmp(top)
+	a.Bind(end)
+	a.Ret()
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the code and verify every branch lands on an instruction
+	// boundary inside the buffer.
+	bounds := map[int64]bool{}
+	pos := int64(0)
+	var insts []Inst
+	for pos < int64(len(code)) {
+		bounds[pos] = true
+		inst, err := Decode(code[pos:])
+		if err != nil {
+			t.Fatalf("decode at +%d: %v", pos, err)
+		}
+		insts = append(insts, inst)
+		pos += int64(inst.Len)
+	}
+	pos = 0
+	for _, inst := range insts {
+		next := pos + int64(inst.Len)
+		if (inst.Op == OpJmp || inst.Op == OpJcc) && inst.Dst.Kind == KindImm {
+			target := next + inst.Dst.Imm
+			if !bounds[target] && target != int64(len(code)) {
+				t.Fatalf("branch at +%d targets +%d: not an instruction boundary", pos, target)
+			}
+		}
+		pos = next
+	}
+}
+
+func TestAssemblerUnboundLabel(t *testing.T) {
+	a := NewAssembler(0)
+	l := a.NewLabel()
+	a.Jmp(l)
+	if _, err := a.Bytes(); err == nil {
+		t.Fatal("Bytes should fail with unbound label")
+	}
+}
+
+func TestAssemblerDoubleBind(t *testing.T) {
+	a := NewAssembler(0)
+	l := a.NewLabel()
+	a.Bind(l)
+	a.Bind(l)
+	if _, err := a.Bytes(); err == nil {
+		t.Fatal("Bytes should fail after double bind")
+	}
+}
+
+func TestQuadLabel(t *testing.T) {
+	a := NewAssembler(0x4000)
+	entry := a.NewLabel()
+	a.QuadLabel(entry)
+	a.Bind(entry)
+	a.Ret()
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint64(code[0]) | uint64(code[1])<<8 | uint64(code[2])<<16 | uint64(code[3])<<24
+	if got != 0x4008 {
+		t.Fatalf("quad label = %#x, want 0x4008", got)
+	}
+}
+
+func TestLeaLabel(t *testing.T) {
+	a := NewAssembler(0x1000)
+	target := a.NewLabel()
+	a.LeaLabel(RAX, target)
+	a.Nop()
+	a.Bind(target)
+	a.Ret()
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Src.Mem.Base != RIP {
+		t.Fatal("LeaLabel should be rip-relative")
+	}
+	// target address = end of lea + disp
+	got := 0x1000 + uint64(inst.Len) + uint64(int64(inst.Src.Mem.Disp))
+	want := a.Addr(target)
+	if got != want {
+		t.Fatalf("lea resolves to %#x, want %#x", got, want)
+	}
+}
+
+func TestDSLStructure(t *testing.T) {
+	a := NewAssembler(0)
+	a.Mov(R(RAX), I(0))
+	a.Mov(R(RCX), I(5))
+	a.While(func() Cond {
+		a.Cmp(R(RCX), I(0))
+		return CondNE
+	}, func() {
+		a.Add(R(RAX), R(RCX))
+		a.Dec(R(RCX))
+	})
+	a.Ret()
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should decode cleanly end to end.
+	pos := 0
+	n := 0
+	for pos < len(code) {
+		inst, err := Decode(code[pos:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", pos, err)
+		}
+		pos += int(inst.Len)
+		n++
+	}
+	if n < 7 {
+		t.Fatalf("expected at least 7 instructions, got %d", n)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c     Cond
+		flags uint64
+		want  bool
+	}{
+		{CondE, FlagZF, true},
+		{CondE, 0, false},
+		{CondNE, FlagZF, false},
+		{CondB, FlagCF, true},
+		{CondAE, FlagCF, false},
+		{CondBE, FlagZF, true},
+		{CondA, 0, true},
+		{CondA, FlagCF, false},
+		{CondL, FlagSF, true},
+		{CondL, FlagSF | FlagOF, false},
+		{CondGE, FlagSF | FlagOF, true},
+		{CondLE, FlagZF, true},
+		{CondG, 0, true},
+		{CondG, FlagZF, false},
+		{CondS, FlagSF, true},
+		{CondO, FlagOF, true},
+		{CondP, FlagPF, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.flags); got != tc.want {
+			t.Errorf("%s.Eval(%#x) = %v, want %v", tc.c, tc.flags, got, tc.want)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	for c := Cond(0); c < 16; c++ {
+		for _, flags := range []uint64{0, FlagZF, FlagCF, FlagSF, FlagOF, FlagZF | FlagCF, FlagSF | FlagOF, FlagPF} {
+			if c.Eval(flags) == c.Negate().Eval(flags) {
+				t.Fatalf("cond %s and negation agree on flags %#x", c, flags)
+			}
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	inst := Inst{Op: OpAdd, OpSize: 8, Lock: true, Dst: M(RDI, 8), Src: R(RAX)}
+	if got := inst.String(); got != "lock add [rdi+0x8], rax" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEncodeAppendStability(t *testing.T) {
+	// Encoding the same instruction twice must give identical bytes.
+	inst := Inst{Op: OpMov, OpSize: 8, Dst: R(RAX), Src: M(RBX, 100)}
+	a, err1 := Encode(&inst)
+	b, err2 := Encode(&inst)
+	if err1 != nil || err2 != nil || !bytes.Equal(a, b) {
+		t.Fatalf("unstable encode: %x vs %x (%v %v)", a, b, err1, err2)
+	}
+}

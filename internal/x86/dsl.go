@@ -1,0 +1,78 @@
+package x86
+
+// Structured control-flow combinators over the assembler. Guest
+// programs (the mini-kernel and the rsync workload) are written in Go
+// functions that emit x86-64 code; these helpers keep that code
+// readable while still producing ordinary branch instructions that the
+// simulator's front end must predict like any compiler output.
+
+// IfThen emits code so body runs only when cond held at the preceding
+// comparison instruction.
+func (a *Assembler) IfThen(cond Cond, body func()) {
+	skip := a.NewLabel()
+	a.Jcc(cond.Negate(), skip)
+	body()
+	a.Bind(skip)
+}
+
+// IfElse emits a two-armed conditional on cond.
+func (a *Assembler) IfElse(cond Cond, then, els func()) {
+	elseL := a.NewLabel()
+	done := a.NewLabel()
+	a.Jcc(cond.Negate(), elseL)
+	then()
+	a.Jmp(done)
+	a.Bind(elseL)
+	els()
+	a.Bind(done)
+}
+
+// While emits a top-tested loop. cond emits the comparison and returns
+// the condition under which the loop continues.
+func (a *Assembler) While(cond func() Cond, body func()) {
+	top := a.Mark()
+	exit := a.NewLabel()
+	c := cond()
+	a.Jcc(c.Negate(), exit)
+	body()
+	a.Jmp(top)
+	a.Bind(exit)
+}
+
+// DoWhile emits a bottom-tested loop: body runs at least once, then
+// repeats while the condition returned by cond holds.
+func (a *Assembler) DoWhile(body func(), cond func() Cond) {
+	top := a.Mark()
+	body()
+	c := cond()
+	a.Jcc(c, top)
+}
+
+// Forever emits an infinite loop around body; body may escape via
+// labels of its own (e.g. a Ret or a bound exit label).
+func (a *Assembler) Forever(body func()) {
+	top := a.Mark()
+	body()
+	a.Jmp(top)
+}
+
+// CountedLoop emits a loop that runs body with counter register ctr
+// taking values 0..n-1. The counter is clobbered; body must preserve it.
+func (a *Assembler) CountedLoop(ctr Reg, n int64, body func()) {
+	a.Mov(R(ctr), I(0))
+	a.While(func() Cond {
+		a.Cmp(R(ctr), I(n))
+		return CondL
+	}, func() {
+		body()
+		a.Inc(R(ctr))
+	})
+}
+
+// Func binds a label at the current position and emits a function body;
+// the body is responsible for its own Ret. Returns the entry label.
+func (a *Assembler) Func(body func()) Label {
+	entry := a.Mark()
+	body()
+	return entry
+}

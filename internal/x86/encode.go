@@ -1,0 +1,916 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode produces the x86-64 machine-code bytes for inst. It is the
+// inverse of Decode: for every instruction the assembler can express,
+// Decode(Encode(inst)) yields an equivalent Inst (the round-trip
+// property tested in decode_test.go).
+//
+// Relative branches carry their displacement (from the end of the
+// instruction) in Dst.Imm; the assembler's label fixup layer rewrites
+// the displacement bytes after layout.
+//
+// Deviation from real hardware: 8-bit register operands always refer to
+// the low byte of the 64-bit register (SPL/BPL/SIL/DIL rather than
+// AH/CH/DH/BH); a REX prefix is emitted whenever an 8-bit operand in
+// encodings 4-7 requires it, exactly as modern compilers do.
+func Encode(inst *Inst) ([]byte, error) {
+	e := encoder{}
+	if err := e.encode(inst); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(b byte)     { e.buf = append(e.buf, b) }
+func (e *encoder) bytes(b ...byte) { e.buf = append(e.buf, b...) }
+
+func (e *encoder) u16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// imm writes an immediate of the given width.
+func (e *encoder) imm(v int64, width int) {
+	switch width {
+	case 1:
+		e.byte(byte(v))
+	case 2:
+		e.u16(uint16(v))
+	case 4:
+		e.u32(uint32(v))
+	case 8:
+		e.u64(uint64(v))
+	}
+}
+
+// rexSpec accumulates the REX prefix requirements of an encoding.
+type rexSpec struct {
+	w, r, x, b bool
+	force      bool // force 0x40 even with no bits (8-bit SPL..DIL)
+}
+
+func (rx rexSpec) emitTo(e *encoder) {
+	if rx.w || rx.r || rx.x || rx.b || rx.force {
+		v := byte(0x40)
+		if rx.w {
+			v |= 8
+		}
+		if rx.r {
+			v |= 4
+		}
+		if rx.x {
+			v |= 2
+		}
+		if rx.b {
+			v |= 1
+		}
+		e.byte(v)
+	}
+}
+
+// need8 reports whether using r as an 8-bit operand requires a REX
+// prefix (encodings 4-7 would otherwise mean AH/CH/DH/BH).
+func need8(r Reg) bool { return r.IsGPR() && r.Enc() >= 4 && r.Enc() <= 7 }
+
+// modrmArgs captures everything needed to emit ModRM (+SIB +disp).
+type modrmArgs struct {
+	reg  uint8 // ModRM.reg field value (register encoding or opcode ext)
+	isRM bool  // true: register-direct rm; false: memory
+	rm   uint8 // register encoding when isRM
+	mem  MemRef
+}
+
+// prep computes the REX bits contributed by the ModRM operands.
+func (m *modrmArgs) prep(rx *rexSpec) error {
+	if m.reg >= 8 {
+		rx.r = true
+	}
+	if m.isRM {
+		if m.rm >= 8 {
+			rx.b = true
+		}
+		return nil
+	}
+	mem := m.mem
+	if mem.Base == RIP {
+		if mem.Index != RegNone {
+			return fmt.Errorf("x86: rip-relative with index register")
+		}
+		return nil
+	}
+	if mem.Base != RegNone && mem.Base.Enc() >= 8 {
+		rx.b = true
+	}
+	if mem.Index != RegNone {
+		if mem.Index == RSP {
+			return fmt.Errorf("x86: rsp cannot be an index register")
+		}
+		if mem.Index.Enc() >= 8 {
+			rx.x = true
+		}
+	}
+	return nil
+}
+
+// emit writes the ModRM byte plus any SIB and displacement.
+func (m *modrmArgs) emit(e *encoder) {
+	regBits := (m.reg & 7) << 3
+	if m.isRM {
+		e.byte(0xC0 | regBits | m.rm&7)
+		return
+	}
+	mem := m.mem
+	switch {
+	case mem.Base == RIP:
+		e.byte(0x00 | regBits | 5)
+		e.u32(uint32(mem.Disp))
+	case mem.Base == RegNone && mem.Index == RegNone:
+		// Absolute: ModRM rm=100 + SIB base=101 index=100, mod=00, disp32.
+		e.byte(0x00 | regBits | 4)
+		e.byte(0x25)
+		e.u32(uint32(mem.Disp))
+	case mem.Base == RegNone:
+		// Index only: SIB with base=101 (means disp32 with mod=00).
+		e.byte(0x00 | regBits | 4)
+		e.byte(sib(mem.Scale, mem.Index.Enc()&7, 5))
+		e.u32(uint32(mem.Disp))
+	default:
+		base := mem.Base.Enc()
+		needSIB := mem.Index != RegNone || base&7 == 4 // RSP/R12 base
+		// mod=00 with base RBP/R13 means no-base; force disp8.
+		mod := byte(0)
+		dispW := 0
+		switch {
+		case mem.Disp == 0 && base&7 != 5:
+			mod, dispW = 0, 0
+		case mem.Disp >= -128 && mem.Disp <= 127:
+			mod, dispW = 1, 1
+		default:
+			mod, dispW = 2, 4
+		}
+		if needSIB {
+			e.byte(mod<<6 | regBits | 4)
+			idx := byte(4) // none
+			scale := uint8(1)
+			if mem.Index != RegNone {
+				idx = mem.Index.Enc() & 7
+				scale = mem.Scale
+			}
+			e.byte(sib(scale, idx, base&7))
+		} else {
+			e.byte(mod<<6 | regBits | base&7)
+		}
+		if dispW == 1 {
+			e.byte(byte(mem.Disp))
+		} else if dispW == 4 {
+			e.u32(uint32(mem.Disp))
+		}
+	}
+}
+
+func sib(scale uint8, index, base byte) byte {
+	var ss byte
+	switch scale {
+	case 1, 0:
+		ss = 0
+	case 2:
+		ss = 1
+	case 4:
+		ss = 2
+	case 8:
+		ss = 3
+	}
+	return ss<<6 | index<<3 | base
+}
+
+// aluIndex maps a group-1 ALU op to its 3-bit opcode index.
+func aluIndex(op Op) (uint8, bool) {
+	switch op {
+	case OpAdd:
+		return 0, true
+	case OpOr:
+		return 1, true
+	case OpAdc:
+		return 2, true
+	case OpSbb:
+		return 3, true
+	case OpAnd:
+		return 4, true
+	case OpSub:
+		return 5, true
+	case OpXor:
+		return 6, true
+	case OpCmp:
+		return 7, true
+	}
+	return 0, false
+}
+
+// shiftIndex maps a group-2 shift/rotate op to its ModRM.reg extension.
+func shiftIndex(op Op) (uint8, bool) {
+	switch op {
+	case OpRol:
+		return 0, true
+	case OpRor:
+		return 1, true
+	case OpShl:
+		return 4, true
+	case OpShr:
+		return 5, true
+	case OpSar:
+		return 7, true
+	}
+	return 0, false
+}
+
+// encode dispatches on the operation and operand shapes.
+func (e *encoder) encode(inst *Inst) error {
+	size := inst.OpSize
+	if size == 0 {
+		size = 8
+	}
+	if inst.Lock {
+		e.byte(0xF0)
+	}
+	if inst.Rep {
+		e.byte(0xF3)
+	}
+	if size == 2 {
+		e.byte(0x66)
+	}
+
+	switch inst.Op {
+	case OpAdd, OpOr, OpAdc, OpSbb, OpAnd, OpSub, OpXor, OpCmp:
+		idx, _ := aluIndex(inst.Op)
+		return e.encodeALU(inst, idx, size)
+	case OpTest:
+		return e.encodeTest(inst, size)
+	case OpMov:
+		return e.encodeMov(inst, size)
+	case OpMovzx, OpMovsx:
+		return e.encodeMovExt(inst, size)
+	case OpMovsxd:
+		return e.encodeRRM(inst, size, 0x63)
+	case OpLea:
+		if inst.Dst.Kind != KindReg || inst.Src.Kind != KindMem {
+			return fmt.Errorf("x86: lea needs reg, mem")
+		}
+		return e.encodeRRM(inst, size, 0x8D)
+	case OpXchg:
+		return e.encodeMRReg(inst, size, 0x86, 0x87)
+	case OpPush, OpPop:
+		return e.encodePushPop(inst)
+	case OpShl, OpShr, OpSar, OpRol, OpRor:
+		return e.encodeShift(inst, size)
+	case OpNot, OpNeg, OpMul, OpImul, OpDiv, OpIdiv:
+		return e.encodeGroup3(inst, size)
+	case OpInc, OpDec:
+		return e.encodeIncDec(inst, size)
+	case OpJmp:
+		return e.encodeJmp(inst)
+	case OpJcc:
+		e.bytes(0x0F, 0x80|byte(inst.Cond))
+		e.u32(uint32(inst.Dst.Imm))
+		return nil
+	case OpCall:
+		return e.encodeCall(inst)
+	case OpRet:
+		e.byte(0xC3)
+		return nil
+	case OpSetcc:
+		return e.encodeSetcc(inst)
+	case OpCmovcc:
+		if inst.Dst.Kind != KindReg {
+			return fmt.Errorf("x86: cmov needs reg dst")
+		}
+		return e.encodeRRMOp2(inst, size, 0x40|byte(inst.Cond))
+	case OpCmpxchg:
+		return e.encodeMRReg2(inst, size, 0xB0, 0xB1)
+	case OpXadd:
+		return e.encodeMRReg2(inst, size, 0xC0, 0xC1)
+	case OpMfence:
+		e.bytes(0x0F, 0xAE, 0xF0)
+		return nil
+	case OpPause:
+		// REP prefix already emitted above when inst.Rep; PAUSE is F3 90.
+		if !inst.Rep {
+			e.byte(0xF3)
+		}
+		e.byte(0x90)
+		return nil
+	case OpCdqe:
+		rexSpec{w: true}.emitTo(e)
+		e.byte(0x98)
+		return nil
+	case OpCqo:
+		rexSpec{w: true}.emitTo(e)
+		e.byte(0x99)
+		return nil
+	case OpMovs, OpStos, OpLods:
+		return e.encodeString(inst, size)
+	case OpNop:
+		e.byte(0x90)
+		return nil
+	case OpHlt:
+		e.byte(0xF4)
+		return nil
+	case OpSyscall:
+		e.bytes(0x0F, 0x05)
+		return nil
+	case OpSysret:
+		rexSpec{w: true}.emitTo(e)
+		e.bytes(0x0F, 0x07)
+		return nil
+	case OpIretq:
+		rexSpec{w: true}.emitTo(e)
+		e.byte(0xCF)
+		return nil
+	case OpRdtsc:
+		e.bytes(0x0F, 0x31)
+		return nil
+	case OpCpuid:
+		e.bytes(0x0F, 0xA2)
+		return nil
+	case OpPtlcall:
+		e.bytes(0x0F, 0x37)
+		return nil
+	case OpHypercall:
+		e.bytes(0x0F, 0x01, 0xC1)
+		return nil
+	case OpMovToCR, OpMovFromCR:
+		return e.encodeMovCR(inst)
+	case OpInvlpg:
+		if inst.Dst.Kind != KindMem {
+			return fmt.Errorf("x86: invlpg needs mem operand")
+		}
+		m := modrmArgs{reg: 7, mem: inst.Dst.Mem}
+		rx := rexSpec{}
+		if err := m.prep(&rx); err != nil {
+			return err
+		}
+		rx.emitTo(e)
+		e.bytes(0x0F, 0x01)
+		m.emit(e)
+		return nil
+	case OpMovsdLoad, OpMovsdStore, OpAddsd, OpSubsd, OpMulsd, OpDivsd,
+		OpCvtsi2sd, OpCvttsd2si, OpUcomisd, OpMovqXR, OpMovqRX:
+		return e.encodeSSE(inst)
+	}
+	return fmt.Errorf("x86: cannot encode %s", inst.Op)
+}
+
+// operandModRM builds modrmArgs with `reg` from a register operand and
+// `rm` from a reg-or-mem operand.
+func operandModRM(regOp Operand, rmOp Operand) (modrmArgs, error) {
+	var m modrmArgs
+	if regOp.Kind == KindReg {
+		m.reg = regOp.Reg.Enc()
+	}
+	switch rmOp.Kind {
+	case KindReg:
+		m.isRM = true
+		m.rm = rmOp.Reg.Enc()
+	case KindMem:
+		m.mem = rmOp.Mem
+	default:
+		return m, fmt.Errorf("x86: bad r/m operand kind %d", rmOp.Kind)
+	}
+	return m, nil
+}
+
+// emitModRMInst emits REX + opcode bytes + ModRM for a standard
+// two-operand form. op2 < 0 means single-byte opcode.
+func (e *encoder) emitModRMInst(size uint8, m modrmArgs, force8 bool, opcodes ...byte) error {
+	rx := rexSpec{w: size == 8, force: force8}
+	if err := m.prep(&rx); err != nil {
+		return err
+	}
+	rx.emitTo(e)
+	e.bytes(opcodes...)
+	m.emit(e)
+	return nil
+}
+
+// rmForce8 reports whether an 8-bit encoding of the given operands
+// needs a forced REX prefix.
+func rmForce8(size uint8, ops ...Operand) bool {
+	if size != 1 {
+		return false
+	}
+	for _, o := range ops {
+		if o.Kind == KindReg && need8(o.Reg) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *encoder) encodeALU(inst *Inst, idx uint8, size uint8) error {
+	base := idx * 8
+	d, s := inst.Dst, inst.Src
+	switch {
+	case s.Kind == KindImm:
+		m, err := operandModRM(Operand{}, d)
+		if err != nil {
+			return err
+		}
+		m.reg = idx
+		imm := s.Imm
+		if size == 1 {
+			return e.encodeALUImm(size, m, rmForce8(size, d), 0x80, imm, 1)
+		}
+		if imm >= -128 && imm <= 127 {
+			return e.encodeALUImm(size, m, false, 0x83, imm, 1)
+		}
+		w := 4
+		if size == 2 {
+			w = 2
+		}
+		return e.encodeALUImm(size, m, false, 0x81, imm, w)
+	case d.Kind == KindReg && (s.Kind == KindReg || s.Kind == KindMem):
+		// reg, r/m form: base+2 (8-bit) or base+3.
+		m, err := operandModRM(d, s)
+		if err != nil {
+			return err
+		}
+		opc := base + 3
+		if size == 1 {
+			opc = base + 2
+		}
+		return e.emitModRMInst(size, m, rmForce8(size, d, s), opc)
+	case d.Kind == KindMem && s.Kind == KindReg:
+		m, err := operandModRM(s, d)
+		if err != nil {
+			return err
+		}
+		opc := base + 1
+		if size == 1 {
+			opc = base
+		}
+		return e.emitModRMInst(size, m, rmForce8(size, s), opc)
+	}
+	return fmt.Errorf("x86: bad ALU operands %s", inst)
+}
+
+func (e *encoder) encodeALUImm(size uint8, m modrmArgs, force8 bool, opc byte, imm int64, immW int) error {
+	if err := e.emitModRMInst(size, m, force8, opc); err != nil {
+		return err
+	}
+	e.imm(imm, immW)
+	return nil
+}
+
+func (e *encoder) encodeTest(inst *Inst, size uint8) error {
+	d, s := inst.Dst, inst.Src
+	if s.Kind == KindImm {
+		m, err := operandModRM(Operand{}, d)
+		if err != nil {
+			return err
+		}
+		m.reg = 0
+		opc := byte(0xF7)
+		immW := 4
+		if size == 1 {
+			opc, immW = 0xF6, 1
+		} else if size == 2 {
+			immW = 2
+		}
+		if err := e.emitModRMInst(size, m, rmForce8(size, d), opc); err != nil {
+			return err
+		}
+		e.imm(s.Imm, immW)
+		return nil
+	}
+	// TEST r/m, r: 84/85.
+	if s.Kind != KindReg {
+		return fmt.Errorf("x86: test needs reg or imm source")
+	}
+	m, err := operandModRM(s, d)
+	if err != nil {
+		return err
+	}
+	opc := byte(0x85)
+	if size == 1 {
+		opc = 0x84
+	}
+	return e.emitModRMInst(size, m, rmForce8(size, d, s), opc)
+}
+
+func (e *encoder) encodeMov(inst *Inst, size uint8) error {
+	d, s := inst.Dst, inst.Src
+	switch {
+	case s.Kind == KindImm && d.Kind == KindReg:
+		if size == 8 && (s.Imm > 0x7FFFFFFF || s.Imm < -0x80000000) {
+			// movabs: REX.W B8+r imm64
+			rx := rexSpec{w: true, b: d.Reg.Enc() >= 8}
+			rx.emitTo(e)
+			e.byte(0xB8 + d.Reg.Enc()&7)
+			e.u64(uint64(s.Imm))
+			return nil
+		}
+		fallthrough
+	case s.Kind == KindImm:
+		m, err := operandModRM(Operand{}, d)
+		if err != nil {
+			return err
+		}
+		m.reg = 0
+		opc := byte(0xC7)
+		immW := 4
+		if size == 1 {
+			opc, immW = 0xC6, 1
+		} else if size == 2 {
+			immW = 2
+		}
+		if err := e.emitModRMInst(size, m, rmForce8(size, d), opc); err != nil {
+			return err
+		}
+		e.imm(s.Imm, immW)
+		return nil
+	case d.Kind == KindReg && (s.Kind == KindReg || s.Kind == KindMem):
+		m, err := operandModRM(d, s)
+		if err != nil {
+			return err
+		}
+		opc := byte(0x8B)
+		if size == 1 {
+			opc = 0x8A
+		}
+		return e.emitModRMInst(size, m, rmForce8(size, d, s), opc)
+	case d.Kind == KindMem && s.Kind == KindReg:
+		m, err := operandModRM(s, d)
+		if err != nil {
+			return err
+		}
+		opc := byte(0x89)
+		if size == 1 {
+			opc = 0x88
+		}
+		return e.emitModRMInst(size, m, rmForce8(size, s), opc)
+	}
+	return fmt.Errorf("x86: bad mov operands %s", inst)
+}
+
+// encodeMovExt handles MOVZX/MOVSX. inst.OpSize is the destination
+// size; Src2.Imm (1 or 2) carries the source width.
+func (e *encoder) encodeMovExt(inst *Inst, size uint8) error {
+	if inst.Dst.Kind != KindReg {
+		return fmt.Errorf("x86: movzx/movsx needs reg dst")
+	}
+	srcW := inst.Src2.Imm
+	if srcW != 1 && srcW != 2 {
+		return fmt.Errorf("x86: movzx/movsx source width must be 1 or 2")
+	}
+	var opc byte
+	if inst.Op == OpMovzx {
+		opc = 0xB6
+	} else {
+		opc = 0xBE
+	}
+	if srcW == 2 {
+		opc++
+	}
+	m, err := operandModRM(inst.Dst, inst.Src)
+	if err != nil {
+		return err
+	}
+	force := srcW == 1 && inst.Src.Kind == KindReg && need8(inst.Src.Reg)
+	return e.emitModRMInst(size, m, force, 0x0F, opc)
+}
+
+// encodeRRM emits a reg, r/m instruction with a one-byte opcode.
+func (e *encoder) encodeRRM(inst *Inst, size uint8, opc byte) error {
+	m, err := operandModRM(inst.Dst, inst.Src)
+	if err != nil {
+		return err
+	}
+	return e.emitModRMInst(size, m, false, opc)
+}
+
+// encodeRRMOp2 emits a reg, r/m instruction with a 0F xx opcode.
+func (e *encoder) encodeRRMOp2(inst *Inst, size uint8, opc byte) error {
+	m, err := operandModRM(inst.Dst, inst.Src)
+	if err != nil {
+		return err
+	}
+	return e.emitModRMInst(size, m, false, 0x0F, opc)
+}
+
+// encodeMRReg emits an r/m, reg instruction pair (8-bit, wider).
+func (e *encoder) encodeMRReg(inst *Inst, size uint8, opc8, opc byte) error {
+	m, err := operandModRM(inst.Src, inst.Dst)
+	if err != nil {
+		return err
+	}
+	o := opc
+	if size == 1 {
+		o = opc8
+	}
+	return e.emitModRMInst(size, m, rmForce8(size, inst.Dst, inst.Src), o)
+}
+
+// encodeMRReg2 is encodeMRReg with a 0F prefix (CMPXCHG, XADD).
+func (e *encoder) encodeMRReg2(inst *Inst, size uint8, opc8, opc byte) error {
+	m, err := operandModRM(inst.Src, inst.Dst)
+	if err != nil {
+		return err
+	}
+	o := opc
+	if size == 1 {
+		o = opc8
+	}
+	return e.emitModRMInst(size, m, rmForce8(size, inst.Dst, inst.Src), 0x0F, o)
+}
+
+func (e *encoder) encodePushPop(inst *Inst) error {
+	d := inst.Dst
+	switch {
+	case inst.Op == OpPush && d.Kind == KindImm:
+		if d.Imm >= -128 && d.Imm <= 127 {
+			e.byte(0x6A)
+			e.byte(byte(d.Imm))
+		} else {
+			e.byte(0x68)
+			e.u32(uint32(d.Imm))
+		}
+		return nil
+	case d.Kind == KindReg && d.Reg.IsGPR():
+		rx := rexSpec{b: d.Reg.Enc() >= 8}
+		rx.emitTo(e)
+		if inst.Op == OpPush {
+			e.byte(0x50 + d.Reg.Enc()&7)
+		} else {
+			e.byte(0x58 + d.Reg.Enc()&7)
+		}
+		return nil
+	case d.Kind == KindMem && inst.Op == OpPush:
+		m := modrmArgs{reg: 6, mem: d.Mem}
+		return e.emitModRMInst(4, m, false, 0xFF) // push is 64-bit; no REX.W needed
+	case d.Kind == KindMem && inst.Op == OpPop:
+		m := modrmArgs{reg: 0, mem: d.Mem}
+		return e.emitModRMInst(4, m, false, 0x8F)
+	}
+	return fmt.Errorf("x86: bad push/pop operand %s", inst)
+}
+
+func (e *encoder) encodeShift(inst *Inst, size uint8) error {
+	idx, _ := shiftIndex(inst.Op)
+	m, err := operandModRM(Operand{}, inst.Dst)
+	if err != nil {
+		return err
+	}
+	m.reg = idx
+	force := rmForce8(size, inst.Dst)
+	switch {
+	case inst.Src.Kind == KindImm:
+		opc := byte(0xC1)
+		if size == 1 {
+			opc = 0xC0
+		}
+		if err := e.emitModRMInst(size, m, force, opc); err != nil {
+			return err
+		}
+		e.byte(byte(inst.Src.Imm))
+		return nil
+	case inst.Src.Kind == KindReg && inst.Src.Reg == RCX:
+		opc := byte(0xD3)
+		if size == 1 {
+			opc = 0xD2
+		}
+		return e.emitModRMInst(size, m, force, opc)
+	}
+	return fmt.Errorf("x86: shift count must be imm or cl")
+}
+
+func (e *encoder) encodeGroup3(inst *Inst, size uint8) error {
+	// 2- and 3-operand IMUL have dedicated encodings.
+	if inst.Op == OpImul && inst.Src.Kind != KindNone {
+		if inst.Dst.Kind != KindReg {
+			return fmt.Errorf("x86: imul needs reg dst")
+		}
+		m, err := operandModRM(inst.Dst, inst.Src)
+		if err != nil {
+			return err
+		}
+		if inst.Src2.Kind == KindImm {
+			imm := inst.Src2.Imm
+			if imm >= -128 && imm <= 127 {
+				if err := e.emitModRMInst(size, m, false, 0x6B); err != nil {
+					return err
+				}
+				e.byte(byte(imm))
+			} else {
+				if err := e.emitModRMInst(size, m, false, 0x69); err != nil {
+					return err
+				}
+				if size == 2 {
+					e.u16(uint16(imm))
+				} else {
+					e.u32(uint32(imm))
+				}
+			}
+			return nil
+		}
+		return e.emitModRMInst(size, m, false, 0x0F, 0xAF)
+	}
+	var idx uint8
+	switch inst.Op {
+	case OpNot:
+		idx = 2
+	case OpNeg:
+		idx = 3
+	case OpMul:
+		idx = 4
+	case OpImul:
+		idx = 5
+	case OpDiv:
+		idx = 6
+	case OpIdiv:
+		idx = 7
+	}
+	m, err := operandModRM(Operand{}, inst.Dst)
+	if err != nil {
+		return err
+	}
+	m.reg = idx
+	opc := byte(0xF7)
+	if size == 1 {
+		opc = 0xF6
+	}
+	return e.emitModRMInst(size, m, rmForce8(size, inst.Dst), opc)
+}
+
+func (e *encoder) encodeIncDec(inst *Inst, size uint8) error {
+	var idx uint8
+	if inst.Op == OpDec {
+		idx = 1
+	}
+	m, err := operandModRM(Operand{}, inst.Dst)
+	if err != nil {
+		return err
+	}
+	m.reg = idx
+	opc := byte(0xFF)
+	if size == 1 {
+		opc = 0xFE
+	}
+	return e.emitModRMInst(size, m, rmForce8(size, inst.Dst), opc)
+}
+
+func (e *encoder) encodeJmp(inst *Inst) error {
+	switch inst.Dst.Kind {
+	case KindImm:
+		e.byte(0xE9)
+		e.u32(uint32(inst.Dst.Imm))
+		return nil
+	case KindReg, KindMem:
+		m, err := operandModRM(Operand{}, inst.Dst)
+		if err != nil {
+			return err
+		}
+		m.reg = 4
+		return e.emitModRMInst(4, m, false, 0xFF)
+	}
+	return fmt.Errorf("x86: bad jmp operand")
+}
+
+func (e *encoder) encodeCall(inst *Inst) error {
+	switch inst.Dst.Kind {
+	case KindImm:
+		e.byte(0xE8)
+		e.u32(uint32(inst.Dst.Imm))
+		return nil
+	case KindReg, KindMem:
+		m, err := operandModRM(Operand{}, inst.Dst)
+		if err != nil {
+			return err
+		}
+		m.reg = 2
+		return e.emitModRMInst(4, m, false, 0xFF)
+	}
+	return fmt.Errorf("x86: bad call operand")
+}
+
+func (e *encoder) encodeSetcc(inst *Inst) error {
+	m, err := operandModRM(Operand{}, inst.Dst)
+	if err != nil {
+		return err
+	}
+	m.reg = 0
+	return e.emitModRMInst(1, m, rmForce8(1, inst.Dst), 0x0F, 0x90|byte(inst.Cond))
+}
+
+func (e *encoder) encodeString(inst *Inst, size uint8) error {
+	var opc byte
+	switch inst.Op {
+	case OpMovs:
+		opc = 0xA5
+		if size == 1 {
+			opc = 0xA4
+		}
+	case OpStos:
+		opc = 0xAB
+		if size == 1 {
+			opc = 0xAA
+		}
+	case OpLods:
+		opc = 0xAD
+		if size == 1 {
+			opc = 0xAC
+		}
+	}
+	rexSpec{w: size == 8}.emitTo(e)
+	e.byte(opc)
+	return nil
+}
+
+func (e *encoder) encodeMovCR(inst *Inst) error {
+	var crn int64
+	var gpr Reg
+	var opc byte
+	if inst.Op == OpMovToCR {
+		crn, gpr, opc = inst.Dst.Imm, inst.Src.Reg, 0x22
+	} else {
+		crn, gpr, opc = inst.Src.Imm, inst.Dst.Reg, 0x20
+	}
+	if crn < 0 || crn > 7 {
+		return fmt.Errorf("x86: bad control register cr%d", crn)
+	}
+	rx := rexSpec{b: gpr.Enc() >= 8}
+	rx.emitTo(e)
+	e.bytes(0x0F, opc, 0xC0|byte(crn)<<3|gpr.Enc()&7)
+	return nil
+}
+
+// encodeSSE emits the scalar double-precision subset. All use ModRM
+// with XMM registers in reg, XMM or memory in r/m (or a GPR for the
+// conversion/transfer forms).
+func (e *encoder) encodeSSE(inst *Inst) error {
+	type form struct {
+		prefix byte // 0xF2, 0x66 or 0
+		opc    byte
+		rexW   bool
+		// regIsDst: Dst occupies ModRM.reg; otherwise Src does.
+		regIsDst bool
+	}
+	var f form
+	switch inst.Op {
+	case OpMovsdLoad:
+		f = form{0xF2, 0x10, false, true}
+	case OpMovsdStore:
+		f = form{0xF2, 0x11, false, false}
+	case OpAddsd:
+		f = form{0xF2, 0x58, false, true}
+	case OpMulsd:
+		f = form{0xF2, 0x59, false, true}
+	case OpSubsd:
+		f = form{0xF2, 0x5C, false, true}
+	case OpDivsd:
+		f = form{0xF2, 0x5E, false, true}
+	case OpCvtsi2sd:
+		f = form{0xF2, 0x2A, true, true}
+	case OpCvttsd2si:
+		f = form{0xF2, 0x2C, true, true}
+	case OpUcomisd:
+		f = form{0x66, 0x2E, false, true}
+	case OpMovqXR:
+		f = form{0x66, 0x6E, true, true}
+	case OpMovqRX:
+		f = form{0x66, 0x7E, true, false}
+	}
+	var m modrmArgs
+	var err error
+	if f.regIsDst {
+		m, err = operandModRM(inst.Dst, inst.Src)
+	} else {
+		m, err = operandModRM(inst.Src, inst.Dst)
+	}
+	if err != nil {
+		return err
+	}
+	if f.prefix != 0 {
+		e.byte(f.prefix)
+	}
+	rx := rexSpec{w: f.rexW}
+	if err := m.prep(&rx); err != nil {
+		return err
+	}
+	rx.emitTo(e)
+	e.bytes(0x0F, f.opc)
+	m.emit(e)
+	return nil
+}

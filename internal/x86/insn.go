@@ -1,0 +1,290 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies an x86 operation after decoding. The set covers the
+// integer, control-flow, atomic, string, system and scalar-FP
+// instructions needed to run the guest kernel and workloads; every Op
+// has a real x86-64 encoding emitted by the assembler and recognized by
+// the decoder.
+type Op uint8
+
+// Operations. Grouped roughly by encoding family.
+const (
+	OpInvalid Op = iota
+
+	// Integer ALU (group-1 style, r/m,r / r,r/m / r/m,imm forms).
+	OpAdd
+	OpOr
+	OpAdc
+	OpSbb
+	OpAnd
+	OpSub
+	OpXor
+	OpCmp
+	OpTest
+
+	// Data movement.
+	OpMov
+	OpMovzx
+	OpMovsx
+	OpMovsxd
+	OpLea
+	OpXchg
+	OpPush
+	OpPop
+
+	// Shifts (group-2).
+	OpShl
+	OpShr
+	OpSar
+	OpRol
+	OpRor
+
+	// Unary group-3/4/5.
+	OpNot
+	OpNeg
+	OpInc
+	OpDec
+	OpMul  // unsigned RDX:RAX = RAX * r/m
+	OpImul // signed; 1-op (RDX:RAX), 2-op (r,r/m) and 3-op (r,r/m,imm)
+	OpDiv  // unsigned RDX:RAX / r/m
+	OpIdiv
+
+	// Control flow.
+	OpJmp  // direct relative or indirect via r/m
+	OpJcc  // conditional relative
+	OpCall // direct relative or indirect via r/m
+	OpRet
+
+	// Conditional data.
+	OpSetcc
+	OpCmovcc
+
+	// Atomics / synchronization (with LOCK prefix where applicable).
+	OpCmpxchg
+	OpXadd
+	OpMfence
+	OpPause
+
+	// Sign extension of accumulator.
+	OpCdqe // RAX = sext(EAX)
+	OpCqo  // RDX:RAX = sext(RAX)
+
+	// String operations (with optional REP prefix).
+	OpMovs
+	OpStos
+	OpLods
+
+	// System instructions.
+	OpNop
+	OpHlt
+	OpSyscall
+	OpSysret
+	OpIretq
+	OpRdtsc
+	OpCpuid
+	OpPtlcall   // 0F 37: PTLsim breakout opcode (simulator control)
+	OpHypercall // 0F 01 C1 (VMCALL encoding): paravirt hypercall
+	OpMovToCR   // 0F 22 /r: MOV CRn, r64 (privileged)
+	OpMovFromCR // 0F 20 /r: MOV r64, CRn (privileged)
+	OpInvlpg    // 0F 01 /7: invalidate TLB entry (privileged)
+
+	// Scalar double-precision FP (SSE2 subset).
+	OpMovsdLoad  // F2 0F 10: MOVSD xmm, m64/xmm
+	OpMovsdStore // F2 0F 11: MOVSD m64/xmm, xmm
+	OpAddsd
+	OpSubsd
+	OpMulsd
+	OpDivsd
+	OpCvtsi2sd // F2 REX.W 0F 2A: xmm = double(r/m64)
+	OpCvttsd2si
+	OpUcomisd
+	OpMovqXR // 66 REX.W 0F 6E: MOVQ xmm, r/m64
+	OpMovqRX // 66 REX.W 0F 7E: MOVQ r/m64, xmm
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpOr: "or", OpAdc: "adc", OpSbb: "sbb",
+	OpAnd: "and", OpSub: "sub", OpXor: "xor", OpCmp: "cmp", OpTest: "test",
+	OpMov: "mov", OpMovzx: "movzx", OpMovsx: "movsx", OpMovsxd: "movsxd",
+	OpLea: "lea", OpXchg: "xchg", OpPush: "push", OpPop: "pop",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpRol: "rol", OpRor: "ror",
+	OpNot: "not", OpNeg: "neg", OpInc: "inc", OpDec: "dec",
+	OpMul: "mul", OpImul: "imul", OpDiv: "div", OpIdiv: "idiv",
+	OpJmp: "jmp", OpJcc: "j", OpCall: "call", OpRet: "ret",
+	OpSetcc: "set", OpCmovcc: "cmov",
+	OpCmpxchg: "cmpxchg", OpXadd: "xadd", OpMfence: "mfence", OpPause: "pause",
+	OpCdqe: "cdqe", OpCqo: "cqo",
+	OpMovs: "movs", OpStos: "stos", OpLods: "lods",
+	OpNop: "nop", OpHlt: "hlt",
+	OpSyscall: "syscall", OpSysret: "sysret", OpIretq: "iretq",
+	OpRdtsc: "rdtsc", OpCpuid: "cpuid",
+	OpPtlcall: "ptlcall", OpHypercall: "hypercall",
+	OpMovToCR: "mov_to_cr", OpMovFromCR: "mov_from_cr", OpInvlpg: "invlpg",
+	OpMovsdLoad: "movsd", OpMovsdStore: "movsd_st",
+	OpAddsd: "addsd", OpSubsd: "subsd", OpMulsd: "mulsd", OpDivsd: "divsd",
+	OpCvtsi2sd: "cvtsi2sd", OpCvttsd2si: "cvttsd2si", OpUcomisd: "ucomisd",
+	OpMovqXR: "movq_xr", OpMovqRX: "movq_rx",
+}
+
+// String returns the mnemonic of the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindMem
+	KindImm
+)
+
+// MemRef is a decoded x86 memory reference: base + index*scale + disp,
+// optionally RIP-relative (base == RIP, disp relative to the end of the
+// instruction).
+type MemRef struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4 or 8
+	Disp  int32
+}
+
+// String renders the memory reference in Intel-ish syntax.
+func (m MemRef) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	sep := ""
+	if m.Base != RegNone {
+		b.WriteString(m.Base.String())
+		sep = "+"
+	}
+	if m.Index != RegNone {
+		fmt.Fprintf(&b, "%s%s*%d", sep, m.Index, m.Scale)
+		sep = "+"
+	}
+	if m.Disp != 0 || sep == "" {
+		if m.Disp < 0 {
+			fmt.Fprintf(&b, "-0x%x", -int64(m.Disp))
+		} else {
+			fmt.Fprintf(&b, "%s0x%x", sep, m.Disp)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Operand is one instruction operand: a register, a memory reference or
+// an immediate.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Mem  MemRef
+	Imm  int64
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// MemOp returns a memory operand.
+func MemOp(m MemRef) Operand { return Operand{Kind: KindMem, Mem: m} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindMem:
+		return o.Mem.String()
+	case KindImm:
+		if o.Imm < 0 {
+			return fmt.Sprintf("-0x%x", -o.Imm)
+		}
+		return fmt.Sprintf("0x%x", o.Imm)
+	default:
+		return ""
+	}
+}
+
+// Inst is a decoded x86-64 instruction. Len is the encoded length in
+// bytes; for relative branches Imm holds the signed displacement from
+// the end of the instruction (hardware semantics), so the target is
+// RIP_of_next + Dst.Imm.
+type Inst struct {
+	Op     Op
+	Cond   Cond  // for Jcc / SETcc / CMOVcc
+	OpSize uint8 // operand size in bytes: 1, 2, 4 or 8
+	Lock   bool  // LOCK prefix present
+	Rep    bool  // REP prefix present (string ops)
+	Dst    Operand
+	Src    Operand
+	Src2   Operand // third operand (3-operand IMUL)
+	Len    uint8
+}
+
+// IsBranch reports whether the instruction can redirect control flow,
+// i.e. whether it terminates a basic block.
+func (i *Inst) IsBranch() bool {
+	switch i.Op {
+	case OpJmp, OpJcc, OpCall, OpRet, OpSyscall, OpSysret, OpIretq,
+		OpHlt, OpPtlcall, OpHypercall:
+		return true
+	}
+	// REP string ops loop back to themselves: block terminator.
+	if i.Rep {
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in Intel-ish syntax for logs and the
+// disassembler output of cmd/ptlsim.
+func (i *Inst) String() string {
+	var b strings.Builder
+	if i.Lock {
+		b.WriteString("lock ")
+	}
+	if i.Rep {
+		b.WriteString("rep ")
+	}
+	switch i.Op {
+	case OpJcc:
+		fmt.Fprintf(&b, "j%s", i.Cond)
+	case OpSetcc:
+		fmt.Fprintf(&b, "set%s", i.Cond)
+	case OpCmovcc:
+		fmt.Fprintf(&b, "cmov%s", i.Cond)
+	default:
+		b.WriteString(i.Op.String())
+	}
+	if i.OpSize != 0 && i.OpSize != 8 {
+		fmt.Fprintf(&b, "%d", i.OpSize*8)
+	}
+	ops := make([]string, 0, 3)
+	for _, o := range []Operand{i.Dst, i.Src, i.Src2} {
+		if o.Kind != KindNone {
+			ops = append(ops, o.String())
+		}
+	}
+	if len(ops) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(ops, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+// Package x86 defines the subset of the x86-64 instruction set
+// architecture modeled by this simulator: architectural registers, an
+// instruction representation, a binary decoder for real x86-64 machine
+// code (REX prefixes, ModRM/SIB addressing, displacements, immediates),
+// and an assembler/DSL used to build guest programs, mirroring how
+// PTLsim consumes genuine x86-64 byte streams produced by a compiler.
+package x86
+
+import "fmt"
+
+// Reg names an architectural register. General-purpose registers come
+// first and match their hardware encoding (RAX=0 ... R15=15), followed
+// by the scalar FP registers (XMM0-15), RIP and RFLAGS pseudo-registers.
+type Reg uint8
+
+// General purpose registers, in hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// XMM0..XMM15 scalar FP registers.
+	XMM0
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+	// RIP is the instruction pointer (used for RIP-relative addressing).
+	RIP
+	// RegNone marks an absent register operand (e.g. no index register).
+	RegNone Reg = 0xFF
+)
+
+// NumGPR is the count of general-purpose registers.
+const NumGPR = 16
+
+// NumXMM is the count of scalar FP registers.
+const NumXMM = 16
+
+var gprNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// IsGPR reports whether r is a general-purpose register.
+func (r Reg) IsGPR() bool { return r < NumGPR }
+
+// IsXMM reports whether r is a scalar FP register.
+func (r Reg) IsXMM() bool { return r >= XMM0 && r <= XMM15 }
+
+// Enc returns the 4-bit hardware encoding of the register (the low 3
+// bits go into ModRM/SIB fields; bit 3 goes into the REX prefix).
+func (r Reg) Enc() uint8 {
+	switch {
+	case r.IsGPR():
+		return uint8(r)
+	case r.IsXMM():
+		return uint8(r - XMM0)
+	default:
+		return 0
+	}
+}
+
+// String returns the conventional assembly name of the register.
+func (r Reg) String() string {
+	switch {
+	case r.IsGPR():
+		return gprNames[r]
+	case r.IsXMM():
+		return fmt.Sprintf("xmm%d", r-XMM0)
+	case r == RIP:
+		return "rip"
+	case r == RegNone:
+		return "none"
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// RFLAGS bit positions for the condition codes the simulator models.
+// These match the hardware RFLAGS layout so flag-merging microcode can
+// use real masks.
+const (
+	FlagCF uint64 = 1 << 0
+	FlagPF uint64 = 1 << 2
+	FlagAF uint64 = 1 << 4
+	FlagZF uint64 = 1 << 6
+	FlagSF uint64 = 1 << 7
+	FlagIF uint64 = 1 << 9 // interrupt enable
+	FlagOF uint64 = 1 << 11
+)
+
+// FlagsMask covers every flag bit the simulator tracks.
+const FlagsMask = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+
+// Cond is an x86 condition code, encoded exactly as in the low 4 bits
+// of the Jcc/SETcc/CMOVcc opcodes.
+type Cond uint8
+
+// Condition codes in hardware encoding order.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (CF)
+	CondAE             // above or equal (!CF)
+	CondE              // equal (ZF)
+	CondNE             // not equal (!ZF)
+	CondBE             // below or equal (CF|ZF)
+	CondA              // above (!CF & !ZF)
+	CondS              // sign (SF)
+	CondNS             // not sign (!SF)
+	CondP              // parity (PF)
+	CondNP             // not parity (!PF)
+	CondL              // less (SF != OF)
+	CondGE             // greater or equal (SF == OF)
+	CondLE             // less or equal (ZF | SF != OF)
+	CondG              // greater (!ZF & SF == OF)
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// String returns the condition suffix (e.g. "ne" for CondNE).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// Eval evaluates the condition against an RFLAGS value.
+func (c Cond) Eval(flags uint64) bool {
+	cf := flags&FlagCF != 0
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	pf := flags&FlagPF != 0
+	switch c {
+	case CondO:
+		return of
+	case CondNO:
+		return !of
+	case CondB:
+		return cf
+	case CondAE:
+		return !cf
+	case CondE:
+		return zf
+	case CondNE:
+		return !zf
+	case CondBE:
+		return cf || zf
+	case CondA:
+		return !cf && !zf
+	case CondS:
+		return sf
+	case CondNS:
+		return !sf
+	case CondP:
+		return pf
+	case CondNP:
+		return !pf
+	case CondL:
+		return sf != of
+	case CondGE:
+		return sf == of
+	case CondLE:
+		return zf || sf != of
+	case CondG:
+		return !zf && sf == of
+	default:
+		return false
+	}
+}
+
+// Negate returns the inverse condition (flips the low encoding bit,
+// exactly as hardware does).
+func (c Cond) Negate() Cond { return c ^ 1 }
