@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the full pre-merge gate: vet, build, and the test suite
+# under the race detector.
+verify:
+	./scripts/verify.sh

@@ -20,11 +20,20 @@ import (
 	"ptlsim/internal/core"
 	"ptlsim/internal/cosim"
 	"ptlsim/internal/experiments"
+	"ptlsim/internal/faultinject"
 	"ptlsim/internal/guest"
 	"ptlsim/internal/kern"
 	"ptlsim/internal/ooo"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/snapshot"
 	"ptlsim/internal/stats"
 )
+
+// defaultMaxCycles is the default cycle budget for plain runs: large
+// enough for every shipped workload scale, small enough that a hung
+// simulation terminates with a structured error instead of spinning
+// forever. Override with -maxcycles (0 = unlimited).
+const defaultMaxCycles = 2_000_000_000
 
 func main() {
 	var (
@@ -37,7 +46,12 @@ func main() {
 		change     = flag.Float64("change", -1, "override corpus change fraction")
 		timer      = flag.Uint64("timer", 0, "guest timer period in cycles (0 = default)")
 		snapCycles = flag.Uint64("snapshot-cycles", 0, "statistics snapshot interval")
-		maxCycles  = flag.Uint64("maxcycles", 0, "abort after this many cycles (0 = unlimited)")
+		maxCycles  = flag.Uint64("maxcycles", defaultMaxCycles, "abort after this many cycles (0 = unlimited)")
+		watchdog   = flag.Uint64("watchdog", 10_000_000, "fail if a core commits nothing for this many cycles (0 = off)")
+		inject     = flag.String("inject", "", "fault specs, ';'-separated: kind@insn[:k=v,...] (regflip|memflip|tlbflush|memdelay|robcorrupt)")
+		ckptCycles = flag.Uint64("checkpoint-cycles", 0, "checkpoint the machine every N cycles (0 = off)")
+		ckptOut    = flag.String("checkpoint-out", "", "write each checkpoint to <prefix>.<k>.ckpt")
+		restoreIn  = flag.String("restore", "", "resume from a checkpoint file instead of booting the benchmark")
 		simInsns   = flag.Int64("sim-insns", 100_000, "sampled mode: simulated instructions per period")
 		natInsns   = flag.Int64("native-insns", 900_000, "sampled mode: native instructions per period")
 		statsOut   = flag.String("stats-out", "", "write snapshot series as JSON for ptlstats")
@@ -72,7 +86,16 @@ func main() {
 	if *snapCycles > 0 {
 		cfg.SnapshotCycles = *snapCycles
 	}
-	if *maxCycles > 0 {
+	// -maxcycles always wins when given explicitly (including 0 for
+	// unlimited); otherwise the default budget applies unless the
+	// experiment scale configured its own.
+	maxSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "maxcycles" {
+			maxSet = true
+		}
+	})
+	if maxSet || cfg.MaxCycles == 0 {
 		cfg.MaxCycles = *maxCycles
 	}
 
@@ -81,37 +104,78 @@ func main() {
 		return
 	}
 
-	// Plain benchmark run.
-	tree := stats.NewTree()
-	spec, err := guest.RsyncBenchmark(cfg.Corpus, cfg.TimerPeriod)
-	if err != nil {
-		fatal(err)
-	}
-	spec.Tree = tree
-	img, err := kern.Build(spec)
-	if err != nil {
-		fatal(err)
-	}
+	// Plain benchmark run (or checkpoint resume).
 	mcfg := core.Config{Core: coreConfig(*coreKind), NativeCPI: 1,
-		SnapshotCycles: cfg.SnapshotCycles, ThreadsPerCore: 1}
-	m := core.NewMachine(img.Domain, tree, mcfg)
+		SnapshotCycles: cfg.SnapshotCycles, ThreadsPerCore: 1,
+		WatchdogCycles: *watchdog}
+	if err := mcfg.Validate(); err != nil {
+		fatal(err)
+	}
+	var m *core.Machine
+	tree := stats.NewTree()
+	if *restoreIn != "" {
+		ckimg, err := snapshot.ReadFile(*restoreIn)
+		if err != nil {
+			fatal(err)
+		}
+		if m, err = snapshot.Restore(ckimg, mcfg); err != nil {
+			fatal(err)
+		}
+		tree = m.Tree
+	} else {
+		spec, err := guest.RsyncBenchmark(cfg.Corpus, cfg.TimerPeriod)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Tree = tree
+		img, err := kern.Build(spec)
+		if err != nil {
+			fatal(err)
+		}
+		m = core.NewMachine(img.Domain, tree, mcfg)
+	}
 
+	if *inject != "" {
+		specs, err := faultinject.ParseList(*inject)
+		if err != nil {
+			fatal(err)
+		}
+		faultinject.New(specs...).Attach(m)
+	}
+
+	var err error
 	switch *mode {
-	case "native":
-		err = m.Run(cfg.MaxCycles)
-	case "sim":
-		m.SwitchMode(core.ModeSim)
-		err = m.Run(cfg.MaxCycles)
+	case "native", "sim":
+		if *mode == "sim" {
+			m.SwitchMode(core.ModeSim)
+		}
+		if *ckptCycles > 0 {
+			r := snapshot.NewRunner(m, *ckptCycles)
+			if *ckptOut != "" {
+				prefix := *ckptOut
+				r.OnCheckpoint = func(k int, _ *snapshot.Image, data []byte) error {
+					return os.WriteFile(fmt.Sprintf("%s.%d.ckpt", prefix, k), data, 0o644)
+				}
+			}
+			err = r.Run(cfg.MaxCycles)
+			m = r.M // the runner swaps machines at each checkpoint
+		} else {
+			err = m.Run(cfg.MaxCycles)
+		}
 	case "sampled":
 		err = cosim.RunSampled(m, cosim.SampleConfig{SimInsns: *simInsns, NativeInsns: *natInsns}, cfg.MaxCycles)
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
 	if err != nil {
+		if se, ok := simerr.As(err); ok {
+			fmt.Fprintln(os.Stderr, "ptlsim:", se.Detail())
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 
-	fmt.Fprintf(w, "console output:\n%s\n", img.Domain.Console())
+	fmt.Fprintf(w, "console output:\n%s\n", m.Dom.Console())
 	fmt.Fprintf(w, "cycles: %d  instructions: %d\n", m.Cycle, m.Insns())
 	if *dumpStats != "" {
 		final := tree.Snapshot(m.Cycle)

@@ -6,6 +6,8 @@
 // Table 1 uses a 16K-entry gshare-like global-history predictor.
 package bpred
 
+import "fmt"
+
 // Kind selects the direction predictor algorithm.
 type Kind uint8
 
@@ -25,6 +27,36 @@ type Config struct {
 	BTBEntries int
 	BTBAssoc   int
 	RASEntries int
+}
+
+// Validate checks the predictor geometry so bad CLI flags produce a
+// usable message instead of a stack trace at construction time.
+func (c Config) Validate() error {
+	if c.TableBits > 28 {
+		return fmt.Errorf("bpred: table bits %d too large (max 28)", c.TableBits)
+	}
+	if c.HistBits > 63 {
+		return fmt.Errorf("bpred: history bits %d too large (max 63)", c.HistBits)
+	}
+	if c.BTBEntries <= 0 {
+		return fmt.Errorf("bpred: BTB entries %d must be positive", c.BTBEntries)
+	}
+	assoc := c.BTBAssoc
+	if assoc <= 0 {
+		assoc = 1
+	}
+	if c.BTBEntries%assoc != 0 {
+		return fmt.Errorf("bpred: BTB entries %d not a multiple of associativity %d", c.BTBEntries, assoc)
+	}
+	nsets := c.BTBEntries / assoc
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("bpred: BTB set count %d (entries %d / assoc %d) must be a power of two",
+			nsets, c.BTBEntries, assoc)
+	}
+	if c.RASEntries < 0 {
+		return fmt.Errorf("bpred: RAS entries %d must be non-negative", c.RASEntries)
+	}
+	return nil
 }
 
 // DefaultConfig is a modest hybrid predictor.
@@ -207,8 +239,10 @@ func NewBTB(entries, assoc int) *BTB {
 	if nsets <= 0 {
 		nsets = 1
 	}
-	if nsets&(nsets-1) != 0 {
-		panic("bpred: BTB set count must be a power of two")
+	// Ill-formed geometries (see Config.Validate) round up to the next
+	// power-of-two set count; validated configs never trigger this.
+	for nsets&(nsets-1) != 0 {
+		nsets++
 	}
 	b := &BTB{sets: make([][]btbWay, nsets), setMask: uint64(nsets - 1)}
 	for i := range b.sets {

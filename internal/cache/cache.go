@@ -10,6 +10,8 @@
 // caches track presence, state and latency rather than bytes.
 package cache
 
+import "fmt"
+
 // MESI/MOESI line states.
 type State uint8
 
@@ -48,6 +50,34 @@ type Config struct {
 	Banks    int // 0 = unbanked
 }
 
+// Validate checks the geometry, naming the level in error messages so
+// a bad CLI flag yields a usable diagnostic instead of a stack trace.
+func (c Config) Validate(name string) error {
+	if c.Size <= 0 {
+		return fmt.Errorf("cache %s: size %d must be positive", name, c.Size)
+	}
+	line := c.LineSize
+	if line == 0 {
+		line = 64
+	}
+	if line&(line-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d must be a power of two", name, line)
+	}
+	assoc := c.Assoc
+	if assoc <= 0 {
+		assoc = 1
+	}
+	nsets := c.Size / (line * assoc)
+	if nsets <= 0 {
+		nsets = 1
+	}
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d (size %d / line %d / assoc %d) must be a power of two",
+			name, nsets, c.Size, line, assoc)
+	}
+	return nil
+}
+
 type line struct {
 	tag   uint64
 	state State
@@ -75,8 +105,10 @@ func NewCache(cfg Config) *Cache {
 	if nsets <= 0 {
 		nsets = 1
 	}
-	if nsets&(nsets-1) != 0 {
-		panic("cache: set count must be a power of two")
+	// Ill-formed geometries (see Config.Validate) round up to the next
+	// power-of-two set count; validated configs never trigger this.
+	for nsets&(nsets-1) != 0 {
+		nsets++
 	}
 	shift := uint(0)
 	for 1<<shift < cfg.LineSize {

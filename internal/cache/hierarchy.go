@@ -11,6 +11,25 @@ type HierarchyConfig struct {
 	Prefetch         bool // simple tagged next-line prefetcher on L1D misses
 }
 
+// Validate checks every configured level's geometry.
+func (cfg HierarchyConfig) Validate() error {
+	if err := cfg.L1D.Validate("l1d"); err != nil {
+		return err
+	}
+	if err := cfg.L1I.Validate("l1i"); err != nil {
+		return err
+	}
+	if err := cfg.L2.Validate("l2"); err != nil {
+		return err
+	}
+	if cfg.L3.Size > 0 {
+		if err := cfg.L3.Validate("l3"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DefaultHierarchy is a generic modern three-level configuration.
 func DefaultHierarchy() HierarchyConfig {
 	return HierarchyConfig{
@@ -75,6 +94,11 @@ type Hierarchy struct {
 	coreID int
 
 	prefetchLast uint64 // last line missed, for tagged next-line detection
+
+	// respDelayUntil, when nonzero, stretches every access completing
+	// earlier to that cycle — the fault-injection model of a hung or
+	// slow memory device (see internal/faultinject).
+	respDelayUntil uint64
 
 	// Statistics.
 	l1dAccess, l1dMiss   *stats.Counter
@@ -184,8 +208,19 @@ func (h *Hierarchy) mshrAlloc(lineAddr, now, fillLatency uint64) (uint64, bool) 
 	return ready, false
 }
 
-// access is the shared lookup path for loads, stores and fetches.
+// access is the shared lookup path for loads, stores and fetches,
+// applying the injected response delay (if armed) on top of the
+// modeled timing.
 func (h *Hierarchy) access(pa uint64, now uint64, write, ifetch bool) Result {
+	r := h.accessTimed(pa, now, write, ifetch)
+	if r.Ready < h.respDelayUntil {
+		r.Ready = h.respDelayUntil
+	}
+	return r
+}
+
+// accessTimed computes the un-injected timing outcome.
+func (h *Hierarchy) accessTimed(pa uint64, now uint64, write, ifetch bool) Result {
 	l1 := h.l1d
 	acc, miss := h.l1dAccess, h.l1dMiss
 	if ifetch {
@@ -300,6 +335,13 @@ func (h *Hierarchy) access(pa uint64, now uint64, write, ifetch bool) Result {
 
 	return Result{Ready: ready, Level: level, MSHRMerged: merged}
 }
+
+// SetResponseDelay stretches every subsequent access so it completes
+// no earlier than cycle until (0 restores normal behavior). This is
+// the fault-injection hook modeling a stalled memory device: with a
+// far-future cycle, in-flight loads never complete and the commit
+// watchdog must trip.
+func (h *Hierarchy) SetResponseDelay(until uint64) { h.respDelayUntil = until }
 
 // Load performs a data read at physical address pa at cycle now.
 func (h *Hierarchy) Load(pa, now uint64) Result { return h.access(pa, now, false, false) }

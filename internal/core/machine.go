@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -17,6 +18,7 @@ import (
 	"ptlsim/internal/hv"
 	"ptlsim/internal/ooo"
 	"ptlsim/internal/seqcore"
+	"ptlsim/internal/simerr"
 	"ptlsim/internal/stats"
 )
 
@@ -49,6 +51,31 @@ type Config struct {
 	// for the paper's §2.1 claim that the BB cache is a simulator
 	// speed optimization with no architectural effect).
 	BBCacheCapacity int
+	// WatchdogCycles arms the per-core commit-progress watchdog: a
+	// core that makes no forward progress for this many cycles while
+	// work is in flight fails with a structured livelock SimError
+	// carrying a pipeline dump (0 disables).
+	WatchdogCycles uint64
+}
+
+// Validate checks the machine configuration, surfacing the core
+// model's geometry constraints as a usable error instead of a panic
+// during construction.
+func (cfg Config) Validate() error {
+	if err := cfg.Core.Validate(); err != nil {
+		return err
+	}
+	if cfg.NativeCPI < 0 {
+		return fmt.Errorf("core: NativeCPI %g must be non-negative", cfg.NativeCPI)
+	}
+	if cfg.ThreadsPerCore > cfg.Core.MaxThreads {
+		// NewMachine widens MaxThreads automatically; only a widened
+		// config that then fails core validation is a real error.
+		widened := cfg.Core
+		widened.MaxThreads = cfg.ThreadsPerCore
+		return widened.Validate()
+	}
+	return nil
 }
 
 // DefaultConfig runs the default out-of-order core.
@@ -80,6 +107,10 @@ type Machine struct {
 	// Stop conditions for the current phase.
 	stopInsns  int64 // committed-instruction budget (-1 = unlimited)
 	baseInsns  int64
+
+	// stepHook runs after every successful Step (fault injection and
+	// other instrumentation).
+	stepHook func(*Machine)
 
 	cyclesNative, cyclesSim              *stats.Counter
 	cyclesUser, cyclesKernel, cyclesIdle *stats.Counter
@@ -151,6 +182,9 @@ func NewMachine(dom *hv.Domain, tree *stats.Tree, cfg Config) *Machine {
 		}
 		oc := ooo.New(c, coreCfg, dom.VCPUs[lo:hi], dom, m.bbc, tree, fmt.Sprintf("core%d", c))
 		oc.SetInterlock(il)
+		if cfg.WatchdogCycles > 0 {
+			oc.SetWatchdog(cfg.WatchdogCycles)
+		}
 		if coh != nil {
 			oc.Hierarchy().AttachCoherence(coh, c)
 		}
@@ -161,6 +195,18 @@ func NewMachine(dom *hv.Domain, tree *stats.Tree, cfg Config) *Machine {
 
 // Mode returns the current execution mode.
 func (m *Machine) Mode() Mode { return m.mode }
+
+// Config returns the machine configuration; checkpoint restore builds
+// an identical machine from it.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetStepHook installs fn to run after every successful Step (fault
+// injection instrumentation; nil clears it).
+func (m *Machine) SetStepHook(fn func(*Machine)) { m.stepHook = fn }
+
+// StepHook returns the installed step hook so checkpointing can carry
+// instrumentation over to a restored machine.
+func (m *Machine) StepHook() func(*Machine) { return m.stepHook }
 
 // OOOCores exposes the cycle-accurate cores (stats, tests).
 func (m *Machine) OOOCores() []*ooo.Core { return m.oooCores }
@@ -295,9 +341,31 @@ func (m *Machine) stepNative() error {
 		return nil
 	}
 	if !m.skipIdle() {
-		return fmt.Errorf("core: domain deadlocked at cycle %d (all VCPUs halted, no timers)", m.Cycle)
+		return m.deadlockErr()
 	}
 	return nil
+}
+
+// deadlockErr builds the structured error for a fully halted domain
+// with no timer or DMA deadline that could ever wake it.
+func (m *Machine) deadlockErr() error {
+	ctx := m.Dom.VCPUs[0]
+	se := &simerr.SimError{
+		Kind:    simerr.KindDeadlock,
+		Cycle:   m.Cycle,
+		VCPU:    int(ctx.ID),
+		RIP:     ctx.RIP,
+		Message: "domain deadlocked: all VCPUs halted, no pending timers",
+	}
+	if m.mode == ModeSim {
+		var dump strings.Builder
+		for _, c := range m.oooCores {
+			dump.WriteString(c.DumpState())
+			se.LastRIPs = append(se.LastRIPs, c.RecentCommits()...)
+		}
+		se.Dump = dump.String()
+	}
+	return se
 }
 
 // stepSim advances the cycle accurate model by one cycle (all cores in
@@ -305,7 +373,7 @@ func (m *Machine) stepNative() error {
 func (m *Machine) stepSim() error {
 	if m.allIdle() {
 		if !m.skipIdle() {
-			return fmt.Errorf("core: domain deadlocked at cycle %d", m.Cycle)
+			return m.deadlockErr()
 		}
 		return nil
 	}
@@ -320,10 +388,42 @@ func (m *Machine) stepSim() error {
 
 // Step advances the machine by one unit in the current mode.
 func (m *Machine) Step() error {
+	var err error
 	if m.mode == ModeNative {
-		return m.stepNative()
+		err = m.stepNative()
+	} else {
+		err = m.stepSim()
 	}
-	return m.stepSim()
+	if err == nil && m.stepHook != nil {
+		m.stepHook(m)
+	}
+	return err
+}
+
+// guard converts an internal invariant panic into a structured
+// SimError annotated with the execution context (cycle, RIP, recently
+// committed instructions) so a sick run produces a failure report
+// instead of taking down the process. It must be the first defer in
+// each Run* entry point so cleanup defers registered later still run
+// during the unwind.
+func (m *Machine) guard(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	ctx := m.Dom.VCPUs[0]
+	se := &simerr.SimError{
+		Kind:    simerr.KindPanic,
+		Cycle:   m.Cycle,
+		VCPU:    int(ctx.ID),
+		RIP:     ctx.RIP,
+		Message: fmt.Sprintf("internal invariant violated: %v", r),
+		Dump:    string(debug.Stack()),
+	}
+	for _, c := range m.oooCores {
+		se.LastRIPs = append(se.LastRIPs, c.RecentCommits()...)
+	}
+	*err = se
 }
 
 // RunUntilInsns advances the machine until exactly target instructions
@@ -332,10 +432,16 @@ func (m *Machine) Step() error {
 // mode the commit stage is gated, so both engines pause at a precise
 // instruction boundary — the property native↔sim switching and the
 // divergence search rely on.
-func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) error {
+func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) (err error) {
+	defer m.guard(&err)
 	if m.mode == ModeSim {
+		// The commit gate compares against each core's own committed
+		// count, which on a checkpoint-restored machine is smaller than
+		// the machine total (earlier commits may live in the other
+		// engine's counters) — so express the limit per core.
+		delta := target - m.Insns()
 		for _, c := range m.oooCores {
-			c.SetCommitLimit(target)
+			c.SetCommitLimit(c.Insns() + delta)
 		}
 		defer func() {
 			for _, c := range m.oooCores {
@@ -355,7 +461,8 @@ func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) error {
 	start := m.Cycle
 	for m.Insns() < target && !m.Dom.ShutdownReq {
 		if maxCycles > 0 && m.Cycle-start >= maxCycles {
-			return fmt.Errorf("core: RunUntilInsns(%d): cycle budget exhausted at %d insns", target, m.Insns())
+			return m.budgetErr(fmt.Sprintf(
+				"RunUntilInsns(%d): cycle budget %d exhausted at %d insns", target, maxCycles, m.Insns()))
 		}
 		if err := m.Step(); err != nil {
 			return err
@@ -367,7 +474,8 @@ func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) error {
 
 // RunUntilRIP runs in native mode, single stepping, until VCPU 0
 // reaches the trigger RIP (the paper's RIP trigger points, §2.3).
-func (m *Machine) RunUntilRIP(rip uint64, maxInsns int64) error {
+func (m *Machine) RunUntilRIP(rip uint64, maxInsns int64) (err error) {
+	defer m.guard(&err)
 	if m.mode != ModeNative {
 		return fmt.Errorf("core: RIP triggers require native mode")
 	}
@@ -387,25 +495,59 @@ func (m *Machine) RunUntilRIP(rip uint64, maxInsns int64) error {
 
 // Run executes until the domain shuts down or maxCycles elapses
 // (0 = unlimited), honoring ptlcall command lists submitted from
-// inside the guest.
-func (m *Machine) Run(maxCycles uint64) error {
+// inside the guest. Internal invariant panics are converted into
+// structured SimErrors by the guard boundary.
+func (m *Machine) Run(maxCycles uint64) (err error) {
+	defer m.guard(&err)
 	for !m.Dom.ShutdownReq {
 		if maxCycles > 0 && m.Cycle >= maxCycles {
-			return fmt.Errorf("core: cycle budget %d exhausted (cycle %d)", maxCycles, m.Cycle)
+			return m.budgetErr(fmt.Sprintf("cycle budget %d exhausted", maxCycles))
 		}
 		if err := m.Step(); err != nil {
 			return err
 		}
-		m.processCommands()
-		if m.stopInsns >= 0 && m.Insns()-m.baseInsns >= m.stopInsns {
-			m.stopInsns = -1
-			m.nextPhase()
-		}
+		m.postStep()
 	}
 	if m.collector != nil {
 		m.collector.Tick(m.Cycle)
 	}
 	return nil
+}
+
+// RunUntilCycle advances until the shared clock reaches target or the
+// domain shuts down — checkpoint interval boundaries land on exact
+// cycles regardless of mode.
+func (m *Machine) RunUntilCycle(target uint64) (err error) {
+	defer m.guard(&err)
+	for m.Cycle < target && !m.Dom.ShutdownReq {
+		if err := m.Step(); err != nil {
+			return err
+		}
+		m.postStep()
+	}
+	return nil
+}
+
+// postStep drains guest commands and applies phase boundaries after a
+// successful Step.
+func (m *Machine) postStep() {
+	m.processCommands()
+	if m.stopInsns >= 0 && m.Insns()-m.baseInsns >= m.stopInsns {
+		m.stopInsns = -1
+		m.nextPhase()
+	}
+}
+
+// budgetErr builds the structured error for an exhausted cycle budget.
+func (m *Machine) budgetErr(msg string) error {
+	ctx := m.Dom.VCPUs[0]
+	return &simerr.SimError{
+		Kind:    simerr.KindCycleBudget,
+		Cycle:   m.Cycle,
+		VCPU:    int(ctx.ID),
+		RIP:     ctx.RIP,
+		Message: msg,
+	}
 }
 
 // Series returns the collected time-lapse statistics series.
@@ -446,6 +588,43 @@ func (m *Machine) nextPhase() {
 		m.stopInsns = -1
 	}
 }
+
+// PhaseSpec is the exported form of a queued ptlcall phase, letting a
+// checkpoint carry pending command-list state across a restore.
+type PhaseSpec struct {
+	Sim       bool
+	StopInsns int64
+	Kill      bool
+}
+
+// ControlState exports command/phase progress for checkpointing.
+func (m *Machine) ControlState() (phases []PhaseSpec, stopInsns, baseInsns int64) {
+	for _, ph := range m.phases {
+		phases = append(phases, PhaseSpec{Sim: ph.mode == ModeSim, StopInsns: ph.stopInsns, Kill: ph.kill})
+	}
+	return phases, m.stopInsns, m.baseInsns
+}
+
+// SetControlState restores command/phase progress captured by
+// ControlState.
+func (m *Machine) SetControlState(phases []PhaseSpec, stopInsns, baseInsns int64) {
+	m.phases = nil
+	for _, ps := range phases {
+		ph := phase{mode: ModeNative, stopInsns: ps.StopInsns, kill: ps.Kill}
+		if ps.Sim {
+			ph.mode = ModeSim
+		}
+		m.phases = append(m.phases, ph)
+	}
+	m.stopInsns = stopInsns
+	m.baseInsns = baseInsns
+}
+
+// RestoreMode sets the execution mode without counting a mode switch
+// or flushing pipelines. Checkpoint restore only: the freshly built
+// cores are already cold, and the mode-switch counter is restored
+// separately with the rest of the stats tree.
+func (m *Machine) RestoreMode(mode Mode) { m.mode = mode }
 
 // parseCommandList parses a PTLsim command list like
 // "-run -stopinsns 10m : -native" into phases (paper §4.1).

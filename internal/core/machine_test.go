@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/hv"
+	"ptlsim/internal/mem"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/vm"
+)
+
+// haltedDomain builds a minimal one-VCPU domain whose VCPU is halted,
+// the precondition for the deadlock detection paths.
+func haltedDomain(t *testing.T) (*hv.Domain, *stats.Tree) {
+	t.Helper()
+	tree := stats.NewTree()
+	dom := hv.NewDomain(&vm.Machine{PM: mem.NewPhysMem()}, 1, tree)
+	dom.VCPUs[0].Running = false
+	return dom, tree
+}
+
+func TestDeadlockAllHaltedNoTimersNative(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	m := NewMachine(dom, tree, DefaultConfig())
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("want *simerr.SimError, got %T: %v", err, err)
+	}
+	if se.Kind != simerr.KindDeadlock {
+		t.Fatalf("kind = %v, want %v", se.Kind, simerr.KindDeadlock)
+	}
+	if se.Cycle != m.Cycle {
+		t.Fatalf("error cycle %d, machine cycle %d", se.Cycle, m.Cycle)
+	}
+	if se.VCPU != 0 || se.RIP != dom.VCPUs[0].RIP {
+		t.Fatalf("context fields: vcpu=%d rip=%#x", se.VCPU, se.RIP)
+	}
+	if !strings.Contains(se.Error(), "deadlock") {
+		t.Fatalf("message: %q", se.Error())
+	}
+}
+
+func TestDeadlockAllHaltedNoTimersSim(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	m := NewMachine(dom, tree, DefaultConfig())
+	m.SwitchMode(ModeSim)
+	err := m.Step()
+	se, ok := simerr.As(err)
+	if !ok || se.Kind != simerr.KindDeadlock {
+		t.Fatalf("want sim-mode deadlock SimError, got %v", err)
+	}
+	// Sim-mode deadlocks carry the pipeline dump for postmortems.
+	if !strings.Contains(se.Dump, "core 0") {
+		t.Fatalf("dump missing core state: %q", se.Dump)
+	}
+}
+
+func TestNoDeadlockWithPendingTimer(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	// Arm a one-shot timer through the serialized-state interface (the
+	// same path a checkpoint restore takes).
+	st := dom.SaveState()
+	st.Oneshot[0] = 123
+	dom.LoadState(st)
+	m := NewMachine(dom, tree, DefaultConfig())
+	if err := m.Step(); err != nil {
+		t.Fatalf("pending timer must not deadlock: %v", err)
+	}
+	if m.Cycle < 123 {
+		t.Fatalf("idle skip stopped at cycle %d, want >= 123", m.Cycle)
+	}
+	if !dom.VCPUs[0].Running {
+		t.Fatal("timer fire should wake the halted VCPU")
+	}
+}
+
+func TestCycleBudgetStructuredError(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	st := dom.SaveState()
+	st.Oneshot[0] = 500
+	dom.LoadState(st)
+	m := NewMachine(dom, tree, DefaultConfig())
+	err := m.Run(100) // idle skip jumps straight past the budget
+	se, ok := simerr.As(err)
+	if !ok || se.Kind != simerr.KindCycleBudget {
+		t.Fatalf("want cycle-budget SimError, got %v", err)
+	}
+	if se.Cycle < 100 {
+		t.Fatalf("budget error at cycle %d", se.Cycle)
+	}
+}
+
+func TestGuardConvertsPanicToSimError(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	m := NewMachine(dom, tree, DefaultConfig())
+	m.SetStepHook(func(*Machine) { panic("synthetic invariant violation") })
+	// Arm a timer so the step itself succeeds and reaches the hook.
+	st := dom.SaveState()
+	st.Oneshot[0] = 50
+	dom.LoadState(st)
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("panic escaped the guard: %v", err)
+	}
+	if se.Kind != simerr.KindPanic {
+		t.Fatalf("kind = %v, want %v", se.Kind, simerr.KindPanic)
+	}
+	if !strings.Contains(se.Message, "synthetic invariant violation") {
+		t.Fatalf("message: %q", se.Message)
+	}
+	if se.Dump == "" {
+		t.Fatal("panic SimError should carry a stack trace")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	bad := cfg
+	bad.Core.ROBSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero ROB must fail validation")
+	}
+	neg := cfg
+	neg.NativeCPI = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative NativeCPI must fail validation")
+	}
+}
+
+func TestControlStateRoundTrip(t *testing.T) {
+	dom, tree := haltedDomain(t)
+	m := NewMachine(dom, tree, DefaultConfig())
+	in := []PhaseSpec{{Sim: true, StopInsns: 1000}, {Kill: true}}
+	m.SetControlState(in, 1000, 42)
+	phases, stop, base := m.ControlState()
+	if len(phases) != 2 || phases[0] != in[0] || phases[1] != in[1] {
+		t.Fatalf("phases round trip: %+v", phases)
+	}
+	if stop != 1000 || base != 42 {
+		t.Fatalf("stop=%d base=%d", stop, base)
+	}
+}

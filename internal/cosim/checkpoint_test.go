@@ -1,0 +1,72 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/faultinject"
+)
+
+// TestCheckpointedDivergenceFindsInjectedFault injects a sticky
+// register bit flip at a known committed-instruction count and asserts
+// the checkpoint-accelerated search isolates exactly that instruction
+// while replaying far fewer instructions than restart-from-zero
+// bisection would.
+func TestCheckpointedDivergenceFindsInjectedFault(t *testing.T) {
+	const fault = 2500
+	const interval = 1000
+	spec, err := faultinject.ParseSpec("regflip@2500:reg=r13,bit=62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(spec)
+	n, diag, st, err := FirstDivergenceCheckpointed(
+		timerlessBench(t), core.DefaultConfig(), 4000, interval, inj.Attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fault {
+		t.Fatalf("first divergence at %d, want %d (diag: %s)", n, fault, diag)
+	}
+	if diag == "" || !strings.Contains(diag, "r13") {
+		t.Fatalf("diagnosis should name the corrupted register: %q", diag)
+	}
+
+	// Replayed-cycle accounting: the scan stopped at the first bad
+	// boundary and bisection resumed from the preceding checkpoint.
+	if st.Probes == 0 {
+		t.Fatal("bisection issued no probes")
+	}
+	if st.ScanInsns != 3000 {
+		t.Fatalf("scan replayed %d insns, want 3000 (stop at first bad boundary)", st.ScanInsns)
+	}
+	// Each probe replays at most 2*interval insns from the checkpoint.
+	if st.ProbeInsns > int64(st.Probes)*2*interval {
+		t.Fatalf("probe replay %d exceeds checkpoint window bound", st.ProbeInsns)
+	}
+	if st.ScanInsns+st.ProbeInsns >= st.NaiveInsns {
+		t.Fatalf("checkpoints bought nothing: replayed %d (scan %d + probes %d) vs naive %d",
+			st.ScanInsns+st.ProbeInsns, st.ScanInsns, st.ProbeInsns, st.NaiveInsns)
+	}
+}
+
+// TestCheckpointedDivergenceCleanRun: with no fault injected, the
+// checkpointed search must agree with the plain search that the
+// engines never diverge.
+func TestCheckpointedDivergenceCleanRun(t *testing.T) {
+	n, diag, st, err := FirstDivergenceCheckpointed(
+		timerlessBench(t), core.DefaultConfig(), 3000, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != -1 {
+		t.Fatalf("clean run reported divergence at %d: %s", n, diag)
+	}
+	if st.Probes != 0 {
+		t.Fatalf("clean run should not bisect, issued %d probes", st.Probes)
+	}
+	if st.ScanInsns != 3000 {
+		t.Fatalf("scan covered %d insns, want 3000", st.ScanInsns)
+	}
+}

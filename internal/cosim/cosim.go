@@ -13,6 +13,7 @@ import (
 
 	"ptlsim/internal/core"
 	"ptlsim/internal/hv"
+	"ptlsim/internal/snapshot"
 	"ptlsim/internal/stats"
 	"ptlsim/internal/vm"
 )
@@ -91,6 +92,149 @@ func MakeArchProbe(build DomainBuilder, simCfg core.Config) Probe {
 		}
 		return false, vm.DiffArch(ref, sim), nil
 	}
+}
+
+// ReplayStats accounts the instructions a divergence search replayed,
+// quantifying the speedup checkpoints buy over restart-from-zero
+// probing.
+type ReplayStats struct {
+	// ScanInsns is what the lockstep interval scan executed on the
+	// simulated engine.
+	ScanInsns int64
+	// ProbeInsns is what the bisection probes executed (both engines,
+	// resumed from the nearest checkpoint).
+	ProbeInsns int64
+	// NaiveInsns is what the same probe sequence would have executed
+	// had each probe restarted both engines from instruction zero.
+	NaiveInsns int64
+	// Probes is the number of bisection probes issued.
+	Probes int
+}
+
+// FirstDivergenceCheckpointed isolates the first diverging instruction
+// like FirstDivergence, but accelerates the search with checkpoints:
+// the reference (native) engine runs once to max, capturing an encoded
+// machine image every interval instructions; a lockstep scan runs the
+// simulated engine between boundaries to find the first bad interval;
+// bisection then resumes both engines from the checkpoint preceding
+// that interval instead of replaying from instruction zero. instrument
+// (optional) is applied to every simulated-engine machine — e.g. a
+// faultinject.Injector.Attach — so injected faults survive the
+// restore-based probing. Returns -1 if the engines agree up to max.
+func FirstDivergenceCheckpointed(build DomainBuilder, simCfg core.Config, max, interval int64,
+	instrument func(*core.Machine)) (int64, string, ReplayStats, error) {
+	var st ReplayStats
+	if max <= 0 || interval <= 0 {
+		return 0, "", st, fmt.Errorf("cosim: max and interval must be positive")
+	}
+	// Boundary instruction counts 0, interval, ..., max.
+	var bounds []int64
+	for n := int64(0); n < max; n += interval {
+		bounds = append(bounds, n)
+	}
+	bounds = append(bounds, max)
+
+	// Reference run: one native pass, checkpointing at every boundary.
+	// Images go through encoded bytes so probes exercise the same
+	// restore path an on-disk checkpoint would.
+	dom, err := build()
+	if err != nil {
+		return 0, "", st, err
+	}
+	ref := core.NewMachine(dom, stats.NewTree(), simCfg)
+	images := make([][]byte, len(bounds))
+	refCtx := make([]*vm.Context, len(bounds))
+	for k, n := range bounds {
+		if err := ref.RunUntilInsns(n, 0); err != nil {
+			return 0, "", st, fmt.Errorf("cosim: reference run: %w", err)
+		}
+		if images[k], err = snapshot.Capture(ref).Encode(); err != nil {
+			return 0, "", st, err
+		}
+		refCtx[k] = ref.Dom.VCPUs[0].Clone()
+	}
+
+	restoreFrom := func(k int, mode core.Mode) (*core.Machine, error) {
+		img, err := snapshot.Decode(images[k])
+		if err != nil {
+			return nil, err
+		}
+		m, err := snapshot.Restore(img, simCfg)
+		if err != nil {
+			return nil, err
+		}
+		m.SwitchMode(mode)
+		if mode == core.ModeSim && instrument != nil {
+			instrument(m)
+		}
+		return m, nil
+	}
+
+	// Lockstep scan: run the simulated engine boundary to boundary,
+	// comparing architectural state against the reference at each.
+	simM, err := restoreFrom(0, core.ModeSim)
+	if err != nil {
+		return 0, "", st, err
+	}
+	badK := -1
+	var diag string
+	for k := 1; k < len(bounds); k++ {
+		if err := simM.RunUntilInsns(bounds[k], 0); err != nil {
+			return 0, "", st, fmt.Errorf("cosim: scan run: %w", err)
+		}
+		st.ScanInsns += bounds[k] - bounds[k-1]
+		if !vm.ArchEqual(refCtx[k], simM.Dom.VCPUs[0]) {
+			badK = k
+			diag = vm.DiffArch(refCtx[k], simM.Dom.VCPUs[0])
+			break
+		}
+	}
+	if badK < 0 {
+		return -1, "", st, nil
+	}
+
+	// Bisect (bounds[badK-1], bounds[badK]], resuming both engines from
+	// the checkpoint just before the bad interval.
+	base := bounds[badK-1]
+	probe := func(n int64) (bool, string, error) {
+		st.Probes++
+		st.ProbeInsns += 2 * (n - base)
+		st.NaiveInsns += 2 * n
+		refP, err := restoreFrom(badK-1, core.ModeNative)
+		if err != nil {
+			return false, "", err
+		}
+		if err := refP.RunUntilInsns(n, 0); err != nil {
+			return false, "", fmt.Errorf("cosim: reference probe: %w", err)
+		}
+		simP, err := restoreFrom(badK-1, core.ModeSim)
+		if err != nil {
+			return false, "", err
+		}
+		if err := simP.RunUntilInsns(n, 0); err != nil {
+			return false, "", fmt.Errorf("cosim: sim probe: %w", err)
+		}
+		if vm.ArchEqual(refP.Dom.VCPUs[0], simP.Dom.VCPUs[0]) {
+			return true, "", nil
+		}
+		return false, vm.DiffArch(refP.Dom.VCPUs[0], simP.Dom.VCPUs[0]), nil
+	}
+	lo, hi := base+1, bounds[badK] // invariant: diverged at hi (scan proved it)
+	hiDiag := diag
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		eq, d, err := probe(mid)
+		if err != nil {
+			return 0, "", st, err
+		}
+		if eq {
+			lo = mid + 1
+		} else {
+			hi = mid
+			hiDiag = d
+		}
+	}
+	return hi, hiDiag, st, nil
 }
 
 // FirstDivergence binary searches [1, max] for the smallest n at which

@@ -1,0 +1,300 @@
+// Package faultinject is a fault-injection harness for exercising the
+// simulator's guardrails: it perturbs a running machine at a chosen
+// committed-instruction count with architectural register bit flips,
+// physical memory bit flips, transient TLB flushes, delayed cache
+// responses, or deliberate pipeline-state corruption. Architectural
+// faults are the ground truth for validating the co-simulation
+// divergence search (the injected instruction is exactly where the
+// search must report the first divergence); timing faults exercise the
+// livelock watchdog; state corruption exercises the panic-recovery
+// boundary.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/uops"
+)
+
+// Kind selects the fault model.
+type Kind int
+
+// Fault kinds.
+const (
+	// RegFlip sticky-ORs one bit of an architectural register at every
+	// step boundary from the trigger instruction on (simulation mode
+	// only). Re-applying keeps the divergence persistent, the property
+	// the binary-search divergence isolation relies on.
+	RegFlip Kind = iota
+	// MemFlip flips one bit of a physical memory byte once.
+	MemFlip
+	// TLBFlush transiently flushes all core TLBs once (timing-only
+	// fault: architectural state must NOT diverge).
+	TLBFlush
+	// MemDelay delays all cache responses by a cycle count from the
+	// trigger on — a very large delay models a stuck load and trips the
+	// commit watchdog.
+	MemDelay
+	// ROBCorrupt corrupts the reorder-buffer head once (simulation
+	// mode), violating an internal invariant so the recover boundary
+	// can be exercised end to end.
+	ROBCorrupt
+)
+
+// String names the fault kind using its spec syntax keyword.
+func (k Kind) String() string {
+	switch k {
+	case RegFlip:
+		return "regflip"
+	case MemFlip:
+		return "memflip"
+	case TLBFlush:
+		return "tlbflush"
+	case MemDelay:
+		return "memdelay"
+	case ROBCorrupt:
+		return "robcorrupt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Spec describes one fault to inject.
+type Spec struct {
+	Kind Kind
+	// Insn is the committed-instruction count at or after which the
+	// fault applies.
+	Insn int64
+
+	Reg    uops.ArchReg // RegFlip target
+	Bit    uint         // RegFlip (0-63) / MemFlip (0-7) bit index
+	PA     uint64       // MemFlip physical address
+	Cycles uint64       // MemDelay response delay
+	VCPU   int          // RegFlip target VCPU
+}
+
+// ParseSpec parses one fault spec of the form "kind@insn[:key=value,...]":
+//
+//	regflip@2500:reg=r13,bit=62
+//	memflip@1000:pa=0x3f000,bit=3
+//	tlbflush@1000
+//	memdelay@1000:cycles=500000
+//	robcorrupt@1000
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	head, opts, hasOpts := strings.Cut(s, ":")
+	kindStr, insnStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return spec, fmt.Errorf("faultinject: %q: want kind@insn[:opts]", s)
+	}
+	switch kindStr {
+	case "regflip":
+		spec.Kind = RegFlip
+	case "memflip":
+		spec.Kind = MemFlip
+	case "tlbflush":
+		spec.Kind = TLBFlush
+	case "memdelay":
+		spec.Kind = MemDelay
+	case "robcorrupt":
+		spec.Kind = ROBCorrupt
+	default:
+		return spec, fmt.Errorf("faultinject: unknown kind %q", kindStr)
+	}
+	insn, err := strconv.ParseInt(insnStr, 0, 64)
+	if err != nil || insn < 0 {
+		return spec, fmt.Errorf("faultinject: bad trigger instruction %q", insnStr)
+	}
+	spec.Insn = insn
+	haveReg := false
+	if hasOpts {
+		for _, kv := range strings.Split(opts, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return spec, fmt.Errorf("faultinject: bad option %q", kv)
+			}
+			switch key {
+			case "reg":
+				r, err := regByName(val)
+				if err != nil {
+					return spec, err
+				}
+				spec.Reg, haveReg = r, true
+			case "bit":
+				b, err := strconv.ParseUint(val, 0, 8)
+				if err != nil {
+					return spec, fmt.Errorf("faultinject: bad bit %q", val)
+				}
+				spec.Bit = uint(b)
+			case "pa":
+				pa, err := strconv.ParseUint(val, 0, 64)
+				if err != nil {
+					return spec, fmt.Errorf("faultinject: bad pa %q", val)
+				}
+				spec.PA = pa
+			case "cycles":
+				c, err := strconv.ParseUint(val, 0, 64)
+				if err != nil {
+					return spec, fmt.Errorf("faultinject: bad cycles %q", val)
+				}
+				spec.Cycles = c
+			case "vcpu":
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 0 {
+					return spec, fmt.Errorf("faultinject: bad vcpu %q", val)
+				}
+				spec.VCPU = v
+			default:
+				return spec, fmt.Errorf("faultinject: unknown option %q", key)
+			}
+		}
+	}
+	switch spec.Kind {
+	case RegFlip:
+		if !haveReg {
+			return spec, fmt.Errorf("faultinject: regflip requires reg=")
+		}
+		if spec.Bit > 63 {
+			return spec, fmt.Errorf("faultinject: regflip bit %d out of range", spec.Bit)
+		}
+	case MemFlip:
+		if spec.Bit > 7 {
+			return spec, fmt.Errorf("faultinject: memflip bit %d out of range (byte flip)", spec.Bit)
+		}
+	case MemDelay:
+		if spec.Cycles == 0 {
+			return spec, fmt.Errorf("faultinject: memdelay requires cycles=")
+		}
+	}
+	return spec, nil
+}
+
+// ParseList parses a ';'-separated list of specs (empty input → nil).
+func ParseList(s string) ([]Spec, error) {
+	var out []Spec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// regByName resolves an architectural register by its assembly name
+// (case-insensitive).
+func regByName(name string) (uops.ArchReg, error) {
+	for r := uops.ArchReg(0); r < uops.NumArchRegs; r++ {
+		if strings.EqualFold(r.String(), name) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown register %q", name)
+}
+
+// Event records one fault application.
+type Event struct {
+	Spec  int // index into the injector's spec list
+	Insn  int64
+	Cycle uint64
+	Desc  string
+}
+
+// Injector applies a set of fault specs to a machine through its step
+// hook.
+type Injector struct {
+	specs []Spec
+	fired []bool
+	// Events logs each fault application (sticky RegFlip logs only its
+	// first application).
+	Events []Event
+}
+
+// New builds an injector for the given specs.
+func New(specs ...Spec) *Injector {
+	return &Injector{specs: specs, fired: make([]bool, len(specs))}
+}
+
+// Attach installs the injector as m's step hook. A checkpoint Runner
+// carries the hook across machine swaps automatically; the injector's
+// fired state lives here, outside any one machine instance.
+func (inj *Injector) Attach(m *core.Machine) {
+	m.SetStepHook(inj.Hook)
+}
+
+// Hook is the step-hook entry point (exported so callers composing
+// multiple hooks can chain it).
+func (inj *Injector) Hook(m *core.Machine) {
+	n := m.Insns()
+	for i := range inj.specs {
+		s := &inj.specs[i]
+		if n < s.Insn {
+			continue
+		}
+		switch s.Kind {
+		case RegFlip:
+			if m.Mode() != core.ModeSim || s.VCPU >= len(m.Dom.VCPUs) {
+				continue
+			}
+			ctx := m.Dom.VCPUs[s.VCPU]
+			bit := uint64(1) << s.Bit
+			ctx.Regs[s.Reg] |= bit
+			if !inj.fired[i] {
+				inj.record(i, n, m.Cycle, fmt.Sprintf("set %s bit %d on vcpu %d", s.Reg, s.Bit, s.VCPU))
+			}
+		case MemFlip:
+			if inj.fired[i] {
+				continue
+			}
+			v, err := m.Dom.M.PM.Read(s.PA, 1)
+			if err != nil {
+				// Unmapped target: report the miss but do not retry.
+				inj.record(i, n, m.Cycle, fmt.Sprintf("memflip pa %#x unmapped", s.PA))
+				continue
+			}
+			_ = m.Dom.M.PM.Write(s.PA, v^(1<<s.Bit), 1)
+			inj.record(i, n, m.Cycle, fmt.Sprintf("flipped pa %#x bit %d", s.PA, s.Bit))
+		case TLBFlush:
+			if inj.fired[i] {
+				continue
+			}
+			for _, c := range m.OOOCores() {
+				c.FlushTLB()
+			}
+			inj.record(i, n, m.Cycle, "flushed all TLBs")
+		case MemDelay:
+			if inj.fired[i] {
+				continue
+			}
+			until := m.Cycle + s.Cycles
+			for _, c := range m.OOOCores() {
+				c.Hierarchy().SetResponseDelay(until)
+			}
+			inj.record(i, n, m.Cycle, fmt.Sprintf("delaying cache responses until cycle %d", until))
+		case ROBCorrupt:
+			if inj.fired[i] || m.Mode() != core.ModeSim {
+				continue
+			}
+			// The ROB may be empty at this boundary; retry each step
+			// until an in-flight entry exists to corrupt.
+			for _, c := range m.OOOCores() {
+				if c.CorruptROBHead() {
+					inj.record(i, n, m.Cycle, fmt.Sprintf("corrupted ROB head of core %d", c.ID))
+					break
+				}
+			}
+		}
+	}
+}
+
+func (inj *Injector) record(i int, n int64, cycle uint64, desc string) {
+	inj.fired[i] = true
+	inj.Events = append(inj.Events, Event{Spec: i, Insn: n, Cycle: cycle, Desc: desc})
+}

@@ -1,0 +1,182 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/stats"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("regflip@2500:reg=r13,bit=62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != RegFlip || s.Insn != 2500 || s.Bit != 62 || s.Reg.String() != "r13" {
+		t.Fatalf("parsed %+v", s)
+	}
+	s, err = ParseSpec("memdelay@1000:cycles=500000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != MemDelay || s.Cycles != 500000 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := ParseSpec("robcorrupt@0x40"); err != nil {
+		t.Fatalf("hex trigger: %v", err)
+	}
+	for _, bad := range []string{
+		"regflip@10",               // missing reg=
+		"regflip@10:reg=nosuch",    // unknown register
+		"regflip@10:reg=r1,bit=64", // bit out of range
+		"memdelay@10",              // missing cycles=
+		"warp@10",                  // unknown kind
+		"regflip:reg=r1",           // missing trigger
+		"memflip@5:bit=9",          // byte-flip bit out of range
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q should be rejected", bad)
+		}
+	}
+	list, err := ParseList("tlbflush@100; memflip@200:pa=0x1000,bit=3 ;")
+	if err != nil || len(list) != 2 {
+		t.Fatalf("list=%v err=%v", list, err)
+	}
+}
+
+// benchMachine boots the timer-free rsync benchmark with the given
+// watchdog threshold.
+func benchMachine(t *testing.T, watchdog uint64) *core.Machine {
+	t.Helper()
+	cs := guest.CorpusSpec{NFiles: 1, FileSize: 1024, Seed: 5, ChangeFraction: 0.4}
+	spec, err := guest.RsyncBenchmark(cs, 4_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := stats.NewTree()
+	spec.Tree = tree
+	img, err := kern.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.WatchdogCycles = watchdog
+	return core.NewMachine(img.Domain, tree, cfg)
+}
+
+// TestWatchdogCatchesStuckLoad injects an unbounded cache response
+// delay — a stuck load — and asserts the commit watchdog converts the
+// resulting livelock into a structured report instead of hanging.
+func TestWatchdogCatchesStuckLoad(t *testing.T) {
+	m := benchMachine(t, 20_000)
+	m.SwitchMode(core.ModeSim)
+	inj := New(Spec{Kind: MemDelay, Insn: 500, Cycles: 1 << 40})
+	inj.Attach(m)
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("want SimError, got %T: %v", err, err)
+	}
+	if se.Kind != simerr.KindLivelock {
+		t.Fatalf("kind = %v, want %v", se.Kind, simerr.KindLivelock)
+	}
+	if se.Cycle == 0 || se.RIP == 0 {
+		t.Fatalf("missing context: cycle=%d rip=%#x", se.Cycle, se.RIP)
+	}
+	if !strings.Contains(se.Message, "watchdog") {
+		t.Fatalf("message: %q", se.Message)
+	}
+	if !strings.Contains(se.Dump, "rob[") {
+		t.Fatalf("dump should list in-flight ROB entries: %q", se.Dump)
+	}
+	if len(se.LastRIPs) == 0 {
+		t.Fatal("livelock report should carry recently committed RIPs")
+	}
+	if len(inj.Events) != 1 {
+		t.Fatalf("injection events: %+v", inj.Events)
+	}
+}
+
+// TestROBCorruptionRecoveredAsSimError corrupts the pipeline's reorder
+// buffer head, violating the commit stage's SOM invariant; the panic
+// must surface as a structured SimError from Machine.Run, not kill the
+// process.
+func TestROBCorruptionRecoveredAsSimError(t *testing.T) {
+	m := benchMachine(t, 0)
+	m.SwitchMode(core.ModeSim)
+	inj := New(Spec{Kind: ROBCorrupt, Insn: 300})
+	inj.Attach(m)
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("want SimError, got %T: %v", err, err)
+	}
+	if se.Kind != simerr.KindPanic {
+		t.Fatalf("kind = %v, want %v", se.Kind, simerr.KindPanic)
+	}
+	if !strings.Contains(se.Message, "ROB head not SOM") {
+		t.Fatalf("message: %q", se.Message)
+	}
+	if se.Cycle == 0 || se.RIP == 0 {
+		t.Fatalf("missing context: cycle=%d rip=%#x", se.Cycle, se.RIP)
+	}
+	if len(se.LastRIPs) == 0 {
+		t.Fatal("panic report should carry recently committed RIPs")
+	}
+}
+
+// TestTLBFlushIsTimingOnly: a transient TLB flush perturbs timing but
+// must not change the architectural outcome.
+func TestTLBFlushIsTimingOnly(t *testing.T) {
+	run := func(specs ...Spec) *core.Machine {
+		m := benchMachine(t, 0)
+		m.SwitchMode(core.ModeSim)
+		if len(specs) > 0 {
+			New(specs...).Attach(m)
+		}
+		if err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	clean := run()
+	flushed := run(Spec{Kind: TLBFlush, Insn: 1000})
+	if clean.Insns() != flushed.Insns() {
+		t.Fatalf("TLB flush changed committed instructions: %d vs %d",
+			clean.Insns(), flushed.Insns())
+	}
+	if clean.Dom.Console() != flushed.Dom.Console() {
+		t.Fatal("TLB flush changed program output")
+	}
+}
+
+// TestMemFlipPerturbsMemory: the injected bit flip must land in
+// physical memory exactly once.
+func TestMemFlipPerturbsMemory(t *testing.T) {
+	m := benchMachine(t, 0)
+	// Pick a mapped frame: the boot page tables live at CR3.
+	pa := m.Dom.VCPUs[0].CR3
+	before, err := m.Dom.M.PM.Read(pa, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Spec{Kind: MemFlip, Insn: 0, PA: pa, Bit: 0})
+	inj.Attach(m)
+	if err := m.RunUntilInsns(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Dom.M.PM.Read(pa, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before^1 {
+		t.Fatalf("byte at %#x: %#x -> %#x, want bit 0 flipped once", pa, before, after)
+	}
+	if len(inj.Events) != 1 {
+		t.Fatalf("events: %+v", inj.Events)
+	}
+}

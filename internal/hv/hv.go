@@ -446,6 +446,103 @@ func (d *Domain) completeDMA(op dmaOp) {
 // Console returns everything the guest has written to the console.
 func (d *Domain) Console() string { return d.ConsoleBuf.String() }
 
+// DomainState is the serializable hypervisor-level state of a domain:
+// everything outside guest memory and VCPU contexts that determines
+// future behavior — timers, pending events, in-flight DMA, the disk
+// image, console output and shutdown state. Trace Sink/Source
+// attachments are deliberately excluded (they are external interfaces
+// the restoring process must reattach itself).
+type DomainState struct {
+	ClockCycle uint64
+	ClockHz    uint64
+
+	Pending  []uint64
+	Oneshot  []uint64
+	Periodic []uint64
+	NextTick []uint64
+
+	PendingDMA []DMAState
+
+	Disk         []byte
+	BlockLat     uint64
+	ReservedMFNs []uint64
+
+	Console []byte
+
+	ShutdownReq    bool
+	ShutdownReason uint64
+
+	PtlCommands []string
+}
+
+// DMAState is one in-flight DMA operation in a DomainState.
+type DMAState struct {
+	VCPU     int
+	Complete uint64
+	Write    bool
+	Sector   uint64
+	BufVA    uint64
+	Count    uint64
+}
+
+// SaveState captures the domain's hypervisor-level state for a
+// checkpoint image. All slices are deep copies.
+func (d *Domain) SaveState() DomainState {
+	s := DomainState{
+		ClockCycle:     d.Clock.Cycle,
+		ClockHz:        d.Clock.Hz,
+		Pending:        append([]uint64(nil), d.pending...),
+		Oneshot:        append([]uint64(nil), d.oneshot...),
+		Periodic:       append([]uint64(nil), d.periodic...),
+		NextTick:       append([]uint64(nil), d.nextTick...),
+		Disk:           append([]byte(nil), d.Disk...),
+		BlockLat:       d.BlockLat,
+		ReservedMFNs:   append([]uint64(nil), d.ReservedMFNs...),
+		Console:        append([]byte(nil), d.ConsoleBuf.Bytes()...),
+		ShutdownReq:    d.ShutdownReq,
+		ShutdownReason: d.ShutdownReason,
+		PtlCommands:    append([]string(nil), d.PtlCommands...),
+	}
+	for _, op := range d.pendingDMA {
+		s.PendingDMA = append(s.PendingDMA, DMAState{
+			VCPU: op.vcpu, Complete: op.complete, Write: op.write,
+			Sector: op.sector, BufVA: op.bufVA, Count: op.count,
+		})
+	}
+	return s
+}
+
+// LoadState restores hypervisor-level state saved by SaveState. Slice
+// lengths for per-VCPU state must match the domain's VCPU count (the
+// shorter prefix is applied otherwise).
+func (d *Domain) LoadState(s DomainState) {
+	d.Clock.Cycle = s.ClockCycle
+	if s.ClockHz != 0 {
+		d.Clock.Hz = s.ClockHz
+	}
+	copy(d.pending, s.Pending)
+	copy(d.oneshot, s.Oneshot)
+	copy(d.periodic, s.Periodic)
+	copy(d.nextTick, s.NextTick)
+	d.pendingDMA = d.pendingDMA[:0]
+	for _, op := range s.PendingDMA {
+		d.pendingDMA = append(d.pendingDMA, dmaOp{
+			vcpu: op.VCPU, complete: op.Complete, write: op.Write,
+			sector: op.Sector, bufVA: op.BufVA, count: op.Count,
+		})
+	}
+	d.Disk = append([]byte(nil), s.Disk...)
+	if s.BlockLat != 0 {
+		d.BlockLat = s.BlockLat
+	}
+	d.ReservedMFNs = append([]uint64(nil), s.ReservedMFNs...)
+	d.ConsoleBuf.Reset()
+	d.ConsoleBuf.Write(s.Console)
+	d.ShutdownReq = s.ShutdownReq
+	d.ShutdownReason = s.ShutdownReason
+	d.PtlCommands = append([]string(nil), s.PtlCommands...)
+}
+
 // String summarizes the domain.
 func (d *Domain) String() string {
 	return fmt.Sprintf("domain: %d vcpus, %d pages, cycle %d",

@@ -9,6 +9,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Page geometry.
@@ -63,6 +64,35 @@ func (pm *PhysMem) AllocPages(n int) []uint64 {
 		out[i] = pm.AllocPage()
 	}
 	return out
+}
+
+// AllocCursor returns the allocator's sequence position, part of a
+// checkpoint image: restoring it makes post-restore AllocPage calls
+// produce the same scattered MFNs an uninterrupted run would.
+func (pm *PhysMem) AllocCursor() uint64 { return pm.nextSeq }
+
+// SetAllocCursor restores the allocator sequence position.
+func (pm *PhysMem) SetAllocCursor(seq uint64) { pm.nextSeq = seq }
+
+// ForEachPage visits every allocated page in ascending MFN order (a
+// deterministic order, for serialization).
+func (pm *PhysMem) ForEachPage(f func(mfn uint64, page *Page)) {
+	mfns := make([]uint64, 0, len(pm.pages))
+	for mfn := range pm.pages {
+		mfns = append(mfns, mfn)
+	}
+	sort.Slice(mfns, func(i, j int) bool { return mfns[i] < mfns[j] })
+	for _, mfn := range mfns {
+		f(mfn, pm.pages[mfn])
+	}
+}
+
+// InstallPage materializes a page at a specific MFN with the given
+// contents (checkpoint restore). Shorter data is zero-padded.
+func (pm *PhysMem) InstallPage(mfn uint64, data []byte) {
+	p := &Page{}
+	copy(p[:], data)
+	pm.pages[mfn] = p
 }
 
 // Present reports whether mfn is an allocated machine page.

@@ -117,7 +117,7 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 			}
 			c.cUops.Inc()
 			if !head.uop.NoCount {
-				c.countInsn(ctx)
+				c.countInsn(ctx, head.uop.RIP)
 			}
 			// Hypercalls may have switched address spaces (Xen
 			// MMUEXT_NEW_BASEPTR / mmu_update): honor the shootdown
@@ -173,7 +173,7 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 					ctx.RIP = u.RIP + uint64(u.X86Len)
 				}
 				if !u.NoCount {
-					c.countInsn(ctx)
+					c.countInsn(ctx, u.RIP)
 				}
 			}
 			c.cUops.Inc()
@@ -204,14 +204,17 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 	return budget, nil
 }
 
-// countInsn counts a committed x86 instruction with mode attribution.
-func (c *Core) countInsn(ctx *vm.Context) {
+// countInsn counts a committed x86 instruction with mode attribution
+// and records it in the recent-commit ring for failure reports.
+func (c *Core) countInsn(ctx *vm.Context, rip uint64) {
 	c.cInsns.Inc()
 	if ctx.Kernel {
 		c.cKernelInsns.Inc()
 	} else {
 		c.cUserInsns.Inc()
 	}
+	c.recentRIPs[c.recentN%len(c.recentRIPs)] = rip
+	c.recentN++
 }
 
 // groupStatus inspects the instruction group at the ROB head: its

@@ -10,8 +10,12 @@
 package ooo
 
 import (
+	"fmt"
+
 	"ptlsim/internal/bpred"
 	"ptlsim/internal/cache"
+	"ptlsim/internal/tlb"
+	"ptlsim/internal/uops"
 )
 
 // OpClass buckets uops for issue-queue and functional-unit routing.
@@ -101,6 +105,60 @@ type Config struct {
 
 	// SMT thread limit for this core (hardware contexts).
 	MaxThreads int
+}
+
+// Validate checks the core configuration for the invariants the
+// constructors rely on, returning a usable error message for bad CLI
+// flags instead of a panic deep inside construction. A config that
+// passes Validate builds a core without hitting any defensive
+// rounding or panics.
+func (cfg Config) Validate() error {
+	if cfg.FetchWidth <= 0 || cfg.RenameWidth <= 0 || cfg.CommitWidth <= 0 {
+		return fmt.Errorf("ooo: pipeline widths must be positive (fetch=%d rename=%d commit=%d)",
+			cfg.FetchWidth, cfg.RenameWidth, cfg.CommitWidth)
+	}
+	if cfg.FetchQSize <= 0 || cfg.ROBSize <= 0 || cfg.LDQSize <= 0 || cfg.STQSize <= 0 {
+		return fmt.Errorf("ooo: queue sizes must be positive (fetchq=%d rob=%d ldq=%d stq=%d)",
+			cfg.FetchQSize, cfg.ROBSize, cfg.LDQSize, cfg.STQSize)
+	}
+	if cfg.MaxThreads <= 0 {
+		return fmt.Errorf("ooo: MaxThreads %d must be positive", cfg.MaxThreads)
+	}
+	// Every thread's RAT pins NumArchRegs physical registers; rename
+	// needs headroom beyond that or the core wedges at startup.
+	minRegs := cfg.MaxThreads*int(uops.NumArchRegs) + cfg.RenameWidth
+	if cfg.PhysRegs < minRegs {
+		return fmt.Errorf("ooo: %d physical registers insufficient for %d threads (need >= %d)",
+			cfg.PhysRegs, cfg.MaxThreads, minRegs)
+	}
+	if len(cfg.Clusters) == 0 {
+		return fmt.Errorf("ooo: at least one issue cluster required")
+	}
+	var covered ClassMask
+	for i, cl := range cfg.Clusters {
+		if cl.IQSize <= 0 || cl.IssueWidth <= 0 {
+			return fmt.Errorf("ooo: cluster %d (%s): IQSize and IssueWidth must be positive", i, cl.Name)
+		}
+		covered |= cl.Classes
+	}
+	for op := OpClass(0); op < NumClasses; op++ {
+		if !covered.Has(op) {
+			return fmt.Errorf("ooo: no issue cluster accepts op class %d", op)
+		}
+	}
+	if err := tlb.CheckGeometry(cfg.DTLBEntries, cfg.DTLBAssoc); err != nil {
+		return fmt.Errorf("ooo: dtlb: %w", err)
+	}
+	if err := tlb.CheckGeometry(cfg.ITLBEntries, cfg.ITLBAssoc); err != nil {
+		return fmt.Errorf("ooo: itlb: %w", err)
+	}
+	if err := cfg.Caches.Validate(); err != nil {
+		return fmt.Errorf("ooo: %w", err)
+	}
+	if err := cfg.Bpred.Validate(); err != nil {
+		return fmt.Errorf("ooo: %w", err)
+	}
+	return nil
 }
 
 // DefaultConfig is a generic modern 4-wide core.

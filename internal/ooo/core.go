@@ -7,6 +7,7 @@ import (
 	"ptlsim/internal/bpred"
 	"ptlsim/internal/cache"
 	"ptlsim/internal/decode"
+	"ptlsim/internal/simerr"
 	"ptlsim/internal/stats"
 	"ptlsim/internal/tlb"
 	"ptlsim/internal/uops"
@@ -141,6 +142,19 @@ type Core struct {
 	// pause at an exact instruction boundary).
 	commitLimit int64
 
+	// Commit-progress watchdog: when watchdogCycles > 0 and no thread
+	// has committed a uop (or taken an interrupt/assist) for that many
+	// cycles while work is in flight, Cycle returns a structured
+	// livelock SimError instead of spinning forever.
+	watchdogCycles uint64
+	lastProgress   uint64
+	progressInit   bool
+
+	// recentRIPs is a ring of the most recently committed instruction
+	// addresses, attached to SimErrors for post-mortem context.
+	recentRIPs [16]uint64
+	recentN    int
+
 	// Statistics.
 	cInsns, cUops, cCycles                  *stats.Counter
 	cBranches, cMispredicts, cTaken        *stats.Counter
@@ -232,6 +246,39 @@ func (c *Core) Insns() int64 { return c.cInsns.Value() }
 // SetCommitLimit pauses commit after n total committed instructions
 // (0 disables). Used by co-simulation to stop at an exact boundary.
 func (c *Core) SetCommitLimit(n int64) { c.commitLimit = n }
+
+// SetWatchdog arms the commit-progress watchdog: if no thread makes
+// forward progress for n consecutive cycles while the core has work in
+// flight, Cycle returns a livelock SimError (0 disables).
+func (c *Core) SetWatchdog(n uint64) { c.watchdogCycles = n }
+
+// RecentCommits returns the most recently committed instruction
+// addresses, oldest first.
+func (c *Core) RecentCommits() []uint64 {
+	n := c.recentN
+	if n > len(c.recentRIPs) {
+		n = len(c.recentRIPs)
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.recentRIPs[(c.recentN-n+i)%len(c.recentRIPs)])
+	}
+	return out
+}
+
+// CorruptROBHead flips the SOM marker of the oldest in-flight uop —
+// the fault-injection hook for provoking the commit stage's internal
+// invariant check (ROB head must be an instruction start). Returns
+// false when the ROB is empty and nothing could be corrupted.
+func (c *Core) CorruptROBHead() bool {
+	for _, th := range c.threads {
+		if th.robCount > 0 {
+			th.robAt(0).uop.SOM = false
+			return true
+		}
+	}
+	return false
+}
 
 // allocPhys takes a physical register off the free list (-2 when
 // exhausted; callers treat that as a rename stall).
@@ -424,6 +471,7 @@ func (c *Core) Cycle(now uint64) error {
 	for b := range c.bankUse {
 		delete(c.bankUse, b)
 	}
+	progressBefore := c.cUops.Value() + c.cInterrupts.Value() + c.cAssists.Value()
 	if err := c.commit(); err != nil {
 		return err
 	}
@@ -432,7 +480,37 @@ func (c *Core) Cycle(now uint64) error {
 	c.applyRedirects()
 	c.rename()
 	c.fetch()
-	return nil
+	return c.checkWatchdog(progressBefore)
+}
+
+// checkWatchdog updates the commit-progress watchdog after a cycle and
+// reports livelock once the threshold of progress-free cycles passes.
+// Cycles where commit is legitimately paused (idle threads, a
+// co-simulation commit limit) count as progress.
+func (c *Core) checkWatchdog(progressBefore int64) error {
+	if !c.progressInit {
+		c.progressInit = true
+		c.lastProgress = c.now
+	}
+	progressed := c.cUops.Value()+c.cInterrupts.Value()+c.cAssists.Value() != progressBefore
+	if progressed || c.Idle() || (c.commitLimit > 0 && c.cInsns.Value() >= c.commitLimit) {
+		c.lastProgress = c.now
+		return nil
+	}
+	if c.watchdogCycles == 0 || c.now-c.lastProgress < c.watchdogCycles {
+		return nil
+	}
+	ctx := c.threads[0].ctx
+	return &simerr.SimError{
+		Kind:  simerr.KindLivelock,
+		Cycle: c.now,
+		VCPU:  ctx.ID,
+		RIP:   ctx.RIP,
+		Message: fmt.Sprintf("core %d: no commit progress for %d cycles (watchdog %d)",
+			c.ID, c.now-c.lastProgress, c.watchdogCycles),
+		Dump:     c.DumpState(),
+		LastRIPs: c.RecentCommits(),
+	}
 }
 
 // redirect is a deferred pipeline recovery: squash everything with

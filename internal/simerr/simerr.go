@@ -1,0 +1,82 @@
+// Package simerr defines the structured simulation error type shared
+// by the machine loop and the core models. A sick simulation — a
+// deadlocked domain, a livelocked pipeline, an exhausted cycle budget,
+// or an internal invariant panic — surfaces as a *SimError carrying
+// enough microarchitectural context (cycle, RIP, pipeline dump, the
+// last committed instructions) to diagnose the failure offline instead
+// of killing the whole batch run.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a simulation failure.
+type Kind string
+
+// Failure kinds.
+const (
+	// KindDeadlock: every VCPU is halted and no timer, DMA completion
+	// or replayed trace event can ever wake the domain again.
+	KindDeadlock Kind = "deadlock"
+	// KindLivelock: the machine is cycling but no core has committed an
+	// instruction (or delivered an event) for the watchdog threshold.
+	KindLivelock Kind = "livelock"
+	// KindPanic: an internal invariant violation (Go panic) was caught
+	// at the Machine.Run recovery boundary.
+	KindPanic Kind = "panic"
+	// KindCycleBudget: the run exceeded its configured cycle budget.
+	KindCycleBudget Kind = "cycle-budget"
+)
+
+// SimError is a structured simulation failure report.
+type SimError struct {
+	Kind  Kind
+	Cycle uint64 // simulated cycle at which the failure was detected
+	VCPU  int    // VCPU the context below belongs to
+	RIP   uint64 // architectural RIP of that VCPU at failure time
+	// Message is the one-line human description.
+	Message string
+	// Dump carries the detailed context: a ROB/issue-queue/LSQ dump for
+	// watchdog trips, the Go stack trace for recovered panics.
+	Dump string
+	// LastRIPs are the most recently committed instruction addresses
+	// (oldest first), when the failing engine tracks them.
+	LastRIPs []uint64
+}
+
+// Error implements error with a compact single-line summary; the Dump
+// is deliberately excluded (callers print it on demand).
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim %s at cycle %d (vcpu %d, rip %#x): %s",
+		e.Kind, e.Cycle, e.VCPU, e.RIP, e.Message)
+}
+
+// Detail renders the full report including the dump and the recent
+// commit trail.
+func (e *SimError) Detail() string {
+	var b strings.Builder
+	b.WriteString(e.Error())
+	if len(e.LastRIPs) > 0 {
+		b.WriteString("\nlast committed rips:")
+		for _, r := range e.LastRIPs {
+			fmt.Fprintf(&b, " %#x", r)
+		}
+	}
+	if e.Dump != "" {
+		b.WriteString("\n")
+		b.WriteString(e.Dump)
+	}
+	return b.String()
+}
+
+// As extracts a *SimError from an error chain.
+func As(err error) (*SimError, bool) {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -1,0 +1,271 @@
+// Package snapshot implements full-machine checkpoint and restore: a
+// serializable Image of everything that determines a domain's future —
+// physical memory pages, VCPU architectural contexts, hypervisor state
+// (timers, pending events, in-flight DMA, disk, console), the cycle
+// counter, pending ptlcall phases, and the statistics tree.
+//
+// Determinism is by construction rather than by exhaustive
+// microarchitectural serialization: cache, TLB, branch predictor and
+// basic-block-cache contents are simulator speed/timing state that the
+// restore path deliberately rebuilds cold. The checkpoint Runner makes
+// this sound by running the machine in interval segments and swapping
+// in a freshly restored machine at every boundary, so an uninterrupted
+// checkpointed run and a run resumed from any of its images pass
+// through identical restore operations and finish with bit-identical
+// architectural state and cycle counts.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/hv"
+	"ptlsim/internal/mem"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/uops"
+	"ptlsim/internal/vm"
+)
+
+// VCPUImage is the serialized architectural state of one VCPU.
+type VCPUImage struct {
+	Regs         [uops.NumArchRegs]uint64
+	RIP          uint64
+	Kernel       bool
+	CR3          uint64
+	CR2          uint64
+	TrapEntry    uint64
+	SyscallEntry uint64
+	KernelRSP    uint64
+	Running      bool
+	TSCOffset    uint64
+	FlushGen     uint64
+}
+
+// PageImage is one machine page with its frame number.
+type PageImage struct {
+	MFN  uint64
+	Data []byte
+}
+
+// Image is a complete machine checkpoint.
+type Image struct {
+	Cycle   uint64
+	SimMode bool
+
+	// Machine control state: queued ptlcall phases and the current
+	// instruction-bounded phase progress.
+	Phases    []core.PhaseSpec
+	StopInsns int64
+	BaseInsns int64
+
+	Domain hv.DomainState
+	VCPUs  []VCPUImage
+
+	Pages       []PageImage
+	AllocCursor uint64
+
+	// Stats holds every counter in the tree; restoring them preserves
+	// committed-instruction totals (Machine.Insns reads counters) and
+	// all reported statistics across the checkpoint boundary.
+	Stats map[string]int64
+}
+
+// Capture snapshots machine m into a self-contained Image. The machine
+// must be at an instruction boundary (between Step calls); the run
+// loops guarantee this.
+func Capture(m *core.Machine) *Image {
+	img := &Image{
+		Cycle:       m.Cycle,
+		SimMode:     m.Mode() == core.ModeSim,
+		Domain:      m.Dom.SaveState(),
+		AllocCursor: m.Dom.M.PM.AllocCursor(),
+		Stats:       m.Tree.Snapshot(m.Cycle).Values,
+	}
+	img.Phases, img.StopInsns, img.BaseInsns = m.ControlState()
+	for _, ctx := range m.Dom.VCPUs {
+		img.VCPUs = append(img.VCPUs, VCPUImage{
+			Regs: ctx.Regs, RIP: ctx.RIP, Kernel: ctx.Kernel,
+			CR3: ctx.CR3, CR2: ctx.CR2,
+			TrapEntry: ctx.TrapEntry, SyscallEntry: ctx.SyscallEntry,
+			KernelRSP: ctx.KernelRSP, Running: ctx.Running,
+			TSCOffset: ctx.TSCOffset, FlushGen: ctx.FlushGen,
+		})
+	}
+	m.Dom.M.PM.ForEachPage(func(mfn uint64, page *mem.Page) {
+		img.Pages = append(img.Pages, PageImage{MFN: mfn, Data: append([]byte(nil), page[:]...)})
+	})
+	return img
+}
+
+// Restore builds a fresh machine from a checkpoint image using the
+// given configuration (which must match the capturing machine's).
+// External attachments — trace Sink/Source, step hooks — are not part
+// of the image; the caller reattaches them.
+func Restore(img *Image, cfg core.Config) (*core.Machine, error) {
+	if len(img.VCPUs) == 0 {
+		return nil, fmt.Errorf("snapshot: image has no VCPUs")
+	}
+	pm := mem.NewPhysMem()
+	for _, p := range img.Pages {
+		pm.InstallPage(p.MFN, p.Data)
+	}
+	pm.SetAllocCursor(img.AllocCursor)
+
+	tree := stats.NewTree()
+	dom := hv.NewDomain(&vm.Machine{PM: pm}, len(img.VCPUs), tree)
+	dom.LoadState(img.Domain)
+	for i, vi := range img.VCPUs {
+		ctx := dom.VCPUs[i]
+		ctx.Regs = vi.Regs
+		ctx.RIP = vi.RIP
+		ctx.Kernel = vi.Kernel
+		ctx.CR3 = vi.CR3
+		ctx.CR2 = vi.CR2
+		ctx.TrapEntry = vi.TrapEntry
+		ctx.SyscallEntry = vi.SyscallEntry
+		ctx.KernelRSP = vi.KernelRSP
+		ctx.Running = vi.Running
+		ctx.TSCOffset = vi.TSCOffset
+		ctx.FlushGen = vi.FlushGen
+	}
+
+	m := core.NewMachine(dom, tree, cfg)
+	m.Cycle = img.Cycle
+	if img.SimMode {
+		m.RestoreMode(core.ModeSim)
+	} else {
+		m.RestoreMode(core.ModeNative)
+	}
+	m.SetControlState(img.Phases, img.StopInsns, img.BaseInsns)
+	// Restore counters last: constructors have registered their handles
+	// by now, and Counter returns the existing handle for a known path,
+	// so Set reaches every live counter (including instruction totals).
+	for path, v := range img.Stats {
+		tree.Counter(path).Set(v)
+	}
+	return m, nil
+}
+
+// Encode serializes the image to bytes (gob).
+func (img *Image) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an image produced by Encode.
+func Decode(data []byte) (*Image, error) {
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return &img, nil
+}
+
+// WriteFile encodes the image into path.
+func (img *Image) WriteFile(path string) error {
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile decodes an image from path.
+func ReadFile(path string) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(data)
+}
+
+// Runner drives a machine to completion while checkpointing every
+// Interval cycles. At each boundary it captures an Image, round-trips
+// it through encoded bytes, restores a fresh machine from it, and
+// swaps that machine in — so the continued run is, by construction,
+// exactly the run a later restore-from-image would produce.
+type Runner struct {
+	M        *core.Machine
+	Interval uint64
+
+	// OnCheckpoint, when set, receives each checkpoint as it is taken
+	// (k counts from 1) — e.g. to persist the encoded bytes to disk.
+	OnCheckpoint func(k int, img *Image, encoded []byte) error
+
+	// Checkpoints is the number of boundaries crossed so far.
+	Checkpoints int
+}
+
+// NewRunner checkpoints m every interval cycles (interval must be > 0).
+func NewRunner(m *core.Machine, interval uint64) *Runner {
+	return &Runner{M: m, Interval: interval}
+}
+
+// Run executes until domain shutdown or until the absolute cycle count
+// reaches maxCycles (0 = unlimited), checkpointing at every Interval
+// boundary. On return r.M is the machine instance that finished the
+// run (earlier instances have been swapped out).
+func (r *Runner) Run(maxCycles uint64) error {
+	if r.Interval == 0 {
+		return fmt.Errorf("snapshot: Runner.Interval must be > 0")
+	}
+	for !r.M.Dom.ShutdownReq {
+		if maxCycles > 0 && r.M.Cycle >= maxCycles {
+			ctx := r.M.Dom.VCPUs[0]
+			return &simerr.SimError{
+				Kind: simerr.KindCycleBudget, Cycle: r.M.Cycle,
+				VCPU: ctx.ID, RIP: ctx.RIP,
+				Message: fmt.Sprintf("cycle budget %d exhausted", maxCycles),
+			}
+		}
+		target := r.M.Cycle + r.Interval
+		if maxCycles > 0 && target > maxCycles {
+			target = maxCycles
+		}
+		if err := r.M.RunUntilCycle(target); err != nil {
+			return err
+		}
+		if r.M.Dom.ShutdownReq {
+			break
+		}
+		if err := r.checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint performs one capture → encode → decode → restore → swap
+// round trip, carrying over the external attachments the image
+// deliberately excludes.
+func (r *Runner) checkpoint() error {
+	img := Capture(r.M)
+	data, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	fresh, err := Restore(decoded, r.M.Config())
+	if err != nil {
+		return err
+	}
+	fresh.Dom.Sink = r.M.Dom.Sink
+	fresh.Dom.Source = r.M.Dom.Source
+	fresh.SetStepHook(r.M.StepHook())
+	r.M = fresh
+	r.Checkpoints++
+	if r.OnCheckpoint != nil {
+		return r.OnCheckpoint(r.Checkpoints, img, data)
+	}
+	return nil
+}

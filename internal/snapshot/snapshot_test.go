@@ -1,0 +1,173 @@
+package snapshot
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/vm"
+)
+
+func benchConfig() core.Config {
+	return core.Config{Core: core.DefaultConfig().Core, NativeCPI: 1, ThreadsPerCore: 1}
+}
+
+// buildBench boots the deterministic timer-free rsync benchmark.
+func buildBench(t *testing.T) *core.Machine {
+	t.Helper()
+	cs := guest.CorpusSpec{NFiles: 1, FileSize: 1024, Seed: 5, ChangeFraction: 0.4}
+	spec, err := guest.RsyncBenchmark(cs, 4_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := stats.NewTree()
+	spec.Tree = tree
+	img, err := kern.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewMachine(img.Domain, tree, benchConfig())
+}
+
+func TestCaptureRestoreIdentity(t *testing.T) {
+	m := buildBench(t)
+	if err := m.RunUntilInsns(2000, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Capture(m).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(img, m.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycle != m.Cycle {
+		t.Fatalf("cycle: %d vs %d", r.Cycle, m.Cycle)
+	}
+	if r.Insns() != m.Insns() {
+		t.Fatalf("insns: %d vs %d", r.Insns(), m.Insns())
+	}
+	if !vm.ArchEqual(r.Dom.VCPUs[0], m.Dom.VCPUs[0]) {
+		t.Fatalf("arch state: %s", vm.DiffArch(m.Dom.VCPUs[0], r.Dom.VCPUs[0]))
+	}
+	if r.Dom.M.PM.NumPages() != m.Dom.M.PM.NumPages() {
+		t.Fatalf("pages: %d vs %d", r.Dom.M.PM.NumPages(), m.Dom.M.PM.NumPages())
+	}
+	if r.Dom.Console() != m.Dom.Console() {
+		t.Fatal("console output differs after restore")
+	}
+	if !reflect.DeepEqual(r.Tree.Snapshot(r.Cycle).Values, m.Tree.Snapshot(m.Cycle).Values) {
+		t.Fatal("statistics tree differs after restore")
+	}
+}
+
+// TestRoundTripDeterminism is the paper-level guarantee: a run that
+// checkpoints every interval and a run resumed from one of those
+// images in a fresh machine finish with bit-identical architectural
+// state, cycle counts, console output and statistics.
+func TestRoundTripDeterminism(t *testing.T) {
+	const interval = 50_000
+
+	// Uninterrupted (but checkpointing) run, simulated engine.
+	m1 := buildBench(t)
+	m1.SwitchMode(core.ModeSim)
+	r1 := NewRunner(m1, interval)
+	var saved [][]byte
+	r1.OnCheckpoint = func(_ int, _ *Image, data []byte) error {
+		saved = append(saved, append([]byte(nil), data...))
+		return nil
+	}
+	if err := r1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	final1 := r1.M
+	if !strings.Contains(final1.Dom.Console(), "rsync ok") {
+		t.Fatalf("benchmark did not finish: %q", final1.Dom.Console())
+	}
+	if len(saved) < 2 {
+		t.Fatalf("run crossed only %d checkpoints; shrink the interval", len(saved))
+	}
+
+	// Resume from a mid-run image, decoding from bytes as a fresh
+	// process would, and run to completion.
+	img, err := Decode(saved[len(saved)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Restore(img, benchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Cycle >= final1.Cycle {
+		t.Fatalf("mid-run image is not mid-run: cycle %d vs final %d", m2.Cycle, final1.Cycle)
+	}
+	r2 := NewRunner(m2, interval)
+	if err := r2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	final2 := r2.M
+
+	if final1.Cycle != final2.Cycle {
+		t.Fatalf("cycle count diverged: uninterrupted %d, resumed %d", final1.Cycle, final2.Cycle)
+	}
+	if final1.Insns() != final2.Insns() {
+		t.Fatalf("instruction count diverged: %d vs %d", final1.Insns(), final2.Insns())
+	}
+	for i := range final1.Dom.VCPUs {
+		if !vm.ArchEqual(final1.Dom.VCPUs[i], final2.Dom.VCPUs[i]) {
+			t.Fatalf("vcpu %d arch state diverged: %s", i,
+				vm.DiffArch(final1.Dom.VCPUs[i], final2.Dom.VCPUs[i]))
+		}
+	}
+	if final1.Dom.Console() != final2.Dom.Console() {
+		t.Fatal("console output diverged")
+	}
+	s1 := final1.Tree.Snapshot(final1.Cycle).Values
+	s2 := final2.Tree.Snapshot(final2.Cycle).Values
+	if !reflect.DeepEqual(s1, s2) {
+		for k, v := range s1 {
+			if s2[k] != v {
+				t.Errorf("counter %s: %d vs %d", k, v, s2[k])
+			}
+		}
+		t.Fatal("statistics diverged")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	m := buildBench(t)
+	if err := m.RunUntilInsns(500, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := Capture(m).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	img, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Cycle != m.Cycle || len(img.VCPUs) != len(m.Dom.VCPUs) {
+		t.Fatalf("image header: cycle=%d vcpus=%d", img.Cycle, len(img.VCPUs))
+	}
+	if _, err := Restore(&Image{}, benchConfig()); err == nil {
+		t.Fatal("restoring an empty image must fail")
+	}
+}
+
+func TestRunnerRejectsZeroInterval(t *testing.T) {
+	m := buildBench(t)
+	if err := (&Runner{M: m}).Run(0); err == nil {
+		t.Fatal("zero interval must be rejected")
+	}
+}

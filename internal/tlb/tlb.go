@@ -6,6 +6,39 @@
 // DTLB-miss gap in Table 1.
 package tlb
 
+import "fmt"
+
+// CheckGeometry validates a TLB geometry (total entries and
+// associativity) without constructing it. Core configurations call
+// this from their Validate methods so a bad CLI flag produces a usable
+// error message instead of a stack trace.
+func CheckGeometry(entries, assoc int) error {
+	if entries <= 0 {
+		return fmt.Errorf("tlb: entry count %d must be positive", entries)
+	}
+	if assoc <= 0 {
+		return fmt.Errorf("tlb: associativity %d must be positive", assoc)
+	}
+	if entries%assoc != 0 {
+		return fmt.Errorf("tlb: %d entries not a multiple of associativity %d", entries, assoc)
+	}
+	nsets := entries / assoc
+	if nsets&(nsets-1) != 0 {
+		return fmt.Errorf("tlb: set count %d (entries %d / assoc %d) must be a power of two",
+			nsets, entries, assoc)
+	}
+	return nil
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Entry is one TLB entry: a virtual page number mapped to a machine
 // frame number with its leaf PTE permission bits.
 type Entry struct {
@@ -28,7 +61,9 @@ type TLB struct {
 }
 
 // New creates a TLB with the given total entry count and associativity.
-// entries must be a multiple of assoc and entries/assoc a power of two.
+// Ill-formed geometries (see CheckGeometry) are rounded up to the next
+// power-of-two set count rather than rejected here; configurations
+// that pass Validate never trigger the rounding.
 func New(entries, assoc int) *TLB {
 	if assoc <= 0 {
 		assoc = 1
@@ -37,9 +72,7 @@ func New(entries, assoc int) *TLB {
 	if nsets <= 0 {
 		nsets = 1
 	}
-	if nsets&(nsets-1) != 0 {
-		panic("tlb: set count must be a power of two")
-	}
+	nsets = ceilPow2(nsets)
 	t := &TLB{sets: make([][]way, nsets), setMask: uint64(nsets - 1)}
 	for i := range t.sets {
 		t.sets[i] = make([]way, assoc)

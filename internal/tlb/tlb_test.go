@@ -177,11 +177,23 @@ func TestHierarchyFlush(t *testing.T) {
 	}
 }
 
-func TestBadGeometryPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-power-of-two set count should panic")
-		}
-	}()
-	New(12, 4) // 3 sets
+func TestBadGeometryRejected(t *testing.T) {
+	if err := CheckGeometry(12, 4); err == nil { // 3 sets
+		t.Fatal("non-power-of-two set count must fail validation")
+	}
+	if err := CheckGeometry(0, 1); err == nil {
+		t.Fatal("zero entries must fail validation")
+	}
+	if err := CheckGeometry(13, 4); err == nil {
+		t.Fatal("entries not a multiple of assoc must fail validation")
+	}
+	if err := CheckGeometry(32, 4); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	// The constructor itself no longer panics: ill-formed geometries
+	// round up so a sick config cannot take down a batch process.
+	tl := New(12, 4)
+	if tl.Size() != 16 { // 4 sets x 4 ways after rounding
+		t.Fatalf("rounded size = %d, want 16", tl.Size())
+	}
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Pre-merge verification gate: static analysis, a full build, and the
+# test suite under the race detector. Run from the repository root
+# (make verify does).
+set -eu
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
