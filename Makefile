@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify
+.PHONY: build test race vet verify soak
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,8 @@ vet:
 # under the race detector.
 verify:
 	./scripts/verify.sh
+
+# soak runs the supervisor end to end under a short randomized fault
+# schedule (SOAK_ITERS/SOAK_SEED tune length and reproducibility).
+soak:
+	./scripts/soak.sh

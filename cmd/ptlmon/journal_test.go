@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/supervisor"
+)
+
+// sampleEntries reconstructs the journal of a run that failed twice,
+// fell back over one corrupted slot, degraded one window, and finished.
+func sampleEntries() []supervisor.Entry {
+	return []supervisor.Entry{
+		{Event: supervisor.EventCheckpoint, Attempt: 0, Cycle: 0, Slot: "ckpt-00000001.ckpt"},
+		{Event: supervisor.EventRunStart, Attempt: 1},
+		{Event: supervisor.EventCheckpoint, Attempt: 1, Cycle: 100, Slot: "ckpt-00000002.ckpt"},
+		{Event: supervisor.EventFailure, Attempt: 1, Cycle: 150, Kind: "panic", Message: "ROB head not SOM", Retryable: true},
+		{Event: supervisor.EventDiscardSlot, Attempt: 1, Slot: "ckpt-00000002.ckpt", Message: "snapshot: payload checksum mismatch"},
+		{Event: supervisor.EventRestore, Attempt: 1, Cycle: 0, Slot: "ckpt-00000001.ckpt", BackoffMs: 100},
+		{Event: supervisor.EventRunStart, Attempt: 2},
+		{Event: supervisor.EventFailure, Attempt: 2, Cycle: 150, Kind: "livelock", Message: "watchdog", Retryable: true},
+		{Event: supervisor.EventRestore, Attempt: 2, Cycle: 0, Slot: "ckpt-00000003.ckpt", BackoffMs: 200},
+		{Event: supervisor.EventDegradeOn, Attempt: 2, FromCycle: 0, ToCycle: 200},
+		{Event: supervisor.EventDegradeOff, Attempt: 2, FromCycle: 0, ToCycle: 200, Insns: 180},
+		{Event: supervisor.EventRunStart, Attempt: 3},
+		{Event: supervisor.EventComplete, Attempt: 3, Cycle: 1000, Insns: 900},
+	}
+}
+
+func TestJournalReportSummarizes(t *testing.T) {
+	var b strings.Builder
+	writeJournalReport(&b, sampleEntries(), 0)
+	out := b.String()
+	for _, want := range []string{
+		"13 events, 3 attempt(s)",
+		"checkpoints: 2",
+		"failures: 2 (livelock: 1, panic: 1), 2 retryable",
+		"restores: 2, discarded slots: 1",
+		"degraded windows: 1 (200 cycles on the sequential core)",
+		"outcome: completed at cycle 1000 (900 instructions)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "last ") && strings.Contains(out, "event(s):") {
+		t.Errorf("tail printed without -tail:\n%s", out)
+	}
+}
+
+func TestJournalReportTailAndOutcomes(t *testing.T) {
+	var b strings.Builder
+	writeJournalReport(&b, sampleEntries(), 2)
+	out := b.String()
+	if !strings.Contains(out, "last 2 event(s):") {
+		t.Fatalf("missing tail header:\n%s", out)
+	}
+	if !strings.Contains(out, "complete") || !strings.Contains(out, "run_start") {
+		t.Fatalf("tail should show the final two events:\n%s", out)
+	}
+
+	b.Reset()
+	writeJournalReport(&b, []supervisor.Entry{
+		{Event: supervisor.EventRunStart, Attempt: 1},
+		{Event: supervisor.EventInterrupt, Attempt: 1, Cycle: 500, Slot: "ckpt-00000004.ckpt"},
+	}, 0)
+	if !strings.Contains(b.String(), "interrupted at cycle 500; final checkpoint ckpt-00000004.ckpt") {
+		t.Fatalf("interrupt outcome:\n%s", b.String())
+	}
+
+	b.Reset()
+	writeJournalReport(&b, []supervisor.Entry{
+		{Event: supervisor.EventGiveUp, Attempt: 4, Message: "retry budget 3 exhausted"},
+	}, 0)
+	if !strings.Contains(b.String(), "gave up: retry budget 3 exhausted") {
+		t.Fatalf("give-up outcome:\n%s", b.String())
+	}
+
+	b.Reset()
+	writeJournalReport(&b, nil, 0)
+	if !strings.Contains(b.String(), "empty") {
+		t.Fatalf("empty journal:\n%s", b.String())
+	}
+}

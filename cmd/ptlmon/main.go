@@ -10,6 +10,7 @@
 //	ptlmon -info                 # boot and print domain information
 //	ptlmon -record trace.bin     # record device events during the run
 //	ptlmon -replay trace.bin     # re-run with injected trace events
+//	ptlmon -journal run.jsonl    # summarize a supervised run's journal
 package main
 
 import (
@@ -33,8 +34,17 @@ func main() {
 		fsize   = flag.Int("filesize", 8192, "corpus file size")
 		mode    = flag.String("mode", "native", "execution engine: native | sim")
 		maxCyc  = flag.Uint64("maxcycles", 0, "cycle budget (0 = unlimited)")
+		journal = flag.String("journal", "", "summarize a supervisor run journal (JSONL) and exit")
+		tailN   = flag.Int("tail", 0, "with -journal: also print the last N events")
 	)
 	flag.Parse()
+
+	if *journal != "" {
+		if err := reportJournal(os.Stdout, *journal, *tailN); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cs := guest.CorpusSpec{NFiles: *nfiles, FileSize: *fsize, Seed: 20070425, ChangeFraction: 0.25}
 	tree := stats.NewTree()

@@ -9,13 +9,19 @@
 //	ptlsim -experiment figure2 -o fig2.txt    # time-lapse mode series
 //	ptlsim -mode sampled -sim-insns 100000 -native-insns 900000
 //	ptlsim -stats-out run.json                # snapshots for ptlstats
+//	ptlsim -supervise -journal run.jsonl      # resilient run with crash recovery
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ptlsim/internal/core"
 	"ptlsim/internal/cosim"
@@ -27,6 +33,7 @@ import (
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/snapshot"
 	"ptlsim/internal/stats"
+	"ptlsim/internal/supervisor"
 )
 
 // defaultMaxCycles is the default cycle budget for plain runs: large
@@ -52,6 +59,12 @@ func main() {
 		ckptCycles = flag.Uint64("checkpoint-cycles", 0, "checkpoint the machine every N cycles (0 = off)")
 		ckptOut    = flag.String("checkpoint-out", "", "write each checkpoint to <prefix>.<k>.ckpt")
 		restoreIn  = flag.String("restore", "", "resume from a checkpoint file instead of booting the benchmark")
+		supervise  = flag.Bool("supervise", false, "run under the resilient supervisor: retry retryable failures from rotated checkpoints")
+		ckptDir    = flag.String("checkpoint-dir", "ptlsim-ckpt", "supervisor checkpoint rotation directory")
+		keepCkpts  = flag.Int("keep-checkpoints", 3, "supervisor checkpoint rotation depth")
+		maxRetries = flag.Int("max-retries", 5, "supervisor restore-and-retry budget for the whole run")
+		degradeAft = flag.Int("degrade-after", 2, "consecutive failures at one restore point before the window runs on the sequential core (negative = never degrade)")
+		journalOut = flag.String("journal", "", "append the supervisor run journal (JSONL) to this file")
 		simInsns   = flag.Int64("sim-insns", 100_000, "sampled mode: simulated instructions per period")
 		natInsns   = flag.Int64("native-insns", 900_000, "sampled mode: native instructions per period")
 		statsOut   = flag.String("stats-out", "", "write snapshot series as JSON for ptlstats")
@@ -59,6 +72,15 @@ func main() {
 		dumpStats  = flag.String("dump", "", "dump final counters matching this prefix")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run context: the run loops stop at the
+	// next instruction boundary and, where checkpointing is configured, a
+	// final checkpoint is written before a clean exit. Once the context
+	// is cancelled the handler is released, so a second signal kills the
+	// process the ordinary way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() { <-ctx.Done(); stopSignals() }()
 
 	w := os.Stdout
 	if *out != "" {
@@ -144,35 +166,78 @@ func main() {
 	}
 
 	var err error
+	var sup *supervisor.Supervisor
 	switch *mode {
 	case "native", "sim":
 		if *mode == "sim" {
 			m.SwitchMode(core.ModeSim)
 		}
-		if *ckptCycles > 0 {
+		switch {
+		case *supervise:
+			interval := *ckptCycles
+			if interval == 0 {
+				interval = 10_000_000
+			}
+			var jw io.Writer
+			if *journalOut != "" {
+				jf, jerr := os.OpenFile(*journalOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if jerr != nil {
+					fatal(jerr)
+				}
+				defer jf.Close()
+				jw = jf
+			}
+			sup, err = supervisor.New(m, supervisor.Config{
+				Interval: interval, MaxCycles: cfg.MaxCycles,
+				Dir: *ckptDir, Keep: *keepCkpts,
+				MaxRetries: *maxRetries, DegradeAfter: *degradeAft,
+				Journal: jw,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			err = sup.Run(ctx)
+			m = sup.M
+		case *ckptCycles > 0:
 			r := snapshot.NewRunner(m, *ckptCycles)
 			if *ckptOut != "" {
 				prefix := *ckptOut
-				r.OnCheckpoint = func(k int, _ *snapshot.Image, data []byte) error {
-					return os.WriteFile(fmt.Sprintf("%s.%d.ckpt", prefix, k), data, 0o644)
+				r.OnCheckpoint = func(k int, img *snapshot.Image, _ []byte) error {
+					return img.WriteFile(fmt.Sprintf("%s.%d.ckpt", prefix, k))
 				}
 			}
-			err = r.Run(cfg.MaxCycles)
+			err = r.RunCtx(ctx, cfg.MaxCycles)
 			m = r.M // the runner swaps machines at each checkpoint
-		} else {
-			err = m.Run(cfg.MaxCycles)
+		default:
+			err = m.RunCtx(ctx, cfg.MaxCycles)
 		}
 	case "sampled":
+		if *supervise {
+			fatal(fmt.Errorf("-supervise supports -mode native|sim only"))
+		}
 		err = cosim.RunSampled(m, cosim.SampleConfig{SimInsns: *simInsns, NativeInsns: *natInsns}, cfg.MaxCycles)
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
 	if err != nil {
+		switch {
+		case errors.Is(err, supervisor.ErrInterrupted):
+			// The supervisor already wrote the final checkpoint.
+			fmt.Fprintln(os.Stderr, "ptlsim:", err)
+			os.Exit(0)
+		case errors.Is(err, context.Canceled):
+			exitInterrupted(m, *ckptOut, err)
+		}
 		if se, ok := simerr.As(err); ok {
 			fmt.Fprintln(os.Stderr, "ptlsim:", se.Detail())
 			os.Exit(1)
 		}
 		fatal(err)
+	}
+	if sup != nil {
+		res := sup.Result()
+		fmt.Fprintf(os.Stderr, "ptlsim: supervised run complete: attempts=%d retries=%d degraded-windows=%d last-checkpoint=%s\n",
+			res.Attempts, res.Retries, res.DegradedWindows, res.FinalSlot)
 	}
 
 	fmt.Fprintf(w, "console output:\n%s\n", m.Dom.Console())
@@ -268,6 +333,25 @@ func writeStats(path string, m *core.Machine, tree *stats.Tree) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// exitInterrupted handles SIGINT/SIGTERM on unsupervised runs. The run
+// loops guarantee the machine stopped at an instruction boundary, so
+// when a checkpoint prefix is configured the state is captured to
+// <prefix>.final.ckpt — resumable with -restore — and the exit is
+// clean; without one the process exits with the conventional 130.
+func exitInterrupted(m *core.Machine, ckptOut string, cause error) {
+	fmt.Fprintln(os.Stderr, "ptlsim:", cause)
+	if ckptOut != "" {
+		path := ckptOut + ".final.ckpt"
+		if err := snapshot.Capture(m).WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "ptlsim: final checkpoint failed:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ptlsim: final checkpoint written; resume with -restore %s\n", path)
+		os.Exit(0)
+	}
+	os.Exit(130)
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"strconv"
@@ -308,6 +309,12 @@ func (m *Machine) skipIdle() bool {
 		ddl = m.Cycle + 1
 	}
 	m.advance(ddl - m.Cycle)
+	// The skipped span is sleep, not a stall: rebase each core's
+	// commit-progress watchdog so the wake-up is not misread as a
+	// multi-billion-cycle livelock.
+	for _, c := range m.oooCores {
+		c.NoteIdleSkip(m.Cycle)
+	}
 	return true
 }
 
@@ -426,6 +433,20 @@ func (m *Machine) guard(err *error) {
 	*err = se
 }
 
+// ctxCheckInterval bounds how many steps may pass between context
+// cancellation checks in the run loops: small enough that a SIGINT
+// interrupts within microseconds of wall time, large enough to keep
+// Err() polling off the per-cycle hot path.
+const ctxCheckInterval = 4096
+
+// interruptErr wraps a context cancellation with the machine position
+// so callers can both classify it (errors.Is(err, context.Canceled))
+// and report where the run stopped. The machine is at an instruction
+// boundary, so capturing a final checkpoint is legal.
+func (m *Machine) interruptErr(cause error) error {
+	return fmt.Errorf("core: run interrupted at cycle %d (%d insns): %w", m.Cycle, m.Insns(), cause)
+}
+
 // RunUntilInsns advances the machine until exactly target instructions
 // have committed in total (or the domain shuts down). In native mode
 // the functional core single-steps near the boundary; in simulation
@@ -433,6 +454,13 @@ func (m *Machine) guard(err *error) {
 // instruction boundary — the property native↔sim switching and the
 // divergence search rely on.
 func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) (err error) {
+	return m.RunUntilInsnsCtx(context.Background(), target, maxCycles)
+}
+
+// RunUntilInsnsCtx is RunUntilInsns with cooperative cancellation: when
+// ctx is cancelled the loop returns a wrapped ctx.Err() at the next
+// instruction boundary.
+func (m *Machine) RunUntilInsnsCtx(ctx context.Context, target int64, maxCycles uint64) (err error) {
 	defer m.guard(&err)
 	if m.mode == ModeSim {
 		// The commit gate compares against each core's own committed
@@ -459,7 +487,14 @@ func (m *Machine) RunUntilInsns(target int64, maxCycles uint64) (err error) {
 		}()
 	}
 	start := m.Cycle
+	check := 0
 	for m.Insns() < target && !m.Dom.ShutdownReq {
+		if check--; check <= 0 {
+			check = ctxCheckInterval
+			if cerr := ctx.Err(); cerr != nil {
+				return m.interruptErr(cerr)
+			}
+		}
 		if maxCycles > 0 && m.Cycle-start >= maxCycles {
 			return m.budgetErr(fmt.Sprintf(
 				"RunUntilInsns(%d): cycle budget %d exhausted at %d insns", target, maxCycles, m.Insns()))
@@ -498,8 +533,24 @@ func (m *Machine) RunUntilRIP(rip uint64, maxInsns int64) (err error) {
 // inside the guest. Internal invariant panics are converted into
 // structured SimErrors by the guard boundary.
 func (m *Machine) Run(maxCycles uint64) (err error) {
+	return m.RunCtx(context.Background(), maxCycles)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled
+// the loop stops at the next instruction boundary and returns a
+// wrapped ctx.Err(), leaving the machine checkpointable — the hook
+// SIGINT/SIGTERM handling uses to turn a kill into a final checkpoint
+// and clean exit.
+func (m *Machine) RunCtx(ctx context.Context, maxCycles uint64) (err error) {
 	defer m.guard(&err)
+	check := 0
 	for !m.Dom.ShutdownReq {
+		if check--; check <= 0 {
+			check = ctxCheckInterval
+			if cerr := ctx.Err(); cerr != nil {
+				return m.interruptErr(cerr)
+			}
+		}
 		if maxCycles > 0 && m.Cycle >= maxCycles {
 			return m.budgetErr(fmt.Sprintf("cycle budget %d exhausted", maxCycles))
 		}
@@ -518,8 +569,20 @@ func (m *Machine) Run(maxCycles uint64) (err error) {
 // domain shuts down — checkpoint interval boundaries land on exact
 // cycles regardless of mode.
 func (m *Machine) RunUntilCycle(target uint64) (err error) {
+	return m.RunUntilCycleCtx(context.Background(), target)
+}
+
+// RunUntilCycleCtx is RunUntilCycle with cooperative cancellation.
+func (m *Machine) RunUntilCycleCtx(ctx context.Context, target uint64) (err error) {
 	defer m.guard(&err)
+	check := 0
 	for m.Cycle < target && !m.Dom.ShutdownReq {
+		if check--; check <= 0 {
+			check = ctxCheckInterval
+			if cerr := ctx.Err(); cerr != nil {
+				return m.interruptErr(cerr)
+			}
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"ptlsim/internal/guest"
 	"ptlsim/internal/hv"
+	"ptlsim/internal/kern"
 	"ptlsim/internal/mem"
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/stats"
@@ -145,5 +149,64 @@ func TestControlStateRoundTrip(t *testing.T) {
 	}
 	if stop != 1000 || base != 42 {
 		t.Fatalf("stop=%d base=%d", stop, base)
+	}
+}
+
+// TestWatchdogSurvivesIdleSkip: fast-forwarding the clock over a fully
+// idle period must rebase the commit-progress watchdog — the skipped
+// span is sleep, not a stall. Regression: the first timer wake after a
+// multi-billion-cycle idle gap used to be misreported as a livelock on
+// any machine that lived through the gap (checkpoint-restored machines
+// hid the bug because their cores were rebuilt cold at each boundary).
+func TestWatchdogSurvivesIdleSkip(t *testing.T) {
+	cs := guest.CorpusSpec{NFiles: 1, FileSize: 1024, Seed: 5, ChangeFraction: 0.4}
+	spec, err := guest.RsyncBenchmark(cs, 4_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := stats.NewTree()
+	spec.Tree = tree
+	img, err := kern.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 20_000
+	m := NewMachine(img.Domain, tree, cfg)
+	m.SwitchMode(ModeSim)
+	// The 4G-cycle timer period forces several idle skips far beyond the
+	// watchdog threshold before the workload completes.
+	if err := m.Run(0); err != nil {
+		t.Fatalf("clean run with armed watchdog across idle skips: %v", err)
+	}
+	if !strings.Contains(m.Dom.Console(), "rsync ok") {
+		t.Fatalf("benchmark did not complete:\n%s", m.Dom.Console())
+	}
+}
+
+// TestRunCtxCancellation: a cancelled context stops the run loops at
+// an instruction boundary with an error wrapping context.Canceled —
+// never a SimError, so the supervisor and CLI classify it as a clean
+// interrupt rather than a simulation failure.
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dom, tree := haltedDomain(t)
+	m := NewMachine(dom, tree, DefaultConfig())
+	for name, run := range map[string]func() error{
+		"RunCtx":           func() error { return m.RunCtx(ctx, 0) },
+		"RunUntilCycleCtx": func() error { return m.RunUntilCycleCtx(ctx, 1_000_000) },
+		"RunUntilInsnsCtx": func() error { return m.RunUntilInsnsCtx(ctx, 1_000_000, 0) },
+	} {
+		err := run()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want wrapped context.Canceled", name, err)
+		}
+		if _, ok := simerr.As(err); ok {
+			t.Fatalf("%s: cancellation must not be a SimError: %v", name, err)
+		}
+		if !strings.Contains(err.Error(), "interrupted") {
+			t.Fatalf("%s: message should say interrupted: %v", name, err)
+		}
 	}
 }

@@ -67,6 +67,15 @@ type Spec struct {
 	// Insn is the committed-instruction count at or after which the
 	// fault applies.
 	Insn int64
+	// Until, when non-zero, makes the fault persistent over the
+	// committed-instruction window [Insn, Until): it re-fires at every
+	// step boundary inside the window, even across a checkpoint
+	// restore (the injector's one-shot latch is bypassed). This models
+	// a fault bound to a code region rather than a single event — the
+	// shape a run supervisor's retry loop cannot cure by replaying,
+	// only by degrading the window to the sequential core. Valid for
+	// regflip and robcorrupt.
+	Until int64
 
 	Reg    uops.ArchReg // RegFlip target
 	Bit    uint         // RegFlip (0-63) / MemFlip (0-7) bit index
@@ -82,6 +91,7 @@ type Spec struct {
 //	tlbflush@1000
 //	memdelay@1000:cycles=500000
 //	robcorrupt@1000
+//	robcorrupt@1000:until=2000   (persistent over insns [1000,2000))
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	head, opts, hasOpts := strings.Cut(s, ":")
@@ -146,6 +156,12 @@ func ParseSpec(s string) (Spec, error) {
 					return spec, fmt.Errorf("faultinject: bad vcpu %q", val)
 				}
 				spec.VCPU = v
+			case "until":
+				u, err := strconv.ParseInt(val, 0, 64)
+				if err != nil || u <= 0 {
+					return spec, fmt.Errorf("faultinject: bad until %q", val)
+				}
+				spec.Until = u
 			default:
 				return spec, fmt.Errorf("faultinject: unknown option %q", key)
 			}
@@ -166,6 +182,14 @@ func ParseSpec(s string) (Spec, error) {
 	case MemDelay:
 		if spec.Cycles == 0 {
 			return spec, fmt.Errorf("faultinject: memdelay requires cycles=")
+		}
+	}
+	if spec.Until > 0 {
+		if spec.Kind != RegFlip && spec.Kind != ROBCorrupt {
+			return spec, fmt.Errorf("faultinject: until= only applies to regflip/robcorrupt, not %s", spec.Kind)
+		}
+		if spec.Until <= spec.Insn {
+			return spec, fmt.Errorf("faultinject: until=%d must exceed trigger insn %d", spec.Until, spec.Insn)
 		}
 	}
 	return spec, nil
@@ -235,7 +259,7 @@ func (inj *Injector) Hook(m *core.Machine) {
 	n := m.Insns()
 	for i := range inj.specs {
 		s := &inj.specs[i]
-		if n < s.Insn {
+		if n < s.Insn || (s.Until > 0 && n >= s.Until) {
 			continue
 		}
 		switch s.Kind {
@@ -279,14 +303,19 @@ func (inj *Injector) Hook(m *core.Machine) {
 			}
 			inj.record(i, n, m.Cycle, fmt.Sprintf("delaying cache responses until cycle %d", until))
 		case ROBCorrupt:
-			if inj.fired[i] || m.Mode() != core.ModeSim {
+			// A windowed (until=) corruption bypasses the one-shot
+			// latch: it re-fires on every step inside the window, so a
+			// checkpoint restore that replays the window hits it again.
+			if (inj.fired[i] && s.Until == 0) || m.Mode() != core.ModeSim {
 				continue
 			}
 			// The ROB may be empty at this boundary; retry each step
 			// until an in-flight entry exists to corrupt.
 			for _, c := range m.OOOCores() {
 				if c.CorruptROBHead() {
-					inj.record(i, n, m.Cycle, fmt.Sprintf("corrupted ROB head of core %d", c.ID))
+					if !inj.fired[i] {
+						inj.record(i, n, m.Cycle, fmt.Sprintf("corrupted ROB head of core %d", c.ID))
+					}
 					break
 				}
 			}

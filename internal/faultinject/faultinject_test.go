@@ -29,6 +29,13 @@ func TestParseSpec(t *testing.T) {
 	if _, err := ParseSpec("robcorrupt@0x40"); err != nil {
 		t.Fatalf("hex trigger: %v", err)
 	}
+	s, err = ParseSpec("robcorrupt@1000:until=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != ROBCorrupt || s.Insn != 1000 || s.Until != 2000 {
+		t.Fatalf("parsed %+v", s)
+	}
 	for _, bad := range []string{
 		"regflip@10",               // missing reg=
 		"regflip@10:reg=nosuch",    // unknown register
@@ -37,6 +44,9 @@ func TestParseSpec(t *testing.T) {
 		"warp@10",                  // unknown kind
 		"regflip:reg=r1",           // missing trigger
 		"memflip@5:bit=9",          // byte-flip bit out of range
+		"robcorrupt@1000:until=500",           // window ends before it starts
+		"memflip@5:pa=0x1000,until=100",       // until= on a one-shot kind
+		"tlbflush@5:until=100",                // until= on a one-shot kind
 	} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Fatalf("spec %q should be rejected", bad)

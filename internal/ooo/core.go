@@ -252,6 +252,16 @@ func (c *Core) SetCommitLimit(n int64) { c.commitLimit = n }
 // flight, Cycle returns a livelock SimError (0 disables).
 func (c *Core) SetWatchdog(n uint64) { c.watchdogCycles = n }
 
+// NoteIdleSkip rebases the commit-progress watchdog after the machine
+// fast-forwards the clock over a fully idle period. The skipped span is
+// legitimate sleep, not a stuck pipeline; without the rebase the first
+// wake after a multi-billion-cycle timer gap would be misreported as a
+// livelock.
+func (c *Core) NoteIdleSkip(now uint64) {
+	c.progressInit = true
+	c.lastProgress = now
+}
+
 // RecentCommits returns the most recently committed instruction
 // addresses, oldest first.
 func (c *Core) RecentCommits() []uint64 {

@@ -31,6 +31,24 @@ const (
 	KindCycleBudget Kind = "cycle-budget"
 )
 
+// Retryable reports whether a failure of this kind can plausibly be
+// cured by restoring a checkpoint and re-executing. Livelocks and
+// recovered panics are microarchitectural: they arise from simulator
+// pipeline state that a restore rebuilds cold, so a retry (and, when
+// the fault is persistent, re-executing the window on the sequential
+// reference core) can make forward progress. Deadlocks are
+// architectural — every VCPU halted with no wakeup source — and replay
+// deterministically to the same state, and an exhausted cycle budget
+// is a policy limit, not a fault: retrying either spends the same
+// cycles again or needs a bigger budget, so both are classified fatal.
+func (k Kind) Retryable() bool {
+	switch k {
+	case KindLivelock, KindPanic:
+		return true
+	}
+	return false
+}
+
 // SimError is a structured simulation failure report.
 type SimError struct {
 	Kind  Kind
@@ -72,6 +90,10 @@ func (e *SimError) Detail() string {
 	return b.String()
 }
 
+// Retryable reports whether this failure is worth a restore-and-retry
+// attempt (see Kind.Retryable).
+func (e *SimError) Retryable() bool { return e.Kind.Retryable() }
+
 // As extracts a *SimError from an error chain.
 func As(err error) (*SimError, bool) {
 	var se *SimError
@@ -79,4 +101,13 @@ func As(err error) (*SimError, bool) {
 		return se, true
 	}
 	return nil, false
+}
+
+// Retryable classifies an arbitrary error from a run loop: true only
+// for structured SimErrors of a retryable kind. Plain errors (I/O
+// failures, context cancellation, misconfiguration) are never worth an
+// automatic retry.
+func Retryable(err error) bool {
+	se, ok := As(err)
+	return ok && se.Retryable()
 }

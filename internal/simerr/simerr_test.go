@@ -1,0 +1,47 @@
+package simerr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want bool
+	}{
+		{KindLivelock, true},
+		{KindPanic, true},
+		{KindDeadlock, false},
+		{KindCycleBudget, false},
+		{Kind("unknown"), false},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.Retryable(); got != tc.want {
+			t.Errorf("Kind(%s).Retryable() = %v, want %v", tc.kind, got, tc.want)
+		}
+		se := &SimError{Kind: tc.kind, Cycle: 100, Message: "x"}
+		if got := se.Retryable(); got != tc.want {
+			t.Errorf("SimError{%s}.Retryable() = %v, want %v", tc.kind, got, tc.want)
+		}
+		// Classification must survive error wrapping.
+		wrapped := fmt.Errorf("attempt 3: %w", se)
+		if got := Retryable(wrapped); got != tc.want {
+			t.Errorf("Retryable(wrapped %s) = %v, want %v", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestRetryableRejectsPlainErrors(t *testing.T) {
+	for _, err := range []error{
+		nil,
+		fmt.Errorf("disk full"),
+		context.Canceled,
+		fmt.Errorf("run interrupted: %w", context.Canceled),
+	} {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+}

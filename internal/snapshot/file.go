@@ -1,0 +1,160 @@
+// On-disk checkpoint format. A snapshot file is a fixed little-endian
+// header followed by the gob-encoded Image payload:
+//
+//	offset  size  field
+//	     0     8  magic "PTLSNAP\x01"
+//	     8     4  format version (uint32)
+//	    12     8  config-compatibility hash (uint64, 0 = unknown)
+//	    20     8  payload length in bytes (uint64)
+//	    28     4  CRC32 (IEEE) of the payload (uint32)
+//	    32     —  payload (gob)
+//
+// Files are written atomically: the payload goes to a temp file in the
+// destination directory, is fsynced, and is renamed into place, so a
+// crash mid-write can never leave a half-written image under the final
+// name — and if it somehow does (e.g. a torn sector), the CRC rejects
+// it with a typed error the supervisor can treat as "slot unusable,
+// fall back to the previous rotation".
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"ptlsim/internal/core"
+)
+
+// Format constants.
+const (
+	// FormatVersion is bumped whenever the header layout or the gob
+	// schema changes incompatibly.
+	FormatVersion = 1
+	headerSize    = 32
+)
+
+var magic = [8]byte{'P', 'T', 'L', 'S', 'N', 'A', 'P', 1}
+
+// Typed sentinel errors for on-disk image validation. ReadFile and
+// Restore wrap these so callers can classify failures with errors.Is —
+// in particular the run supervisor, which treats ErrTruncated and
+// ErrChecksum as "try the previous rotation slot" and ErrConfigMismatch
+// as fatal operator error.
+var (
+	// ErrNotSnapshot: the file does not start with the snapshot magic.
+	ErrNotSnapshot = errors.New("not a ptlsim snapshot file")
+	// ErrVersion: the file uses an unsupported format version.
+	ErrVersion = errors.New("unsupported snapshot format version")
+	// ErrTruncated: the file is shorter than its header claims.
+	ErrTruncated = errors.New("truncated snapshot file")
+	// ErrChecksum: the payload CRC does not match the header.
+	ErrChecksum = errors.New("snapshot payload checksum mismatch")
+	// ErrConfigMismatch: the image was captured under a different
+	// machine configuration than the one offered for restore.
+	ErrConfigMismatch = errors.New("snapshot configuration mismatch")
+)
+
+// ConfigHash derives the compatibility hash of a machine configuration:
+// restoring an image under a config with a different hash would build a
+// machine whose geometry (core widths, cache shapes, thread mapping)
+// silently disagrees with the one that captured it. The hash is FNV-64a
+// over the config's printed form — stable across runs of the same
+// build, and any field change (including nested core/cache/predictor
+// parameters) changes it.
+func ConfigHash(cfg core.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	return h.Sum64()
+}
+
+// WriteFile encodes the image into path atomically: temp file in the
+// same directory, fsync, rename. The header carries the image's config
+// hash so readers can check compatibility before decoding the payload.
+func (img *Image) WriteFile(path string) error {
+	payload, err := img.Encode()
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], img.CfgHash)
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(payload))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	// Persist the rename itself; failure here is not fatal to the data.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile decodes an image from path, validating magic, version,
+// length and payload CRC before touching the gob decoder, so a
+// truncated or bit-rotted file surfaces as a typed error instead of an
+// opaque decode failure.
+func ReadFile(path string) (*Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(data) < headerSize {
+		if len(data) >= 8 && [8]byte(data[0:8]) != magic {
+			return nil, fmt.Errorf("snapshot: %s: %w", path, ErrNotSnapshot)
+		}
+		return nil, fmt.Errorf("snapshot: %s: %d bytes: %w", path, len(data), ErrTruncated)
+	}
+	if [8]byte(data[0:8]) != magic {
+		return nil, fmt.Errorf("snapshot: %s: %w", path, ErrNotSnapshot)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("snapshot: %s: version %d (want %d): %w", path, v, FormatVersion, ErrVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[20:28])
+	if uint64(len(data)-headerSize) != plen {
+		return nil, fmt.Errorf("snapshot: %s: payload %d bytes, header claims %d: %w",
+			path, len(data)-headerSize, plen, ErrTruncated)
+	}
+	payload := data[headerSize:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(data[28:32]) {
+		return nil, fmt.Errorf("snapshot: %s: %w", path, ErrChecksum)
+	}
+	img, err := Decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Trust the payload's own hash over the header copy (they match for
+	// files we wrote; the payload survives the CRC check either way).
+	if h := binary.LittleEndian.Uint64(data[12:20]); img.CfgHash == 0 {
+		img.CfgHash = h
+	}
+	return img, nil
+}

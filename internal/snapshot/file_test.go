@@ -1,0 +1,155 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestImage writes a minimal valid image and returns its path and
+// bytes.
+func writeTestImage(t *testing.T) (string, []byte) {
+	t.Helper()
+	img := &Image{Cycle: 42, CfgHash: 0xdeadbeef, VCPUs: []VCPUImage{{RIP: 0x1000}}}
+	path := filepath.Join(t.TempDir(), "img.ckpt")
+	if err := img.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestFileHeaderRoundTrip(t *testing.T) {
+	path, _ := writeTestImage(t)
+	img, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Cycle != 42 || img.CfgHash != 0xdeadbeef || img.VCPUs[0].RIP != 0x1000 {
+		t.Fatalf("round trip lost data: %+v", img)
+	}
+	// No temp files may be left behind by the atomic write.
+	leftovers, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".ckpt-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestReadFileRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(data []byte) []byte
+		wantErr error
+	}{
+		{"not a snapshot", func(d []byte) []byte {
+			d[0] = 'X'
+			return d
+		}, ErrNotSnapshot},
+		{"future version", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:12], FormatVersion+1)
+			return d
+		}, ErrVersion},
+		{"truncated payload", func(d []byte) []byte {
+			return d[:len(d)-7]
+		}, ErrTruncated},
+		{"shorter than header", func(d []byte) []byte {
+			return d[:12]
+		}, ErrTruncated},
+		{"payload bit rot", func(d []byte) []byte {
+			d[len(d)-3] ^= 0x40
+			return d
+		}, ErrChecksum},
+		{"garbage file", func(d []byte) []byte {
+			return []byte("definitely not a checkpoint")
+		}, ErrNotSnapshot},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path, data := writeTestImage(t)
+			if err := os.WriteFile(path, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadFile(path)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRestoreConfigMismatch: an image captured under one machine
+// configuration must refuse to restore under another, with a typed,
+// explanatory error — not build a machine with silently wrong geometry.
+func TestRestoreConfigMismatch(t *testing.T) {
+	m := buildBench(t)
+	if err := m.RunUntilInsns(500, 0); err != nil {
+		t.Fatal(err)
+	}
+	img := Capture(m)
+	if img.CfgHash == 0 || img.CfgHash != ConfigHash(m.Config()) {
+		t.Fatalf("capture should stamp the config hash: %#x", img.CfgHash)
+	}
+
+	other := benchConfig()
+	other.Core.ROBSize *= 2
+	if _, err := Restore(img, other); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("restore under changed config: err = %v, want ErrConfigMismatch", err)
+	}
+	if _, err := Restore(img, m.Config()); err != nil {
+		t.Fatalf("restore under matching config: %v", err)
+	}
+
+	// The mismatch also surfaces through the file path (-restore).
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := img.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Restore(loaded, other)
+	if !errors.Is(err, ErrConfigMismatch) || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("file restore under changed config: %v", err)
+	}
+}
+
+func TestConfigHashStability(t *testing.T) {
+	a, b := benchConfig(), benchConfig()
+	if ConfigHash(a) != ConfigHash(b) {
+		t.Fatal("identical configs must hash identically")
+	}
+	b.Core.FetchWidth++
+	if ConfigHash(a) == ConfigHash(b) {
+		t.Fatal("a nested core parameter change must change the hash")
+	}
+	c := benchConfig()
+	c.WatchdogCycles = 12345
+	if ConfigHash(a) == ConfigHash(c) {
+		t.Fatal("a top-level field change must change the hash")
+	}
+}
+
+// TestWriteFileOverwritesAtomically: rewriting an existing slot leaves
+// either the old or the new image, never a blend — modeled here by the
+// rename-over semantics reading back the new content intact.
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	path, _ := writeTestImage(t)
+	img2 := &Image{Cycle: 1000, VCPUs: []VCPUImage{{RIP: 0x2000}}}
+	if err := img2.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycle != 1000 || got.VCPUs[0].RIP != 0x2000 {
+		t.Fatalf("overwrite lost data: %+v", got)
+	}
+}

@@ -17,9 +17,9 @@ package snapshot
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
-	"os"
 
 	"ptlsim/internal/core"
 	"ptlsim/internal/hv"
@@ -56,6 +56,12 @@ type Image struct {
 	Cycle   uint64
 	SimMode bool
 
+	// CfgHash is the compatibility hash (ConfigHash) of the machine
+	// configuration the image was captured under; Restore refuses an
+	// image whose hash disagrees with the offered config. Zero means
+	// unknown (hand-built images) and skips the check.
+	CfgHash uint64
+
 	// Machine control state: queued ptlcall phases and the current
 	// instruction-bounded phase progress.
 	Phases    []core.PhaseSpec
@@ -81,6 +87,7 @@ func Capture(m *core.Machine) *Image {
 	img := &Image{
 		Cycle:       m.Cycle,
 		SimMode:     m.Mode() == core.ModeSim,
+		CfgHash:     ConfigHash(m.Config()),
 		Domain:      m.Dom.SaveState(),
 		AllocCursor: m.Dom.M.PM.AllocCursor(),
 		Stats:       m.Tree.Snapshot(m.Cycle).Values,
@@ -108,6 +115,12 @@ func Capture(m *core.Machine) *Image {
 func Restore(img *Image, cfg core.Config) (*core.Machine, error) {
 	if len(img.VCPUs) == 0 {
 		return nil, fmt.Errorf("snapshot: image has no VCPUs")
+	}
+	if h := ConfigHash(cfg); img.CfgHash != 0 && img.CfgHash != h {
+		return nil, fmt.Errorf(
+			"snapshot: image captured under config hash %#x but restore offered %#x "+
+				"(core geometry, cache shapes or thread mapping differ): %w",
+			img.CfgHash, h, ErrConfigMismatch)
 	}
 	pm := mem.NewPhysMem()
 	for _, p := range img.Pages {
@@ -168,24 +181,6 @@ func Decode(data []byte) (*Image, error) {
 	return &img, nil
 }
 
-// WriteFile encodes the image into path.
-func (img *Image) WriteFile(path string) error {
-	data, err := img.Encode()
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
-}
-
-// ReadFile decodes an image from path.
-func ReadFile(path string) (*Image, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("snapshot: %w", err)
-	}
-	return Decode(data)
-}
-
 // Runner drives a machine to completion while checkpointing every
 // Interval cycles. At each boundary it captures an Image, round-trips
 // it through encoded bytes, restores a fresh machine from it, and
@@ -213,15 +208,23 @@ func NewRunner(m *core.Machine, interval uint64) *Runner {
 // boundary. On return r.M is the machine instance that finished the
 // run (earlier instances have been swapped out).
 func (r *Runner) Run(maxCycles uint64) error {
+	return r.RunCtx(context.Background(), maxCycles)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled
+// the segment in flight stops at the next instruction boundary and the
+// wrapped ctx.Err() is returned — r.M is then still checkpointable, so
+// the caller can capture a final image before exiting.
+func (r *Runner) RunCtx(ctx context.Context, maxCycles uint64) error {
 	if r.Interval == 0 {
 		return fmt.Errorf("snapshot: Runner.Interval must be > 0")
 	}
 	for !r.M.Dom.ShutdownReq {
 		if maxCycles > 0 && r.M.Cycle >= maxCycles {
-			ctx := r.M.Dom.VCPUs[0]
+			vctx := r.M.Dom.VCPUs[0]
 			return &simerr.SimError{
 				Kind: simerr.KindCycleBudget, Cycle: r.M.Cycle,
-				VCPU: ctx.ID, RIP: ctx.RIP,
+				VCPU: vctx.ID, RIP: vctx.RIP,
 				Message: fmt.Sprintf("cycle budget %d exhausted", maxCycles),
 			}
 		}
@@ -229,7 +232,7 @@ func (r *Runner) Run(maxCycles uint64) error {
 		if maxCycles > 0 && target > maxCycles {
 			target = maxCycles
 		}
-		if err := r.M.RunUntilCycle(target); err != nil {
+		if err := r.M.RunUntilCycleCtx(ctx, target); err != nil {
 			return err
 		}
 		if r.M.Dom.ShutdownReq {

@@ -1,0 +1,104 @@
+// The run journal is an append-only JSONL stream of everything the
+// supervisor did to keep a run alive: checkpoints taken, failures
+// observed, slots discarded as corrupt, restores, degraded windows,
+// interrupts and the final outcome. One JSON object per line makes it
+// greppable mid-run (tail -f) and trivially machine-readable afterwards
+// (cmd/ptlmon -journal renders the attempt history from it).
+package supervisor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Journal event names.
+const (
+	EventRunStart    = "run_start"    // supervisor starting an attempt
+	EventCheckpoint  = "checkpoint"   // rotation slot written
+	EventFailure     = "failure"      // run attempt failed
+	EventDiscardSlot = "discard_slot" // checkpoint slot rejected (corrupt/unreadable)
+	EventRestore     = "restore"      // machine restored from a slot
+	EventDegradeOn   = "degrade_start" // window re-executing on the sequential core
+	EventDegradeOff  = "degrade_end"  // degraded window finished, back to the OoO core
+	EventInterrupt   = "interrupt"    // cancellation: final checkpoint written
+	EventGiveUp      = "give_up"      // retry budget exhausted
+	EventComplete    = "complete"     // run finished normally
+)
+
+// Entry is one journal record. Fields are omitted when irrelevant to
+// the event.
+type Entry struct {
+	Time      string `json:"time,omitempty"` // wall clock, RFC3339Nano
+	Event     string `json:"event"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Cycle     uint64 `json:"cycle,omitempty"`
+	Insns     int64  `json:"insns,omitempty"`
+	Kind      string `json:"kind,omitempty"` // simerr failure kind
+	Message   string `json:"message,omitempty"`
+	Slot      string `json:"slot,omitempty"`       // checkpoint file involved
+	BackoffMs int64  `json:"backoff_ms,omitempty"` // delay before the retry
+	FromCycle uint64 `json:"from_cycle,omitempty"` // degraded window start
+	ToCycle   uint64 `json:"to_cycle,omitempty"`   // degraded window end
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// Journal appends entries to a writer as JSONL. A nil Journal (or one
+// over a nil writer) discards everything, so callers never guard their
+// logging.
+type Journal struct {
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewJournal writes entries to w (nil w = discard). Timestamps come
+// from time.Now.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, now: time.Now}
+}
+
+// Append writes one entry, stamping it with the current time. Journal
+// write failures are reported but are deliberately non-fatal to the
+// supervised run: losing history must not lose the run itself.
+func (j *Journal) Append(e Entry) error {
+	if j == nil || j.w == nil {
+		return nil
+	}
+	e.Time = j.now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("supervisor: journal encode: %w", err)
+	}
+	_, err = j.w.Write(append(data, '\n'))
+	if err != nil {
+		return fmt.Errorf("supervisor: journal write: %w", err)
+	}
+	if f, ok := j.w.(*os.File); ok {
+		f.Sync()
+	}
+	return nil
+}
+
+// ReadJournal parses a JSONL journal stream. Unparseable lines (e.g. a
+// torn final line from a crashed process) terminate the scan without an
+// error: everything before them is history worth reporting.
+func ReadJournal(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,126 @@
+package supervisor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ptlsim/internal/snapshot"
+)
+
+// Store is the keep-N checkpoint rotation on disk. Slots are named
+// ckpt-<seq>.ckpt with a monotonically increasing sequence number;
+// Save writes the next slot (atomically, via snapshot.Image.WriteFile)
+// and prunes the oldest beyond the retention depth. Recovery walks the
+// slots newest-first and takes the first image that passes the on-disk
+// integrity checks, so a corrupted or truncated newest slot degrades to
+// the previous one instead of ending the run.
+type Store struct {
+	Dir string
+	// Keep is the number of slots retained (minimum 1).
+	Keep int
+
+	seq int // last sequence number written or found on disk
+}
+
+const (
+	slotPrefix = "ckpt-"
+	slotSuffix = ".ckpt"
+)
+
+// OpenStore creates (if needed) the checkpoint directory and resumes
+// the sequence numbering from any slots already present — a restarted
+// supervisor process keeps rotating where the dead one stopped.
+func OpenStore(dir string, keep int) (*Store, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("supervisor: checkpoint dir: %w", err)
+	}
+	s := &Store{Dir: dir, Keep: keep}
+	for _, slot := range s.Slots() {
+		if n, ok := slotSeq(slot); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+// slotSeq extracts the sequence number from a slot path.
+func slotSeq(path string) (int, bool) {
+	name := filepath.Base(path)
+	if !strings.HasPrefix(name, slotPrefix) || !strings.HasSuffix(name, slotSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, slotPrefix), slotSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Slots returns the rotation's slot paths, newest (highest sequence)
+// first.
+func (s *Store) Slots() []string {
+	matches, _ := filepath.Glob(filepath.Join(s.Dir, slotPrefix+"*"+slotSuffix))
+	var out []string
+	for _, m := range matches {
+		if _, ok := slotSeq(m); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := slotSeq(out[i])
+		b, _ := slotSeq(out[j])
+		return a > b
+	})
+	return out
+}
+
+// Save writes img into the next rotation slot and prunes slots beyond
+// the retention depth, returning the new slot's path.
+func (s *Store) Save(img *snapshot.Image) (string, error) {
+	s.seq++
+	path := filepath.Join(s.Dir, fmt.Sprintf("%s%08d%s", slotPrefix, s.seq, slotSuffix))
+	if err := img.WriteFile(path); err != nil {
+		s.seq--
+		return "", err
+	}
+	for i, slot := range s.Slots() {
+		if i >= s.Keep {
+			os.Remove(slot)
+		}
+	}
+	return path, nil
+}
+
+// LoadLatest returns the newest image that reads back intact, walking
+// older slots when newer ones are corrupt, truncated, or unreadable.
+// Each rejected slot is reported through discard (if non-nil) and then
+// removed so the rotation never resurrects it. The error return is
+// non-nil only when no slot at all yields a usable image.
+func (s *Store) LoadLatest(discard func(slot string, err error)) (*snapshot.Image, string, error) {
+	slots := s.Slots()
+	if len(slots) == 0 {
+		return nil, "", fmt.Errorf("supervisor: no checkpoints in %s", s.Dir)
+	}
+	var firstErr error
+	for _, slot := range slots {
+		img, err := snapshot.ReadFile(slot)
+		if err == nil {
+			return img, slot, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if discard != nil {
+			discard(slot, err)
+		}
+		os.Remove(slot)
+	}
+	return nil, "", fmt.Errorf("supervisor: no usable checkpoint in %s (newest: %w)", s.Dir, firstErr)
+}

@@ -1,0 +1,360 @@
+// Package supervisor is the resilient run manager: it wraps
+// core.Machine execution in an attempt loop built from PR 1's
+// guardrail primitives so a multi-billion-cycle run survives the
+// failures that would otherwise kill it.
+//
+// The loop drives the machine through the checkpointing Runner,
+// persisting every boundary image into a keep-N rotation of
+// integrity-checked files (internal/snapshot's atomic, CRC-verified
+// format). When an attempt dies with a retryable SimError — a commit
+// livelock or a recovered pipeline panic — the supervisor backs off
+// exponentially, restores the newest intact rotation slot (falling
+// back across corrupted ones), and retries within a bounded budget.
+// When the out-of-order core keeps faulting inside the same window,
+// the supervisor degrades gracefully: it re-executes just that window
+// on the sequential reference core to make forward progress, records
+// the degraded interval in the run journal, and switches back to the
+// cycle-accurate core at the next boundary. Context cancellation
+// (SIGINT/SIGTERM in cmd/ptlsim) lands as a final checkpoint plus a
+// clean exit instead of lost work.
+//
+// Because a transient fault is cured by replaying from the previous
+// boundary image — the exact image the uninterrupted run swapped in at
+// that boundary — a recovered run finishes with bit-identical
+// architectural state, cycle count, console output and statistics to a
+// clean run under the same supervision cadence (the determinism-by-
+// construction property of snapshot.Runner, extended across failures).
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/snapshot"
+)
+
+// Config configures a Supervisor.
+type Config struct {
+	// Interval is the checkpoint cadence in cycles (required). It is
+	// also the width of a degraded window.
+	Interval uint64
+	// MaxCycles bounds the whole run (0 = unlimited); exhausting it is
+	// a fatal cycle-budget SimError, never retried.
+	MaxCycles uint64
+	// Dir is the checkpoint rotation directory (required).
+	Dir string
+	// Keep is the rotation depth (default 3).
+	Keep int
+	// MaxRetries is the total restore-and-retry budget for the run
+	// (default 5). Degraded windows do not consume it.
+	MaxRetries int
+	// DegradeAfter is how many consecutive failed attempts from the
+	// same restore point trigger sequential-core degradation for that
+	// window (default 2; negative disables degradation entirely).
+	DegradeAfter int
+	// BackoffBase is the delay before the first retry at a restore
+	// point; it doubles per consecutive failure there, capped at
+	// BackoffMax. Defaults: 100ms base, 10s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Journal receives the JSONL run journal (nil = no journal).
+	Journal io.Writer
+	// Sleep is the backoff sleep (test seam; default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.Keep <= 0 {
+		cfg.Keep = 3
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.DegradeAfter < 0 {
+		cfg.DegradeAfter = 0
+	} else if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = 2
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+}
+
+// Result summarizes a supervised run.
+type Result struct {
+	// Attempts is the number of run attempts started (≥ 1).
+	Attempts int
+	// Retries is how much of the retry budget was consumed.
+	Retries int
+	// DegradedWindows counts windows re-executed on the sequential
+	// reference core.
+	DegradedWindows int
+	// FinalSlot is the last checkpoint slot written.
+	FinalSlot string
+}
+
+// ErrInterrupted wraps context cancellation after the final checkpoint
+// was written; errors.Is(err, ErrInterrupted) distinguishes a clean
+// checkpoint-and-exit from a real failure.
+var ErrInterrupted = errors.New("supervisor: run interrupted")
+
+// Supervisor manages one machine's run.
+type Supervisor struct {
+	// M is the current machine instance; after Run returns it is the
+	// instance that finished (or was last checkpointed).
+	M *core.Machine
+
+	cfg     Config
+	store   *Store
+	journal *Journal
+	res     Result
+
+	// lastRestore/failsAtPoint track consecutive failures from the
+	// same restore point — the degradation trigger. Crossing any new
+	// checkpoint boundary resets the streak (forward progress).
+	lastRestore  uint64
+	failsAtPoint int
+}
+
+// New builds a supervisor around a configured machine (mode switched,
+// instrumentation attached). The checkpoint directory is created
+// immediately so setup errors surface before any cycles are spent.
+func New(m *core.Machine, cfg Config) (*Supervisor, error) {
+	if cfg.Interval == 0 {
+		return nil, fmt.Errorf("supervisor: Interval must be > 0")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("supervisor: Dir must be set")
+	}
+	cfg.applyDefaults()
+	store, err := OpenStore(cfg.Dir, cfg.Keep)
+	if err != nil {
+		return nil, err
+	}
+	return &Supervisor{
+		M:       m,
+		cfg:     cfg,
+		store:   store,
+		journal: NewJournal(cfg.Journal),
+	}, nil
+}
+
+// Result returns the run summary (valid after Run).
+func (s *Supervisor) Result() Result { return s.res }
+
+// Run executes the machine to completion under supervision. It returns
+// nil when the domain shuts down normally, an error wrapping
+// ErrInterrupted (and the ctx cause) after a cancellation checkpoint,
+// and the underlying failure when the run is beyond saving — a
+// non-retryable SimError, an exhausted retry budget, or a failure on
+// the degraded path.
+func (s *Supervisor) Run(ctx context.Context) error {
+	// Genesis checkpoint: a failure inside the very first window needs
+	// a restore point too.
+	if _, err := s.saveCheckpoint(); err != nil {
+		return err
+	}
+
+	for {
+		s.res.Attempts++
+		s.journal.Append(Entry{Event: EventRunStart, Attempt: s.res.Attempts,
+			Cycle: s.M.Cycle, Insns: s.M.Insns()})
+
+		r := snapshot.NewRunner(s.M, s.cfg.Interval)
+		r.OnCheckpoint = func(_ int, img *snapshot.Image, _ []byte) error {
+			slot, err := s.store.Save(img)
+			if err != nil {
+				return err
+			}
+			s.res.FinalSlot = slot
+			s.journal.Append(Entry{Event: EventCheckpoint, Attempt: s.res.Attempts,
+				Cycle: img.Cycle, Slot: slot})
+			// Crossing a boundary is forward progress: the failure
+			// streak (and with it the backoff ladder) starts over.
+			s.failsAtPoint = 0
+			return nil
+		}
+		err := r.RunCtx(ctx, s.cfg.MaxCycles)
+		s.M = r.M
+
+		switch {
+		case err == nil:
+			s.journal.Append(Entry{Event: EventComplete, Attempt: s.res.Attempts,
+				Cycle: s.M.Cycle, Insns: s.M.Insns()})
+			return nil
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return s.interrupt(err)
+		}
+
+		kind := ""
+		if se, ok := simerr.As(err); ok {
+			kind = string(se.Kind)
+		}
+		s.journal.Append(Entry{Event: EventFailure, Attempt: s.res.Attempts,
+			Cycle: s.M.Cycle, Kind: kind, Message: err.Error(),
+			Retryable: simerr.Retryable(err)})
+		if !simerr.Retryable(err) {
+			return err
+		}
+
+		if s.res.Retries >= s.cfg.MaxRetries {
+			s.journal.Append(Entry{Event: EventGiveUp, Attempt: s.res.Attempts,
+				Cycle: s.M.Cycle, Message: fmt.Sprintf("retry budget %d exhausted", s.cfg.MaxRetries)})
+			return fmt.Errorf("supervisor: retry budget %d exhausted: %w", s.cfg.MaxRetries, err)
+		}
+		s.res.Retries++
+
+		if err := s.restore(ctx); err != nil {
+			return err
+		}
+		if s.cfg.DegradeAfter > 0 && s.failsAtPoint >= s.cfg.DegradeAfter {
+			if err := s.degradeWindow(ctx); err != nil {
+				return err
+			}
+			s.failsAtPoint = 0
+		}
+	}
+}
+
+// restore backs off, then swaps in a machine rebuilt from the newest
+// intact rotation slot, carrying over the external attachments (trace
+// sink/source, step hook) the image deliberately excludes.
+func (s *Supervisor) restore(ctx context.Context) error {
+	// A cancellation racing the failure wins: checkpoint and exit
+	// instead of sleeping into a retry nobody wants.
+	if cerr := ctx.Err(); cerr != nil {
+		return s.interrupt(cerr)
+	}
+	// Exponential backoff on the consecutive-failure streak; the first
+	// failure at a point waits BackoffBase.
+	d := s.cfg.BackoffBase << uint(s.failsAtPoint)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	s.cfg.Sleep(d)
+
+	img, slot, err := s.store.LoadLatest(func(bad string, lerr error) {
+		s.journal.Append(Entry{Event: EventDiscardSlot, Attempt: s.res.Attempts,
+			Slot: bad, Message: lerr.Error()})
+	})
+	if err != nil {
+		return err
+	}
+	fresh, err := snapshot.Restore(img, s.M.Config())
+	if err != nil {
+		return fmt.Errorf("supervisor: restoring %s: %w", slot, err)
+	}
+	fresh.Dom.Sink = s.M.Dom.Sink
+	fresh.Dom.Source = s.M.Dom.Source
+	fresh.SetStepHook(s.M.StepHook())
+	s.M = fresh
+
+	if img.Cycle == s.lastRestore {
+		s.failsAtPoint++
+	} else {
+		s.lastRestore = img.Cycle
+		s.failsAtPoint = 1
+	}
+	s.journal.Append(Entry{Event: EventRestore, Attempt: s.res.Attempts,
+		Cycle: img.Cycle, Slot: slot, BackoffMs: d.Milliseconds()})
+	return nil
+}
+
+// degradeWindow makes forward progress through a window the
+// out-of-order core cannot survive: it re-executes exactly one
+// checkpoint interval on the sequential reference core (native mode —
+// functionally identical, no timing model), journals the degraded
+// interval, switches back, and checkpoints the boundary so later
+// failures restore past the poisoned window. Timing fidelity is lost
+// for the window (cycle counts advance at NativeCPI); architectural
+// correctness is not.
+func (s *Supervisor) degradeWindow(ctx context.Context) error {
+	m := s.M
+	wasSim := m.Mode() == core.ModeSim
+	from := m.Cycle
+	target := from + s.cfg.Interval
+	s.journal.Append(Entry{Event: EventDegradeOn, Attempt: s.res.Attempts,
+		FromCycle: from, ToCycle: target})
+	if wasSim {
+		m.SwitchMode(core.ModeNative)
+	}
+	err := m.RunUntilCycleCtx(ctx, target)
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return s.interrupt(err)
+	case err != nil:
+		// The reference core is the fallback of last resort; when even
+		// it cannot get through the window, the run is beyond saving.
+		s.journal.Append(Entry{Event: EventFailure, Attempt: s.res.Attempts,
+			Cycle: m.Cycle, Message: "degraded window failed: " + err.Error()})
+		return fmt.Errorf("supervisor: degraded window [%d,%d) failed on sequential core: %w",
+			from, target, err)
+	}
+	if wasSim && !m.Dom.ShutdownReq {
+		m.SwitchMode(core.ModeSim)
+	}
+	s.res.DegradedWindows++
+	s.journal.Append(Entry{Event: EventDegradeOff, Attempt: s.res.Attempts,
+		FromCycle: from, ToCycle: m.Cycle, Insns: m.Insns()})
+	if m.Dom.ShutdownReq {
+		return nil
+	}
+	// Boundary checkpoint + swap, mirroring Runner.checkpoint: the
+	// continued run passes through the same restore operation a later
+	// resume from this slot would.
+	slot, err := s.saveCheckpoint()
+	if err != nil {
+		return err
+	}
+	img, err := snapshot.ReadFile(slot)
+	if err != nil {
+		return err
+	}
+	fresh, err := snapshot.Restore(img, m.Config())
+	if err != nil {
+		return err
+	}
+	fresh.Dom.Sink = m.Dom.Sink
+	fresh.Dom.Source = m.Dom.Source
+	fresh.SetStepHook(m.StepHook())
+	s.M = fresh
+	return nil
+}
+
+// saveCheckpoint captures the current machine (at an instruction
+// boundary) into the next rotation slot.
+func (s *Supervisor) saveCheckpoint() (string, error) {
+	slot, err := s.store.Save(snapshot.Capture(s.M))
+	if err != nil {
+		return "", err
+	}
+	s.res.FinalSlot = slot
+	s.journal.Append(Entry{Event: EventCheckpoint, Attempt: s.res.Attempts,
+		Cycle: s.M.Cycle, Slot: slot})
+	return slot, nil
+}
+
+// interrupt handles cancellation: write a final checkpoint so no
+// progress is lost, journal it, and return ErrInterrupted wrapping the
+// context cause.
+func (s *Supervisor) interrupt(cause error) error {
+	slot, err := s.saveCheckpoint()
+	if err != nil {
+		return fmt.Errorf("supervisor: interrupted and final checkpoint failed: %w", err)
+	}
+	s.journal.Append(Entry{Event: EventInterrupt, Attempt: s.res.Attempts,
+		Cycle: s.M.Cycle, Insns: s.M.Insns(), Slot: slot})
+	return fmt.Errorf("%w at cycle %d (final checkpoint %s): %w",
+		ErrInterrupted, s.M.Cycle, slot, cause)
+}
