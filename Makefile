@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak
+.PHONY: build test race vet verify soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,12 @@ verify:
 # schedule (SOAK_ITERS/SOAK_SEED tune length and reproducibility).
 soak:
 	./scripts/soak.sh
+
+# fuzz-smoke runs each decoder fuzz target briefly (the -fuzz flag
+# accepts one target per invocation) — a regression smoke over the
+# seed corpus plus a short mutation budget, not a campaign. Longer
+# runs: go test ./internal/decode/ -fuzz FuzzBuildBB -fuzztime 10m
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBB$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBBPaged$$' -fuzztime $(FUZZTIME)

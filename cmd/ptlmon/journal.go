@@ -1,19 +1,18 @@
 package main
 
 import (
-	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strings"
 
 	"ptlsim/internal/supervisor"
 )
 
 // reportJournal summarizes a supervisor run journal (the JSONL file
 // written by ptlsim -supervise -journal): attempt history, failures by
-// kind, restore and rotation-discard counts, degraded windows, and the
-// run outcome. tail > 0 additionally prints the last tail raw events.
+// kind, restore and rotation-discard counts, degraded windows,
+// self-check and triage verdicts, and the run outcome. tail > 0
+// additionally prints the last tail raw events. The rendering lives in
+// supervisor.WriteReport so ptlstats -journal prints the same view.
 func reportJournal(w io.Writer, path string, tail int) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -24,119 +23,6 @@ func reportJournal(w io.Writer, path string, tail int) error {
 	if err != nil {
 		return err
 	}
-	writeJournalReport(w, entries, tail)
+	supervisor.WriteReport(w, entries, tail)
 	return nil
-}
-
-func writeJournalReport(w io.Writer, entries []supervisor.Entry, tail int) {
-	if len(entries) == 0 {
-		fmt.Fprintln(w, "run journal: empty")
-		return
-	}
-	var (
-		attempts, checkpoints, retryable int
-		restores, discards, degraded     int
-		degradedCycles                   uint64
-		lastCkpt                         supervisor.Entry
-		failures                         = map[string]int{}
-		outcome                          = "in progress (or writer crashed hard)"
-	)
-	for _, e := range entries {
-		if e.Attempt > attempts {
-			attempts = e.Attempt
-		}
-		switch e.Event {
-		case supervisor.EventCheckpoint:
-			checkpoints++
-			lastCkpt = e
-		case supervisor.EventFailure:
-			kind := e.Kind
-			if kind == "" {
-				kind = "error"
-			}
-			failures[kind]++
-			if e.Retryable {
-				retryable++
-			}
-		case supervisor.EventRestore:
-			restores++
-		case supervisor.EventDiscardSlot:
-			discards++
-		case supervisor.EventDegradeOff:
-			degraded++
-			degradedCycles += e.ToCycle - e.FromCycle
-		case supervisor.EventComplete:
-			outcome = fmt.Sprintf("completed at cycle %d (%d instructions)", e.Cycle, e.Insns)
-		case supervisor.EventInterrupt:
-			outcome = fmt.Sprintf("interrupted at cycle %d; final checkpoint %s", e.Cycle, e.Slot)
-		case supervisor.EventGiveUp:
-			outcome = "gave up: " + e.Message
-		}
-	}
-
-	fmt.Fprintf(w, "run journal: %d events, %d attempt(s)\n", len(entries), attempts)
-	fmt.Fprintf(w, "  checkpoints: %d", checkpoints)
-	if checkpoints > 0 {
-		fmt.Fprintf(w, " (last %s at cycle %d)", lastCkpt.Slot, lastCkpt.Cycle)
-	}
-	fmt.Fprintln(w)
-	if len(failures) > 0 {
-		kinds := make([]string, 0, len(failures))
-		for k := range failures {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
-		parts := make([]string, 0, len(kinds))
-		total := 0
-		for _, k := range kinds {
-			parts = append(parts, fmt.Sprintf("%s: %d", k, failures[k]))
-			total += failures[k]
-		}
-		fmt.Fprintf(w, "  failures: %d (%s), %d retryable\n", total, strings.Join(parts, ", "), retryable)
-	}
-	if restores > 0 || discards > 0 {
-		fmt.Fprintf(w, "  restores: %d, discarded slots: %d\n", restores, discards)
-	}
-	if degraded > 0 {
-		fmt.Fprintf(w, "  degraded windows: %d (%d cycles on the sequential core)\n", degraded, degradedCycles)
-	}
-	fmt.Fprintf(w, "  outcome: %s\n", outcome)
-
-	if tail > 0 {
-		start := len(entries) - tail
-		if start < 0 {
-			start = 0
-		}
-		fmt.Fprintf(w, "last %d event(s):\n", len(entries)-start)
-		for _, e := range entries[start:] {
-			fmt.Fprintf(w, "  %s\n", formatEntry(e))
-		}
-	}
-}
-
-func formatEntry(e supervisor.Entry) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s attempt=%d", e.Event, e.Attempt)
-	if e.Cycle > 0 {
-		fmt.Fprintf(&b, " cycle=%d", e.Cycle)
-	}
-	if e.Insns > 0 {
-		fmt.Fprintf(&b, " insns=%d", e.Insns)
-	}
-	if e.Slot != "" {
-		fmt.Fprintf(&b, " slot=%s", e.Slot)
-	}
-	if e.Kind != "" {
-		fmt.Fprintf(&b, " kind=%s", e.Kind)
-	}
-	if e.BackoffMs > 0 {
-		fmt.Fprintf(&b, " backoff=%dms", e.BackoffMs)
-	}
-	if e.ToCycle > 0 {
-		fmt.Fprintf(&b, " window=[%d,%d)", e.FromCycle, e.ToCycle)
-	}
-	if e.Message != "" {
-		fmt.Fprintf(&b, " msg=%q", e.Message)
-	}
-	return b.String()
 }

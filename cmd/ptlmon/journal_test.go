@@ -29,7 +29,7 @@ func sampleEntries() []supervisor.Entry {
 
 func TestJournalReportSummarizes(t *testing.T) {
 	var b strings.Builder
-	writeJournalReport(&b, sampleEntries(), 0)
+	supervisor.WriteReport(&b, sampleEntries(), 0)
 	out := b.String()
 	for _, want := range []string{
 		"13 events, 3 attempt(s)",
@@ -50,7 +50,7 @@ func TestJournalReportSummarizes(t *testing.T) {
 
 func TestJournalReportTailAndOutcomes(t *testing.T) {
 	var b strings.Builder
-	writeJournalReport(&b, sampleEntries(), 2)
+	supervisor.WriteReport(&b, sampleEntries(), 2)
 	out := b.String()
 	if !strings.Contains(out, "last 2 event(s):") {
 		t.Fatalf("missing tail header:\n%s", out)
@@ -60,7 +60,7 @@ func TestJournalReportTailAndOutcomes(t *testing.T) {
 	}
 
 	b.Reset()
-	writeJournalReport(&b, []supervisor.Entry{
+	supervisor.WriteReport(&b, []supervisor.Entry{
 		{Event: supervisor.EventRunStart, Attempt: 1},
 		{Event: supervisor.EventInterrupt, Attempt: 1, Cycle: 500, Slot: "ckpt-00000004.ckpt"},
 	}, 0)
@@ -69,7 +69,7 @@ func TestJournalReportTailAndOutcomes(t *testing.T) {
 	}
 
 	b.Reset()
-	writeJournalReport(&b, []supervisor.Entry{
+	supervisor.WriteReport(&b, []supervisor.Entry{
 		{Event: supervisor.EventGiveUp, Attempt: 4, Message: "retry budget 3 exhausted"},
 	}, 0)
 	if !strings.Contains(b.String(), "gave up: retry budget 3 exhausted") {
@@ -77,7 +77,7 @@ func TestJournalReportTailAndOutcomes(t *testing.T) {
 	}
 
 	b.Reset()
-	writeJournalReport(&b, nil, 0)
+	supervisor.WriteReport(&b, nil, 0)
 	if !strings.Contains(b.String(), "empty") {
 		t.Fatalf("empty journal:\n%s", b.String())
 	}

@@ -30,6 +30,7 @@ import (
 	"ptlsim/internal/guest"
 	"ptlsim/internal/kern"
 	"ptlsim/internal/ooo"
+	"ptlsim/internal/selfcheck"
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/snapshot"
 	"ptlsim/internal/stats"
@@ -55,6 +56,11 @@ func main() {
 		snapCycles = flag.Uint64("snapshot-cycles", 0, "statistics snapshot interval")
 		maxCycles  = flag.Uint64("maxcycles", defaultMaxCycles, "abort after this many cycles (0 = unlimited)")
 		watchdog   = flag.Uint64("watchdog", 10_000_000, "fail if a core commits nothing for this many cycles (0 = off)")
+		selfcheckF = flag.Bool("selfcheck", false, "attach the lockstep commit oracle: shadow every commit on a sequential reference core")
+		scInterval = flag.Int64("selfcheck-interval", 1, "compare architectural registers every N committed instructions")
+		audit      = flag.Bool("audit", false, "arm the pipeline invariant auditor (ROB/LSQ/physreg/cache/RAS structural checks)")
+		auditEvery = flag.Uint64("audit-every", 64, "run the auditor every N cycles")
+		triage     = flag.Bool("triage", true, "with -supervise: on a self-check failure, run the checkpoint-seeded divergence search and journal the result")
 		inject     = flag.String("inject", "", "fault specs, ';'-separated: kind@insn[:k=v,...] (regflip|memflip|tlbflush|memdelay|robcorrupt)")
 		ckptCycles = flag.Uint64("checkpoint-cycles", 0, "checkpoint the machine every N cycles (0 = off)")
 		ckptOut    = flag.String("checkpoint-out", "", "write each checkpoint to <prefix>.<k>.ckpt")
@@ -129,7 +135,9 @@ func main() {
 	// Plain benchmark run (or checkpoint resume).
 	mcfg := core.Config{Core: coreConfig(*coreKind), NativeCPI: 1,
 		SnapshotCycles: cfg.SnapshotCycles, ThreadsPerCore: 1,
-		WatchdogCycles: *watchdog}
+		WatchdogCycles: *watchdog,
+		SelfCheck: selfcheck.Config{Oracle: *selfcheckF, Interval: *scInterval,
+			Audit: *audit, AuditEvery: *auditEvery}}
 	if err := mcfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -191,7 +199,7 @@ func main() {
 				Interval: interval, MaxCycles: cfg.MaxCycles,
 				Dir: *ckptDir, Keep: *keepCkpts,
 				MaxRetries: *maxRetries, DegradeAfter: *degradeAft,
-				Journal: jw,
+				Journal: jw, Triage: *triage,
 			})
 			if err != nil {
 				fatal(err)

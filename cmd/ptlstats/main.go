@@ -9,6 +9,7 @@
 //	ptlstats -in run.json -subtract 3,10 -table core0.cache
 //	ptlstats -in run.json -series mode
 //	ptlstats -in run.json -series uarch
+//	ptlstats -journal run.jsonl -tail 5
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"ptlsim/internal/experiments"
 	"ptlsim/internal/stats"
+	"ptlsim/internal/supervisor"
 )
 
 type statsFile struct {
@@ -41,8 +43,23 @@ func main() {
 		table    = flag.String("table", "", "print final counters matching this prefix")
 		subtract = flag.String("subtract", "", "snapshot pair \"a,b\": print counters for the interval (b - a)")
 		series   = flag.String("series", "", "print a time-lapse series: mode (Figure 2) | uarch (Figure 3)")
+		journal  = flag.String("journal", "", "summarize a supervisor run journal (JSONL) and exit")
+		tailN    = flag.Int("tail", 0, "with -journal: also print the last N events")
 	)
 	flag.Parse()
+	if *journal != "" {
+		f, err := os.Open(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		entries, err := supervisor.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		supervisor.WriteReport(os.Stdout, entries, *tailN)
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ptlstats: -in is required")
 		os.Exit(2)

@@ -332,3 +332,16 @@ type RASSnapshot struct {
 	top   int
 	stack []uint64
 }
+
+// Audit checks the stack's structural bounds: the top pointer must
+// index a live slot. Push/Pop keep it in range by construction, so a
+// violation means the predictor state was corrupted in place.
+func (r *RAS) Audit() error {
+	if len(r.stack) == 0 {
+		return fmt.Errorf("bpred: RAS has no storage")
+	}
+	if r.top < 0 || r.top >= len(r.stack) {
+		return fmt.Errorf("bpred: RAS top %d out of bounds [0,%d)", r.top, len(r.stack))
+	}
+	return nil
+}

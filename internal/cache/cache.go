@@ -234,6 +234,40 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Audit checks the cache's structural invariants, naming the level in
+// any violation report: every set's valid lines must carry distinct
+// tags (a duplicate means a line was double-filled) and distinct LRU
+// stamps no newer than the global stamp (Touch/Fill assign a freshly
+// incremented stamp per access, so equality or a future stamp can only
+// arise from corruption).
+func (c *Cache) Audit(name string) error {
+	for si, set := range c.sets {
+		for i := range set {
+			if set[i].state == Invalid {
+				continue
+			}
+			if set[i].lru > c.stamp {
+				return fmt.Errorf("cache %s set %d way %d: lru stamp %d newer than global stamp %d",
+					name, si, i, set[i].lru, c.stamp)
+			}
+			for j := i + 1; j < len(set); j++ {
+				if set[j].state == Invalid {
+					continue
+				}
+				if set[i].tag == set[j].tag {
+					return fmt.Errorf("cache %s set %d: duplicate tag %#x in ways %d and %d",
+						name, si, set[i].tag, i, j)
+				}
+				if set[i].lru == set[j].lru {
+					return fmt.Errorf("cache %s set %d: duplicate lru stamp %d in ways %d and %d",
+						name, si, set[i].lru, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Resident counts valid lines (for tests and occupancy stats).
 func (c *Cache) Resident() int {
 	n := 0

@@ -1,6 +1,10 @@
 package cache
 
-import "ptlsim/internal/stats"
+import (
+	"fmt"
+
+	"ptlsim/internal/stats"
+)
 
 // HierarchyConfig describes a per-core cache hierarchy. L3 may have
 // Size 0 to disable it (the K8 configuration in Table 1 is L1+L2).
@@ -352,6 +356,40 @@ func (h *Hierarchy) Store(pa, now uint64) Result { return h.access(pa, now, true
 
 // Fetch performs an instruction fetch at physical address pa.
 func (h *Hierarchy) Fetch(pa, now uint64) Result { return h.access(pa, now, false, true) }
+
+// Audit checks the hierarchy's structural invariants: every level's
+// LRU stacks and tag arrays (Cache.Audit), and the miss buffers — no
+// two outstanding MSHRs may track the same line (the merge path must
+// fold same-line misses) and completion times must be set. The raw
+// MSHR list length is not bounded by cfg.MSHRs: over-occupancy
+// requests queue behind the earliest free slot and dead entries retire
+// lazily, so only the same-line exclusion is a true invariant.
+func (h *Hierarchy) Audit() error {
+	levels := []struct {
+		name string
+		c    *Cache
+	}{{"l1d", h.l1d}, {"l1i", h.l1i}, {"l2", h.l2}, {"l3", h.l3}}
+	for _, lv := range levels {
+		if lv.c == nil {
+			continue
+		}
+		if err := lv.c.Audit(lv.name); err != nil {
+			return err
+		}
+	}
+	for i := range h.mshrs {
+		if h.mshrs[i].ready == 0 {
+			return fmt.Errorf("mshr %d: zero completion time for line %#x", i, h.mshrs[i].line)
+		}
+		for j := i + 1; j < len(h.mshrs); j++ {
+			if h.mshrs[i].line == h.mshrs[j].line {
+				return fmt.Errorf("mshr: duplicate outstanding miss for line %#x (slots %d and %d)",
+					h.mshrs[i].line, i, j)
+			}
+		}
+	}
+	return nil
+}
 
 // snoop handles a remote coherence request against this hierarchy:
 // invalidate on write intent, downgrade to Shared/Owned on read.

@@ -18,6 +18,7 @@ import (
 	"ptlsim/internal/cache"
 	"ptlsim/internal/hv"
 	"ptlsim/internal/ooo"
+	"ptlsim/internal/selfcheck"
 	"ptlsim/internal/seqcore"
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/stats"
@@ -57,6 +58,11 @@ type Config struct {
 	// work is in flight fails with a structured livelock SimError
 	// carrying a pipeline dump (0 disables).
 	WatchdogCycles uint64
+	// SelfCheck selects the online self-checking instrumentation (the
+	// lockstep commit oracle and the pipeline invariant auditor).
+	// Excluded from checkpoint compatibility hashes so instrumentation
+	// can be toggled across a restore.
+	SelfCheck selfcheck.Config
 }
 
 // Validate checks the machine configuration, surfacing the core
@@ -185,6 +191,12 @@ func NewMachine(dom *hv.Domain, tree *stats.Tree, cfg Config) *Machine {
 		oc.SetInterlock(il)
 		if cfg.WatchdogCycles > 0 {
 			oc.SetWatchdog(cfg.WatchdogCycles)
+		}
+		if cfg.SelfCheck.Oracle {
+			oc.SetChecker(selfcheck.NewOracle(dom, cfg.SelfCheck.EffectiveInterval()))
+		}
+		if cfg.SelfCheck.Audit {
+			oc.SetAudit(cfg.SelfCheck.EffectiveAuditEvery())
 		}
 		if coh != nil {
 			oc.Hierarchy().AttachCoherence(coh, c)

@@ -123,13 +123,53 @@ type ReplayStats struct {
 // restore-based probing. Returns -1 if the engines agree up to max.
 func FirstDivergenceCheckpointed(build DomainBuilder, simCfg core.Config, max, interval int64,
 	instrument func(*core.Machine)) (int64, string, ReplayStats, error) {
-	var st ReplayStats
 	if max <= 0 || interval <= 0 {
-		return 0, "", st, fmt.Errorf("cosim: max and interval must be positive")
+		return 0, "", ReplayStats{}, fmt.Errorf("cosim: max and interval must be positive")
 	}
-	// Boundary instruction counts 0, interval, ..., max.
+	dom, err := build()
+	if err != nil {
+		return 0, "", ReplayStats{}, err
+	}
+	ref := core.NewMachine(dom, stats.NewTree(), simCfg)
+	return firstDivergenceFrom(ref, simCfg, max, interval, instrument)
+}
+
+// FirstDivergenceFromImage runs the same checkpointed divergence search
+// seeded from a restored machine image instead of a deterministic
+// domain rebuild — the supervisor's triage path for oracle-detected
+// divergences: the nearest rotated checkpoint slot becomes the search
+// origin, so only the window between that slot and the failure is
+// replayed. Restoring (rather than rebuilding) preserves the absolute
+// instruction and cycle counters, so instrumentation with absolute
+// triggers (fault injection windows) reproduces the original
+// trajectory. max is the absolute committed-instruction bound to
+// search up to; the image must precede it.
+func FirstDivergenceFromImage(img *snapshot.Image, simCfg core.Config, max, interval int64,
+	instrument func(*core.Machine)) (int64, string, ReplayStats, error) {
+	ref, err := snapshot.Restore(img, simCfg)
+	if err != nil {
+		return 0, "", ReplayStats{}, fmt.Errorf("cosim: seed restore: %w", err)
+	}
+	ref.SwitchMode(core.ModeNative)
+	return firstDivergenceFrom(ref, simCfg, max, interval, instrument)
+}
+
+// firstDivergenceFrom is the shared search engine: ref supplies the
+// start state (at its current committed-instruction count) and runs
+// the native reference pass; bounds span [ref.Insns(), max].
+func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval int64,
+	instrument func(*core.Machine)) (int64, string, ReplayStats, error) {
+	var st ReplayStats
+	start := ref.Insns()
+	if max <= start {
+		return 0, "", st, fmt.Errorf("cosim: search bound %d not past start instruction count %d", max, start)
+	}
+	if interval <= 0 {
+		return 0, "", st, fmt.Errorf("cosim: interval must be positive")
+	}
+	// Boundary instruction counts start, start+interval, ..., max.
 	var bounds []int64
-	for n := int64(0); n < max; n += interval {
+	for n := start; n < max; n += interval {
 		bounds = append(bounds, n)
 	}
 	bounds = append(bounds, max)
@@ -137,20 +177,17 @@ func FirstDivergenceCheckpointed(build DomainBuilder, simCfg core.Config, max, i
 	// Reference run: one native pass, checkpointing at every boundary.
 	// Images go through encoded bytes so probes exercise the same
 	// restore path an on-disk checkpoint would.
-	dom, err := build()
-	if err != nil {
-		return 0, "", st, err
-	}
-	ref := core.NewMachine(dom, stats.NewTree(), simCfg)
 	images := make([][]byte, len(bounds))
 	refCtx := make([]*vm.Context, len(bounds))
 	for k, n := range bounds {
 		if err := ref.RunUntilInsns(n, 0); err != nil {
 			return 0, "", st, fmt.Errorf("cosim: reference run: %w", err)
 		}
-		if images[k], err = snapshot.Capture(ref).Encode(); err != nil {
+		img, err := snapshot.Capture(ref).Encode()
+		if err != nil {
 			return 0, "", st, err
 		}
+		images[k] = img
 		refCtx[k] = ref.Dom.VCPUs[0].Clone()
 	}
 
@@ -199,7 +236,7 @@ func FirstDivergenceCheckpointed(build DomainBuilder, simCfg core.Config, max, i
 	probe := func(n int64) (bool, string, error) {
 		st.Probes++
 		st.ProbeInsns += 2 * (n - base)
-		st.NaiveInsns += 2 * n
+		st.NaiveInsns += 2 * (n - start)
 		refP, err := restoreFrom(badK-1, core.ModeNative)
 		if err != nil {
 			return false, "", err

@@ -1,0 +1,134 @@
+package decode
+
+import (
+	"testing"
+
+	"ptlsim/internal/uops"
+	"ptlsim/internal/x86"
+)
+
+// fuzzFetch builds a FetchFunc serving code at base, returning at most
+// chunk bytes per call (chunk <= 0 means as many as fit in buf). Small
+// chunks emulate instructions straddling page boundaries, the path
+// where BuildBB re-fetches at the next page.
+func fuzzFetch(code []byte, base uint64, chunk int) FetchFunc {
+	return func(va uint64, buf []byte) (int, uops.Fault) {
+		off := va - base // wraparound-safe: off >= len(code) covers va < base too
+		if off >= uint64(len(code)) {
+			return 0, uops.FaultPageExec
+		}
+		n := copy(buf, code[off:])
+		if chunk > 0 && n > chunk {
+			n = chunk
+		}
+		return n, uops.FaultNone
+	}
+}
+
+// checkBB asserts the structural invariants every successfully built
+// basic block must satisfy, whatever bytes produced it.
+func checkBB(t *testing.T, bb *BasicBlock, fault uops.Fault) {
+	t.Helper()
+	if fault != uops.FaultNone {
+		if bb != nil {
+			t.Fatalf("fault %v with non-nil block", fault)
+		}
+		return
+	}
+	if bb == nil {
+		t.Fatal("no fault and no block")
+	}
+	if bb.NumX86 < 1 || bb.NumX86 > MaxBBX86Insns {
+		t.Fatalf("NumX86 = %d outside [1, %d]", bb.NumX86, MaxBBX86Insns)
+	}
+	if len(bb.Uops) == 0 {
+		t.Fatal("block with zero uops")
+	}
+	if bb.X86Len == 0 {
+		t.Fatal("block with zero X86Len")
+	}
+	if bb.X86Len > uint64(bb.NumX86)*uint64(x86.MaxInstLen) {
+		t.Fatalf("X86Len %d exceeds %d instructions * max length", bb.X86Len, bb.NumX86)
+	}
+	// SOM/EOM must partition the uops into complete instruction groups:
+	// every group starts with SOM, ends with EOM, and the block ends at
+	// a group boundary (the builder only truncates between
+	// instructions).
+	groups := 0
+	expectSOM := true
+	for i, u := range bb.Uops {
+		if u.SOM != expectSOM {
+			t.Fatalf("uop %d: SOM=%v, want %v", i, u.SOM, expectSOM)
+		}
+		if u.SOM {
+			groups++
+		}
+		expectSOM = u.EOM
+		// Every uop belongs to an instruction inside the block's byte
+		// range (modular compare tolerates blocks near the top of the
+		// address space).
+		if u.RIP-bb.RIP >= bb.X86Len {
+			t.Fatalf("uop %d: rip %#x outside block [%#x, +%d)", i, u.RIP, bb.RIP, bb.X86Len)
+		}
+	}
+	if !expectSOM {
+		t.Fatal("block ends mid-instruction (last uop lacks EOM)")
+	}
+	// REP pseudo-groups (NoCount) may add groups beyond the counted
+	// instructions, never remove them.
+	if groups < bb.NumX86 {
+		t.Fatalf("%d uop groups < %d x86 instructions", groups, bb.NumX86)
+	}
+}
+
+// seedCorpus is shared by both targets: representative encodings plus
+// known edge cases (UD, truncation, REP pseudo-groups, branches).
+func seedCorpus(f *testing.F) {
+	for _, code := range [][]byte{
+		{0x90},                                     // nop
+		{0x48, 0xC7, 0xC0, 0x2A, 0x00, 0x00, 0x00}, // mov rax, 42
+		{0x48, 0x01, 0xD8},                         // add rax, rbx
+		{0x50, 0x58},                               // push rax; pop rax
+		{0xEB, 0xFE},                               // jmp short $
+		{0x74, 0x02, 0x90, 0x90},                   // jz +2; nop; nop
+		{0xE8, 0x00, 0x00, 0x00, 0x00},             // call +0
+		{0xC3},                                     // ret
+		{0xF3, 0xA4},                               // rep movsb
+		{0xF3, 0x48, 0xAB},                         // rep stosq
+		{0x0F, 0x0B},                               // ud2
+		{0x0F, 0x05},                               // syscall
+		{0x48, 0x8B, 0x04, 0xC8},                   // mov rax, [rax+rcx*8]
+		{0x48, 0x0F, 0xB1, 0x0B},                   // cmpxchg [rbx], rcx
+		{0x66},                                     // dangling prefix
+		{0x48, 0x81},                               // truncated imm32 form
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // junk
+	} {
+		f.Add(code, uint64(0x40_1000))
+	}
+	f.Add([]byte{0x90, 0x90, 0xC3}, uint64(0xFFFF_FFFF_FFFF_FFFE)) // wraps the top of VA space
+}
+
+// FuzzBuildBB feeds arbitrary bytes at an arbitrary RIP through the
+// decoder and translator: whatever the input, BuildBB must not panic,
+// and any block it returns must satisfy the structural invariants the
+// pipeline relies on (group well-formedness, length bounds).
+func FuzzBuildBB(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, code []byte, rip uint64) {
+		bb, fault := BuildBB(fuzzFetch(code, rip, 0), rip)
+		checkBB(t, bb, fault)
+	})
+}
+
+// FuzzBuildBBPaged is FuzzBuildBB with the fetch callback returning a
+// few bytes at a time, driving the page-crossing re-fetch path on every
+// instruction.
+func FuzzBuildBBPaged(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, code []byte, rip uint64) {
+		for _, chunk := range []int{1, 3, 7} {
+			bb, fault := BuildBB(fuzzFetch(code, rip, chunk), rip)
+			checkBB(t, bb, fault)
+		}
+	})
+}

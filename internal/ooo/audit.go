@@ -1,0 +1,198 @@
+package ooo
+
+import (
+	"fmt"
+
+	"ptlsim/internal/simerr"
+)
+
+// Audit runs the pipeline invariant auditor: structural checks over the
+// ROB, LSQ, physical register freelist, cache hierarchy and RAS that
+// hold between cycles in a healthy core. A violation returns a
+// KindInvariant SimError carrying the pipeline dump. The checks are
+// O(ROB + LSQ + PhysRegs + cache arrays) with no allocation beyond a
+// reused scratch buffer, cheap enough to run on a sampling cadence
+// during long runs (SetAudit).
+func (c *Core) Audit() error {
+	for _, th := range c.threads {
+		if err := c.auditROB(th); err != nil {
+			return err
+		}
+		if err := c.auditLSQ(th); err != nil {
+			return err
+		}
+		if err := th.pred.RAS().Audit(); err != nil {
+			return c.invariantErr("thread %d: %v", th.id, err)
+		}
+	}
+	if err := c.auditFreelist(); err != nil {
+		return err
+	}
+	if err := c.hier.Audit(); err != nil {
+		return c.invariantErr("core %d: %v", c.ID, err)
+	}
+	return nil
+}
+
+// auditROB checks reorder buffer ordering: the head of a non-empty ROB
+// must be an instruction start (SOM), every occupied slot must be
+// valid, sequence numbers must strictly increase head to tail, and
+// state fields must be within the enum.
+func (c *Core) auditROB(th *thread) error {
+	if th.robCount < 0 || th.robCount > len(th.rob) {
+		return c.invariantErr("thread %d: ROB count %d out of bounds [0,%d]", th.id, th.robCount, len(th.rob))
+	}
+	var prevSeq uint64
+	for i := 0; i < th.robCount; i++ {
+		e := th.robAt(i)
+		if !e.valid {
+			return c.invariantErr("thread %d: ROB slot %d (of %d occupied) invalid", th.id, i, th.robCount)
+		}
+		if i == 0 && !e.uop.SOM {
+			return c.invariantErr("thread %d: ROB head not at instruction start (rip %#x, seq %d)",
+				th.id, e.uop.RIP, e.seq)
+		}
+		if i > 0 && e.seq <= prevSeq {
+			return c.invariantErr("thread %d: ROB age order broken at slot %d: seq %d after %d",
+				th.id, i, e.seq, prevSeq)
+		}
+		prevSeq = e.seq
+		if e.state > stateDone {
+			return c.invariantErr("thread %d: ROB slot %d has undefined state %d (rip %#x)",
+				th.id, i, e.state, e.uop.RIP)
+		}
+	}
+	return nil
+}
+
+// auditLSQ checks load/store queue consistency: every LDQ/STQ slot
+// must reference a valid in-flight ROB entry of the right kind, in
+// program order, and every in-flight memory uop must appear in its
+// queue exactly once (the forwarding search depends on both).
+func (c *Core) auditLSQ(th *thread) error {
+	check := func(q []int, name string, want func(e *robEntry) bool) error {
+		var prevSeq uint64
+		for i, idx := range q {
+			if idx < 0 || idx >= len(th.rob) {
+				return c.invariantErr("thread %d: %s slot %d: rob index %d out of bounds", th.id, name, i, idx)
+			}
+			e := &th.rob[idx]
+			if !e.valid {
+				return c.invariantErr("thread %d: %s slot %d references squashed rob entry %d", th.id, name, i, idx)
+			}
+			if !want(e) {
+				return c.invariantErr("thread %d: %s slot %d: rob entry %d is not a %s uop (op %v, rip %#x)",
+					th.id, name, i, idx, name, e.uop.Op, e.uop.RIP)
+			}
+			if i > 0 && e.seq <= prevSeq {
+				return c.invariantErr("thread %d: %s program order broken at slot %d: seq %d after %d",
+					th.id, name, i, e.seq, prevSeq)
+			}
+			prevSeq = e.seq
+		}
+		return nil
+	}
+	if err := check(th.ldq, "ldq", func(e *robEntry) bool { return e.uop.IsLoad() }); err != nil {
+		return err
+	}
+	if err := check(th.stq, "stq", func(e *robEntry) bool { return e.uop.IsStore() }); err != nil {
+		return err
+	}
+	loads, stores := 0, 0
+	for i := 0; i < th.robCount; i++ {
+		e := th.robAt(i)
+		if e.uop.IsLoad() {
+			loads++
+		}
+		if e.uop.IsStore() {
+			stores++
+		}
+	}
+	if loads != len(th.ldq) {
+		return c.invariantErr("thread %d: %d in-flight loads but %d LDQ entries", th.id, loads, len(th.ldq))
+	}
+	if stores != len(th.stq) {
+		return c.invariantErr("thread %d: %d in-flight stores but %d STQ entries", th.id, stores, len(th.stq))
+	}
+	return nil
+}
+
+// auditFreelist checks physical register accounting: between cycles
+// every physical register is either on the free list or reachable from
+// a RAT mapping or an in-flight ROB entry (current or previous
+// mapping), never both and never neither — catching both double-frees
+// and leaks.
+func (c *Core) auditFreelist() error {
+	const (
+		unseen = iota
+		free
+		allocated
+	)
+	if cap(c.auditScratch) < len(c.prf) {
+		c.auditScratch = make([]uint8, len(c.prf))
+	}
+	seen := c.auditScratch[:len(c.prf)]
+	for i := range seen {
+		seen[i] = unseen
+	}
+	for _, p := range c.free {
+		if p < 0 || p >= len(c.prf) {
+			return c.invariantErr("freelist entry %d out of bounds [0,%d)", p, len(c.prf))
+		}
+		if seen[p] != unseen {
+			return c.invariantErr("physical register %d on the free list twice", p)
+		}
+		seen[p] = free
+	}
+	mark := func(p int, what string) error {
+		if p < 0 {
+			return nil
+		}
+		if p >= len(c.prf) {
+			return c.invariantErr("%s references physical register %d out of bounds [0,%d)", what, p, len(c.prf))
+		}
+		if seen[p] == free {
+			return c.invariantErr("physical register %d is both free and referenced by %s (use after free)", p, what)
+		}
+		seen[p] = allocated
+		return nil
+	}
+	for _, th := range c.threads {
+		for r, p := range th.rat {
+			if err := mark(p, fmt.Sprintf("thread %d RAT[%d]", th.id, r)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < th.robCount; i++ {
+			e := th.robAt(i)
+			what := fmt.Sprintf("thread %d rob seq %d", th.id, e.seq)
+			for _, p := range []int{e.rdPhys, e.rdOld, e.flPhys, e.flOld} {
+				if err := mark(p, what); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for p := range seen {
+		if seen[p] == unseen {
+			return c.invariantErr("physical register %d leaked: neither free nor referenced", p)
+		}
+	}
+	return nil
+}
+
+// invariantErr builds a structured KindInvariant SimError with the
+// core's current microarchitectural context attached.
+func (c *Core) invariantErr(format string, args ...interface{}) error {
+	ctx := c.threads[0].ctx
+	return &simerr.SimError{
+		Kind:     simerr.KindInvariant,
+		Cycle:    c.now,
+		VCPU:     ctx.ID,
+		RIP:      ctx.RIP,
+		Commit:   c.cInsns.Value(),
+		Message:  fmt.Sprintf(format, args...),
+		Dump:     c.DumpState(),
+		LastRIPs: c.RecentCommits(),
+	}
+}

@@ -131,7 +131,16 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 			return budget, nil
 		}
 
-		// Commit the whole group atomically this cycle.
+		// Commit the whole group atomically this cycle. The oracle's
+		// PreCommit runs first so its shadow executes this instruction
+		// against pre-group memory (an RMW group's own stores must not
+		// be visible to the shadow's loads).
+		if c.checker != nil {
+			if err := c.checker.PreCommit(th.id, ctx, head.uop.RIP, head.uop.NoCount); err != nil {
+				return budget, c.decorate(err)
+			}
+			c.storeBuf = c.storeBuf[:0]
+		}
 		smcPage := uint64(0)
 		smcHit := false
 		var mispredictRedirect bool
@@ -146,6 +155,10 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 					c.prf[e.flPhys].value, u.SetFlags)
 			}
 			if u.IsStore() {
+				if c.checker != nil {
+					c.storeBuf = append(c.storeBuf, CommittedStore{
+						EA: e.ea, PA: e.pa, PA2: e.pa2, Data: e.storeData, Size: u.MemSize})
+				}
 				if page, hit := c.applyStore(th, e); hit {
 					smcPage, smcHit = page, true
 				}
@@ -188,6 +201,11 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 		budget -= n
 		if budget < 0 {
 			budget = 0
+		}
+		if c.checker != nil {
+			if err := c.checker.PostCommit(th.id, ctx, c.cInsns.Value(), c.storeBuf); err != nil {
+				return budget, c.decorate(err)
+			}
 		}
 
 		if smcHit {

@@ -111,6 +111,40 @@ type iqEntry struct {
 	seq         uint64
 }
 
+// CommittedStore describes one store applied to memory by a committing
+// instruction group (PA2 is nonzero only for page-crossing stores).
+type CommittedStore struct {
+	EA, PA, PA2 uint64
+	Data        uint64
+	Size        uint8
+}
+
+// CommitChecker observes architectural commit boundaries — the hook the
+// lockstep commit oracle (internal/selfcheck) attaches through. All
+// three methods fire synchronously inside the commit stage.
+type CommitChecker interface {
+	// PreCommit fires before a clean instruction group starting at rip
+	// commits on thread t, before any of its register or memory effects
+	// are applied. noCount marks a pseudo-group that does not count as
+	// a committed x86 instruction (a REP iteration check): such a group
+	// can commit several times in a row at the same rip — its not-taken
+	// successor is a group at its own address, so a misprediction
+	// redirect re-decodes and re-commits it — and the checker needs the
+	// flag to tell those re-commits apart from the counted group that
+	// shares the rip. A returned error aborts the cycle and surfaces
+	// from Cycle (decorated with the core's pipeline dump).
+	PreCommit(t int, ctx *vm.Context, rip uint64, noCount bool) error
+	// PostCommit fires after the group has fully committed: ctx holds
+	// the post-group architectural state, insns the total committed x86
+	// instruction count, and stores the group's store traffic.
+	PostCommit(t int, ctx *vm.Context, insns int64, stores []CommittedStore) error
+	// Resync fires after any full pipeline flush that re-architects
+	// state outside the clean-commit path (exception and interrupt
+	// delivery, microcode assists, SMC restarts): the checker must
+	// re-adopt ctx wholesale.
+	Resync(t int, ctx *vm.Context)
+}
+
 // Core is one out-of-order core instance.
 type Core struct {
 	ID  int
@@ -154,6 +188,18 @@ type Core struct {
 	// addresses, attached to SimErrors for post-mortem context.
 	recentRIPs [16]uint64
 	recentN    int
+
+	// checker, when non-nil, observes every commit boundary (the
+	// lockstep oracle); storeBuf collects the committing group's store
+	// traffic for it.
+	checker  CommitChecker
+	storeBuf []CommittedStore
+
+	// auditEvery, when positive, runs the pipeline invariant auditor at
+	// the top of every auditEvery-th cycle; auditScratch is its reused
+	// physical-register marking buffer.
+	auditEvery   uint64
+	auditScratch []uint8
 
 	// Statistics.
 	cInsns, cUops, cCycles                  *stats.Counter
@@ -251,6 +297,40 @@ func (c *Core) SetCommitLimit(n int64) { c.commitLimit = n }
 // forward progress for n consecutive cycles while the core has work in
 // flight, Cycle returns a livelock SimError (0 disables).
 func (c *Core) SetWatchdog(n uint64) { c.watchdogCycles = n }
+
+// SetChecker attaches a commit-boundary checker (nil detaches). The
+// checker immediately observes a Resync for each thread so it adopts
+// the current architectural state as its baseline.
+func (c *Core) SetChecker(ck CommitChecker) {
+	c.checker = ck
+	if ck != nil {
+		for _, th := range c.threads {
+			ck.Resync(th.id, th.ctx)
+		}
+	}
+}
+
+// SetAudit arms the pipeline invariant auditor to run every n cycles
+// (0 disables). On a violation Cycle returns a KindInvariant SimError.
+func (c *Core) SetAudit(n uint64) { c.auditEvery = n }
+
+// decorate fills microarchitectural context (cycle, pipeline dump,
+// recent commits) into a SimError raised by a checker or auditor that
+// lacks access to the core's internals.
+func (c *Core) decorate(err error) error {
+	if se, ok := simerr.As(err); ok {
+		if se.Cycle == 0 {
+			se.Cycle = c.now
+		}
+		if se.Dump == "" {
+			se.Dump = c.DumpState()
+		}
+		if len(se.LastRIPs) == 0 {
+			se.LastRIPs = c.RecentCommits()
+		}
+	}
+	return err
+}
 
 // NoteIdleSkip rebases the commit-progress watchdog after the machine
 // fast-forwards the clock over a fully idle period. The skipped span is
@@ -380,6 +460,13 @@ func (c *Core) FullFlush(t int) {
 	c.releaseRAT(th)
 	c.initRAT(th)
 	c.cFlushes.Inc()
+	// Every path that re-architects state outside the clean-commit
+	// sequence (exceptions, interrupts, assists, SMC, mode switches)
+	// ends in a full flush, so this is the single resync point for the
+	// commit oracle's shadow.
+	if c.checker != nil {
+		c.checker.Resync(t, th.ctx)
+	}
 }
 
 // squashAfter removes all ROB entries of thread t strictly younger
@@ -477,6 +564,14 @@ func (c *Core) Idle() bool {
 // latched hardware.
 func (c *Core) Cycle(now uint64) error {
 	c.now = now
+	// The invariant audit runs before commit so corrupted pipeline state
+	// surfaces as a structured KindInvariant report instead of tripping
+	// the commit stage's internal panics.
+	if c.auditEvery > 0 && now%c.auditEvery == 0 {
+		if err := c.Audit(); err != nil {
+			return err
+		}
+	}
 	c.cCycles.Inc()
 	for b := range c.bankUse {
 		delete(c.bankUse, b)

@@ -8,6 +8,7 @@
 package seqcore
 
 import (
+	"errors"
 	"fmt"
 
 	"ptlsim/internal/bbcache"
@@ -39,6 +40,20 @@ type regUndo struct {
 	reg uops.ArchReg
 	old uint64
 }
+
+// ShadowStore is one store a phantom-mode core would have performed:
+// buffered for comparison against the primary engine's committed store
+// traffic instead of being written to physical memory.
+type ShadowStore struct {
+	VA, PA uint64
+	Val    uint64
+	Size   uint8
+}
+
+// errShadowFault is the sentinel a phantom-mode core returns instead of
+// delivering an exception through the guest trap entry; the faulting
+// vector is left in Core.shadowFault for the caller.
+var errShadowFault = fmt.Errorf("seqcore: shadow fault")
 
 // Observer receives the architectural event stream of the functional
 // core: the hardware-counter reference model (internal/k8) feeds these
@@ -80,6 +95,23 @@ type Core struct {
 	// MaxInsnsPerStep bounds one Step call (0 = one basic block).
 	MaxInsnsPerStep int
 
+	// phantom puts the core in shadow-oracle mode (see NewShadow):
+	// stores are buffered in shadowStores instead of written to physical
+	// memory, faults are returned to the StepShadow caller instead of
+	// delivered through the guest trap entry, and microcode assists are
+	// refused (the primary engine never routes an assist through the
+	// clean-commit path a shadow mirrors).
+	phantom      bool
+	shadowStores []ShadowStore
+	shadowFault  uops.Fault
+	// shadowBB/shadowIdx carry the intra-block position between
+	// StepShadow calls: consecutive uop groups can share one RIP (a REP
+	// instruction is a NoCount iteration-check group followed by a body
+	// group, both at the REP's address), so the resume point cannot be
+	// recovered from RIP alone.
+	shadowBB  *decode.BasicBlock
+	shadowIdx int
+
 	// Statistics.
 	insns, uopsC, branches, takenBranches *stats.Counter
 	loads, storesC, smcFlushes            *stats.Counter
@@ -98,6 +130,84 @@ func New(ctx *vm.Context, sys vm.System, bb *bbcache.Cache, tree *stats.Tree, pr
 		storesC:       tree.Counter(prefix + ".stores"),
 		smcFlushes:    tree.Counter(prefix + ".smc_flushes"),
 	}
+}
+
+// NewShadow creates a phantom-mode core: a functional shadow that
+// executes against ctx but never mutates guest memory (stores are
+// buffered), never delivers exceptions or events, and refuses assists.
+// The lockstep commit oracle (internal/selfcheck) drives one of these
+// per hardware thread. The basic block cache and stats tree must be
+// private to the shadow so the primary engine's statistics stay
+// bit-identical whether or not a shadow is attached.
+func NewShadow(ctx *vm.Context, sys vm.System, bb *bbcache.Cache, tree *stats.Tree, prefix string) *Core {
+	c := New(ctx, sys, bb, tree, prefix)
+	c.phantom = true
+	return c
+}
+
+// StepShadow executes one x86 instruction group (SOM..EOM) at the
+// context's current RIP, advancing RIP past it. noCount names the kind
+// of group the primary is committing: a NoCount pseudo-group (a REP
+// iteration check) or a counted instruction. The distinction matters
+// because both kinds can live at the same RIP and the primary does not
+// commit them strictly alternately — the check's not-taken successor
+// is the body group at its own address, so a mispredicted check is
+// re-decoded and re-commits, possibly several times in a row — and the
+// shadow realigns on the flag rather than executing the body a commit
+// early. StepShadow returns the group's buffered stores (valid until
+// the next call) and any architectural fault the group raised; faults
+// are reported, not delivered. Only valid on phantom cores.
+func (c *Core) StepShadow(noCount bool) ([]ShadowStore, uops.Fault, error) {
+	if !c.phantom {
+		return nil, uops.FaultNone, fmt.Errorf("seqcore: StepShadow on a non-phantom core")
+	}
+	c.shadowStores = c.shadowStores[:0]
+	c.shadowFault = uops.FaultNone
+	// Resume mid-block when the held position still matches RIP (the
+	// only way to advance from a REP check group to its body group);
+	// otherwise fetch fresh. A primary re-committing the check while
+	// the shadow holds the body (the misprediction case above) also
+	// refetches: the check group is always first in a block fetched at
+	// the shared RIP.
+	bb, start := c.shadowBB, c.shadowIdx
+	if bb == nil || start >= len(bb.Uops) || bb.Uops[start].RIP != c.Ctx.RIP ||
+		(noCount && !bb.Uops[start].NoCount) {
+		var fault uops.Fault
+		bb, fault = c.fetchBB()
+		if fault != uops.FaultNone {
+			return nil, fault, nil
+		}
+		start = 0
+	}
+	c.shadowBB, c.shadowIdx = nil, 0
+	for {
+		matched := bb.Uops[start].NoCount == noCount
+		redirect, consumed, err := c.execInsn(bb, start)
+		if err != nil {
+			if errors.Is(err, errShadowFault) {
+				return nil, c.shadowFault, nil
+			}
+			return nil, uops.FaultNone, err
+		}
+		start += consumed
+		if !redirect && start < len(bb.Uops) {
+			c.shadowBB, c.shadowIdx = bb, start
+		}
+		if matched || redirect || start >= len(bb.Uops) {
+			return c.shadowStores, uops.FaultNone, nil
+		}
+		// A stateless NoCount pseudo-group sat in front of the counted
+		// group the primary is committing (a freshly fetched REP block
+		// whose check falls through): execute on into the next group.
+	}
+}
+
+// ResetShadow discards the held intra-block position; the oracle calls
+// it whenever the primary re-architects state outside the clean-commit
+// path (resync), since the shadow's next group then comes from a fresh
+// fetch at the adopted RIP.
+func (c *Core) ResetShadow() {
+	c.shadowBB, c.shadowIdx = nil, 0
 }
 
 // Insns returns the number of x86 instructions committed by this core.
@@ -134,6 +244,33 @@ func (c *Core) rollback() {
 // commitStores applies the instruction's buffered stores and performs
 // the SMC store-side check.
 func (c *Core) commitStores() {
+	if c.phantom {
+		// Phantom mode: the primary engine performs the real writes at
+		// its own commit; here the stores only move to the comparison
+		// buffer. The shadow's private decode cache must still drop
+		// blocks on written code pages or it would keep replaying stale
+		// translations after self-modifying code.
+		for _, s := range c.stores {
+			if c.bb != nil {
+				if mfn := s.pa >> mem.PageShift; c.bb.IsCodePage(mfn) {
+					c.bb.InvalidatePage(mfn)
+					c.smcFlushes.Inc()
+				}
+				if first := mem.PageSize - s.va&mem.PageMask; first < uint64(s.size) {
+					if pa2, fault := c.Ctx.Translate(s.va+first, true, false); fault == uops.FaultNone {
+						if mfn2 := pa2 >> mem.PageShift; c.bb.IsCodePage(mfn2) {
+							c.bb.InvalidatePage(mfn2)
+							c.smcFlushes.Inc()
+						}
+					}
+				}
+			}
+			c.shadowStores = append(c.shadowStores, ShadowStore{VA: s.va, PA: s.pa, Val: s.val, Size: s.size})
+		}
+		c.stores = c.stores[:0]
+		c.undo = c.undo[:0]
+		return
+	}
 	for _, s := range c.stores {
 		// The page(s) were translated at execute time; write physically.
 		first := mem.PageSize - s.pa&mem.PageMask
@@ -191,9 +328,17 @@ func (c *Core) fetchBB() (*decode.BasicBlock, uops.Fault) {
 	return bb, uops.FaultNone
 }
 
-// deliverFault routes a uop fault through the guest's trap entry.
+// deliverFault routes a uop fault through the guest's trap entry. A
+// phantom core instead rolls back and surfaces the fault to its
+// StepShadow caller: delivery would write a bounce frame into guest
+// memory, which only the primary engine may do.
 func (c *Core) deliverFault(f uops.Fault, rip uint64) error {
 	c.rollback()
+	if c.phantom {
+		c.Ctx.RIP = rip
+		c.shadowFault = f
+		return errShadowFault
+	}
 	c.Ctx.RIP = rip
 	vec, errInfo := vm.FaultVector(c.Ctx, f)
 	return c.Ctx.DeliverException(vec, errInfo, rip)
@@ -271,6 +416,13 @@ func (c *Core) execInsn(bb *decode.BasicBlock, start int) (redirect bool, consum
 		n++
 
 		if u.Op == uops.OpAssist {
+			if c.phantom {
+				// Assists mutate domain state (hypercalls, CR writes)
+				// and the primary engine commits them outside the
+				// clean-commit path a shadow mirrors; a shadow reaching
+				// one means its decode stream diverged from the primary.
+				return true, n, fmt.Errorf("seqcore: shadow reached microcode assist at rip %#x", u.RIP)
+			}
 			fault := vm.ExecAssist(ctx, u, c.Sys, vm.NopCoreHooks{})
 			c.uopsC.Inc()
 			if fault != uops.FaultNone {

@@ -29,6 +29,14 @@ const (
 	KindPanic Kind = "panic"
 	// KindCycleBudget: the run exceeded its configured cycle budget.
 	KindCycleBudget Kind = "cycle-budget"
+	// KindDivergence: the lockstep commit oracle observed the OoO core
+	// committing architectural state that disagrees with the sequential
+	// reference shadow (wrong registers, flags, RIP or store traffic).
+	KindDivergence Kind = "divergence"
+	// KindInvariant: the pipeline invariant auditor found corrupted
+	// microarchitectural state (ROB ordering, LSQ consistency, physical
+	// register freelist accounting, cache LRU/MSHR bounds, RAS depth).
+	KindInvariant Kind = "invariant"
 )
 
 // Retryable reports whether a failure of this kind can plausibly be
@@ -41,6 +49,10 @@ const (
 // deterministically to the same state, and an exhausted cycle budget
 // is a policy limit, not a fault: retrying either spends the same
 // cycles again or needs a bigger budget, so both are classified fatal.
+// Divergence and invariant violations are evidence of wrong execution —
+// a model bug or injected corruption — and a retry would either replay
+// the same wrong result deterministically or, worse, silently mask it;
+// they are triage material, never retried.
 func (k Kind) Retryable() bool {
 	switch k {
 	case KindLivelock, KindPanic:
@@ -63,6 +75,14 @@ type SimError struct {
 	// LastRIPs are the most recently committed instruction addresses
 	// (oldest first), when the failing engine tracks them.
 	LastRIPs []uint64
+	// Commit is the committed-instruction index at which a divergence
+	// or invariant violation was detected (0 when not applicable).
+	Commit int64
+	// Expected/Actual carry the rendered reference and observed
+	// architectural register files for divergence reports.
+	Expected, Actual string
+	// Diff is the field-by-field architectural difference summary.
+	Diff string
 }
 
 // Error implements error with a compact single-line summary; the Dump
@@ -77,6 +97,21 @@ func (e *SimError) Error() string {
 func (e *SimError) Detail() string {
 	var b strings.Builder
 	b.WriteString(e.Error())
+	if e.Commit > 0 {
+		fmt.Fprintf(&b, "\ncommit index: %d", e.Commit)
+	}
+	if e.Diff != "" {
+		b.WriteString("\narch diff:\n")
+		b.WriteString(e.Diff)
+	}
+	if e.Expected != "" {
+		b.WriteString("\nexpected (reference):\n")
+		b.WriteString(e.Expected)
+	}
+	if e.Actual != "" {
+		b.WriteString("\nactual (observed):\n")
+		b.WriteString(e.Actual)
+	}
 	if len(e.LastRIPs) > 0 {
 		b.WriteString("\nlast committed rips:")
 		for _, r := range e.LastRIPs {

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 
 	"ptlsim/internal/core"
+	"ptlsim/internal/selfcheck"
 )
 
 // Format constants.
@@ -64,8 +65,13 @@ var (
 // silently disagrees with the one that captured it. The hash is FNV-64a
 // over the config's printed form — stable across runs of the same
 // build, and any field change (including nested core/cache/predictor
-// parameters) changes it.
+// parameters) changes it. Self-checking instrumentation is excluded:
+// the oracle and auditor observe the machine without changing its
+// geometry or timing, so a checkpoint captured with them off must
+// restore with them on (and vice versa) — the triage path depends on
+// restoring a failing run's slots under a stripped config.
 func ConfigHash(cfg core.Config) uint64 {
+	cfg.SelfCheck = selfcheck.Config{}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", cfg)
 	return h.Sum64()

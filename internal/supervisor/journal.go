@@ -25,8 +25,9 @@ const (
 	EventDegradeOn   = "degrade_start" // window re-executing on the sequential core
 	EventDegradeOff  = "degrade_end"  // degraded window finished, back to the OoO core
 	EventInterrupt   = "interrupt"    // cancellation: final checkpoint written
-	EventGiveUp      = "give_up"      // retry budget exhausted
+	EventGiveUp      = "give_up"      // retry budget exhausted or failure not retryable
 	EventComplete    = "complete"     // run finished normally
+	EventTriage      = "triage"       // divergence search result after a self-check failure
 )
 
 // Entry is one journal record. Fields are omitted when irrelevant to
@@ -44,6 +45,13 @@ type Entry struct {
 	FromCycle uint64 `json:"from_cycle,omitempty"` // degraded window start
 	ToCycle   uint64 `json:"to_cycle,omitempty"`   // degraded window end
 	Retryable bool   `json:"retryable,omitempty"`
+
+	// Self-check failure detail (failure events with a divergence or
+	// invariant kind) and triage results.
+	Commit     int64  `json:"commit,omitempty"`      // committed-instruction index at detection
+	RIP        uint64 `json:"rip,omitempty"`         // guest RIP at detection
+	Diff       string `json:"diff,omitempty"`        // architectural register diff
+	DivergedAt int64  `json:"diverged_at,omitempty"` // triage: first diverging instruction count
 }
 
 // Journal appends entries to a writer as JSONL. A nil Journal (or one

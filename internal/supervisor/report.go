@@ -1,0 +1,174 @@
+// Human-readable rendering of the run journal, shared by cmd/ptlmon
+// -journal and cmd/ptlstats -journal so both tools print the same
+// summary of a supervised run: attempt history, failures by kind,
+// restore and rotation-discard counts, degraded windows, self-check
+// verdicts (divergence/invariant failures with the commit index, RIP
+// and register diff that pinpoint them), triage results, and the run
+// outcome.
+package supervisor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport summarizes parsed journal entries to w. tail > 0
+// additionally prints the last tail raw events.
+func WriteReport(w io.Writer, entries []Entry, tail int) {
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "run journal: empty")
+		return
+	}
+	var (
+		attempts, checkpoints, retryable int
+		restores, discards, degraded     int
+		degradedCycles                   uint64
+		lastCkpt                         Entry
+		failures                         = map[string]int{}
+		selfChecks                       []Entry
+		triages                          []Entry
+		outcome                          = "in progress (or writer crashed hard)"
+	)
+	for _, e := range entries {
+		if e.Attempt > attempts {
+			attempts = e.Attempt
+		}
+		switch e.Event {
+		case EventCheckpoint:
+			checkpoints++
+			lastCkpt = e
+		case EventFailure:
+			kind := e.Kind
+			if kind == "" {
+				kind = "error"
+			}
+			failures[kind]++
+			if e.Retryable {
+				retryable++
+			}
+			if kind == "divergence" || kind == "invariant" {
+				selfChecks = append(selfChecks, e)
+			}
+		case EventRestore:
+			restores++
+		case EventDiscardSlot:
+			discards++
+		case EventDegradeOff:
+			degraded++
+			degradedCycles += e.ToCycle - e.FromCycle
+		case EventTriage:
+			triages = append(triages, e)
+		case EventComplete:
+			outcome = fmt.Sprintf("completed at cycle %d (%d instructions)", e.Cycle, e.Insns)
+		case EventInterrupt:
+			outcome = fmt.Sprintf("interrupted at cycle %d; final checkpoint %s", e.Cycle, e.Slot)
+		case EventGiveUp:
+			outcome = "gave up: " + e.Message
+		}
+	}
+
+	fmt.Fprintf(w, "run journal: %d events, %d attempt(s)\n", len(entries), attempts)
+	fmt.Fprintf(w, "  checkpoints: %d", checkpoints)
+	if checkpoints > 0 {
+		fmt.Fprintf(w, " (last %s at cycle %d)", lastCkpt.Slot, lastCkpt.Cycle)
+	}
+	fmt.Fprintln(w)
+	if len(failures) > 0 {
+		kinds := make([]string, 0, len(failures))
+		for k := range failures {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		total := 0
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s: %d", k, failures[k]))
+			total += failures[k]
+		}
+		fmt.Fprintf(w, "  failures: %d (%s), %d retryable\n", total, strings.Join(parts, ", "), retryable)
+	}
+	if restores > 0 || discards > 0 {
+		fmt.Fprintf(w, "  restores: %d, discarded slots: %d\n", restores, discards)
+	}
+	if degraded > 0 {
+		fmt.Fprintf(w, "  degraded windows: %d (%d cycles on the sequential core)\n", degraded, degradedCycles)
+	}
+	for _, e := range selfChecks {
+		fmt.Fprintf(w, "  self-check %s: commit %d, rip %#x, cycle %d\n", e.Kind, e.Commit, e.RIP, e.Cycle)
+		writeDetail(w, "message", e.Message)
+		writeDetail(w, "arch diff", e.Diff)
+	}
+	for _, e := range triages {
+		if e.DivergedAt > 0 {
+			fmt.Fprintf(w, "  triage: first diverging instruction %d (seeded from %s)\n", e.DivergedAt, e.Slot)
+		} else {
+			fmt.Fprintf(w, "  triage:\n")
+		}
+		writeDetail(w, "message", e.Message)
+		writeDetail(w, "arch diff", e.Diff)
+	}
+	fmt.Fprintf(w, "  outcome: %s\n", outcome)
+
+	if tail > 0 {
+		start := len(entries) - tail
+		if start < 0 {
+			start = 0
+		}
+		fmt.Fprintf(w, "last %d event(s):\n", len(entries)-start)
+		for _, e := range entries[start:] {
+			fmt.Fprintf(w, "  %s\n", FormatEntry(e))
+		}
+	}
+}
+
+// writeDetail prints a labelled, possibly multi-line value indented
+// under its parent report line; "; "-joined diffs get one line each.
+func writeDetail(w io.Writer, label, val string) {
+	if val == "" {
+		return
+	}
+	fmt.Fprintf(w, "    %s:\n", label)
+	for _, part := range strings.Split(val, "; ") {
+		fmt.Fprintf(w, "      %s\n", part)
+	}
+}
+
+// FormatEntry renders one journal entry as a single line for tails and
+// tests.
+func FormatEntry(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s attempt=%d", e.Event, e.Attempt)
+	if e.Cycle > 0 {
+		fmt.Fprintf(&b, " cycle=%d", e.Cycle)
+	}
+	if e.Insns > 0 {
+		fmt.Fprintf(&b, " insns=%d", e.Insns)
+	}
+	if e.Commit > 0 {
+		fmt.Fprintf(&b, " commit=%d", e.Commit)
+	}
+	if e.RIP > 0 {
+		fmt.Fprintf(&b, " rip=%#x", e.RIP)
+	}
+	if e.DivergedAt > 0 {
+		fmt.Fprintf(&b, " diverged_at=%d", e.DivergedAt)
+	}
+	if e.Slot != "" {
+		fmt.Fprintf(&b, " slot=%s", e.Slot)
+	}
+	if e.Kind != "" {
+		fmt.Fprintf(&b, " kind=%s", e.Kind)
+	}
+	if e.BackoffMs > 0 {
+		fmt.Fprintf(&b, " backoff=%dms", e.BackoffMs)
+	}
+	if e.ToCycle > 0 {
+		fmt.Fprintf(&b, " window=[%d,%d)", e.FromCycle, e.ToCycle)
+	}
+	if e.Message != "" {
+		fmt.Fprintf(&b, " msg=%q", e.Message)
+	}
+	return b.String()
+}

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"ptlsim/internal/core"
+	"ptlsim/internal/cosim"
+	"ptlsim/internal/selfcheck"
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/snapshot"
 )
@@ -64,6 +66,20 @@ type Config struct {
 	BackoffMax  time.Duration
 	// Journal receives the JSONL run journal (nil = no journal).
 	Journal io.Writer
+	// Triage enables the automatic divergence search when an attempt
+	// dies with a self-check failure (a divergence or invariant
+	// SimError): the newest intact rotation slot seeds a checkpointed
+	// binary search (cosim.FirstDivergenceFromImage) that isolates the
+	// first committed instruction at which the cycle-accurate core's
+	// architectural state departs from the reference engine, and the
+	// result lands in the journal as a triage entry. The search runs
+	// with self-checking instrumentation stripped — re-raising the
+	// oracle's own error inside a probe would abort the search that is
+	// trying to localize it.
+	Triage bool
+	// TriageInterval is the checkpoint spacing (in committed
+	// instructions) of the triage search (default 64).
+	TriageInterval int64
 	// Sleep is the backoff sleep (test seam; default time.Sleep).
 	Sleep func(time.Duration)
 }
@@ -85,6 +101,9 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = 10 * time.Second
+	}
+	if cfg.TriageInterval <= 0 {
+		cfg.TriageInterval = 64
 	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
@@ -197,14 +216,26 @@ func (s *Supervisor) Run(ctx context.Context) error {
 			return s.interrupt(err)
 		}
 
-		kind := ""
-		if se, ok := simerr.As(err); ok {
-			kind = string(se.Kind)
+		se, _ := simerr.As(err)
+		fe := Entry{Event: EventFailure, Attempt: s.res.Attempts,
+			Cycle: s.M.Cycle, Message: err.Error(),
+			Retryable: simerr.Retryable(err)}
+		if se != nil {
+			fe.Kind = string(se.Kind)
+			fe.RIP = se.RIP
+			fe.Commit = se.Commit
+			fe.Diff = se.Diff
 		}
-		s.journal.Append(Entry{Event: EventFailure, Attempt: s.res.Attempts,
-			Cycle: s.M.Cycle, Kind: kind, Message: err.Error(),
-			Retryable: simerr.Retryable(err)})
+		s.journal.Append(fe)
 		if !simerr.Retryable(err) {
+			// Self-check failures are evidence of wrong execution, not a
+			// transient fault: before giving up, localize the bug.
+			if s.cfg.Triage && se != nil &&
+				(se.Kind == simerr.KindDivergence || se.Kind == simerr.KindInvariant) {
+				s.triage()
+			}
+			s.journal.Append(Entry{Event: EventGiveUp, Attempt: s.res.Attempts,
+				Cycle: s.M.Cycle, Message: "failure is not retryable"})
 			return err
 		}
 
@@ -330,6 +361,49 @@ func (s *Supervisor) degradeWindow(ctx context.Context) error {
 	fresh.SetStepHook(m.StepHook())
 	s.M = fresh
 	return nil
+}
+
+// triage runs the checkpoint-seeded divergence search after a
+// self-check failure: restore the newest intact rotation slot, strip
+// the self-checking instrumentation from the machine configuration
+// (the stripped config restores the slot thanks to ConfigHash's
+// exclusion), and binary search the window between the slot and the
+// failure point for the first committed instruction where the
+// cycle-accurate and reference engines disagree. The result — or the
+// search's own failure, which is itself diagnostic — is journaled;
+// triage never changes Run's outcome.
+func (s *Supervisor) triage() {
+	img, slot, err := s.store.LoadLatest(func(bad string, lerr error) {
+		s.journal.Append(Entry{Event: EventDiscardSlot, Attempt: s.res.Attempts,
+			Slot: bad, Message: lerr.Error()})
+	})
+	if err != nil {
+		s.journal.Append(Entry{Event: EventTriage, Attempt: s.res.Attempts,
+			Message: "divergence search aborted: no usable checkpoint: " + err.Error()})
+		return
+	}
+	cfg := s.M.Config()
+	cfg.SelfCheck = selfcheck.Config{}
+	max := s.M.Insns()
+	var instrument func(*core.Machine)
+	if hook := s.M.StepHook(); hook != nil {
+		instrument = func(m *core.Machine) { m.SetStepHook(hook) }
+	}
+	n, diag, st, err := cosim.FirstDivergenceFromImage(img, cfg, max, s.cfg.TriageInterval, instrument)
+	switch {
+	case err != nil:
+		s.journal.Append(Entry{Event: EventTriage, Attempt: s.res.Attempts,
+			Slot: slot, Message: "divergence search failed: " + err.Error()})
+	case n < 0:
+		s.journal.Append(Entry{Event: EventTriage, Attempt: s.res.Attempts,
+			Slot: slot, Insns: max,
+			Message: fmt.Sprintf("engines agree up to instruction %d: failure not reproducible from %s", max, slot)})
+	default:
+		s.journal.Append(Entry{Event: EventTriage, Attempt: s.res.Attempts,
+			Slot: slot, DivergedAt: n, Diff: diag,
+			Message: fmt.Sprintf("first diverging instruction %d (%d probes, replayed %d insns vs %d naive)",
+				n, st.Probes, st.ScanInsns+st.ProbeInsns, st.NaiveInsns)})
+	}
 }
 
 // saveCheckpoint captures the current machine (at an instruction

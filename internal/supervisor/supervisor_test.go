@@ -422,3 +422,53 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		t.Fatal("missing dir must be rejected")
 	}
 }
+
+// TestJournalSelfCheckRoundTrip: the self-check fields (commit index,
+// rip, register diff, triage localization) must survive the journal's
+// JSONL encode/decode cycle and surface in both render paths.
+func TestJournalSelfCheckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Append(Entry{Event: EventFailure, Kind: string(simerr.KindDivergence),
+		Cycle: 12_000_006_778, Commit: 3073, RIP: 0xffff800000100728,
+		Diff: "r13: expected 0x1, got 0x4000000000000001; flags: expected [], got [cf]",
+		Message: "store count mismatch"})
+	j.Append(Entry{Event: EventTriage, Slot: "ckpt-002", DivergedAt: 2503,
+		Diff:    "r13: expected 0x1, got 0x4000000000000001",
+		Message: "first diverging instruction 2503 (9 probes, replayed 1200 insns vs 5006 naive)"})
+
+	entries, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	fail, triage := entries[0], entries[1]
+	if fail.Commit != 3073 || fail.RIP != 0xffff800000100728 || fail.Diff == "" {
+		t.Fatalf("failure entry lost self-check fields: %+v", fail)
+	}
+	if triage.DivergedAt != 2503 || triage.Diff == "" {
+		t.Fatalf("triage entry lost fields: %+v", triage)
+	}
+
+	for _, want := range []string{"commit=3073", "rip=0xffff800000100728", "diverged_at=2503"} {
+		line := FormatEntry(fail) + FormatEntry(triage)
+		if !strings.Contains(line, want) {
+			t.Errorf("FormatEntry output missing %q:\n%s", want, line)
+		}
+	}
+
+	var report strings.Builder
+	WriteReport(&report, entries, 0)
+	out := report.String()
+	for _, want := range []string{
+		"self-check divergence", "commit 3073", "rip 0xffff800000100728",
+		"first diverging instruction 2503",
+		"r13: expected 0x1, got 0x4000000000000001",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

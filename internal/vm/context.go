@@ -11,6 +11,7 @@ package vm
 
 import (
 	"fmt"
+	"strings"
 
 	"ptlsim/internal/mem"
 	"ptlsim/internal/uops"
@@ -134,24 +135,74 @@ func ArchEqual(a, b *Context) bool {
 	return true
 }
 
-// DiffArch reports the first architectural difference between two
-// contexts, for divergence diagnostics.
+// DiffArch reports every architectural difference between two
+// contexts, for divergence diagnostics. The flag register is always
+// rendered with its arithmetic bits decoded, so flag-only bugs (a
+// wrong CF out of a shifted-by-zero, a stale ZF) are directly
+// triageable from the diag string alone.
 func DiffArch(a, b *Context) string {
+	var diffs []string
 	if a.RIP != b.RIP {
-		return fmt.Sprintf("rip: %#x vs %#x", a.RIP, b.RIP)
+		diffs = append(diffs, fmt.Sprintf("rip: %#x vs %#x", a.RIP, b.RIP))
 	}
 	if a.Kernel != b.Kernel {
-		return fmt.Sprintf("mode: kernel=%v vs %v", a.Kernel, b.Kernel)
+		diffs = append(diffs, fmt.Sprintf("mode: kernel=%v vs %v", a.Kernel, b.Kernel))
+	}
+	if a.CR3 != b.CR3 {
+		diffs = append(diffs, fmt.Sprintf("cr3: %#x vs %#x", a.CR3, b.CR3))
 	}
 	for r := uops.ArchReg(0); r < uops.RegT0; r++ {
 		av, bv := a.Regs[r], b.Regs[r]
 		if r == uops.RegFlags {
 			av &= x86.FlagsMask
 			bv &= x86.FlagsMask
+			if av != bv {
+				diffs = append(diffs, fmt.Sprintf("flags: %#x [%s] vs %#x [%s]",
+					av, FlagNames(av), bv, FlagNames(bv)))
+			}
+			continue
 		}
 		if av != bv {
-			return fmt.Sprintf("%s: %#x vs %#x", r, av, bv)
+			diffs = append(diffs, fmt.Sprintf("%s: %#x vs %#x", r, av, bv))
 		}
 	}
-	return ""
+	return strings.Join(diffs, "; ")
+}
+
+// FlagNames decodes the arithmetic flag bits of an RFLAGS value into
+// their x86 mnemonics (e.g. "CF|ZF"), "-" when none are set.
+func FlagNames(v uint64) string {
+	bits := []struct {
+		bit  uint64
+		name string
+	}{
+		{x86.FlagCF, "CF"}, {x86.FlagPF, "PF"}, {x86.FlagAF, "AF"},
+		{x86.FlagZF, "ZF"}, {x86.FlagSF, "SF"}, {x86.FlagOF, "OF"},
+	}
+	var names []string
+	for _, f := range bits {
+		if v&f.bit != 0 {
+			names = append(names, f.name)
+		}
+	}
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, "|")
+}
+
+// DumpArch renders the architecturally visible register file of c
+// (registers below the microcode temporaries, plus RIP/mode/CR3), one
+// line per register, for divergence reports.
+func (c *Context) DumpArch() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  rip=%#x kernel=%v cr3=%#x\n", c.RIP, c.Kernel, c.CR3)
+	for r := uops.ArchReg(0); r < uops.RegT0; r++ {
+		if r == uops.RegFlags {
+			fmt.Fprintf(&b, "  %-8s %#018x [%s]\n", r.String(), c.Regs[r], FlagNames(c.Regs[r]))
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s %#018x\n", r.String(), c.Regs[r])
+	}
+	return b.String()
 }
