@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak fuzz-smoke
+.PHONY: build test race vet verify soak serve-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ verify:
 # schedule (SOAK_ITERS/SOAK_SEED tune length and reproducibility).
 soak:
 	./scripts/soak.sh
+
+# serve-smoke boots the ptlserve job service, runs one job through the
+# HTTP API end to end, and drains it (SERVE_PORT/SERVE_DATA tune the
+# listen port and data directory).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # fuzz-smoke runs each decoder fuzz target briefly (the -fuzz flag
 # accepts one target per invocation) — a regression smoke over the

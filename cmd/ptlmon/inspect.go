@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ptlsim/internal/snapshot"
+)
+
+// inspectPath prints the hardened snapshot header (magic/version/
+// config-hash/CRC, cycle) of a checkpoint file without restoring a
+// machine from it. Given a directory — typically the rotated
+// checkpoint directory a killed worker left behind — it inspects every
+// *.ckpt slot, newest name first, so the triage question "which slot
+// is intact and how far did it get?" is one command.
+func inspectPath(w io.Writer, path string) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !st.IsDir() {
+		return inspectFile(w, path)
+	}
+	slots, err := filepath.Glob(filepath.Join(path, "*.ckpt"))
+	if err != nil {
+		return err
+	}
+	if len(slots) == 0 {
+		fmt.Fprintf(w, "%s: no *.ckpt files\n", path)
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(slots)))
+	for _, slot := range slots {
+		if err := inspectFile(w, slot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func inspectFile(w io.Writer, path string) error {
+	info, err := snapshot.Inspect(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d bytes", info.Path, info.Size)
+	if info.Version > 0 {
+		fmt.Fprintf(w, ", v%d, cfg %#x, payload %dB, crc %#08x",
+			info.Version, info.CfgHash, info.PayloadLen, info.CRC)
+	}
+	if info.Err != "" {
+		fmt.Fprintf(w, "\n  CORRUPT: %s\n", info.Err)
+		return nil
+	}
+	mode := "native"
+	if info.SimMode {
+		mode = "sim"
+	}
+	fmt.Fprintf(w, "\n  intact: cycle %d, mode %s, %d vcpu(s), %d page(s)\n",
+		info.Cycle, mode, info.VCPUs, info.Pages)
+	return nil
+}

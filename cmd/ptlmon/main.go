@@ -11,6 +11,7 @@
 //	ptlmon -record trace.bin     # record device events during the run
 //	ptlmon -replay trace.bin     # re-run with injected trace events
 //	ptlmon -journal run.jsonl    # summarize a supervised run's journal
+//	ptlmon -inspect dir-or-ckpt  # triage checkpoint headers without restoring
 package main
 
 import (
@@ -36,11 +37,18 @@ func main() {
 		maxCyc  = flag.Uint64("maxcycles", 0, "cycle budget (0 = unlimited)")
 		journal = flag.String("journal", "", "summarize a supervisor run journal (JSONL) and exit")
 		tailN   = flag.Int("tail", 0, "with -journal: also print the last N events")
+		inspect = flag.String("inspect", "", "print a checkpoint file's header (or every *.ckpt in a directory) without restoring, and exit")
 	)
 	flag.Parse()
 
 	if *journal != "" {
 		if err := reportJournal(os.Stdout, *journal, *tailN); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *inspect != "" {
+		if err := inspectPath(os.Stdout, *inspect); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,91 @@
+package jobd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breaker is the per-workload-config circuit breaker: a config whose
+// jobs keep failing terminally with non-retryable classifications is a
+// config that will keep failing — re-admitting it burns worker slots
+// and queue depth that healthy jobs need. After Threshold consecutive
+// non-retryable failures the breaker opens for that config key and
+// Allow rejects new submissions until Cooldown passes (after which the
+// next job probes the config again: one success resets the streak).
+type Breaker struct {
+	// Threshold is the consecutive non-retryable failure count that
+	// opens the breaker (minimum 1). Cooldown is how long it stays
+	// open; 0 means it never reopens admission automatically.
+	Threshold int
+	Cooldown  time.Duration
+
+	now func() time.Time // test seam
+
+	mu     sync.Mutex
+	states map[uint64]*breakerState
+}
+
+type breakerState struct {
+	consecutive int
+	openUntil   time.Time
+	opens       int
+}
+
+// NewBreaker builds a breaker (threshold < 1 is clamped to 1).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{Threshold: threshold, Cooldown: cooldown,
+		now: time.Now, states: map[uint64]*breakerState{}}
+}
+
+// Allow reports whether a job with this config key may be admitted; a
+// non-nil error carries the operator-facing reason.
+func (b *Breaker) Allow(key uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || st.openUntil.IsZero() {
+		return nil
+	}
+	if b.Cooldown > 0 && b.now().After(st.openUntil) {
+		// Cooldown elapsed: half-open. Admit one probe; the streak is
+		// kept so its failure re-opens immediately.
+		st.openUntil = time.Time{}
+		return nil
+	}
+	return fmt.Errorf("jobd: circuit breaker open for config %#x (%d consecutive non-retryable failures)",
+		key, st.consecutive)
+}
+
+// Success records a completed job, closing the breaker for the key.
+func (b *Breaker) Success(key uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, key)
+}
+
+// Failure records a terminal non-retryable job failure; the return
+// value is true when this failure just opened the breaker.
+func (b *Breaker) Failure(key uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	st.consecutive++
+	if st.consecutive < b.Threshold || !st.openUntil.IsZero() {
+		return false
+	}
+	if b.Cooldown > 0 {
+		st.openUntil = b.now().Add(b.Cooldown)
+	} else {
+		st.openUntil = b.now().Add(100 * 365 * 24 * time.Hour)
+	}
+	st.opens++
+	return true
+}

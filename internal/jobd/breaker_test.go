@@ -1,0 +1,70 @@
+package jobd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(2, time.Minute)
+	b.now = func() time.Time { return clock }
+	const key = uint64(0xbeef)
+
+	if err := b.Allow(key); err != nil {
+		t.Fatalf("fresh key rejected: %v", err)
+	}
+	if b.Failure(key) {
+		t.Fatal("opened below threshold")
+	}
+	if err := b.Allow(key); err != nil {
+		t.Fatalf("rejected below threshold: %v", err)
+	}
+	if !b.Failure(key) {
+		t.Fatal("did not open at threshold")
+	}
+	if err := b.Allow(key); err == nil {
+		t.Fatal("open breaker admitted a job")
+	}
+	if err := b.Allow(0xf00d); err != nil {
+		t.Fatalf("unrelated key rejected: %v", err)
+	}
+
+	// Cooldown elapses: one half-open probe is admitted, and because
+	// the failure streak is kept, its failure re-opens immediately.
+	clock = clock.Add(2 * time.Minute)
+	if err := b.Allow(key); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if !b.Failure(key) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if err := b.Allow(key); err == nil {
+		t.Fatal("re-opened breaker admitted a job")
+	}
+
+	// A success closes it completely.
+	clock = clock.Add(2 * time.Minute)
+	if err := b.Allow(key); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Success(key)
+	if b.Failure(key) {
+		t.Fatal("single failure after success re-opened (streak not reset)")
+	}
+}
+
+func TestBreakerZeroCooldownStaysOpen(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(1, 0)
+	b.now = func() time.Time { return clock }
+	b.Failure(7)
+	clock = clock.Add(24 * time.Hour * 365)
+	if err := b.Allow(7); err == nil {
+		t.Fatal("zero-cooldown breaker re-admitted")
+	}
+	b.Success(7)
+	if err := b.Allow(7); err != nil {
+		t.Fatalf("explicit success did not close: %v", err)
+	}
+}

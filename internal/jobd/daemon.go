@@ -1,0 +1,705 @@
+package jobd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/supervisor"
+)
+
+// Config configures a Daemon.
+type Config struct {
+	// Dir is the service data directory; each job lives in
+	// Dir/jobs/<id>/ (required).
+	Dir string
+	// WorkerCommand builds the worker subprocess for a job directory —
+	// cmd/ptlserve re-execs itself in the hidden worker mode; tests
+	// re-exec the test binary. Required.
+	WorkerCommand func(jobDir string) *exec.Cmd
+
+	// QueueDepth bounds the number of admitted-but-not-finished jobs
+	// beyond the running ones (default 8). Workers is the number of
+	// concurrent worker subprocesses (default 2).
+	QueueDepth int
+	Workers    int
+
+	// Deadline is the default per-attempt wall-clock budget (default
+	// 10m); jobs override with DeadlineMs. HeartbeatTimeout kills a
+	// worker whose heartbeat file goes stale — wedged beyond even the
+	// in-process watchdog (default 1m; 0 disables). PollInterval is
+	// the monitor cadence (default 200ms).
+	Deadline         time.Duration
+	HeartbeatTimeout time.Duration
+	PollInterval     time.Duration
+
+	// MemLimitMB is the default per-worker memory budget: exported as
+	// GOMEMLIMIT (soft, in-runtime) and enforced by RSS polling (hard,
+	// SIGKILL + resource classification). 0 = unlimited.
+	MemLimitMB int64
+	// ReadRSS reads a process's resident set in bytes (test seam;
+	// default reads /proc/<pid>/statm, and RSS enforcement is skipped
+	// where that fails, e.g. non-Linux hosts).
+	ReadRSS func(pid int) (int64, error)
+
+	// Restarts is the default daemon-level worker-respawn budget per
+	// job (default 2). BreakerThreshold consecutive non-retryable job
+	// failures of one workload config open its circuit breaker for
+	// BreakerCooldown (defaults 3, 1m).
+	Restarts         int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// RetryAfter is the backpressure hint returned with HTTP 429
+	// (default 2s).
+	RetryAfter time.Duration
+
+	// Journal receives the service's JSONL job journal (nil = none),
+	// in the supervisor entry format ptlmon -journal renders.
+	Journal io.Writer
+
+	// HeartbeatMs is the worker's heartbeat cadence (default 250).
+	HeartbeatMs int64
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 10 * time.Minute
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = time.Minute
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.ReadRSS == nil {
+		cfg.ReadRSS = procRSS
+	}
+	if cfg.Restarts == 0 {
+		cfg.Restarts = 2
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Minute
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.HeartbeatMs <= 0 {
+		cfg.HeartbeatMs = 250
+	}
+}
+
+// Admission errors (the HTTP layer maps these to status codes).
+var (
+	// ErrQueueFull: backpressure — the bounded queue is at depth.
+	ErrQueueFull = errors.New("jobd: queue full")
+	// ErrDraining: the daemon is shutting down and admits nothing new.
+	ErrDraining = errors.New("jobd: draining")
+)
+
+// job is the daemon-side job record; mu guards the mutable status.
+type job struct {
+	mu   sync.Mutex
+	st   Status
+	spec Spec // resolved spec (daemon defaults applied), what the worker sees
+
+	key       uint64 // breaker config key
+	submitted time.Time
+	started   time.Time
+	deadline  time.Duration
+	memLimit  int64 // bytes, 0 = unlimited
+	restarts  int
+
+	cancel chan struct{} // closed to force-stop the job's workers
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+// Daemon is the job service: a bounded queue feeding a fixed pool of
+// worker-runner goroutines, each of which spawns and babysits one
+// isolated worker subprocess at a time.
+type Daemon struct {
+	cfg     Config
+	journal *supervisor.Journal
+	breaker *Breaker
+
+	// treeMu guards tree: stats counters are wait-free inside the
+	// simulator's single-threaded hot loop, but the daemon counts from
+	// many goroutines.
+	treeMu sync.Mutex
+	tree   *stats.Tree
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	queue    chan *job
+	draining bool
+	nextID   int
+
+	wg sync.WaitGroup // worker-runner goroutines
+}
+
+// New builds a daemon. Start launches its worker pool.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("jobd: Dir must be set")
+	}
+	if cfg.WorkerCommand == nil {
+		return nil, fmt.Errorf("jobd: WorkerCommand must be set")
+	}
+	cfg.applyDefaults()
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("jobd: data dir: %w", err)
+	}
+	return &Daemon{
+		cfg:     cfg,
+		tree:    stats.NewTree(),
+		journal: supervisor.NewJournal(cfg.Journal),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueDepth),
+	}, nil
+}
+
+// Start launches the worker pool.
+func (d *Daemon) Start() {
+	for i := 0; i < d.cfg.Workers; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for j := range d.queue {
+				d.runJob(j)
+			}
+		}()
+	}
+}
+
+// Counters snapshots the daemon's statistics counters (jobs admitted,
+// rejected, retried, workers killed by reason, …).
+func (d *Daemon) Counters() map[string]int64 {
+	d.treeMu.Lock()
+	defer d.treeMu.Unlock()
+	return d.tree.Snapshot(0).Values
+}
+
+// RetryAfter is the backpressure hint for queue-full rejections.
+func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
+
+// Accepting reports whether new jobs are admitted (false once draining).
+func (d *Daemon) Accepting() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.draining
+}
+
+// Submit validates and admits a job. It returns ErrQueueFull when the
+// bounded queue is at depth (backpressure — the HTTP layer answers
+// 429 + Retry-After), ErrDraining during shutdown, a breaker error for
+// a tripped workload config, and the spec's own error when invalid.
+func (d *Daemon) Submit(spec Spec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	key := spec.ConfigKey()
+
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		d.count("jobd.rejected.draining")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "draining"})
+		return Status{}, ErrDraining
+	}
+	if err := d.breaker.Allow(key); err != nil {
+		d.mu.Unlock()
+		d.count("jobd.rejected.breaker")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "breaker",
+			Message: err.Error()})
+		return Status{}, err
+	}
+
+	d.nextID++
+	id := fmt.Sprintf("%04d", d.nextID)
+	now := time.Now()
+	j := &job{
+		spec:      spec,
+		key:       key,
+		submitted: now,
+		deadline:  d.cfg.Deadline,
+		memLimit:  d.cfg.MemLimitMB << 20,
+		restarts:  d.cfg.Restarts,
+		cancel:    make(chan struct{}),
+	}
+	if spec.DeadlineMs > 0 {
+		j.deadline = time.Duration(spec.DeadlineMs) * time.Millisecond
+	}
+	switch {
+	case spec.MemLimitMB > 0:
+		j.memLimit = spec.MemLimitMB << 20
+	case spec.MemLimitMB < 0:
+		j.memLimit = 0
+	}
+	switch {
+	case spec.Restarts > 0:
+		j.restarts = spec.Restarts
+	case spec.Restarts < 0:
+		j.restarts = 0
+	}
+	j.spec.HeartbeatMs = d.cfg.HeartbeatMs
+	j.st = Status{ID: id, State: StateQueued, Spec: j.spec,
+		SubmittedAt: rfc3339(now), Dir: filepath.Join(d.cfg.Dir, "jobs", id)}
+
+	select {
+	case d.queue <- j:
+	default:
+		d.nextID--
+		d.mu.Unlock()
+		d.count("jobd.rejected.queue_full")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "queue-full"})
+		return Status{}, ErrQueueFull
+	}
+	d.jobs[id] = j
+	d.order = append(d.order, id)
+	d.mu.Unlock()
+
+	d.count("jobd.jobs.submitted")
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobSubmit, Job: id,
+		Started: rfc3339(now), Message: fmt.Sprintf("config %#x", key)})
+	return j.status(), nil
+}
+
+// Job returns one job's status.
+func (d *Daemon) Job(id string) (Status, bool) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	d.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs returns every job's status in submission order.
+func (d *Daemon) Jobs() []Status {
+	d.mu.Lock()
+	ids := append([]string(nil), d.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, d.jobs[id])
+	}
+	d.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// Drain gracefully shuts the daemon down: new submissions are rejected
+// immediately (readyz goes unready), queued and running jobs are given
+// until ctx expires to finish, and past that workers receive SIGTERM —
+// which lands as a supervisor interrupt, i.e. a final checkpoint — and
+// then SIGKILL. Drain returns nil when everything finished cleanly and
+// ctx's error when it had to force the stop.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return fmt.Errorf("jobd: already draining")
+	}
+	d.draining = true
+	close(d.queue)
+	d.mu.Unlock()
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventDrain, Message: "begin"})
+
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		d.signalWorkers(syscall.SIGTERM)
+		select {
+		case <-done:
+		case <-time.After(5 * d.cfg.PollInterval):
+			d.signalWorkers(syscall.SIGKILL)
+			<-done
+		}
+	}
+	if forced == nil {
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventDrain, Message: "complete"})
+		return nil
+	}
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventDrain,
+		Message: "forced: " + forced.Error()})
+	return forced
+}
+
+// signalWorkers delivers sig to every live worker process and marks
+// the jobs cancelled so runJob stops respawning.
+func (d *Daemon) signalWorkers(sig syscall.Signal) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, j := range d.jobs {
+		j.mu.Lock()
+		select {
+		case <-j.cancel:
+		default:
+			close(j.cancel)
+		}
+		if j.st.PID > 0 {
+			syscall.Kill(j.st.PID, sig)
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (d *Daemon) count(path string) {
+	d.treeMu.Lock()
+	d.tree.Counter(path).Add(1)
+	d.treeMu.Unlock()
+}
+
+// runJob owns one job end to end: spawn a worker, monitor it, classify
+// its death, and respawn from the rotated checkpoint directory while
+// the classification is retryable and the respawn budget lasts.
+func (d *Daemon) runJob(j *job) {
+	id := j.st.ID
+	jobDir := filepath.Join(d.cfg.Dir, "jobs", id)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		d.failJob(j, "error", fmt.Sprintf("job dir: %v", err), false)
+		return
+	}
+	if err := writeJSON(filepath.Join(jobDir, specFile), &j.spec); err != nil {
+		d.failJob(j, "error", fmt.Sprintf("spec: %v", err), false)
+		return
+	}
+
+	j.mu.Lock()
+	j.started = time.Now()
+	j.st.State = StateRunning
+	j.st.StartedAt = rfc3339(j.started)
+	j.mu.Unlock()
+	d.count("jobd.jobs.started")
+
+	for attempt := 1; ; attempt++ {
+		j.mu.Lock()
+		j.st.Attempts = attempt
+		cancelled := isClosed(j.cancel)
+		j.mu.Unlock()
+		if cancelled {
+			d.failJob(j, "interrupted", "daemon stopping", false)
+			return
+		}
+
+		var fail Failure
+		switch err := d.superviseWorker(j, jobDir, attempt); {
+		case err == nil:
+			res, rerr := readResult(filepath.Join(jobDir, resultFile))
+			if rerr == nil {
+				d.completeJob(j, res)
+				return
+			}
+			fail = Failure{Kind: string(simerr.KindPanic), Retryable: true,
+				Message: fmt.Sprintf("worker exited 0 but result unreadable: %v", rerr)}
+		default:
+			var ok bool
+			if fail, ok = errFailure(err); !ok {
+				d.failJob(j, "error", err.Error(), false)
+				return
+			}
+		}
+
+		d.count("jobd.workers.exit." + fail.Kind)
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventWorkerExit, Job: id,
+			Attempt: attempt, Kind: fail.Kind, Message: fail.Message,
+			Retryable: fail.Retryable, Cycle: fail.Cycle, RIP: fail.RIP})
+
+		j.mu.Lock()
+		j.st.Kind = fail.Kind
+		j.st.Error = fail.Message
+		retry := fail.Retryable && attempt <= j.restarts && !isClosed(j.cancel)
+		j.mu.Unlock()
+		if !retry {
+			// Interrupted jobs (daemon drain) say nothing about the
+			// workload's health — they never count toward the breaker.
+			d.failJob(j, fail.Kind, fail.Message,
+				!fail.Retryable && fail.Kind != "interrupted")
+			return
+		}
+		d.count("jobd.jobs.retried")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventJobRetry, Job: id,
+			Attempt: attempt, Message: "respawning from rotated checkpoints"})
+	}
+}
+
+// killReason is set by the monitor before it SIGKILLs a worker, so the
+// exit can be classified by cause rather than by signal.
+type killReason struct {
+	kind    simerr.Kind
+	message string
+}
+
+// errFailureWrap carries a Failure through the error return of
+// superviseWorker.
+type errFailureWrap struct{ f Failure }
+
+func (e *errFailureWrap) Error() string { return e.f.Kind + ": " + e.f.Message }
+
+func errFailure(err error) (Failure, bool) {
+	var w *errFailureWrap
+	if errors.As(err, &w) {
+		return w.f, true
+	}
+	return Failure{}, false
+}
+
+// superviseWorker spawns one worker subprocess for the job and watches
+// it until exit: waitpid for death, the heartbeat file for wedging,
+// the wall clock for the deadline, and RSS for the memory budget. A
+// nil return means the worker exited 0; otherwise the error wraps the
+// classified Failure (errFailure extracts it).
+func (d *Daemon) superviseWorker(j *job, jobDir string, attempt int) error {
+	// Stale verdicts from the previous attempt must not be re-read.
+	os.Remove(filepath.Join(jobDir, resultFile))
+	os.Remove(filepath.Join(jobDir, failureFile))
+
+	cmd := d.cfg.WorkerCommand(jobDir)
+	if cmd == nil {
+		return fmt.Errorf("jobd: WorkerCommand returned nil")
+	}
+	cmd.Env = append(os.Environ(), cmd.Env...)
+	if j.memLimit > 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("GOMEMLIMIT=%d", j.memLimit))
+	}
+	if cmd.Stdout == nil || cmd.Stderr == nil {
+		if lf, err := os.OpenFile(filepath.Join(jobDir, logFile),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			defer lf.Close()
+			if cmd.Stdout == nil {
+				cmd.Stdout = lf
+			}
+			if cmd.Stderr == nil {
+				cmd.Stderr = lf
+			}
+		}
+	}
+	start := time.Now()
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("jobd: spawning worker: %w", err)
+	}
+	pid := cmd.Process.Pid
+	j.mu.Lock()
+	j.st.PID = pid
+	j.mu.Unlock()
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobStart, Job: j.st.ID,
+		Attempt: attempt, PID: pid, Started: rfc3339(start)})
+
+	waitDone := make(chan error, 1)
+	go func() { waitDone <- cmd.Wait() }()
+
+	hbPath := filepath.Join(jobDir, heartbeatFile)
+	var reason *killReason
+	kill := func(r killReason) {
+		if reason != nil {
+			return
+		}
+		reason = &r
+		syscall.Kill(pid, syscall.SIGKILL)
+	}
+	ticker := time.NewTicker(d.cfg.PollInterval)
+	defer ticker.Stop()
+	var waitErr error
+	cancel := j.cancel
+monitor:
+	for {
+		select {
+		case waitErr = <-waitDone:
+			break monitor
+		case <-cancel:
+			kill(killReason{kind: "interrupted", message: "daemon stopping"})
+			cancel = nil // fired once; a nil channel never selects again
+		case <-ticker.C:
+			now := time.Now()
+			if j.deadline > 0 && now.Sub(start) > j.deadline {
+				kill(killReason{kind: simerr.KindTimeout,
+					message: fmt.Sprintf("wall-clock deadline %v exceeded", j.deadline)})
+				continue
+			}
+			if d.cfg.HeartbeatTimeout > 0 {
+				if st, err := os.Stat(hbPath); err == nil &&
+					now.Sub(latest(st.ModTime(), start)) > d.cfg.HeartbeatTimeout {
+					kill(killReason{kind: simerr.KindTimeout,
+						message: fmt.Sprintf("worker heartbeat stale for %v (wedged)", d.cfg.HeartbeatTimeout)})
+					continue
+				}
+			}
+			if j.memLimit > 0 {
+				if rss, err := d.cfg.ReadRSS(pid); err == nil && rss > j.memLimit {
+					kill(killReason{kind: simerr.KindResource,
+						message: fmt.Sprintf("worker RSS %dMB over budget %dMB", rss>>20, j.memLimit>>20)})
+				}
+			}
+		}
+	}
+	j.mu.Lock()
+	j.st.PID = 0
+	j.mu.Unlock()
+
+	return d.classifyExit(j, jobDir, waitErr, reason)
+}
+
+// classifyExit turns a worker's death into the simerr taxonomy:
+//
+//   - exit 0: success (the caller reads result.json)
+//   - killed by the monitor: the monitor's reason (timeout/resource)
+//   - structured exit (failure.json): the worker's own classification
+//   - any other death — external SIGKILL, OOM kill, panic without a
+//     report, unknown exit code: KindPanic, retryable, because the
+//     rotated checkpoints make a resume both safe and cheap.
+func (d *Daemon) classifyExit(j *job, jobDir string, waitErr error, reason *killReason) error {
+	if waitErr == nil {
+		// Exited 0 — even if a kill raced the exit, the worker finished
+		// its work and wrote its result.
+		return nil
+	}
+	if reason != nil {
+		retryable := reason.kind.Retryable()
+		if reason.kind == simerr.KindResource && j.spec.RetryResource {
+			retryable = true
+		}
+		return &errFailureWrap{Failure{Kind: string(reason.kind),
+			Message: reason.message, Retryable: retryable}}
+	}
+	if f, err := readFailure(filepath.Join(jobDir, failureFile)); err == nil {
+		return &errFailureWrap{*f}
+	}
+	var ee *exec.ExitError
+	if errors.As(waitErr, &ee) && ee.ExitCode() == ExitSetup {
+		return &errFailureWrap{Failure{Kind: "error",
+			Message: "worker setup failed (see worker.log)", Retryable: false}}
+	}
+	return &errFailureWrap{Failure{Kind: string(simerr.KindPanic),
+		Message: fmt.Sprintf("worker died: %v", waitErr), Retryable: true}}
+}
+
+func (d *Daemon) completeJob(j *job, res *Result) {
+	now := time.Now()
+	j.mu.Lock()
+	j.st.State = StateDone
+	j.st.Result = res
+	j.st.Kind = ""
+	j.st.Error = ""
+	j.st.FinishedAt = rfc3339(now)
+	j.st.ElapsedMs = now.Sub(j.submitted).Milliseconds()
+	id, elapsed := j.st.ID, j.st.ElapsedMs
+	started := j.submitted
+	j.mu.Unlock()
+	d.breaker.Success(j.key)
+	d.count("jobd.jobs.done")
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobDone, Job: id,
+		Cycle: res.Cycles, Insns: res.Insns,
+		Started: rfc3339(started), ElapsedMs: elapsed})
+}
+
+func (d *Daemon) failJob(j *job, kind, message string, breaker bool) {
+	now := time.Now()
+	j.mu.Lock()
+	j.st.State = StateFailed
+	j.st.Kind = kind
+	j.st.Error = message
+	j.st.FinishedAt = rfc3339(now)
+	j.st.ElapsedMs = now.Sub(j.submitted).Milliseconds()
+	id, elapsed := j.st.ID, j.st.ElapsedMs
+	started := j.submitted
+	j.mu.Unlock()
+	d.count("jobd.jobs.failed")
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobFail, Job: id,
+		Kind: kind, Message: message, Started: rfc3339(started), ElapsedMs: elapsed})
+	if breaker && d.breaker.Failure(j.key) {
+		d.count("jobd.breaker.opened")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventBreakerOpen,
+			Job: id, Message: fmt.Sprintf("config %#x admission stopped", j.key)})
+	}
+}
+
+func readResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func readFailure(path string) (*Failure, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f Failure
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func latest(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// procRSS reads a process's resident set size from /proc/<pid>/statm
+// (Linux). On hosts without procfs the error disables RSS enforcement
+// for that poll; GOMEMLIMIT still applies inside the worker.
+func procRSS(pid int) (int64, error) {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", pid))
+	if err != nil {
+		return 0, err
+	}
+	var size, resident int64
+	if _, err := fmt.Sscanf(string(data), "%d %d", &size, &resident); err != nil {
+		return 0, err
+	}
+	return resident * int64(os.Getpagesize()), nil
+}

@@ -1,0 +1,230 @@
+// Package jobd is the fault-isolated simulation job service behind
+// cmd/ptlserve: it accepts simulation jobs (workload scale, machine
+// config, fault spec) and executes each one in an isolated worker
+// subprocess, so a worker panic, SIGKILL, runaway allocation, or
+// wedged run is contained to that job. The daemon detects worker death
+// via waitpid plus a heartbeat file, classifies it into the simerr
+// taxonomy (timeout, resource, panic), and — when the classification
+// is retryable — respawns the worker, which resumes from the job's
+// rotated checkpoint directory through the PR 2 supervisor machinery,
+// so even a SIGKILL'd job finishes with bit-identical guest output.
+//
+// Around that core sit the serving-robustness pieces: a bounded job
+// queue with backpressure, per-job wall-clock deadlines, a per-worker
+// memory budget (GOMEMLIMIT plus RSS polling), a per-config circuit
+// breaker, graceful drain, and a JSONL job journal in the shared
+// supervisor entry format so ptlmon -journal renders service runs.
+package jobd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/experiments"
+	"ptlsim/internal/faultinject"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/ooo"
+)
+
+// Spec is a simulation job request (the POST /jobs body). Zero-valued
+// fields take daemon defaults; MaxCycles uses 0 = scale default and
+// -1 = unlimited, since JSON cannot distinguish absent from zero.
+type Spec struct {
+	// Workload.
+	Scale    string  `json:"scale,omitempty"`    // small | bench | paper (default bench)
+	NFiles   int     `json:"nfiles,omitempty"`   // corpus file count override
+	FileSize int     `json:"filesize,omitempty"` // corpus file size override (multiple of 512)
+	Seed     int64   `json:"seed,omitempty"`     // corpus seed override
+	Change   float64 `json:"change,omitempty"`   // corpus change fraction override (0 = default)
+	Timer    uint64  `json:"timer,omitempty"`    // guest timer period in cycles
+
+	// Engine.
+	Mode      string `json:"mode,omitempty"`      // native | sim (default sim)
+	Core      string `json:"core,omitempty"`      // default | k8 (default k8)
+	MaxCycles int64  `json:"maxcycles,omitempty"` // 0 = scale default, -1 = unlimited
+	Inject    string `json:"inject,omitempty"`    // faultinject spec list (kind@insn[:k=v,...];...)
+
+	// Robustness knobs (0 = daemon default).
+	DeadlineMs       int64  `json:"deadline_ms,omitempty"`       // per-attempt wall-clock deadline
+	MemLimitMB       int64  `json:"mem_limit_mb,omitempty"`      // worker memory budget (-1 = unlimited)
+	CheckpointCycles uint64 `json:"checkpoint_cycles,omitempty"` // supervisor rotation cadence
+	MaxRetries       int    `json:"max_retries,omitempty"`       // in-worker supervisor retry budget
+	Restarts         int    `json:"restarts,omitempty"`          // daemon worker-respawn budget (-1 = none)
+	RetryResource    bool   `json:"retry_resource,omitempty"`    // re-admit after a memory-budget kill
+
+	// HeartbeatMs is stamped by the daemon before the spec is handed
+	// to the worker; jobs cannot set it.
+	HeartbeatMs int64 `json:"heartbeat_ms,omitempty"`
+}
+
+// Validate rejects specs the worker could not run. It is called at
+// admission so a bad job costs an HTTP 422, not a worker spawn.
+func (s *Spec) Validate() error {
+	switch s.Scale {
+	case "", "small", "bench", "paper":
+	default:
+		return fmt.Errorf("jobd: unknown scale %q (want small|bench|paper)", s.Scale)
+	}
+	switch s.Mode {
+	case "", "sim", "native":
+	default:
+		return fmt.Errorf("jobd: unknown mode %q (want sim|native)", s.Mode)
+	}
+	switch s.Core {
+	case "", "default", "k8":
+	default:
+		return fmt.Errorf("jobd: unknown core %q (want default|k8)", s.Core)
+	}
+	if s.FileSize > 0 && s.FileSize%guest.BlockSize != 0 {
+		return fmt.Errorf("jobd: filesize %d is not a multiple of %d", s.FileSize, guest.BlockSize)
+	}
+	if s.Change < 0 || s.Change > 1 {
+		return fmt.Errorf("jobd: change fraction %v out of [0,1]", s.Change)
+	}
+	if s.Inject != "" {
+		if _, err := faultinject.ParseList(s.Inject); err != nil {
+			return fmt.Errorf("jobd: bad fault spec: %w", err)
+		}
+	}
+	return nil
+}
+
+// ConfigKey identifies the workload configuration for the circuit
+// breaker: jobs that would build the same guest under the same engine
+// share a key, so repeated non-retryable failures of one workload stop
+// its re-admission without touching unrelated configs. Robustness
+// knobs (deadline, memory, retry budgets) are deliberately excluded.
+func (s *Spec) ConfigKey() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%v|%d|%s|%s|%d|%s",
+		s.Scale, s.NFiles, s.FileSize, s.Seed, s.Change, s.Timer,
+		s.Mode, s.Core, s.MaxCycles, s.Inject)
+	return h.Sum64()
+}
+
+// experimentConfig resolves the workload scale plus overrides into the
+// experiments.Config the worker boots from (mirrors cmd/ptlsim).
+func (s *Spec) experimentConfig() experiments.Config {
+	var cfg experiments.Config
+	switch s.Scale {
+	case "small":
+		cfg = experiments.BenchScale()
+		cfg.Corpus = guest.CorpusSpec{NFiles: 2, FileSize: 2048, Seed: 7, ChangeFraction: 0.3}
+	case "paper":
+		cfg = experiments.PaperScale()
+	default:
+		cfg = experiments.BenchScale()
+	}
+	if s.NFiles > 0 {
+		cfg.Corpus.NFiles = s.NFiles
+	}
+	if s.FileSize > 0 {
+		cfg.Corpus.FileSize = s.FileSize
+	}
+	if s.Seed != 0 {
+		cfg.Corpus.Seed = s.Seed
+	}
+	if s.Change > 0 {
+		cfg.Corpus.ChangeFraction = s.Change
+	}
+	if s.Timer > 0 {
+		cfg.TimerPeriod = s.Timer
+	}
+	switch {
+	case s.MaxCycles < 0:
+		cfg.MaxCycles = 0
+	case s.MaxCycles > 0:
+		cfg.MaxCycles = uint64(s.MaxCycles)
+	}
+	return cfg
+}
+
+// machineConfig is the core.Config the worker builds the machine with.
+// It must be a pure function of the spec: a respawned worker restores
+// the previous attempt's checkpoints, and snapshot.Restore rejects an
+// image captured under a different config hash.
+func (s *Spec) machineConfig(snapshotCycles uint64) core.Config {
+	oc := ooo.K8Config()
+	if s.Core == "default" {
+		oc = ooo.DefaultConfig()
+	}
+	return core.Config{Core: oc, NativeCPI: 1, ThreadsPerCore: 1,
+		SnapshotCycles: snapshotCycles, WatchdogCycles: 10_000_000}
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Result is what a worker reports back for a completed job
+// (result.json in the job directory).
+type Result struct {
+	Cycles     uint64 `json:"cycles"`
+	Insns      int64  `json:"insns"`
+	Console    string `json:"console"`
+	ConsoleFNV uint64 `json:"console_fnv"` // FNV-64a of Console, for cheap equality checks
+	// Supervisor accounting for the final (successful) attempt.
+	Attempts        int    `json:"attempts"`
+	Retries         int    `json:"retries"`
+	DegradedWindows int    `json:"degraded_windows"`
+	FinalSlot       string `json:"final_slot,omitempty"`
+}
+
+// Failure is a worker's structured failure report (failure.json).
+type Failure struct {
+	Kind      string `json:"kind"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	Cycle     uint64 `json:"cycle,omitempty"`
+	RIP       uint64 `json:"rip,omitempty"`
+}
+
+// Status is the externally visible view of a job (GET /jobs/{id}).
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+
+	// Attempts counts worker processes spawned for this job; PID is
+	// the live worker's process ID (0 when no worker is running).
+	Attempts int `json:"attempts"`
+	PID      int `json:"pid,omitempty"`
+
+	// Kind/Error describe the last worker failure (terminal or retried).
+	Kind  string `json:"kind,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	ElapsedMs   int64  `json:"elapsed_ms,omitempty"` // submit → finish wall clock
+
+	Result *Result `json:"result,omitempty"`
+
+	// Dir is the job's on-disk directory (spec, checkpoints, journal) —
+	// the triage entry point (ptlmon -inspect <dir>/ckpt).
+	Dir string `json:"dir,omitempty"`
+}
+
+// consoleFNV hashes guest console output for Result.ConsoleFNV.
+func consoleFNV(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// rfc3339 renders a timestamp for Status fields ("" for zero time).
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

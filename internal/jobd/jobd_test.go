@@ -1,0 +1,552 @@
+package jobd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ptlsim/internal/supervisor"
+)
+
+// TestMain doubles as the worker entry point: the daemon under test
+// re-execs this test binary with PTLSERVE_WORKER_DIR set, exactly as
+// cmd/ptlserve re-execs itself with -ptlserve-worker. That keeps the
+// e2e tests honest — workers really are separate processes that can be
+// SIGKILL'd without touching the daemon.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("PTLSERVE_WORKER_DIR"); dir != "" {
+		os.Exit(WorkerMain(dir, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// selfWorker builds WorkerCommand funcs that re-exec the test binary in
+// worker mode.
+func selfWorker(t *testing.T) func(string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(jobDir string) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = []string{"PTLSERVE_WORKER_DIR=" + jobDir}
+		return cmd
+	}
+}
+
+// syncBuffer is a goroutine-safe journal sink for tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) entries(t *testing.T) []supervisor.Entry {
+	t.Helper()
+	s.mu.Lock()
+	data := append([]byte(nil), s.b.Bytes()...)
+	s.mu.Unlock()
+	es, err := supervisor.ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	return es
+}
+
+func newDaemon(t *testing.T, jb *syncBuffer, mut func(*Config)) *Daemon {
+	t.Helper()
+	cfg := Config{
+		Dir:              t.TempDir(),
+		WorkerCommand:    selfWorker(t),
+		Workers:          1,
+		QueueDepth:       8,
+		PollInterval:     10 * time.Millisecond,
+		HeartbeatTimeout: 30 * time.Second,
+		Deadline:         5 * time.Minute,
+	}
+	if jb != nil {
+		cfg.Journal = jb
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	return d
+}
+
+// smallSpec is the quick end-to-end workload (one file, one round trip;
+// finishes in well under a second of wall clock).
+func smallSpec() Spec {
+	return Spec{Scale: "bench", NFiles: 1, FileSize: 1024, Seed: 5, Change: 0.4,
+		Timer: 4_000_000_000, MaxCycles: -1, CheckpointCycles: 50_000}
+}
+
+// killSpec is a longer workload with a tight checkpoint cadence: plenty
+// of rotation slots land before it finishes, which gives the SIGKILL
+// test a wide window to murder the worker mid-run.
+func killSpec() Spec {
+	return Spec{Scale: "bench", NFiles: 2, FileSize: 4096, Seed: 9, Change: 0.5,
+		Timer: 4_000_000_000, MaxCycles: -1, CheckpointCycles: 25_000}
+}
+
+func waitJob(t *testing.T, d *Daemon, id string, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, ok := d.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := d.Job(id)
+	t.Fatalf("job %s did not finish in %v (state %s, kind %s, err %q)",
+		id, timeout, st.State, st.Kind, st.Error)
+	return Status{}
+}
+
+// drainDaemon force-stops a daemon whose stub workers never finish: an
+// already-cancelled drain context goes straight to SIGTERM/SIGKILL.
+func drainDaemon(t *testing.T, d *Daemon) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d.Drain(ctx)
+}
+
+func TestJobCompletes(t *testing.T) {
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, nil)
+	st, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, d, st.ID, 2*time.Minute)
+	if fin.State != StateDone {
+		t.Fatalf("state %s, kind %s: %s", fin.State, fin.Kind, fin.Error)
+	}
+	if fin.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	if !strings.Contains(fin.Result.Console, "rsync ok") {
+		t.Fatalf("guest console missing success marker:\n%s", fin.Result.Console)
+	}
+	if got := consoleFNV(fin.Result.Console); got != fin.Result.ConsoleFNV {
+		t.Fatalf("console FNV mismatch: %#x vs %#x", got, fin.Result.ConsoleFNV)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("clean job took %d attempts", fin.Attempts)
+	}
+	// The worker checkpointed into the job dir; the slots must be
+	// intact (this is also what a respawn would restore from).
+	slots, _ := filepath.Glob(filepath.Join(fin.Dir, ckptSubdir, "*.ckpt"))
+	if len(slots) == 0 {
+		t.Fatal("no rotation slots in job dir")
+	}
+
+	// HTTP view of the same job.
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: %d", st.ID, resp.StatusCode)
+	}
+	var hst Status
+	if err := json.NewDecoder(resp.Body).Decode(&hst); err != nil {
+		t.Fatal(err)
+	}
+	if hst.State != StateDone || hst.Result == nil || hst.Result.ConsoleFNV != fin.Result.ConsoleFNV {
+		t.Fatalf("HTTP status disagrees with daemon: %+v", hst)
+	}
+	if resp, err := http.Get(srv.URL + "/jobs/9999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /jobs/9999: %v %v", resp.StatusCode, err)
+	}
+
+	// Journal: submit → start → done, in the shared entry format.
+	var sawSubmit, sawStart, sawDone bool
+	for _, e := range jb.entries(t) {
+		switch e.Event {
+		case supervisor.EventJobSubmit:
+			sawSubmit = true
+		case supervisor.EventJobStart:
+			sawStart = e.PID > 0
+		case supervisor.EventJobDone:
+			sawDone = e.Job == st.ID && e.Insns > 0
+		}
+	}
+	if !sawSubmit || !sawStart || !sawDone {
+		t.Fatalf("journal missing lifecycle events: submit=%v start=%v done=%v",
+			sawSubmit, sawStart, sawDone)
+	}
+}
+
+// TestWorkerKilledMidJobResumesBitIdentical is the acceptance test for
+// the isolation tentpole: SIGKILL a worker mid-run (from outside — the
+// daemon has no idea it is coming), and the job must still finish, by
+// respawn + restore from the rotated checkpoint directory, with guest
+// output bit-identical to an unkilled run. A second job queued behind
+// the victim must be unaffected.
+func TestWorkerKilledMidJobResumesBitIdentical(t *testing.T) {
+	spec := killSpec()
+
+	// Reference: the same workload, never killed.
+	clean := func() *Result {
+		d := newDaemon(t, nil, nil)
+		st, err := d.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := waitJob(t, d, st.ID, 3*time.Minute)
+		if fin.State != StateDone {
+			t.Fatalf("clean run failed: %s %s", fin.Kind, fin.Error)
+		}
+		return fin.Result
+	}()
+	if !strings.Contains(clean.Console, "rsync ok") {
+		t.Fatalf("clean run missing success marker:\n%s", clean.Console)
+	}
+
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, nil) // Workers: 1 — the bystander queues behind the victim
+	victim, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the victim's worker as soon as it has both a live PID and at
+	// least one rotation slot to resume from.
+	killDeadline := time.Now().Add(2 * time.Minute)
+	killed := false
+	for !killed {
+		if time.Now().After(killDeadline) {
+			t.Fatal("never caught the victim worker alive with a checkpoint slot")
+		}
+		st, _ := d.Job(victim.ID)
+		if st.State == StateDone || st.State == StateFailed {
+			t.Fatalf("victim finished (%s) before the kill landed — widen killSpec", st.State)
+		}
+		if st.PID > 0 {
+			slots, _ := filepath.Glob(filepath.Join(st.Dir, ckptSubdir, "*.ckpt"))
+			if len(slots) > 0 {
+				if err := syscall.Kill(st.PID, syscall.SIGKILL); err == nil {
+					killed = true
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	vfin := waitJob(t, d, victim.ID, 3*time.Minute)
+	if vfin.State != StateDone {
+		t.Fatalf("killed job did not recover: %s %s: %s", vfin.State, vfin.Kind, vfin.Error)
+	}
+	if vfin.Attempts < 2 {
+		t.Fatalf("killed job finished in %d attempt(s) — the kill did not land mid-run", vfin.Attempts)
+	}
+	// Bit-identical guest output after the SIGKILL + resume.
+	if vfin.Result.Console != clean.Console {
+		t.Fatalf("resumed console differs from clean run:\nclean:\n%s\nresumed:\n%s",
+			clean.Console, vfin.Result.Console)
+	}
+	if vfin.Result.ConsoleFNV != clean.ConsoleFNV ||
+		vfin.Result.Cycles != clean.Cycles || vfin.Result.Insns != clean.Insns {
+		t.Fatalf("resumed run not bit-identical: cycles %d vs %d, insns %d vs %d, fnv %#x vs %#x",
+			vfin.Result.Cycles, clean.Cycles, vfin.Result.Insns, clean.Insns,
+			vfin.Result.ConsoleFNV, clean.ConsoleFNV)
+	}
+
+	// The concurrently queued job is unaffected — same deterministic
+	// output, one attempt.
+	bfin := waitJob(t, d, bystander.ID, 3*time.Minute)
+	if bfin.State != StateDone || bfin.Attempts != 1 {
+		t.Fatalf("bystander affected by victim's death: state %s, %d attempts, %s",
+			bfin.State, bfin.Attempts, bfin.Error)
+	}
+	if bfin.Result.ConsoleFNV != clean.ConsoleFNV {
+		t.Fatal("bystander guest output differs from clean run")
+	}
+
+	// The death was journaled as an abnormal worker exit (panic — an
+	// unexplained SIGKILL) followed by a retry.
+	var sawExit, sawRetry bool
+	for _, e := range jb.entries(t) {
+		if e.Job != victim.ID {
+			continue
+		}
+		if e.Event == supervisor.EventWorkerExit && e.Kind == "panic" && e.Retryable {
+			sawExit = true
+		}
+		if e.Event == supervisor.EventJobRetry {
+			sawRetry = true
+		}
+	}
+	if !sawExit || !sawRetry {
+		t.Fatalf("journal missing death/retry: worker_exit=%v job_retry=%v", sawExit, sawRetry)
+	}
+	if n := d.Counters()["jobd.jobs.retried"]; n < 1 {
+		t.Fatalf("jobd.jobs.retried = %d", n)
+	}
+}
+
+func TestDrainGraceful(t *testing.T) {
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, nil)
+	st, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	if resp, _ := http.Get(srv.URL + "/readyz"); resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatal("readyz not ready before drain")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- d.Drain(ctx) }()
+
+	// Admission closes immediately, well before the running job ends.
+	for i := 0; d.Accepting(); i++ {
+		if i > 1000 {
+			t.Fatal("daemon still accepting after Drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := d.Submit(smallSpec()); err != ErrDraining {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"scale":"small"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /jobs while draining: %d", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/readyz"); resp == nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatal("readyz still ready while draining")
+	}
+
+	// The running job finishes; drain completes cleanly.
+	if err := <-drained; err != nil {
+		t.Fatalf("drain forced: %v", err)
+	}
+	fin, _ := d.Job(st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("in-flight job lost to drain: %s %s", fin.State, fin.Error)
+	}
+
+	// The journal renders through the shared report machinery.
+	var report bytes.Buffer
+	supervisor.WriteReport(&report, jb.entries(t), 0)
+	out := report.String()
+	if !strings.Contains(out, "service drained cleanly") {
+		t.Fatalf("report missing drain outcome:\n%s", out)
+	}
+	if !strings.Contains(out, "service:") {
+		t.Fatalf("report missing service summary:\n%s", out)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	d := newDaemon(t, nil, func(cfg *Config) {
+		// Stub workers that never finish: the queue stays full.
+		cfg.WorkerCommand = func(string) *exec.Cmd { return exec.Command("sleep", "60") }
+		cfg.QueueDepth = 1
+		cfg.RetryAfter = 2 * time.Second
+	})
+	defer drainDaemon(t, d)
+
+	first, err := d.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the runner to take it off the queue.
+	for i := 0; ; i++ {
+		st, _ := d.Job(first.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if i > 2000 {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := d.Submit(Spec{Seed: 2}); err != nil {
+		t.Fatalf("second job should queue: %v", err)
+	}
+	if _, err := d.Submit(Spec{Seed: 3}); err != ErrQueueFull {
+		t.Fatalf("third job should hit backpressure, got %v", err)
+	}
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"seed":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full POST: %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	// Bad specs are a 422, not a 429 — validation happens first.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"scale":"galactic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad-spec POST: %d", resp.StatusCode)
+	}
+}
+
+func TestDeadlineTimeoutClassification(t *testing.T) {
+	d := newDaemon(t, nil, func(cfg *Config) {
+		cfg.WorkerCommand = func(string) *exec.Cmd { return exec.Command("sleep", "60") }
+	})
+	defer drainDaemon(t, d)
+
+	// No respawn budget: the timeout is terminal and visible.
+	st, err := d.Submit(Spec{DeadlineMs: 150, Restarts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, d, st.ID, time.Minute)
+	if fin.State != StateFailed || fin.Kind != "timeout" {
+		t.Fatalf("want terminal timeout, got %s/%s: %s", fin.State, fin.Kind, fin.Error)
+	}
+	if !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("timeout message: %q", fin.Error)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("restarts=-1 but %d attempts", fin.Attempts)
+	}
+
+	// Timeouts are retryable by classification: with a respawn budget
+	// the daemon tries again (each attempt gets a fresh deadline).
+	st2, err := d.Submit(Spec{Seed: 2, DeadlineMs: 150, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2 := waitJob(t, d, st2.ID, time.Minute)
+	if fin2.Attempts != 2 || fin2.Kind != "timeout" {
+		t.Fatalf("want 2 timed-out attempts, got %d/%s", fin2.Attempts, fin2.Kind)
+	}
+}
+
+func TestMemoryBudgetKillClassification(t *testing.T) {
+	d := newDaemon(t, nil, func(cfg *Config) {
+		cfg.WorkerCommand = func(string) *exec.Cmd { return exec.Command("sleep", "60") }
+		cfg.ReadRSS = func(int) (int64, error) { return 4 << 30, nil } // 4GB, always over
+	})
+	defer drainDaemon(t, d)
+
+	st, err := d.Submit(Spec{MemLimitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, d, st.ID, time.Minute)
+	if fin.State != StateFailed || fin.Kind != "resource" {
+		t.Fatalf("want resource kill, got %s/%s: %s", fin.State, fin.Kind, fin.Error)
+	}
+	if fin.Attempts != 1 {
+		t.Fatalf("resource kills are non-retryable by default, got %d attempts", fin.Attempts)
+	}
+
+	// Opt-in retry: retry_resource re-admits up to the respawn budget.
+	st2, err := d.Submit(Spec{Seed: 2, MemLimitMB: 64, RetryResource: true, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2 := waitJob(t, d, st2.ID, time.Minute)
+	if fin2.Attempts != 2 || fin2.Kind != "resource" {
+		t.Fatalf("want 2 resource-killed attempts, got %d/%s", fin2.Attempts, fin2.Kind)
+	}
+}
+
+func TestBreakerOpensAfterRepeatedFailures(t *testing.T) {
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, func(cfg *Config) {
+		// ExitSetup: a non-retryable structured failure every time.
+		cfg.WorkerCommand = func(string) *exec.Cmd { return exec.Command("sh", "-c", "exit 2") }
+		cfg.BreakerThreshold = 2
+	})
+	defer drainDaemon(t, d)
+
+	for i := 0; i < 2; i++ {
+		st, err := d.Submit(Spec{})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		fin := waitJob(t, d, st.ID, time.Minute)
+		if fin.State != StateFailed || fin.Kind != "error" {
+			t.Fatalf("want setup failure, got %s/%s", fin.State, fin.Kind)
+		}
+	}
+	_, err := d.Submit(Spec{})
+	if err == nil || !strings.Contains(err.Error(), "circuit breaker") {
+		t.Fatalf("breaker should be open: %v", err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, herr := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{}`))
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("breaker POST: %d", resp.StatusCode)
+	}
+	// A different workload config is unaffected.
+	if _, err := d.Submit(Spec{Seed: 99}); err != nil {
+		t.Fatalf("unrelated config rejected: %v", err)
+	}
+	var opened bool
+	for _, e := range jb.entries(t) {
+		if e.Event == supervisor.EventBreakerOpen {
+			opened = true
+		}
+	}
+	if !opened {
+		t.Fatal("breaker_open never journaled")
+	}
+}

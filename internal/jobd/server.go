@@ -1,0 +1,86 @@
+package jobd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler exposes the daemon over HTTP:
+//
+//	POST /jobs        submit a Spec            → 202 Status
+//	                  queue full               → 429 + Retry-After
+//	                  draining                 → 503
+//	                  breaker open / bad spec  → 422
+//	GET  /jobs        all job statuses         → 200 []Status
+//	GET  /jobs/{id}   one job status           → 200 Status | 404
+//	GET  /healthz     liveness                 → 200 always
+//	GET  /readyz      admission readiness      → 200 | 503 (draining)
+//	GET  /statz       service counters         → 200 map[string]int64
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, d.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !d.Accepting() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, d.Counters())
+	})
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "bad job spec: "+err.Error())
+		return
+	}
+	st, err := d.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSONResponse(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the bounded queue is at depth. Retry-After is
+		// the polite half of load shedding.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(d.cfg.RetryAfter.Seconds())))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case strings.Contains(err.Error(), "circuit breaker"):
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func writeJSONResponse(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSONResponse(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,274 @@
+package jobd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/faultinject"
+	"ptlsim/internal/guest"
+	"ptlsim/internal/kern"
+	"ptlsim/internal/simerr"
+	"ptlsim/internal/snapshot"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/supervisor"
+)
+
+// Job-directory file names shared by the daemon and the worker. The
+// directory is the whole worker protocol: the daemon writes spec.json
+// and spawns the worker on the directory; the worker heartbeats into
+// heartbeatFile, checkpoints into ckptSubdir, journals into
+// journalFile, and reports through resultFile or failureFile plus its
+// exit code.
+const (
+	specFile      = "spec.json"
+	resultFile    = "result.json"
+	failureFile   = "failure.json"
+	heartbeatFile = "heartbeat"
+	journalFile   = "worker.jsonl"
+	logFile       = "worker.log"
+	ckptSubdir    = "ckpt"
+)
+
+// Worker exit codes (beyond the conventional 0).
+const (
+	// ExitFailure: a structured simulation failure; failureFile has the
+	// classification.
+	ExitFailure = 3
+	// ExitSetup: the worker could not even start the job (bad spec,
+	// unreadable directory) — never retryable.
+	ExitSetup = 2
+)
+
+// WorkerMain is the hidden worker mode of the serving binary: execute
+// the job described by <dir>/spec.json in this process, under the PR 2
+// supervisor, with checkpoints rotated into <dir>/ckpt. If the
+// rotation already holds slots — this is a respawn after the previous
+// worker was killed — the newest intact slot is restored first, so the
+// re-run resumes instead of restarting and (by the snapshot Runner's
+// determinism-by-construction property) finishes with guest output
+// bit-identical to an unkilled run.
+//
+// The returned value is the process exit code; errw receives human
+// diagnostics (the daemon redirects it to <dir>/worker.log).
+func WorkerMain(dir string, errw io.Writer) int {
+	spec, err := readSpec(filepath.Join(dir, specFile))
+	if err != nil {
+		fmt.Fprintln(errw, "worker:", err)
+		return ExitSetup
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(errw, "worker:", err)
+		return ExitSetup
+	}
+
+	// SIGTERM (daemon drain timeout) cancels the run context; the
+	// supervisor answers with a final checkpoint and ErrInterrupted.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stopSignals()
+
+	// Heartbeat: touch <dir>/heartbeat until the run ends so the
+	// daemon can tell "slow" from "wedged". The file is created
+	// immediately — a worker that never heartbeats is already suspect.
+	interval := time.Duration(spec.HeartbeatMs) * time.Millisecond
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	hbPath := filepath.Join(dir, heartbeatFile)
+	if err := touch(hbPath); err != nil {
+		fmt.Fprintln(errw, "worker: heartbeat:", err)
+		return ExitSetup
+	}
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				touch(hbPath)
+			}
+		}
+	}()
+
+	jf, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(errw, "worker:", err)
+		return ExitSetup
+	}
+	defer jf.Close()
+
+	res, runErr := runJob(ctx, spec, filepath.Join(dir, ckptSubdir), jf)
+	switch {
+	case runErr == nil:
+		if err := writeJSON(filepath.Join(dir, resultFile), res); err != nil {
+			fmt.Fprintln(errw, "worker:", err)
+			return ExitSetup
+		}
+		return 0
+	case errors.Is(runErr, supervisor.ErrInterrupted):
+		// Drain: progress is checkpointed; a future re-admission of the
+		// job resumes where this worker stopped.
+		writeFailure(dir, Failure{Kind: "interrupted", Retryable: true,
+			Message: "worker interrupted (drain): " + runErr.Error()})
+		fmt.Fprintln(errw, "worker:", runErr)
+		return ExitFailure
+	default:
+		f := Failure{Kind: "error", Message: runErr.Error(), Retryable: simerr.Retryable(runErr)}
+		if se, ok := simerr.As(runErr); ok {
+			f.Kind = string(se.Kind)
+			f.Cycle = se.Cycle
+			f.RIP = se.RIP
+			fmt.Fprintln(errw, "worker:", se.Detail())
+		} else {
+			fmt.Fprintln(errw, "worker:", runErr)
+		}
+		writeFailure(dir, f)
+		return ExitFailure
+	}
+}
+
+// runJob executes the spec under supervision, resuming from the rotated
+// checkpoint directory when it already holds an intact slot.
+func runJob(ctx context.Context, spec *Spec, ckptDir string, journal io.Writer) (*Result, error) {
+	cfg := spec.experimentConfig()
+	mcfg := spec.machineConfig(cfg.SnapshotCycles)
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	interval := spec.CheckpointCycles
+	if interval == 0 {
+		interval = 10_000_000
+	}
+
+	// The store is opened before the supervisor so a respawned worker
+	// can look for slots the killed attempt left behind.
+	store, err := supervisor.OpenStore(ckptDir, max(spec.MaxRetries, 3))
+	if err != nil {
+		return nil, err
+	}
+	var m *core.Machine
+	if len(store.Slots()) > 0 {
+		img, slot, err := store.LoadLatest(nil)
+		if err != nil {
+			return nil, err
+		}
+		if m, err = snapshot.Restore(img, mcfg); err != nil {
+			return nil, fmt.Errorf("jobd: resuming %s: %w", slot, err)
+		}
+	} else {
+		spec2, err := guest.RsyncBenchmark(cfg.Corpus, cfg.TimerPeriod)
+		if err != nil {
+			return nil, err
+		}
+		tree := stats.NewTree()
+		spec2.Tree = tree
+		img, err := kern.Build(spec2)
+		if err != nil {
+			return nil, err
+		}
+		m = core.NewMachine(img.Domain, tree, mcfg)
+		if spec.Mode != "native" {
+			m.SwitchMode(core.ModeSim)
+		}
+	}
+	if spec.Inject != "" {
+		specs, err := faultinject.ParseList(spec.Inject)
+		if err != nil {
+			return nil, err
+		}
+		faultinject.New(specs...).Attach(m)
+	}
+
+	sup, err := supervisor.New(m, supervisor.Config{
+		Interval:  interval,
+		MaxCycles: cfg.MaxCycles,
+		Dir:       ckptDir,
+		Keep:      max(spec.MaxRetries, 3),
+		MaxRetries: func() int {
+			if spec.MaxRetries > 0 {
+				return spec.MaxRetries
+			}
+			return 5
+		}(),
+		Journal: journal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sup.Run(ctx); err != nil {
+		return nil, err
+	}
+	m = sup.M
+	sres := sup.Result()
+	console := m.Dom.Console()
+	return &Result{
+		Cycles: m.Cycle, Insns: m.Insns(),
+		Console: console, ConsoleFNV: consoleFNV(console),
+		Attempts: sres.Attempts, Retries: sres.Retries,
+		DegradedWindows: sres.DegradedWindows, FinalSlot: sres.FinalSlot,
+	}, nil
+}
+
+func readSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("jobd: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// writeJSON writes v to path atomically (temp + rename), so the daemon
+// never reads a torn result file from a worker killed mid-write.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".jobd-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func writeFailure(dir string, f Failure) {
+	writeJSON(filepath.Join(dir, failureFile), f)
+}
+
+// touch creates path or refreshes its mtime (the heartbeat primitive).
+func touch(path string) error {
+	now := time.Now()
+	if err := os.Chtimes(path, now, now); err == nil {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -37,6 +37,14 @@ const (
 	// microarchitectural state (ROB ordering, LSQ consistency, physical
 	// register freelist accounting, cache LRU/MSHR bounds, RAS depth).
 	KindInvariant Kind = "invariant"
+	// KindTimeout: the run (or its worker process) exceeded a
+	// wall-clock deadline or stopped heartbeating — wedged from the
+	// outside even if the simulated machine looks healthy. Assigned by
+	// the serving layer (internal/jobd), not the machine loop.
+	KindTimeout Kind = "timeout"
+	// KindResource: the run exhausted a host resource budget — the
+	// worker's memory limit, typically. Assigned by the serving layer.
+	KindResource Kind = "resource"
 )
 
 // Retryable reports whether a failure of this kind can plausibly be
@@ -52,10 +60,15 @@ const (
 // Divergence and invariant violations are evidence of wrong execution —
 // a model bug or injected corruption — and a retry would either replay
 // the same wrong result deterministically or, worse, silently mask it;
-// they are triage material, never retried.
+// they are triage material, never retried. Timeouts are retryable: a
+// killed-for-wall-clock worker resumes from its last rotated checkpoint
+// with the budget refreshed, so each retry makes forward progress.
+// Resource exhaustion is non-retryable by default — the same workload
+// under the same budget allocates its way to the same kill — though the
+// serving layer lets a job opt in to retrying those explicitly.
 func (k Kind) Retryable() bool {
 	switch k {
-	case KindLivelock, KindPanic:
+	case KindLivelock, KindPanic, KindTimeout:
 		return true
 	}
 	return false

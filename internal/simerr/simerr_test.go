@@ -13,8 +13,12 @@ func TestRetryableClassification(t *testing.T) {
 	}{
 		{KindLivelock, true},
 		{KindPanic, true},
+		{KindTimeout, true},
 		{KindDeadlock, false},
 		{KindCycleBudget, false},
+		{KindDivergence, false},
+		{KindInvariant, false},
+		{KindResource, false},
 		{Kind("unknown"), false},
 	}
 	for _, tc := range cases {

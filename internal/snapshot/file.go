@@ -123,6 +123,83 @@ func (img *Image) WriteFile(path string) error {
 	return nil
 }
 
+// Info is what Inspect can tell about a checkpoint file without
+// restoring a machine from it: the raw header fields, whether the
+// payload survives its CRC, and — when it does decode — the captured
+// machine's identity (cycle, mode, shape). Integrity problems land in
+// Err instead of failing the inspection; triaging a rotated checkpoint
+// directory after a killed worker means looking at broken files.
+type Info struct {
+	Path       string
+	Size       int64
+	Version    uint32
+	CfgHash    uint64
+	PayloadLen uint64
+	CRC        uint32
+
+	// Payload identity, valid when Err is empty.
+	Cycle   uint64
+	SimMode bool
+	VCPUs   int
+	Pages   int
+
+	// Err is the first integrity problem hit (empty = intact).
+	Err string
+}
+
+// Inspect reads a checkpoint file's header and validates as much as it
+// can, stopping at the first problem: magic, version, claimed length,
+// payload CRC, gob decode. The returned error is non-nil only when the
+// file cannot be read at all; format problems are reported in Info.Err
+// with every header field parsed so far still filled in.
+func Inspect(path string) (Info, error) {
+	info := Info{Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return info, fmt.Errorf("snapshot: %w", err)
+	}
+	info.Size = int64(len(data))
+	if len(data) < 8 || [8]byte(data[0:8]) != magic {
+		info.Err = ErrNotSnapshot.Error()
+		return info, nil
+	}
+	if len(data) < headerSize {
+		info.Err = ErrTruncated.Error()
+		return info, nil
+	}
+	info.Version = binary.LittleEndian.Uint32(data[8:12])
+	info.CfgHash = binary.LittleEndian.Uint64(data[12:20])
+	info.PayloadLen = binary.LittleEndian.Uint64(data[20:28])
+	info.CRC = binary.LittleEndian.Uint32(data[28:32])
+	if info.Version != FormatVersion {
+		info.Err = ErrVersion.Error()
+		return info, nil
+	}
+	if uint64(len(data)-headerSize) != info.PayloadLen {
+		info.Err = fmt.Sprintf("%v: payload %d bytes, header claims %d",
+			ErrTruncated, len(data)-headerSize, info.PayloadLen)
+		return info, nil
+	}
+	payload := data[headerSize:]
+	if crc32.ChecksumIEEE(payload) != info.CRC {
+		info.Err = ErrChecksum.Error()
+		return info, nil
+	}
+	img, err := Decode(payload)
+	if err != nil {
+		info.Err = err.Error()
+		return info, nil
+	}
+	info.Cycle = img.Cycle
+	info.SimMode = img.SimMode
+	info.VCPUs = len(img.VCPUs)
+	info.Pages = len(img.Pages)
+	if info.CfgHash == 0 {
+		info.CfgHash = img.CfgHash
+	}
+	return info, nil
+}
+
 // ReadFile decodes an image from path, validating magic, version,
 // length and payload CRC before touching the gob decoder, so a
 // truncated or bit-rotted file surfaces as a typed error instead of an

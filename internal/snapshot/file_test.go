@@ -83,6 +83,68 @@ func TestReadFileRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestInspect: header triage of intact and damaged checkpoint files —
+// Inspect must never need a restorable machine, and must keep reporting
+// the parsed header fields past the first integrity problem.
+func TestInspect(t *testing.T) {
+	path, data := writeTestImage(t)
+
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Err != "" {
+		t.Fatalf("intact file reported %q", info.Err)
+	}
+	if info.Version != FormatVersion || info.CfgHash != 0xdeadbeef ||
+		info.Cycle != 42 || info.VCPUs != 1 || info.Pages != 0 {
+		t.Fatalf("inspect lost fields: %+v", info)
+	}
+	if info.PayloadLen == 0 || info.Size != int64(headerSize)+int64(info.PayloadLen) {
+		t.Fatalf("size accounting wrong: %+v", info)
+	}
+
+	// Bit-rotted payload: header fields survive, Err says checksum.
+	rot := append([]byte(nil), data...)
+	rot[len(rot)-3] ^= 0x40
+	if err := os.WriteFile(path, rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Err, "checksum") {
+		t.Fatalf("Err = %q, want checksum", info.Err)
+	}
+	if info.Version != FormatVersion || info.CfgHash != 0xdeadbeef || info.Cycle != 0 {
+		t.Fatalf("header fields should survive a bad payload (and no payload fields leak): %+v", info)
+	}
+
+	// Truncated below the header: only the magic is knowable.
+	if err := os.WriteFile(path, data[:12], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = Inspect(path)
+	if !strings.Contains(info.Err, "truncated") {
+		t.Fatalf("Err = %q, want truncated", info.Err)
+	}
+
+	// Not a snapshot at all.
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = Inspect(path)
+	if !strings.Contains(info.Err, "not a ptlsim snapshot") {
+		t.Fatalf("Err = %q, want not-a-snapshot", info.Err)
+	}
+
+	// Missing file: the one case that is a real error.
+	if _, err := Inspect(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
 // TestRestoreConfigMismatch: an image captured under one machine
 // configuration must refuse to restore under another, with a typed,
 // explanatory error — not build a machine with silently wrong geometry.

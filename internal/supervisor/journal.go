@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -30,12 +31,37 @@ const (
 	EventTriage      = "triage"       // divergence search result after a self-check failure
 )
 
+// Service journal event names: the job daemon (internal/jobd) appends
+// these to the same JSONL stream format, so ptlmon -journal renders a
+// ptlserve run journal with the same machinery as a single supervised
+// run. Job-scoped events carry the job ID in Entry.Job.
+const (
+	EventJobSubmit   = "job_submit"   // job admitted into the queue
+	EventJobStart    = "job_start"    // worker process spawned for a job attempt
+	EventWorkerExit  = "worker_exit"  // worker died abnormally (kind = classification)
+	EventJobRetry    = "job_retry"    // job re-admitted from its rotated checkpoint dir
+	EventJobDone     = "job_done"     // job completed (elapsed_ms = end-to-end latency)
+	EventJobFail     = "job_fail"     // job failed terminally
+	EventReject      = "reject"       // submission rejected (kind = queue-full|draining|breaker)
+	EventBreakerOpen = "breaker_open" // circuit breaker opened for a workload config
+	EventDrain       = "drain"        // daemon drain began / completed
+)
+
 // Entry is one journal record. Fields are omitted when irrelevant to
 // the event.
 type Entry struct {
-	Time      string `json:"time,omitempty"` // wall clock, RFC3339Nano
+	Time string `json:"time,omitempty"` // wall clock, RFC3339Nano
+	// Started is the wall-clock time the surrounding run (or, for
+	// service entries, the job attempt) started; ElapsedMs is the
+	// wall-clock milliseconds since then. Append stamps both from the
+	// journal's own start when the writer leaves them zero, so every
+	// journal carries enough to compute per-run and per-job latency.
+	Started   string `json:"started,omitempty"`
+	ElapsedMs int64  `json:"elapsed_ms,omitempty"`
 	Event     string `json:"event"`
 	Attempt   int    `json:"attempt,omitempty"`
+	Job       string `json:"job,omitempty"` // service: job ID the entry belongs to
+	PID       int    `json:"pid,omitempty"` // service: worker process ID
 	Cycle     uint64 `json:"cycle,omitempty"`
 	Insns     int64  `json:"insns,omitempty"`
 	Kind      string `json:"kind,omitempty"` // simerr failure kind
@@ -56,10 +82,13 @@ type Entry struct {
 
 // Journal appends entries to a writer as JSONL. A nil Journal (or one
 // over a nil writer) discards everything, so callers never guard their
-// logging.
+// logging. Appends are serialized: the job daemon journals from many
+// goroutines into one stream.
 type Journal struct {
-	w   io.Writer
-	now func() time.Time
+	w     io.Writer
+	now   func() time.Time
+	mu    sync.Mutex
+	start time.Time // wall clock of the first Append (run start)
 }
 
 // NewJournal writes entries to w (nil w = discard). Timestamps come
@@ -68,14 +97,29 @@ func NewJournal(w io.Writer) *Journal {
 	return &Journal{w: w, now: time.Now}
 }
 
-// Append writes one entry, stamping it with the current time. Journal
-// write failures are reported but are deliberately non-fatal to the
+// Append writes one entry, stamping it with the current time plus the
+// run-relative wall-clock fields (Started = first-append time,
+// ElapsedMs = milliseconds since then) unless the writer set them
+// itself — the job daemon stamps job-relative values. Journal write
+// failures are reported but are deliberately non-fatal to the
 // supervised run: losing history must not lose the run itself.
 func (j *Journal) Append(e Entry) error {
 	if j == nil || j.w == nil {
 		return nil
 	}
-	e.Time = j.now().UTC().Format(time.RFC3339Nano)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := j.now()
+	if j.start.IsZero() {
+		j.start = now
+	}
+	e.Time = now.UTC().Format(time.RFC3339Nano)
+	if e.Started == "" {
+		e.Started = j.start.UTC().Format(time.RFC3339Nano)
+	}
+	if e.ElapsedMs == 0 {
+		e.ElapsedMs = now.Sub(j.start).Milliseconds()
+	}
 	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("supervisor: journal encode: %w", err)

@@ -30,10 +30,20 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		selfChecks                       []Entry
 		triages                          []Entry
 		outcome                          = "in progress (or writer crashed hard)"
+
+		// Service (job daemon) accounting.
+		jobsSubmitted, jobsDone, jobsFailed int
+		jobRetries, workerExits, rejects    int
+		breakerOpens                        int
+		jobLines                            []string
+		elapsedMs                           int64
 	)
 	for _, e := range entries {
 		if e.Attempt > attempts {
 			attempts = e.Attempt
+		}
+		if e.ElapsedMs > elapsedMs {
+			elapsedMs = e.ElapsedMs
 		}
 		switch e.Event {
 		case EventCheckpoint:
@@ -66,6 +76,37 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			outcome = fmt.Sprintf("interrupted at cycle %d; final checkpoint %s", e.Cycle, e.Slot)
 		case EventGiveUp:
 			outcome = "gave up: " + e.Message
+
+		case EventJobSubmit:
+			jobsSubmitted++
+		case EventWorkerExit:
+			workerExits++
+			kind := e.Kind
+			if kind == "" {
+				kind = "error"
+			}
+			failures[kind]++
+			if e.Retryable {
+				retryable++
+			}
+		case EventJobRetry:
+			jobRetries++
+		case EventJobDone:
+			jobsDone++
+			jobLines = append(jobLines, fmt.Sprintf("job %s done in %dms (cycle %d, %d instructions)",
+				e.Job, e.ElapsedMs, e.Cycle, e.Insns))
+		case EventJobFail:
+			jobsFailed++
+			jobLines = append(jobLines, fmt.Sprintf("job %s failed after %dms (%s): %s",
+				e.Job, e.ElapsedMs, e.Kind, e.Message))
+		case EventReject:
+			rejects++
+		case EventBreakerOpen:
+			breakerOpens++
+		case EventDrain:
+			if e.Message == "complete" {
+				outcome = "service drained cleanly"
+			}
 		}
 	}
 
@@ -95,6 +136,20 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 	if degraded > 0 {
 		fmt.Fprintf(w, "  degraded windows: %d (%d cycles on the sequential core)\n", degraded, degradedCycles)
 	}
+	if jobsSubmitted > 0 || jobsDone > 0 || jobsFailed > 0 || rejects > 0 {
+		fmt.Fprintf(w, "  service: %d submitted, %d done, %d failed, %d worker retries, %d rejected",
+			jobsSubmitted, jobsDone, jobsFailed, jobRetries, rejects)
+		if workerExits > 0 {
+			fmt.Fprintf(w, ", %d abnormal worker exits", workerExits)
+		}
+		if breakerOpens > 0 {
+			fmt.Fprintf(w, ", breaker opened %d time(s)", breakerOpens)
+		}
+		fmt.Fprintln(w)
+		for _, line := range jobLines {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
 	for _, e := range selfChecks {
 		fmt.Fprintf(w, "  self-check %s: commit %d, rip %#x, cycle %d\n", e.Kind, e.Commit, e.RIP, e.Cycle)
 		writeDetail(w, "message", e.Message)
@@ -108,6 +163,9 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		}
 		writeDetail(w, "message", e.Message)
 		writeDetail(w, "arch diff", e.Diff)
+	}
+	if elapsedMs > 0 {
+		fmt.Fprintf(w, "  wall clock: %dms\n", elapsedMs)
 	}
 	fmt.Fprintf(w, "  outcome: %s\n", outcome)
 
@@ -140,6 +198,12 @@ func writeDetail(w io.Writer, label, val string) {
 func FormatEntry(e Entry) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s attempt=%d", e.Event, e.Attempt)
+	if e.Job != "" {
+		fmt.Fprintf(&b, " job=%s", e.Job)
+	}
+	if e.PID > 0 {
+		fmt.Fprintf(&b, " pid=%d", e.PID)
+	}
 	if e.Cycle > 0 {
 		fmt.Fprintf(&b, " cycle=%d", e.Cycle)
 	}
@@ -166,6 +230,9 @@ func FormatEntry(e Entry) string {
 	}
 	if e.ToCycle > 0 {
 		fmt.Fprintf(&b, " window=[%d,%d)", e.FromCycle, e.ToCycle)
+	}
+	if e.ElapsedMs > 0 {
+		fmt.Fprintf(&b, " t=+%dms", e.ElapsedMs)
 	}
 	if e.Message != "" {
 		fmt.Fprintf(&b, " msg=%q", e.Message)

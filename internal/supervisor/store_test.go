@@ -162,12 +162,59 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("read %d entries, wrote %d", len(out), len(in))
 	}
 	for i := range in {
-		in[i].Time = out[i].Time // stamped on append
+		in[i].Time = out[i].Time       // stamped on append
+		in[i].Started = out[i].Started // stamped on append
 		if out[i] != in[i] {
 			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
 		}
 		if out[i].Time == "" {
 			t.Fatalf("entry %d missing timestamp", i)
+		}
+		if out[i].Started == "" {
+			t.Fatalf("entry %d missing run start time", i)
+		}
+	}
+}
+
+// TestJournalWallClock: Append stamps every entry with the run's start
+// time and the elapsed milliseconds since it, writer-set values win,
+// and both the report renderer and FormatEntry surface the latency.
+func TestJournalWallClock(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	clock := time.Unix(1754000000, 0)
+	j.now = func() time.Time {
+		now := clock
+		clock = clock.Add(150 * time.Millisecond)
+		return now
+	}
+	j.Append(Entry{Event: EventRunStart, Attempt: 1})
+	j.Append(Entry{Event: EventComplete, Attempt: 1, Cycle: 1000, Insns: 900})
+	j.Append(Entry{Event: EventJobDone, Job: "0042", ElapsedMs: 77,
+		Started: "2026-08-06T00:00:00Z"}) // daemon-stamped job latency wins
+
+	out, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ElapsedMs != 0 || out[1].ElapsedMs != 150 {
+		t.Fatalf("elapsed stamps wrong: %d, %d", out[0].ElapsedMs, out[1].ElapsedMs)
+	}
+	if out[0].Started == "" || out[0].Started != out[1].Started {
+		t.Fatalf("run start not stamped consistently: %q vs %q", out[0].Started, out[1].Started)
+	}
+	if out[2].ElapsedMs != 77 || out[2].Started != "2026-08-06T00:00:00Z" {
+		t.Fatalf("writer-set wall-clock fields overwritten: %+v", out[2])
+	}
+
+	if line := FormatEntry(out[1]); !strings.Contains(line, "t=+150ms") {
+		t.Errorf("FormatEntry missing elapsed: %s", line)
+	}
+	var report strings.Builder
+	WriteReport(&report, out, 0)
+	for _, want := range []string{"wall clock: 150ms", "job 0042 done in 77ms"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
 		}
 	}
 }

@@ -180,8 +180,15 @@ func (s *Supervisor) Result() Result { return s.res }
 // the degraded path.
 func (s *Supervisor) Run(ctx context.Context) error {
 	// Genesis checkpoint: a failure inside the very first window needs
-	// a restore point too.
-	if _, err := s.saveCheckpoint(); err != nil {
+	// a restore point too. The run then continues on a machine rebuilt
+	// from that image — the same round trip every Runner boundary
+	// performs — so the first window is executed exactly as a later
+	// resume from the genesis slot (a worker killed before the second
+	// boundary, say) would replay it. Running it on the live machine
+	// instead leaks pre-capture state the image deliberately excludes
+	// (a pending mode-switch refill, for one) into the cycle count and
+	// breaks bit-identical recovery for first-window failures.
+	if _, err := s.saveAndSwap(); err != nil {
 		return err
 	}
 
@@ -344,23 +351,35 @@ func (s *Supervisor) degradeWindow(ctx context.Context) error {
 	// Boundary checkpoint + swap, mirroring Runner.checkpoint: the
 	// continued run passes through the same restore operation a later
 	// resume from this slot would.
+	_, err = s.saveAndSwap()
+	return err
+}
+
+// saveAndSwap writes a rotation slot for the current machine, then
+// swaps in a machine rebuilt from that very image (external
+// attachments carried over) — the capture → restore round trip every
+// Runner boundary performs, applied at the boundaries the supervisor
+// writes itself. Anything the image deliberately excludes is thereby
+// excluded from the continued run too, which is what keeps a resume
+// from the slot bit-identical.
+func (s *Supervisor) saveAndSwap() (string, error) {
 	slot, err := s.saveCheckpoint()
 	if err != nil {
-		return err
+		return "", err
 	}
 	img, err := snapshot.ReadFile(slot)
 	if err != nil {
-		return err
+		return "", err
 	}
-	fresh, err := snapshot.Restore(img, m.Config())
+	fresh, err := snapshot.Restore(img, s.M.Config())
 	if err != nil {
-		return err
+		return "", err
 	}
-	fresh.Dom.Sink = m.Dom.Sink
-	fresh.Dom.Source = m.Dom.Source
-	fresh.SetStepHook(m.StepHook())
+	fresh.Dom.Sink = s.M.Dom.Sink
+	fresh.Dom.Source = s.M.Dom.Source
+	fresh.SetStepHook(s.M.StepHook())
 	s.M = fresh
-	return nil
+	return slot, nil
 }
 
 // triage runs the checkpoint-seeded divergence search after a

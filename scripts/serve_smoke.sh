@@ -1,0 +1,89 @@
+#!/bin/sh
+# ptlserve smoke: boot the job service, submit a small simulation job
+# over HTTP, poll it to completion, check the guest output inside the
+# result, exercise the health/stats endpoints, drain on SIGTERM, and
+# render the service journal through ptlmon.
+#
+# SERVE_PORT picks the listen port (default 17483). SERVE_DATA pins the
+# service data directory (default: inside the temp build dir) — CI sets
+# it to a workspace path so journals and per-job checkpoint directories
+# survive as artifacts when the smoke fails.
+set -eu
+
+port="${SERVE_PORT:-17483}"
+bin="$(mktemp -d)"
+data="${SERVE_DATA:-$bin/data}"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+echo "== building ptlserve/ptlmon"
+go build -o "$bin/ptlserve" ./cmd/ptlserve
+go build -o "$bin/ptlmon" ./cmd/ptlmon
+
+"$bin/ptlserve" -addr "127.0.0.1:$port" -data "$data" -workers 1 &
+daemon_pid=$!
+
+i=0
+until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "daemon never came up"
+		exit 1
+	fi
+	sleep 0.1
+done
+
+echo "== submitting job"
+curl -sf -d '{"scale":"bench","nfiles":1,"filesize":1024,"seed":5,"change":0.4,"timer":4000000000,"maxcycles":-1,"checkpoint_cycles":50000}' \
+	"http://127.0.0.1:$port/jobs" >"$bin/submit.json"
+cat "$bin/submit.json"
+echo
+
+id=$(sed -n 's/.*"id":"\([0-9]*\)".*/\1/p' "$bin/submit.json")
+if [ -z "$id" ]; then
+	echo "no job id in submit response"
+	exit 1
+fi
+
+echo "== polling job $id"
+i=0
+while :; do
+	st=$(curl -sf "http://127.0.0.1:$port/jobs/$id")
+	case "$st" in
+	*'"state":"done"'*) break ;;
+	*'"state":"failed"'*)
+		echo "job failed: $st"
+		exit 1
+		;;
+	esac
+	i=$((i + 1))
+	if [ "$i" -gt 600 ]; then
+		echo "job did not finish: $st"
+		exit 1
+	fi
+	sleep 0.5
+done
+
+case "$st" in
+*'rsync ok'*) echo "guest output OK" ;;
+*)
+	echo "guest output wrong: $st"
+	exit 1
+	;;
+esac
+
+echo "== service counters"
+curl -sf "http://127.0.0.1:$port/statz"
+echo
+
+echo "== inspecting job checkpoints"
+"$bin/ptlmon" -inspect "$data/jobs/$id/ckpt" | sed 's/^/   /'
+
+echo "== draining (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "== service journal"
+"$bin/ptlmon" -journal "$data/service.jsonl" | sed 's/^/   /'
+echo "serve smoke: OK"
