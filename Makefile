@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak serve-smoke fuzz-smoke
+.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ soak:
 # listen port and data directory).
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# restart-soak SIGKILLs the ptlserve daemon at randomized points over a
+# job batch and verifies the durable job store recovers every job with
+# bit-identical output (SOAK_ROUNDS/SOAK_JOBS/SOAK_SEED tune length and
+# reproducibility).
+restart-soak:
+	./scripts/restart_soak.sh
 
 # fuzz-smoke runs each decoder fuzz target briefly (the -fuzz flag
 # accepts one target per invocation) — a regression smoke over the

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"ptlsim/internal/jobd"
 	"ptlsim/internal/snapshot"
 )
 
@@ -15,7 +16,10 @@ import (
 // machine from it. Given a directory — typically the rotated
 // checkpoint directory a killed worker left behind — it inspects every
 // *.ckpt slot, newest name first, so the triage question "which slot
-// is intact and how far did it get?" is one command.
+// is intact and how far did it get?" is one command. Given a ptlserve
+// data directory (one holding a durable job store), it instead renders
+// the recovered store state: every job's id, phase, attempt count, and
+// newest intact checkpoint slot.
 func inspectPath(w io.Writer, path string) error {
 	st, err := os.Stat(path)
 	if err != nil {
@@ -23,6 +27,9 @@ func inspectPath(w io.Writer, path string) error {
 	}
 	if !st.IsDir() {
 		return inspectFile(w, path)
+	}
+	if jobd.StoreExists(path) {
+		return inspectStore(w, path)
 	}
 	slots, err := filepath.Glob(filepath.Join(path, "*.ckpt"))
 	if err != nil {
@@ -39,6 +46,66 @@ func inspectPath(w io.Writer, path string) error {
 		}
 	}
 	return nil
+}
+
+// inspectStore renders a ptlserve daemon data directory from its
+// durable job store — the same replay the daemon performs on boot, but
+// read-only: torn log lines are skipped with a warning, and each job's
+// recovered state is printed with the newest intact checkpoint slot a
+// respawn would resume from.
+func inspectStore(w io.Writer, dir string) error {
+	states, skipped, err := jobd.ReadJobStore(dir)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "%s: warning: skipped %d torn store log line(s)\n", dir, skipped)
+	}
+	fmt.Fprintf(w, "%s: job store, %d job(s)\n", dir, len(states))
+	for _, js := range jobd.SortedJobStates(states) {
+		fmt.Fprintf(w, "  %s: %s", js.ID, js.Phase)
+		if js.Attempt > 0 {
+			fmt.Fprintf(w, ", attempt %d", js.Attempt)
+		}
+		if js.PID > 0 && js.Phase == jobd.StateRunning {
+			fmt.Fprintf(w, ", worker pid %d", js.PID)
+		}
+		if js.Kind != "" {
+			fmt.Fprintf(w, ", %s", js.Kind)
+		}
+		if js.Result != nil {
+			fmt.Fprintf(w, ", cycle %d, %d instructions", js.Result.Cycles, js.Result.Insns)
+		}
+		slot, cycle, ok := newestIntactSlot(filepath.Join(dir, "jobs", js.ID, "ckpt"))
+		if ok {
+			fmt.Fprintf(w, ", newest ckpt %s (cycle %d)", slot, cycle)
+		} else {
+			fmt.Fprintf(w, ", no intact ckpt")
+		}
+		fmt.Fprintln(w)
+		if js.Error != "" {
+			fmt.Fprintf(w, "    error: %s\n", js.Error)
+		}
+	}
+	return nil
+}
+
+// newestIntactSlot scans a rotated checkpoint directory newest name
+// first and returns the first slot whose hardened header verifies.
+func newestIntactSlot(ckptDir string) (slot string, cycle uint64, ok bool) {
+	slots, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil || len(slots) == 0 {
+		return "", 0, false
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(slots)))
+	for _, s := range slots {
+		info, err := snapshot.Inspect(s)
+		if err != nil || info.Err != "" {
+			continue
+		}
+		return filepath.Base(s), info.Cycle, true
+	}
+	return "", 0, false
 }
 
 func inspectFile(w io.Writer, path string) error {

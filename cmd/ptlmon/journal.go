@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"os"
 
@@ -19,9 +20,12 @@ func reportJournal(w io.Writer, path string, tail int) error {
 		return err
 	}
 	defer f.Close()
-	entries, err := supervisor.ReadJournal(f)
+	entries, skipped, err := supervisor.ReadJournalSkipping(f)
 	if err != nil {
 		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "warning: skipped %d torn journal line(s)\n", skipped)
 	}
 	supervisor.WriteReport(w, entries, tail)
 	return nil

@@ -42,7 +42,8 @@ func main() {
 		restarts   = flag.Int("restarts", 2, "default worker-respawn budget per job")
 		brkThresh  = flag.Int("breaker-threshold", 3, "consecutive non-retryable failures that open a config's circuit breaker")
 		brkCool    = flag.Duration("breaker-cooldown", time.Minute, "how long an open breaker rejects a config before re-probing")
-		retryAfter = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on queue-full 429 responses")
+		retryAfter = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on queue-full 429 responses until drain latency is measured")
+		compactN   = flag.Int("compact-every", 256, "compact the durable job store after this many log records")
 		journalOut = flag.String("journal", "", "append the service job journal (JSONL) to this file (default <data>/service.jsonl)")
 		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "SIGTERM: how long running jobs get to finish before workers are stopped")
 
@@ -87,10 +88,20 @@ func main() {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
 		RetryAfter:       *retryAfter,
+		CompactEvery:     *compactN,
 		Journal:          jf,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if rec := d.Recovery(); rec.Jobs > 0 {
+		fmt.Fprintf(os.Stderr,
+			"ptlserve: recovered %d job(s) from the store: %d terminal, %d requeued, %d running (adopt or respawn)",
+			rec.Jobs, rec.Terminal, rec.Requeued, rec.Resumed)
+		if rec.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "; skipped %d torn store line(s)", rec.Skipped)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	d.Start()
 

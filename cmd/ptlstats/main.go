@@ -52,10 +52,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		entries, err := supervisor.ReadJournal(f)
+		entries, skipped, err := supervisor.ReadJournalSkipping(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
+		}
+		if skipped > 0 {
+			fmt.Printf("warning: skipped %d torn journal line(s)\n", skipped)
 		}
 		supervisor.WriteReport(os.Stdout, entries, *tailN)
 		return

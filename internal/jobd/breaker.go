@@ -11,8 +11,13 @@ import (
 // config that will keep failing — re-admitting it burns worker slots
 // and queue depth that healthy jobs need. After Threshold consecutive
 // non-retryable failures the breaker opens for that config key and
-// Allow rejects new submissions until Cooldown passes (after which the
-// next job probes the config again: one success resets the streak).
+// Allow rejects new submissions until Cooldown passes, at which point
+// the breaker is half-open: exactly one probe job is admitted (further
+// submissions are rejected while the probe is in flight — two
+// concurrent jobs must not both count as "the" probe), and the probe's
+// verdict decides — success closes the breaker, failure re-opens it
+// immediately, and a verdict-free end (interrupted) releases the probe
+// slot for the next submission.
 type Breaker struct {
 	// Threshold is the consecutive non-retryable failure count that
 	// opens the breaker (minimum 1). Cooldown is how long it stays
@@ -29,6 +34,7 @@ type Breaker struct {
 type breakerState struct {
 	consecutive int
 	openUntil   time.Time
+	probing     bool // the single half-open probe is in flight
 	opens       int
 }
 
@@ -44,19 +50,33 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // Allow reports whether a job with this config key may be admitted; a
 // non-nil error carries the operator-facing reason.
 func (b *Breaker) Allow(key uint64) error {
+	_, err := b.AllowProbe(key)
+	return err
+}
+
+// AllowProbe is Allow plus the half-open bookkeeping: probe is true
+// when the admitted job is the single half-open probe, whose outcome
+// the caller must settle via Success, Failure, or ProbeSettled.
+func (b *Breaker) AllowProbe(key uint64) (probe bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := b.states[key]
-	if st == nil || st.openUntil.IsZero() {
-		return nil
+	if st == nil || (st.openUntil.IsZero() && !st.probing) {
+		return false, nil
+	}
+	if st.probing {
+		// The half-open probe is already in flight; a second job must
+		// not ride along as a shadow probe.
+		return false, fmt.Errorf("jobd: circuit breaker half-open for config %#x (probe in flight)", key)
 	}
 	if b.Cooldown > 0 && b.now().After(st.openUntil) {
-		// Cooldown elapsed: half-open. Admit one probe; the streak is
-		// kept so its failure re-opens immediately.
+		// Cooldown elapsed: half-open. Admit exactly one probe; the
+		// streak is kept so its failure re-opens immediately.
 		st.openUntil = time.Time{}
-		return nil
+		st.probing = true
+		return true, nil
 	}
-	return fmt.Errorf("jobd: circuit breaker open for config %#x (%d consecutive non-retryable failures)",
+	return false, fmt.Errorf("jobd: circuit breaker open for config %#x (%d consecutive non-retryable failures)",
 		key, st.consecutive)
 }
 
@@ -65,6 +85,24 @@ func (b *Breaker) Success(key uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	delete(b.states, key)
+}
+
+// ProbeSettled releases the half-open probe slot without a verdict —
+// the probe job ended in a way that says nothing about the config's
+// health (e.g. interrupted by a drain). The next submission becomes
+// the new probe.
+func (b *Breaker) ProbeSettled(key uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.probing {
+		return
+	}
+	st.probing = false
+	// Back to half-open with the cooldown already served: the next
+	// AllowProbe admits a fresh probe (and only a probe — the config is
+	// still unproven, so full admission stays off).
+	st.openUntil = b.now().Add(-time.Nanosecond)
 }
 
 // Failure records a terminal non-retryable job failure; the return
@@ -78,14 +116,26 @@ func (b *Breaker) Failure(key uint64) bool {
 		b.states[key] = st
 	}
 	st.consecutive++
+	if st.probing {
+		// The half-open probe failed: re-open immediately, regardless
+		// of where the streak stands relative to the threshold.
+		st.probing = false
+		b.open(st)
+		return true
+	}
 	if st.consecutive < b.Threshold || !st.openUntil.IsZero() {
 		return false
 	}
+	b.open(st)
+	return true
+}
+
+// open marks the state open for the cooldown (with mu held).
+func (b *Breaker) open(st *breakerState) {
 	if b.Cooldown > 0 {
 		st.openUntil = b.now().Add(b.Cooldown)
 	} else {
 		st.openUntil = b.now().Add(100 * 365 * 24 * time.Hour)
 	}
 	st.opens++
-	return true
 }

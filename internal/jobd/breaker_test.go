@@ -1,6 +1,9 @@
 package jobd
 
 import (
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -51,6 +54,110 @@ func TestBreakerLifecycle(t *testing.T) {
 	b.Success(key)
 	if b.Failure(key) {
 		t.Fatal("single failure after success re-opened (streak not reset)")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: once the cooldown elapses, exactly
+// one submission becomes the probe — a concurrent second submission
+// must be rejected while the probe is in flight, not ride along as a
+// shadow probe whose failure would double-count.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time { return clock }
+	const key = uint64(0xcafe)
+
+	b.Failure(key)
+	clock = clock.Add(2 * time.Minute)
+
+	probe, err := b.AllowProbe(key)
+	if err != nil || !probe {
+		t.Fatalf("first post-cooldown submission not the probe: probe=%v err=%v", probe, err)
+	}
+	// Concurrent second submission while the probe is in flight.
+	if _, err := b.AllowProbe(key); err == nil ||
+		!strings.Contains(err.Error(), "probe in flight") {
+		t.Fatalf("second submission admitted alongside the probe: %v", err)
+	}
+	// Time passing does not admit more probes while one is in flight.
+	clock = clock.Add(10 * time.Minute)
+	if _, err := b.AllowProbe(key); err == nil {
+		t.Fatal("probe slot leaked after more cooldown time")
+	}
+
+	// The probe succeeds: breaker closes, everyone is admitted again.
+	b.Success(key)
+	if probe, err := b.AllowProbe(key); err != nil || probe {
+		t.Fatalf("closed breaker still probing: probe=%v err=%v", probe, err)
+	}
+}
+
+// TestBreakerProbeSettledReleasesSlot: a probe that ends without a
+// verdict (interrupted by a drain) must release the slot so the next
+// submission probes, rather than wedging the config half-open forever.
+func TestBreakerProbeSettledReleasesSlot(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time { return clock }
+	const key = uint64(0xd00d)
+
+	b.Failure(key)
+	clock = clock.Add(2 * time.Minute)
+	if probe, err := b.AllowProbe(key); err != nil || !probe {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.ProbeSettled(key)
+	// The slot is free again: the next submission is the new probe.
+	probe, err := b.AllowProbe(key)
+	if err != nil || !probe {
+		t.Fatalf("slot not released: probe=%v err=%v", probe, err)
+	}
+	// And a failed probe re-opens immediately for a fresh cooldown.
+	if !b.Failure(key) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if _, err := b.AllowProbe(key); err == nil {
+		t.Fatal("re-opened breaker admitted")
+	}
+}
+
+// TestBreakerHalfOpenConcurrentSubmissions drives the race through the
+// daemon path: many goroutines submit the tripped config the instant
+// the cooldown elapses; exactly one may be admitted as the probe.
+func TestBreakerHalfOpenConcurrentSubmissions(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	const key = uint64(0xfeed)
+	b.Failure(key)
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	clockMu.Unlock()
+
+	const n = 16
+	var admitted, probes int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probe, err := b.AllowProbe(key)
+			if err == nil {
+				atomic.AddInt32(&admitted, 1)
+				if probe {
+					atomic.AddInt32(&probes, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 || probes != 1 {
+		t.Fatalf("half-open admitted %d job(s), %d probe(s); want exactly 1/1", admitted, probes)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -21,7 +22,8 @@ import (
 // Config configures a Daemon.
 type Config struct {
 	// Dir is the service data directory; each job lives in
-	// Dir/jobs/<id>/ (required).
+	// Dir/jobs/<id>/ and the durable job store in Dir/store.jsonl +
+	// Dir/store-snap.json (required).
 	Dir string
 	// WorkerCommand builds the worker subprocess for a job directory —
 	// cmd/ptlserve re-execs itself in the hidden worker mode; tests
@@ -53,16 +55,24 @@ type Config struct {
 	ReadRSS func(pid int) (int64, error)
 
 	// Restarts is the default daemon-level worker-respawn budget per
-	// job (default 2). BreakerThreshold consecutive non-retryable job
-	// failures of one workload config open its circuit breaker for
-	// BreakerCooldown (defaults 3, 1m).
+	// job (default 2). The budget is per daemon incarnation: a job
+	// carried across a daemon restart gets a fresh budget, because the
+	// daemon failing is not evidence against the job. BreakerThreshold
+	// consecutive non-retryable job failures of one workload config
+	// open its circuit breaker for BreakerCooldown (defaults 3, 1m).
 	Restarts         int
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 
-	// RetryAfter is the backpressure hint returned with HTTP 429
-	// (default 2s).
+	// RetryAfter is the backpressure floor returned with HTTP 429 when
+	// no job latency has been measured yet (default 2s). Once jobs
+	// complete, Retry-After reflects the measured queue drain rate
+	// (p50 job latency × queue position).
 	RetryAfter time.Duration
+
+	// CompactEvery bounds the job-store WAL between snapshot
+	// compactions (default 256 records), which bounds startup replay.
+	CompactEvery int
 
 	// Journal receives the service's JSONL job journal (nil = none),
 	// in the supervisor entry format ptlmon -journal renders.
@@ -103,6 +113,9 @@ func (cfg *Config) applyDefaults() {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 2 * time.Second
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 256
+	}
 	if cfg.HeartbeatMs <= 0 {
 		cfg.HeartbeatMs = 250
 	}
@@ -123,6 +136,7 @@ type job struct {
 	spec Spec // resolved spec (daemon defaults applied), what the worker sees
 
 	key       uint64 // breaker config key
+	probe     bool   // admitted as the breaker's half-open probe
 	submitted time.Time
 	started   time.Time
 	deadline  time.Duration
@@ -138,13 +152,43 @@ func (j *job) status() Status {
 	return j.st
 }
 
+// orphan identifies a worker process a previous daemon incarnation
+// spawned: the recovery adoption candidate.
+type orphan struct {
+	pid      int
+	pidStart uint64
+	started  time.Time // attempt start (deadline base)
+	attempt  int
+}
+
+// resumeInfo is one recovered running job awaiting adoption or reaping
+// once Start launches the pool.
+type resumeInfo struct {
+	j *job
+	o orphan
+}
+
+// RecoverySummary describes what New replayed out of the job store.
+type RecoverySummary struct {
+	Jobs     int // jobs in the store
+	Terminal int // already done/failed (kept for status + idempotency)
+	Requeued int // queued jobs re-admitted to the queue
+	Resumed  int // running jobs handed to adopt-or-reap
+	Skipped  int // unparseable WAL lines tolerated (torn writes)
+}
+
 // Daemon is the job service: a bounded queue feeding a fixed pool of
 // worker-runner goroutines, each of which spawns and babysits one
-// isolated worker subprocess at a time.
+// isolated worker subprocess at a time. Every job state transition is
+// write-ahead logged to the durable job store, so a daemon crash loses
+// no accepted job: on restart the store is replayed, queued jobs are
+// re-admitted, and running jobs are adopted (their orphan worker is
+// still alive) or reaped and respawned from rotated checkpoints.
 type Daemon struct {
 	cfg     Config
 	journal *supervisor.Journal
 	breaker *Breaker
+	store   *JobStore
 
 	// treeMu guards tree: stats counters are wait-free inside the
 	// simulator's single-threaded hot loop, but the daemon counts from
@@ -152,17 +196,27 @@ type Daemon struct {
 	treeMu sync.Mutex
 	tree   *stats.Tree
 
+	// latMu guards the completed-job latency ring (Retry-After's
+	// drain-rate estimate).
+	latMu sync.Mutex
+	lats  []int64
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
 	queue    chan *job
+	resume   []resumeInfo // recovered running jobs, launched by Start
 	draining bool
 	nextID   int
+
+	recovery RecoverySummary
 
 	wg sync.WaitGroup // worker-runner goroutines
 }
 
-// New builds a daemon. Start launches its worker pool.
+// New builds a daemon, replaying the durable job store in cfg.Dir if a
+// previous incarnation left one. Start launches its worker pool and
+// the recovered jobs.
 func New(cfg Config) (*Daemon, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("jobd: Dir must be set")
@@ -174,17 +228,32 @@ func New(cfg Config) (*Daemon, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("jobd: data dir: %w", err)
 	}
-	return &Daemon{
+	store, err := OpenJobStore(cfg.Dir, cfg.CompactEvery)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
 		cfg:     cfg,
 		tree:    stats.NewTree(),
 		journal: supervisor.NewJournal(cfg.Journal),
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		store:   store,
 		jobs:    map[string]*job{},
-		queue:   make(chan *job, cfg.QueueDepth),
-	}, nil
+	}
+	if err := d.recoverFromStore(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
-// Start launches the worker pool.
+// Store exposes the durable job store (event streams, inspection).
+func (d *Daemon) Store() *JobStore { return d.store }
+
+// Recovery reports what New replayed from the job store.
+func (d *Daemon) Recovery() RecoverySummary { return d.recovery }
+
+// Start launches the worker pool and the adopt-or-reap goroutines for
+// recovered running jobs.
 func (d *Daemon) Start() {
 	for i := 0; i < d.cfg.Workers; i++ {
 		d.wg.Add(1)
@@ -195,18 +264,89 @@ func (d *Daemon) Start() {
 			}
 		}()
 	}
+	d.mu.Lock()
+	resume := d.resume
+	d.resume = nil
+	d.mu.Unlock()
+	for _, ri := range resume {
+		d.wg.Add(1)
+		go func(ri resumeInfo) {
+			defer d.wg.Done()
+			d.resumeJob(ri.j, ri.o)
+		}(ri)
+	}
 }
 
 // Counters snapshots the daemon's statistics counters (jobs admitted,
-// rejected, retried, workers killed by reason, …).
+// rejected, retried, workers killed by reason, …) plus the measured
+// p50 completed-job latency backing Retry-After.
 func (d *Daemon) Counters() map[string]int64 {
 	d.treeMu.Lock()
-	defer d.treeMu.Unlock()
-	return d.tree.Snapshot(0).Values
+	vals := d.tree.Snapshot(0).Values
+	d.treeMu.Unlock()
+	vals["jobd.latency.p50_ms"] = d.latencyP50()
+	vals["jobd.retry_after_ms"] = d.RetryAfter().Milliseconds()
+	return vals
 }
 
-// RetryAfter is the backpressure hint for queue-full rejections.
-func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
+// noteLatency records one completed job's submit→finish latency for
+// the drain-rate estimate (a bounded ring of recent samples).
+func (d *Daemon) noteLatency(ms int64) {
+	if ms <= 0 {
+		return
+	}
+	d.latMu.Lock()
+	defer d.latMu.Unlock()
+	const ringCap = 256
+	if len(d.lats) >= ringCap {
+		d.lats = d.lats[1:]
+	}
+	d.lats = append(d.lats, ms)
+}
+
+// latencyP50 is the median completed-job latency in ms (0 = no
+// samples yet).
+func (d *Daemon) latencyP50() int64 {
+	d.latMu.Lock()
+	samples := append([]int64(nil), d.lats...)
+	d.latMu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
+}
+
+// RetryAfter is the backpressure hint for queue-full rejections:
+// measured queue drain rate — the p50 completed-job latency times the
+// rejected client's expected queue position — so clients back off
+// realistically during recovery storms instead of hammering a constant
+// cadence. Before any job completes it falls back to the configured
+// constant.
+func (d *Daemon) RetryAfter() time.Duration {
+	p50 := d.latencyP50()
+	if p50 <= 0 {
+		return d.cfg.RetryAfter
+	}
+	d.mu.Lock()
+	qlen := 0
+	if d.queue != nil {
+		qlen = len(d.queue)
+	}
+	d.mu.Unlock()
+	// The pool drains Workers jobs per p50 on average; a queue-full
+	// client needs at least one full drain cycle plus its share of the
+	// backlog.
+	est := time.Duration(int64(qlen)/int64(d.cfg.Workers)+1) *
+		time.Duration(p50) * time.Millisecond
+	if est < time.Second {
+		est = time.Second
+	}
+	if max := 5 * time.Minute; est > max {
+		est = max
+	}
+	return est
+}
 
 // Accepting reports whether new jobs are admitted (false once draining).
 func (d *Daemon) Accepting() bool {
@@ -215,42 +355,17 @@ func (d *Daemon) Accepting() bool {
 	return !d.draining
 }
 
-// Submit validates and admits a job. It returns ErrQueueFull when the
-// bounded queue is at depth (backpressure — the HTTP layer answers
-// 429 + Retry-After), ErrDraining during shutdown, a breaker error for
-// a tripped workload config, and the spec's own error when invalid.
-func (d *Daemon) Submit(spec Spec) (Status, error) {
-	if err := spec.Validate(); err != nil {
-		return Status{}, err
-	}
-	key := spec.ConfigKey()
-
-	d.mu.Lock()
-	if d.draining {
-		d.mu.Unlock()
-		d.count("jobd.rejected.draining")
-		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "draining"})
-		return Status{}, ErrDraining
-	}
-	if err := d.breaker.Allow(key); err != nil {
-		d.mu.Unlock()
-		d.count("jobd.rejected.breaker")
-		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "breaker",
-			Message: err.Error()})
-		return Status{}, err
-	}
-
-	d.nextID++
-	id := fmt.Sprintf("%04d", d.nextID)
-	now := time.Now()
+// resolveJob applies daemon defaults to a validated spec, producing
+// the runtime job record. Shared by admission and store recovery so a
+// recovered job runs under exactly the knobs it was admitted with.
+func (d *Daemon) resolveJob(spec Spec) *job {
 	j := &job{
-		spec:      spec,
-		key:       key,
-		submitted: now,
-		deadline:  d.cfg.Deadline,
-		memLimit:  d.cfg.MemLimitMB << 20,
-		restarts:  d.cfg.Restarts,
-		cancel:    make(chan struct{}),
+		spec:     spec,
+		key:      spec.ConfigKey(),
+		deadline: d.cfg.Deadline,
+		memLimit: d.cfg.MemLimitMB << 20,
+		restarts: d.cfg.Restarts,
+		cancel:   make(chan struct{}),
 	}
 	if spec.DeadlineMs > 0 {
 		j.deadline = time.Duration(spec.DeadlineMs) * time.Millisecond
@@ -268,18 +383,89 @@ func (d *Daemon) Submit(spec Spec) (Status, error) {
 		j.restarts = 0
 	}
 	j.spec.HeartbeatMs = d.cfg.HeartbeatMs
-	j.st = Status{ID: id, State: StateQueued, Spec: j.spec,
-		SubmittedAt: rfc3339(now), Dir: filepath.Join(d.cfg.Dir, "jobs", id)}
+	return j
+}
 
-	select {
-	case d.queue <- j:
-	default:
-		d.nextID--
+// Submit validates and admits a job (no idempotency key).
+func (d *Daemon) Submit(spec Spec) (Status, error) {
+	st, _, err := d.SubmitKey(spec, "")
+	return st, err
+}
+
+// SubmitKey validates and admits a job. A non-empty idemKey dedupes
+// resubmissions: if a job was already accepted under the key — in this
+// daemon incarnation or any previous one, the mapping is durable in
+// the job store — the original job's status is returned with
+// duplicate=true and nothing new is admitted. This closes the crash
+// window between acceptance and the HTTP response: the accept record
+// is fsync'd before SubmitKey returns, so a client that saw the
+// connection die can safely resubmit.
+//
+// It returns ErrQueueFull when the bounded queue is at depth
+// (backpressure — the HTTP layer answers 429 + Retry-After),
+// ErrDraining during shutdown, a breaker error for a tripped workload
+// config, and the spec's own error when invalid.
+func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, false, err
+	}
+	key := spec.ConfigKey()
+
+	d.mu.Lock()
+	if idemKey != "" {
+		if id, ok := d.store.IdemLookup(idemKey); ok {
+			if dup := d.jobs[id]; dup != nil {
+				d.mu.Unlock()
+				d.count("jobd.jobs.deduped")
+				return dup.status(), true, nil
+			}
+		}
+	}
+	if d.draining {
+		d.mu.Unlock()
+		d.count("jobd.rejected.draining")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "draining"})
+		return Status{}, false, ErrDraining
+	}
+	probe, err := d.breaker.AllowProbe(key)
+	if err != nil {
+		d.mu.Unlock()
+		d.count("jobd.rejected.breaker")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "breaker",
+			Message: err.Error()})
+		return Status{}, false, err
+	}
+	// All queue pushes happen under d.mu (admission here, recovery in
+	// New before Start), so a capacity check now guarantees the send
+	// below cannot block — and the WAL accept record can be written
+	// before the push without risking a full-queue rollback.
+	if len(d.queue) == cap(d.queue) {
 		d.mu.Unlock()
 		d.count("jobd.rejected.queue_full")
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "queue-full"})
-		return Status{}, ErrQueueFull
+		return Status{}, false, ErrQueueFull
 	}
+
+	d.nextID++
+	id := fmt.Sprintf("%04d", d.nextID)
+	now := time.Now()
+	j := d.resolveJob(spec)
+	j.probe = probe
+	j.submitted = now
+	j.st = Status{ID: id, State: StateQueued, Spec: j.spec,
+		SubmittedAt: rfc3339(now), Dir: filepath.Join(d.cfg.Dir, "jobs", id)}
+
+	// WAL discipline: the accept record is durable before the job is
+	// visible anywhere — a crash after this line recovers the job, a
+	// crash before it never admitted the job.
+	if _, err := d.store.Append(Record{Op: opAccept, Job: id,
+		IdemKey: idemKey, Spec: &j.spec}); err != nil {
+		d.nextID--
+		d.mu.Unlock()
+		d.count("jobd.rejected.store_error")
+		return Status{}, false, fmt.Errorf("jobd: persisting accept: %w", err)
+	}
+	d.queue <- j
 	d.jobs[id] = j
 	d.order = append(d.order, id)
 	d.mu.Unlock()
@@ -287,7 +473,7 @@ func (d *Daemon) Submit(spec Spec) (Status, error) {
 	d.count("jobd.jobs.submitted")
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobSubmit, Job: id,
 		Started: rfc3339(now), Message: fmt.Sprintf("config %#x", key)})
-	return j.status(), nil
+	return j.status(), false, nil
 }
 
 // Job returns one job's status.
@@ -386,29 +572,55 @@ func (d *Daemon) count(path string) {
 	d.treeMu.Unlock()
 }
 
-// runJob owns one job end to end: spawn a worker, monitor it, classify
-// its death, and respawn from the rotated checkpoint directory while
-// the classification is retryable and the respawn budget lasts.
+// runJob owns one freshly queued job end to end: spawn a worker,
+// monitor it, classify its death, and respawn from the rotated
+// checkpoint directory while the classification is retryable and the
+// respawn budget lasts.
 func (d *Daemon) runJob(j *job) {
-	id := j.st.ID
-	jobDir := filepath.Join(d.cfg.Dir, "jobs", id)
-	if err := os.MkdirAll(jobDir, 0o755); err != nil {
-		d.failJob(j, "error", fmt.Sprintf("job dir: %v", err), false)
+	jobDir := filepath.Join(d.cfg.Dir, "jobs", j.st.ID)
+	if !d.prepareJobDir(j, jobDir) {
 		return
 	}
-	if err := writeJSON(filepath.Join(jobDir, specFile), &j.spec); err != nil {
-		d.failJob(j, "error", fmt.Sprintf("spec: %v", err), false)
-		return
-	}
-
 	j.mu.Lock()
 	j.started = time.Now()
 	j.st.State = StateRunning
 	j.st.StartedAt = rfc3339(j.started)
 	j.mu.Unlock()
 	d.count("jobd.jobs.started")
+	d.runAttempts(j, jobDir, 1, nil)
+}
 
-	for attempt := 1; ; attempt++ {
+// resumeJob owns one recovered running job: adopt its still-alive
+// orphan worker, or classify the dead one and respawn from the rotated
+// checkpoints.
+func (d *Daemon) resumeJob(j *job, o orphan) {
+	jobDir := filepath.Join(d.cfg.Dir, "jobs", j.st.ID)
+	if !d.prepareJobDir(j, jobDir) {
+		return
+	}
+	d.runAttempts(j, jobDir, o.attempt, &o)
+}
+
+// prepareJobDir makes the job directory and (re)writes the spec file;
+// a false return means the job was failed terminally.
+func (d *Daemon) prepareJobDir(j *job, jobDir string) bool {
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		d.failJob(j, "error", fmt.Sprintf("job dir: %v", err), false)
+		return false
+	}
+	if err := writeJSON(filepath.Join(jobDir, specFile), &j.spec); err != nil {
+		d.failJob(j, "error", fmt.Sprintf("spec: %v", err), false)
+		return false
+	}
+	return true
+}
+
+// runAttempts is the shared attempt loop. first is the attempt number
+// to begin at; orph, when non-nil, makes the first iteration supervise
+// the recovered orphan worker instead of spawning a fresh one.
+func (d *Daemon) runAttempts(j *job, jobDir string, first int, orph *orphan) {
+	id := j.st.ID
+	for attempt := first; ; attempt++ {
 		j.mu.Lock()
 		j.st.Attempts = attempt
 		cancelled := isClosed(j.cancel)
@@ -419,7 +631,14 @@ func (d *Daemon) runJob(j *job) {
 		}
 
 		var fail Failure
-		switch err := d.superviseWorker(j, jobDir, attempt); {
+		var err error
+		if orph != nil {
+			err = d.superviseOrphan(j, jobDir, *orph)
+			orph = nil
+		} else {
+			err = d.superviseWorker(j, jobDir, attempt)
+		}
+		switch {
 		case err == nil:
 			res, rerr := readResult(filepath.Join(jobDir, resultFile))
 			if rerr == nil {
@@ -440,6 +659,8 @@ func (d *Daemon) runJob(j *job) {
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventWorkerExit, Job: id,
 			Attempt: attempt, Kind: fail.Kind, Message: fail.Message,
 			Retryable: fail.Retryable, Cycle: fail.Cycle, RIP: fail.RIP})
+		d.store.Append(Record{Op: opExit, Job: id, Attempt: attempt,
+			Kind: fail.Kind, Message: fail.Message})
 
 		j.mu.Lock()
 		j.st.Kind = fail.Kind
@@ -515,16 +736,21 @@ func (d *Daemon) superviseWorker(j *job, jobDir string, attempt int) error {
 		return fmt.Errorf("jobd: spawning worker: %w", err)
 	}
 	pid := cmd.Process.Pid
+	// The worker's start time makes the (pid, start) pair a pid-reuse
+	// guard: a future daemon incarnation adopts the orphan only when
+	// both still match.
+	pidStart, _ := procStartTime(pid)
 	j.mu.Lock()
 	j.st.PID = pid
 	j.mu.Unlock()
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobStart, Job: j.st.ID,
 		Attempt: attempt, PID: pid, Started: rfc3339(start)})
+	d.store.Append(Record{Op: opStart, Job: j.st.ID, Attempt: attempt,
+		PID: pid, PIDStart: pidStart})
 
 	waitDone := make(chan error, 1)
 	go func() { waitDone <- cmd.Wait() }()
 
-	hbPath := filepath.Join(jobDir, heartbeatFile)
 	var reason *killReason
 	kill := func(r killReason) {
 		if reason != nil {
@@ -546,25 +772,8 @@ monitor:
 			kill(killReason{kind: "interrupted", message: "daemon stopping"})
 			cancel = nil // fired once; a nil channel never selects again
 		case <-ticker.C:
-			now := time.Now()
-			if j.deadline > 0 && now.Sub(start) > j.deadline {
-				kill(killReason{kind: simerr.KindTimeout,
-					message: fmt.Sprintf("wall-clock deadline %v exceeded", j.deadline)})
-				continue
-			}
-			if d.cfg.HeartbeatTimeout > 0 {
-				if st, err := os.Stat(hbPath); err == nil &&
-					now.Sub(latest(st.ModTime(), start)) > d.cfg.HeartbeatTimeout {
-					kill(killReason{kind: simerr.KindTimeout,
-						message: fmt.Sprintf("worker heartbeat stale for %v (wedged)", d.cfg.HeartbeatTimeout)})
-					continue
-				}
-			}
-			if j.memLimit > 0 {
-				if rss, err := d.cfg.ReadRSS(pid); err == nil && rss > j.memLimit {
-					kill(killReason{kind: simerr.KindResource,
-						message: fmt.Sprintf("worker RSS %dMB over budget %dMB", rss>>20, j.memLimit>>20)})
-				}
+			if r := d.checkWorkerBudgets(j, jobDir, pid, start); r != nil {
+				kill(*r)
 			}
 		}
 	}
@@ -573,6 +782,120 @@ monitor:
 	j.mu.Unlock()
 
 	return d.classifyExit(j, jobDir, waitErr, reason)
+}
+
+// checkWorkerBudgets evaluates one monitor tick's deadline, heartbeat
+// and RSS budgets for a live worker, returning a kill reason when one
+// is exceeded. Shared by the spawn and adoption monitors.
+func (d *Daemon) checkWorkerBudgets(j *job, jobDir string, pid int, start time.Time) *killReason {
+	now := time.Now()
+	if j.deadline > 0 && now.Sub(start) > j.deadline {
+		return &killReason{kind: simerr.KindTimeout,
+			message: fmt.Sprintf("wall-clock deadline %v exceeded", j.deadline)}
+	}
+	if d.cfg.HeartbeatTimeout > 0 {
+		hbPath := filepath.Join(jobDir, heartbeatFile)
+		if st, err := os.Stat(hbPath); err == nil &&
+			now.Sub(latest(st.ModTime(), start)) > d.cfg.HeartbeatTimeout {
+			return &killReason{kind: simerr.KindTimeout,
+				message: fmt.Sprintf("worker heartbeat stale for %v (wedged)", d.cfg.HeartbeatTimeout)}
+		}
+	}
+	if j.memLimit > 0 {
+		if rss, err := d.cfg.ReadRSS(pid); err == nil && rss > j.memLimit {
+			return &killReason{kind: simerr.KindResource,
+				message: fmt.Sprintf("worker RSS %dMB over budget %dMB", rss>>20, j.memLimit>>20)}
+		}
+	}
+	return nil
+}
+
+// superviseOrphan re-attaches to (or buries) a worker spawned by a
+// previous daemon incarnation. The adopt-vs-reap decision table:
+//
+//   - pid alive and /proc start time matches the recorded one: the
+//     same process incarnation — ADOPT. The monitors (heartbeat file,
+//     deadline from the recorded attempt start, RSS) re-attach and the
+//     job continues without a respawn.
+//   - pid alive but start time differs: the pid was reused by an
+//     unrelated process, which means our worker is dead. Never signal
+//     the impostor; treat the worker as dead.
+//   - pid dead, or start time unreadable (no procfs): treat the
+//     worker as dead.
+//
+// A dead worker is classified by what it left in the job directory —
+// result.json (success), failure.json (its own classification), or
+// nothing (panic, retryable) — and the caller respawns from the
+// rotated checkpoints when retryable.
+func (d *Daemon) superviseOrphan(j *job, jobDir string, o orphan) error {
+	if sameProcess(o.pid, o.pidStart) {
+		j.mu.Lock()
+		j.st.PID = o.pid
+		j.st.Adopted = true
+		j.mu.Unlock()
+		d.count("jobd.jobs.adopted")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventJobAdopt, Job: j.st.ID,
+			Attempt: o.attempt, PID: o.pid,
+			Message: "orphan worker adopted after daemon restart"})
+		d.store.Append(Record{Op: opAdopt, Job: j.st.ID, Attempt: o.attempt,
+			PID: o.pid, PIDStart: o.pidStart})
+
+		start := o.started
+		if start.IsZero() {
+			start = time.Now()
+		}
+		var reason *killReason
+		kill := func(r killReason) {
+			if reason != nil {
+				return
+			}
+			reason = &r
+			syscall.Kill(o.pid, syscall.SIGKILL)
+		}
+		ticker := time.NewTicker(d.cfg.PollInterval)
+		defer ticker.Stop()
+		cancel := j.cancel
+	monitor:
+		for {
+			select {
+			case <-cancel:
+				kill(killReason{kind: "interrupted", message: "daemon stopping"})
+				cancel = nil
+			case <-ticker.C:
+				// Not our child: waitpid is unavailable, so death is the
+				// (pid, start time) pair no longer matching. The zombie
+				// is init's problem — orphans are reparented.
+				if !sameProcess(o.pid, o.pidStart) {
+					break monitor
+				}
+				if r := d.checkWorkerBudgets(j, jobDir, o.pid, start); r != nil {
+					kill(*r)
+				}
+			}
+		}
+		j.mu.Lock()
+		j.st.PID = 0
+		j.mu.Unlock()
+		if reason != nil {
+			return d.classifyExit(j, jobDir, errors.New("killed by monitor"), reason)
+		}
+	} else {
+		d.count("jobd.jobs.reaped")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventJobRetry, Job: j.st.ID,
+			Attempt: o.attempt, PID: o.pid,
+			Message: "recorded worker dead or pid reused; resuming from rotated checkpoints"})
+	}
+
+	// The worker is gone (or never survived the daemon): classify by
+	// its verdict files.
+	if _, err := os.Stat(filepath.Join(jobDir, resultFile)); err == nil {
+		return nil // finished while the daemon was down
+	}
+	if f, err := readFailure(filepath.Join(jobDir, failureFile)); err == nil {
+		return &errFailureWrap{*f}
+	}
+	return &errFailureWrap{Failure{Kind: string(simerr.KindPanic), Retryable: true,
+		Message: "worker died while the daemon was down"}}
 }
 
 // classifyExit turns a worker's death into the simerr taxonomy:
@@ -622,7 +945,9 @@ func (d *Daemon) completeJob(j *job, res *Result) {
 	started := j.submitted
 	j.mu.Unlock()
 	d.breaker.Success(j.key)
+	d.noteLatency(elapsed)
 	d.count("jobd.jobs.done")
+	d.store.Append(Record{Op: opDone, Job: id, Result: res, Phase: StateDone})
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobDone, Job: id,
 		Cycle: res.Cycles, Insns: res.Insns,
 		Started: rfc3339(started), ElapsedMs: elapsed})
@@ -638,14 +963,25 @@ func (d *Daemon) failJob(j *job, kind, message string, breaker bool) {
 	j.st.ElapsedMs = now.Sub(j.submitted).Milliseconds()
 	id, elapsed := j.st.ID, j.st.ElapsedMs
 	started := j.submitted
+	probe := j.probe
 	j.mu.Unlock()
 	d.count("jobd.jobs.failed")
+	d.store.Append(Record{Op: opFail, Job: id, Kind: kind, Message: message,
+		Phase: StateFailed})
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobFail, Job: id,
 		Kind: kind, Message: message, Started: rfc3339(started), ElapsedMs: elapsed})
-	if breaker && d.breaker.Failure(j.key) {
-		d.count("jobd.breaker.opened")
-		d.journal.Append(supervisor.Entry{Event: supervisor.EventBreakerOpen,
-			Job: id, Message: fmt.Sprintf("config %#x admission stopped", j.key)})
+	switch {
+	case breaker:
+		if d.breaker.Failure(j.key) {
+			d.count("jobd.breaker.opened")
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventBreakerOpen,
+				Job: id, Message: fmt.Sprintf("config %#x admission stopped", j.key)})
+		}
+	case probe:
+		// The half-open probe ended without a breaker verdict (e.g.
+		// interrupted): release the probe slot so the next submission
+		// probes again.
+		d.breaker.ProbeSettled(j.key)
 	}
 }
 

@@ -195,8 +195,11 @@ type Status struct {
 
 	// Attempts counts worker processes spawned for this job; PID is
 	// the live worker's process ID (0 when no worker is running).
-	Attempts int `json:"attempts"`
-	PID      int `json:"pid,omitempty"`
+	// Adopted is set when a restarted daemon re-attached this job's
+	// still-alive orphan worker instead of respawning it.
+	Attempts int  `json:"attempts"`
+	PID      int  `json:"pid,omitempty"`
+	Adopted  bool `json:"adopted,omitempty"`
 
 	// Kind/Error describe the last worker failure (terminal or retried).
 	Kind  string `json:"kind,omitempty"`

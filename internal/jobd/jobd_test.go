@@ -23,9 +23,16 @@ import (
 // cmd/ptlserve re-execs itself with -ptlserve-worker. That keeps the
 // e2e tests honest — workers really are separate processes that can be
 // SIGKILL'd without touching the daemon.
+// It also doubles as a daemon entry point: PTLSERVE_DAEMON_DIR runs a
+// full daemon + HTTP server on that data directory (daemonMain in
+// restart_test.go), so the restart tests can SIGKILL a real daemon
+// process — not a goroutine — and prove recovery from the job store.
 func TestMain(m *testing.M) {
 	if dir := os.Getenv("PTLSERVE_WORKER_DIR"); dir != "" {
 		os.Exit(WorkerMain(dir, os.Stderr))
+	}
+	if dir := os.Getenv("PTLSERVE_DAEMON_DIR"); dir != "" {
+		os.Exit(daemonMain(dir))
 	}
 	os.Exit(m.Run())
 }

@@ -1,0 +1,109 @@
+package jobd
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"ptlsim/internal/supervisor"
+)
+
+// recoverFromStore rebuilds the daemon's runtime state from the
+// replayed job store: terminal jobs come back as status (and keep
+// their idempotency mapping), queued jobs are re-admitted to the
+// queue, and running jobs are staged for adopt-or-reap once Start
+// launches the pool. It also sizes the queue: recovered queued jobs
+// must all fit even if they exceed the configured depth (they were
+// admitted legitimately by the previous incarnation).
+func (d *Daemon) recoverFromStore() error {
+	states := d.store.Jobs()
+	d.recovery.Jobs = len(states)
+	d.recovery.Skipped = d.store.Skipped()
+	d.nextID = d.store.MaxID()
+
+	var queued []*job
+	for i := range states {
+		js := &states[i]
+		j := d.resolveJob(js.Spec)
+		j.submitted = parseRFC3339(js.SubmittedAt)
+		j.st = Status{
+			ID:          js.ID,
+			State:       js.Phase,
+			Spec:        j.spec,
+			Attempts:    js.Attempt,
+			Kind:        js.Kind,
+			Error:       js.Error,
+			Result:      js.Result,
+			SubmittedAt: js.SubmittedAt,
+			StartedAt:   js.StartedAt,
+			FinishedAt:  js.FinishedAt,
+			Dir:         filepath.Join(d.cfg.Dir, "jobs", js.ID),
+		}
+		d.jobs[js.ID] = j
+		d.order = append(d.order, js.ID)
+
+		switch js.Phase {
+		case StateDone, StateFailed:
+			d.recovery.Terminal++
+			if fin, sub := parseRFC3339(js.FinishedAt), j.submitted; !fin.IsZero() && !sub.IsZero() {
+				j.st.ElapsedMs = fin.Sub(sub).Milliseconds()
+				if js.Phase == StateDone {
+					d.noteLatency(j.st.ElapsedMs)
+				}
+			}
+		case StateQueued:
+			d.recovery.Requeued++
+			queued = append(queued, j)
+		case StateRunning:
+			d.recovery.Resumed++
+			// A fresh respawn budget per daemon incarnation: the daemon
+			// crashing is not evidence against the job, and a chaos soak
+			// of N daemon kills must not exhaust a per-job budget.
+			j.restarts += js.Attempt
+			d.resume = append(d.resume, resumeInfo{j: j, o: orphan{
+				pid:      js.PID,
+				pidStart: js.PIDStart,
+				started:  parseRFC3339(js.StartedAt),
+				attempt:  maxInt(js.Attempt, 1),
+			}})
+		default:
+			return fmt.Errorf("jobd: store job %s in unknown phase %q", js.ID, js.Phase)
+		}
+	}
+
+	depth := d.cfg.QueueDepth
+	if len(queued) > depth {
+		depth = len(queued)
+	}
+	d.queue = make(chan *job, depth)
+	for _, j := range queued {
+		d.queue <- j
+	}
+
+	if d.recovery.Requeued > 0 || d.recovery.Resumed > 0 || d.recovery.Skipped > 0 {
+		d.count("jobd.recovery.runs")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventRecover,
+			Message: fmt.Sprintf("store replayed: %d job(s), %d terminal, %d requeued, %d running (adopt-or-reap), %d torn line(s) skipped",
+				d.recovery.Jobs, d.recovery.Terminal, d.recovery.Requeued,
+				d.recovery.Resumed, d.recovery.Skipped)})
+	}
+	return nil
+}
+
+func parseRFC3339(s string) time.Time {
+	if s == "" {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

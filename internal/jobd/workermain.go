@@ -75,15 +75,22 @@ func WorkerMain(dir string, errw io.Writer) int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stopSignals()
 
-	// Heartbeat: touch <dir>/heartbeat until the run ends so the
+	// Heartbeat: rewrite <dir>/heartbeat until the run ends so the
 	// daemon can tell "slow" from "wedged". The file is created
 	// immediately — a worker that never heartbeats is already suspect.
+	// Each beat carries the worker's (pid, start time) identity and is
+	// written temp+rename (the same discipline as checkpoint writes),
+	// so a worker crashing mid-beat can never present a torn or
+	// zero-length heartbeat as a fresh one, and a recovering daemon can
+	// cross-check whose heartbeat it is looking at.
 	interval := time.Duration(spec.HeartbeatMs) * time.Millisecond
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
 	hbPath := filepath.Join(dir, heartbeatFile)
-	if err := touch(hbPath); err != nil {
+	hb := heartbeat{PID: os.Getpid()}
+	hb.PIDStart, _ = procStartTime(hb.PID)
+	if err := writeHeartbeat(hbPath, hb); err != nil {
 		fmt.Fprintln(errw, "worker: heartbeat:", err)
 		return ExitSetup
 	}
@@ -97,7 +104,8 @@ func WorkerMain(dir string, errw io.Writer) int {
 			case <-hbStop:
 				return
 			case <-t.C:
-				touch(hbPath)
+				hb.Seq++
+				writeHeartbeat(hbPath, hb)
 			}
 		}
 	}()
@@ -260,15 +268,46 @@ func writeFailure(dir string, f Failure) {
 	writeJSON(filepath.Join(dir, failureFile), f)
 }
 
-// touch creates path or refreshes its mtime (the heartbeat primitive).
-func touch(path string) error {
-	now := time.Now()
-	if err := os.Chtimes(path, now, now); err == nil {
-		return nil
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+// heartbeat is the content of the worker's heartbeat file: freshness
+// is still the file's mtime (the daemon stats it each poll), but the
+// body identifies which process incarnation is beating — a diagnostic
+// cross-check for the recovery adopt-vs-reap decision.
+type heartbeat struct {
+	PID      int    `json:"pid"`
+	PIDStart uint64 `json:"pid_start,omitempty"` // /proc start time (pid-reuse guard)
+	Seq      int64  `json:"seq"`
+}
+
+// writeHeartbeat lands one beat atomically (temp + rename): the rename
+// refreshes the mtime the daemon watches, and a crash mid-write leaves
+// the previous intact beat in place instead of a zero-length file.
+func writeHeartbeat(path string, hb heartbeat) error {
+	data, err := json.Marshal(&hb)
 	if err != nil {
 		return err
 	}
-	return f.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".hb-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readHeartbeat parses a heartbeat file's body.
+func readHeartbeat(path string) (heartbeat, error) {
+	var hb heartbeat
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hb, err
+	}
+	err = json.Unmarshal(data, &hb)
+	return hb, err
 }

@@ -40,6 +40,8 @@ const (
 	EventJobStart    = "job_start"    // worker process spawned for a job attempt
 	EventWorkerExit  = "worker_exit"  // worker died abnormally (kind = classification)
 	EventJobRetry    = "job_retry"    // job re-admitted from its rotated checkpoint dir
+	EventJobAdopt    = "job_adopt"    // restarted daemon re-attached a live orphan worker
+	EventRecover     = "recover"      // daemon start replayed the durable job store
 	EventJobDone     = "job_done"     // job completed (elapsed_ms = end-to-end latency)
 	EventJobFail     = "job_fail"     // job failed terminally
 	EventReject      = "reject"       // submission rejected (kind = queue-full|draining|breaker)
@@ -134,11 +136,23 @@ func (j *Journal) Append(e Entry) error {
 	return nil
 }
 
-// ReadJournal parses a JSONL journal stream. Unparseable lines (e.g. a
-// torn final line from a crashed process) terminate the scan without an
-// error: everything before them is history worth reporting.
+// ReadJournal parses a JSONL journal stream, silently tolerating
+// unparseable lines. Callers that want to surface how many lines were
+// skipped (ptlmon/ptlstats print a warning) use ReadJournalSkipping.
 func ReadJournal(r io.Reader) ([]Entry, error) {
+	out, _, err := ReadJournalSkipping(r)
+	return out, err
+}
+
+// ReadJournalSkipping parses a JSONL journal stream. Unparseable lines
+// are exactly what crashes leave behind — a torn final line from a
+// process killed mid-Append, or a torn middle line when a restarted
+// daemon appends past it — so they are skipped (and counted in the
+// second return) instead of failing or truncating the whole report:
+// everything else is history worth reporting.
+func ReadJournalSkipping(r io.Reader) ([]Entry, int, error) {
 	var out []Entry
+	skipped := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -148,9 +162,10 @@ func ReadJournal(r io.Reader) ([]Entry, error) {
 		}
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			break
+			skipped++
+			continue
 		}
 		out = append(out, e)
 	}
-	return out, sc.Err()
+	return out, skipped, sc.Err()
 }

@@ -34,7 +34,7 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		// Service (job daemon) accounting.
 		jobsSubmitted, jobsDone, jobsFailed int
 		jobRetries, workerExits, rejects    int
-		breakerOpens                        int
+		breakerOpens, adoptions, recoveries int
 		jobLines                            []string
 		elapsedMs                           int64
 	)
@@ -91,6 +91,10 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			}
 		case EventJobRetry:
 			jobRetries++
+		case EventJobAdopt:
+			adoptions++
+		case EventRecover:
+			recoveries++
 		case EventJobDone:
 			jobsDone++
 			jobLines = append(jobLines, fmt.Sprintf("job %s done in %dms (cycle %d, %d instructions)",
@@ -144,6 +148,12 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		}
 		if breakerOpens > 0 {
 			fmt.Fprintf(w, ", breaker opened %d time(s)", breakerOpens)
+		}
+		if recoveries > 0 {
+			fmt.Fprintf(w, ", %d store recovery(ies)", recoveries)
+		}
+		if adoptions > 0 {
+			fmt.Fprintf(w, ", %d orphan worker(s) adopted", adoptions)
 		}
 		fmt.Fprintln(w)
 		for _, line := range jobLines {

@@ -236,6 +236,36 @@ func TestJournalTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalTornMiddleLine: a torn line in the *middle* of the log —
+// a writer crashed mid-append and a restarted daemon appended past the
+// wreckage — must not truncate the report at the tear. The entries on
+// both sides survive and the skip is counted.
+func TestJournalTornMiddleLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Append(Entry{Event: EventRunStart, Attempt: 1})
+	buf.WriteString(`{"event":"checkpo` + "\n") // torn, newline landed
+	buf.WriteString("\x00\x00garbage\n")        // binary wreckage
+	j.Append(Entry{Event: EventComplete, Attempt: 1, Cycle: 500, Insns: 400})
+
+	out, skipped, err := ReadJournalSkipping(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if len(out) != 2 || out[0].Event != EventRunStart || out[1].Event != EventComplete {
+		t.Fatalf("entries around the tear lost: %+v", out)
+	}
+	// The rendered report still reaches the outcome past the tear.
+	var report strings.Builder
+	WriteReport(&report, out, 0)
+	if !strings.Contains(report.String(), "completed at cycle 500") {
+		t.Fatalf("report truncated at torn line:\n%s", report.String())
+	}
+}
+
 // TestJournalNilSafe: a supervisor without a journal writer must not
 // crash on logging.
 func TestJournalNilSafe(t *testing.T) {
