@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke
+.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,11 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBB$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBBPaged$$' -fuzztime $(FUZZTIME)
+
+# fuzz-soak runs a differential conformance fuzz campaign: generated
+# instruction sequences dual-executed (reference interpreter vs OoO
+# core under the commit oracle), with divergences shrunk to minimal
+# reproducers. FUZZ_SEQS/FUZZ_SEED/FUZZ_DATA tune length,
+# reproducibility, and the output directory.
+fuzz-soak:
+	./scripts/fuzz_soak.sh

@@ -10,6 +10,7 @@
 //	ptlsim -mode sampled -sim-insns 100000 -native-insns 900000
 //	ptlsim -stats-out run.json                # snapshots for ptlstats
 //	ptlsim -supervise -journal run.jsonl      # resilient run with crash recovery
+//	ptlsim -fuzz -fuzz-seqs 10000             # differential conformance fuzzing
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"os/signal"
 	"syscall"
 
+	"ptlsim/internal/conformance"
+	"ptlsim/internal/conformance/corpus"
 	"ptlsim/internal/core"
 	"ptlsim/internal/cosim"
 	"ptlsim/internal/experiments"
@@ -71,6 +74,14 @@ func main() {
 		maxRetries = flag.Int("max-retries", 5, "supervisor restore-and-retry budget for the whole run")
 		degradeAft = flag.Int("degrade-after", 2, "consecutive failures at one restore point before the window runs on the sequential core (negative = never degrade)")
 		journalOut = flag.String("journal", "", "append the supervisor run journal (JSONL) to this file")
+		fuzzF      = flag.Bool("fuzz", false, "run a differential conformance fuzz campaign instead of the benchmark")
+		fuzzSeqs   = flag.Int("fuzz-seqs", 1000, "fuzz: sequences to generate and dual-execute")
+		fuzzSeed   = flag.Int64("fuzz-seed", 1, "fuzz: campaign seed (same seed regenerates the same stream)")
+		fuzzInsns  = flag.Int64("fuzz-max-insns", 0, "fuzz: per-case committed-instruction budget (0 = default)")
+		fuzzUnits  = flag.Int("fuzz-max-units", 0, "fuzz: max instruction units per sequence (0 = default)")
+		fuzzTSeeds = flag.Int("fuzz-timing-seeds", 0, "fuzz: extra scrambled-predictor timing seeds per case")
+		fuzzOut    = flag.String("fuzz-promote", "", "fuzz: write minimized reproducers into this directory")
+		fuzzBench  = flag.String("fuzz-bench-out", "", "fuzz: write campaign throughput metrics as JSON")
 		simInsns   = flag.Int64("sim-insns", 100_000, "sampled mode: simulated instructions per period")
 		natInsns   = flag.Int64("native-insns", 900_000, "sampled mode: native instructions per period")
 		statsOut   = flag.String("stats-out", "", "write snapshot series as JSON for ptlstats")
@@ -129,6 +140,16 @@ func main() {
 
 	if *experiment != "" {
 		runExperiment(w, *experiment, cfg)
+		return
+	}
+
+	if *fuzzF {
+		runFuzz(ctx, w, fuzzFlags{
+			seqs: *fuzzSeqs, seed: *fuzzSeed, maxInsns: *fuzzInsns,
+			maxUnits: *fuzzUnits, timingSeeds: *fuzzTSeeds,
+			promote: *fuzzOut, benchOut: *fuzzBench,
+			journal: *journalOut, inject: *inject,
+		})
 		return
 	}
 
@@ -260,6 +281,95 @@ func main() {
 		if err := writeStats(*statsOut, m, tree); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+type fuzzFlags struct {
+	seqs        int
+	seed        int64
+	maxInsns    int64
+	maxUnits    int
+	timingSeeds int
+	promote     string
+	benchOut    string
+	journal     string
+	inject      string
+}
+
+// runFuzz drives a conformance fuzz campaign: generate sequences, run
+// them through both engines under the commit oracle, shrink and
+// promote findings. Exits nonzero when the campaign found anything.
+func runFuzz(ctx context.Context, w *os.File, ff fuzzFlags) {
+	run := conformance.Config{MaxInsns: ff.maxInsns}
+	for k := 0; k < ff.timingSeeds; k++ {
+		run.TimingSeeds = append(run.TimingSeeds, ff.seed*1_000_003+int64(k)+1)
+	}
+	if ff.inject != "" {
+		specs, err := faultinject.ParseList(ff.inject)
+		if err != nil {
+			fatal(err)
+		}
+		run.Instrument = func(m *core.Machine) { faultinject.New(specs...).Attach(m) }
+	}
+	var j *supervisor.Journal
+	if ff.journal != "" {
+		jf, err := os.OpenFile(ff.journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer jf.Close()
+		j = supervisor.NewJournal(jf)
+	}
+	// The shared seed corpus feeds the byte-level mutator; outside a
+	// repo checkout (no go.mod to anchor on) the pool is just empty and
+	// every sequence comes from the DSL templates.
+	var pool [][]byte
+	if dir, derr := corpus.SeedDir(); derr == nil {
+		cases, lerr := corpus.Load(dir)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		for _, cs := range cases {
+			if code, cerr := cs.Code(); cerr == nil && len(code) > 0 {
+				pool = append(pool, code)
+			}
+		}
+	}
+	res, err := conformance.RunCampaign(ctx, conformance.CampaignConfig{
+		Run: run, Seqs: ff.seqs, Seed: ff.seed, MaxUnits: ff.maxUnits,
+		SeedPool: pool, Journal: j, PromoteDir: ff.promote,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "fuzz: %d sequences in %.1fs (%.1f seqs/sec), %d findings, shrink %dms\n",
+		res.Seqs, res.ElapsedSec, res.SeqsPerSec, len(res.Findings), res.ShrinkMs)
+	for _, f := range res.Findings {
+		fmt.Fprintf(w, "  [%s] %s: %s\n", f.Finding.Kind, f.Case.Name, f.Finding.Diag)
+	}
+	for _, p := range res.Promoted {
+		fmt.Fprintf(w, "  promoted %s\n", p)
+	}
+	if ff.benchOut != "" {
+		bench := map[string]any{
+			"seqs": res.Seqs, "elapsed_sec": res.ElapsedSec,
+			"seqs_per_sec": res.SeqsPerSec, "shrink_ms": res.ShrinkMs,
+			"findings": len(res.Findings),
+		}
+		data, merr := json.MarshalIndent(bench, "", " ")
+		if merr != nil {
+			fatal(merr)
+		}
+		if werr := os.WriteFile(ff.benchOut, data, 0o644); werr != nil {
+			fatal(werr)
+		}
+	}
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr, "ptlsim: fuzz campaign interrupted")
+		os.Exit(130)
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
 	}
 }
 

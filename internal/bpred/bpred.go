@@ -209,6 +209,35 @@ func (p *Predictor) BTBUpdate(pc, target uint64) {
 // RAS exposes the return address stack.
 func (p *Predictor) RAS() *RAS { return p.ras }
 
+// Scramble deterministically fills the direction-prediction state
+// (counter tables and global history) from seed. It varies only
+// microarchitectural timing — mispredictions recover to the committed
+// path — so conformance fuzzing uses it to run the same program under
+// different predictor warm-ups and assert the architectural trajectory
+// is invariant. BTB and RAS are left cold: they hold code addresses,
+// and seeding them with arbitrary targets would just fabricate
+// speculation into unmapped memory.
+func (p *Predictor) Scramble(seed int64) {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	next := func() uint64 {
+		// splitmix64: cheap, full-period, stateless beyond x.
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for _, t := range []*counterTable{p.bim, p.gsh, p.meta} {
+		if t == nil {
+			continue
+		}
+		for i := range t.ctr {
+			t.ctr[i] = uint8(next() & 3)
+		}
+	}
+	p.ghr = next() & p.ghrMsk
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

@@ -1,0 +1,209 @@
+// Package corpus is the on-disk format of the shared conformance
+// corpus under testdata/conformance/. Decode fuzzing (internal/decode)
+// and execution fuzzing (internal/conformance) read the same seed set,
+// and minimized reproducers from fuzz campaigns are promoted into the
+// regressions directory, where go test replays them forever after.
+//
+// The package deliberately depends on the standard library only: it is
+// imported both by internal test packages (package decode) and by the
+// fuzzing subsystem, so it must sit below everything in the import
+// graph.
+package corpus
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Case is one corpus entry: a byte sequence plus enough metadata to
+// replay and attribute it. Instruction bytes are hex-encoded so cases
+// diff readably in review.
+type Case struct {
+	// Name is the case's identity and its file stem (kebab-case).
+	Name string `json:"name"`
+	// Source records how the case came to be: "seed" (hand-written),
+	// "dsl" (template generator), "bytes" (byte-level mutator).
+	Source string `json:"source,omitempty"`
+	// Seed is the generator PRNG seed that produced the case.
+	Seed int64 `json:"seed,omitempty"`
+	// RIP is the virtual address the bytes are decoded at (decode
+	// fuzzing); execution fuzzing places cases at the fixed user text
+	// base and ignores it.
+	RIP uint64 `json:"rip,omitempty"`
+	// Insns is the sequence as hex-encoded instruction units, the
+	// granularity the delta-minimizer works at. Code() is their
+	// concatenation when Raw is empty.
+	Insns []string `json:"insns,omitempty"`
+	// Raw is hex-encoded bytes with no unit structure (decode seeds,
+	// byte-level inputs before splitting).
+	Raw string `json:"raw,omitempty"`
+
+	// Finding metadata, set when the case was promoted from a fuzz
+	// campaign: the simerr kind observed ("divergence", "invariant",
+	// "panic", ...), the human-readable diagnosis, and — for
+	// divergences localized by the checkpointed search — the first
+	// diverging committed-instruction index.
+	Kind       string `json:"kind,omitempty"`
+	Diag       string `json:"diag,omitempty"`
+	DivergedAt int64  `json:"diverged_at,omitempty"`
+	// Note is free-form context (what the case exercises, fix commit).
+	Note string `json:"note,omitempty"`
+}
+
+// Code returns the case's byte sequence: Raw when set, otherwise the
+// concatenated instruction units.
+func (c *Case) Code() ([]byte, error) {
+	if c.Raw != "" {
+		b, err := hex.DecodeString(c.Raw)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: case %s: raw: %w", c.Name, err)
+		}
+		return b, nil
+	}
+	var out []byte
+	for i, u := range c.Insns {
+		b, err := hex.DecodeString(u)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: case %s: insn %d: %w", c.Name, i, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// Units returns the decoded instruction units.
+func (c *Case) Units() ([][]byte, error) {
+	units := make([][]byte, len(c.Insns))
+	for i, u := range c.Insns {
+		b, err := hex.DecodeString(u)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: case %s: insn %d: %w", c.Name, i, err)
+		}
+		units[i] = b
+	}
+	return units, nil
+}
+
+// SetUnits stores units as the case's hex-encoded instruction list.
+func (c *Case) SetUnits(units [][]byte) {
+	c.Insns = make([]string, len(units))
+	for i, u := range units {
+		c.Insns[i] = hex.EncodeToString(u)
+	}
+	c.Raw = ""
+}
+
+// Root locates <repo>/testdata/conformance by walking up from the
+// current directory to the module root (the directory holding go.mod).
+// Tests run with their package directory as cwd, so this works from
+// any package depth.
+func Root() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "testdata", "conformance"), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("corpus: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// SeedDir returns the shared seed corpus directory.
+func SeedDir() (string, error) {
+	root, err := Root()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(root, "seed"), nil
+}
+
+// RegressionsDir returns the promoted-reproducer directory.
+func RegressionsDir() (string, error) {
+	root, err := Root()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(root, "regressions"), nil
+}
+
+// Load reads every *.json case in dir, sorted by file name so replay
+// order is stable. A missing directory is an empty corpus, not an
+// error (regressions/ starts empty on a fresh checkout of a branch
+// that predates any finding).
+func Load(dir string) ([]Case, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	cases := make([]Case, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var c Case
+		if err := json.Unmarshal(data, &c); err != nil {
+			return nil, fmt.Errorf("corpus: %s: %w", name, err)
+		}
+		if c.Name == "" {
+			c.Name = strings.TrimSuffix(name, ".json")
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// Write stores c as dir/<name>.json atomically (temp file + rename),
+// creating dir if needed, and returns the final path. Promotion must
+// never leave a torn case behind for go test to choke on.
+func Write(dir string, c Case) (string, error) {
+	if c.Name == "" {
+		return "", fmt.Errorf("corpus: case without a name")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, c.Name+".json")
+	tmp, err := os.CreateTemp(dir, ".case-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,397 @@
+// Sequence generators for the conformance fuzzer. A generated case is
+// a list of *units*: self-contained instruction groups that can be
+// removed independently during delta-minimization without breaking the
+// rest of the program (labels never cross a unit boundary). Two
+// generators feed the campaign:
+//
+//   - the DSL generator assembles units from templates chosen to stress
+//     the spots where the two engines historically disagree — flag
+//     chains, REP string ops, branchy control flow, page-crossing
+//     loads/stores, locked RMW, call/ret pairs, and self-modifying
+//     code;
+//   - the byte-level generator mutates raw machine code drawn from the
+//     shared decode seed corpus and re-splits it at decoded instruction
+//     boundaries, reaching encodings no template would emit (including
+//     deliberately undecodable tails, which must fault identically in
+//     both engines).
+package conformance
+
+import (
+	"ptlsim/internal/kern"
+	"ptlsim/internal/x86"
+)
+
+// rng is splitmix64: deterministic across Go releases (unlike
+// math/rand's default source semantics), so a corpus case's seed
+// reproduces the same program forever.
+type rng struct{ x uint64 }
+
+func newRNG(seed int64) *rng { return &rng{x: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.x += 0x9E3779B97F4A7C15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// n returns a value in [0, bound).
+func (r *rng) n(bound int) int {
+	if bound <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(bound))
+}
+
+// chance reports true pct% of the time.
+func (r *rng) chance(pct int) bool { return r.n(100) < pct }
+
+// Register pools. RSP stays untouched (the kernel-provided user stack
+// must survive call/ret units); RSI and RDI are reserved as scratch
+// data pointers — the prologue points them into the data area and only
+// the REP template rewrites them (to fresh in-bounds addresses), so
+// memory templates can address off them without escaping the mapping.
+var destRegs = []x86.Reg{
+	x86.RAX, x86.RBX, x86.RCX, x86.RDX, x86.RBP,
+	x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14, x86.R15,
+}
+
+var srcRegs = append([]x86.Reg{x86.RSI, x86.RDI}, destRegs...)
+
+var fuzzConds = []x86.Cond{
+	x86.CondO, x86.CondNO, x86.CondB, x86.CondAE, x86.CondE, x86.CondNE,
+	x86.CondBE, x86.CondA, x86.CondS, x86.CondNS,
+}
+
+func (r *rng) dest() x86.Reg  { return destRegs[r.n(len(destRegs))] }
+func (r *rng) src() x86.Reg   { return srcRegs[r.n(len(srcRegs))] }
+func (r *rng) cond() x86.Cond { return fuzzConds[r.n(len(fuzzConds))] }
+
+// aluSrc is a random ALU source operand: a register or an imm32.
+func (r *rng) aluSrc() x86.Operand {
+	if r.chance(40) {
+		return x86.I(int64(int32(r.next())))
+	}
+	return x86.R(r.src())
+}
+
+// scratchOff picks a byte offset into the data area landing just
+// before a page boundary (pages 1..5 of the 8-page scratch mapping),
+// so fixed-size accesses and short REP runs straddle the page.
+func (r *rng) scratchOff() int64 {
+	page := int64(1 + r.n(5))
+	return page*4096 - int64(r.n(32)) - 8
+}
+
+// dslTemplates are the unit emitters, weighted equally. Each must be
+// self-contained: any labels are bound inside the unit, and any
+// implicit-register instruction (DIV, REP) sets up its own inputs.
+var dslTemplates = []struct {
+	name string
+	emit func(a *x86.Assembler, r *rng)
+}{
+	{"alu", emitALU},
+	{"shift", emitShift},
+	{"muldiv", emitMulDiv},
+	{"flags", emitFlagsChain},
+	{"load", emitLoad},
+	{"store", emitStore},
+	{"rep", emitRepString},
+	{"branch", emitBranch},
+	{"loop", emitBoundedLoop},
+	{"callret", emitCallRet},
+	{"lock", emitLockRMW},
+	{"smc", emitSMC},
+}
+
+// GenDSL produces nUnits template-generated units from seed.
+func GenDSL(seed int64, nUnits int) ([][]byte, error) {
+	r := newRNG(seed)
+	units := make([][]byte, 0, nUnits)
+	for i := 0; i < nUnits; i++ {
+		a := x86.NewAssembler(0)
+		dslTemplates[r.n(len(dslTemplates))].emit(a, r)
+		b, err := a.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, b)
+	}
+	return units, nil
+}
+
+func emitALU(a *x86.Assembler, r *rng) {
+	d := x86.R(r.dest())
+	s := r.aluSrc()
+	switch r.n(12) {
+	case 0:
+		a.Add(d, s)
+	case 1:
+		a.Sub(d, s)
+	case 2:
+		a.And(d, s)
+	case 3:
+		a.Or(d, s)
+	case 4:
+		a.Xor(d, s)
+	case 5:
+		a.Adc(d, s)
+	case 6:
+		a.Sbb(d, s)
+	case 7:
+		a.Addl(d, s) // 32-bit forms zero-extend: different writeback path
+	case 8:
+		a.Xorl(d, s)
+	case 9:
+		a.Neg(d)
+	case 10:
+		a.Not(d)
+	case 11:
+		if r.chance(50) {
+			a.Inc(d)
+		} else {
+			a.Dec(d)
+		}
+	}
+}
+
+func emitShift(a *x86.Assembler, r *rng) {
+	d := x86.R(r.dest())
+	count := x86.I(int64(r.n(64)))
+	switch r.n(4) {
+	case 0:
+		a.Shl(d, count)
+	case 1:
+		a.Shr(d, count)
+	case 2:
+		a.Sar(d, count)
+	case 3:
+		a.Rol(d, count)
+	}
+}
+
+func emitMulDiv(a *x86.Assembler, r *rng) {
+	switch r.n(4) {
+	case 0:
+		a.Imul(r.dest(), x86.R(r.src()))
+	case 1:
+		a.Imul3(r.dest(), x86.R(r.src()), int64(int32(r.next())))
+	case 2:
+		// Unsigned divide with RDX cleared: quotient always fits, so
+		// no #DE regardless of what RAX holds.
+		dv := r.dest()
+		a.Mov(x86.R(dv), x86.I(int64(2+r.n(1000))))
+		a.Xor(x86.R(x86.RDX), x86.R(x86.RDX))
+		a.Div(x86.R(dv))
+	case 3:
+		// Signed divide: CQO sign-extends RAX and the divisor is a
+		// positive immediate, so the INT64_MIN/-1 overflow can't fire.
+		dv := r.dest()
+		if dv == x86.RDX {
+			dv = x86.RBX
+		}
+		a.Mov(x86.R(dv), x86.I(int64(3+r.n(1000))))
+		a.Cqo()
+		a.Idiv(x86.R(dv))
+	}
+}
+
+func emitFlagsChain(a *x86.Assembler, r *rng) {
+	a.Cmp(x86.R(r.src()), r.aluSrc())
+	c := r.cond()
+	switch r.n(3) {
+	case 0:
+		a.Setcc(c, x86.R(r.dest()))
+	case 1:
+		a.Cmovcc(c, r.dest(), x86.R(r.src()))
+	case 2:
+		// Consume CF/ZF arithmetically instead.
+		a.Adc(x86.R(r.dest()), x86.I(int64(r.n(256))))
+	}
+}
+
+func emitLoad(a *x86.Assembler, r *rng) {
+	base := x86.RSI
+	if r.chance(50) {
+		base = x86.RDI
+	}
+	m := x86.M(base, int32(r.n(48)-16))
+	d := r.dest()
+	switch r.n(5) {
+	case 0:
+		a.Mov(x86.R(d), m)
+	case 1:
+		a.Movl(x86.R(d), m)
+	case 2:
+		a.Movzx(d, m, 1)
+	case 3:
+		a.Movzx(d, m, 2)
+	case 4:
+		a.Movsx(d, m, 1)
+	}
+}
+
+func emitStore(a *x86.Assembler, r *rng) {
+	base := x86.RSI
+	if r.chance(50) {
+		base = x86.RDI
+	}
+	m := x86.M(base, int32(r.n(48)-16))
+	switch r.n(5) {
+	case 0:
+		a.Mov(m, x86.R(r.src()))
+	case 1:
+		a.Movl(m, x86.R(r.src()))
+	case 2:
+		a.Movb(m, x86.R(r.src()))
+	case 3:
+		a.Movl(m, x86.I(int64(int32(r.next()))))
+	case 4:
+		// Load-op-store read/modify/write through memory.
+		a.Add(m, x86.R(r.src()))
+	}
+}
+
+func emitRepString(a *x86.Assembler, r *rng) {
+	// Re-point RSI/RDI at fresh near-page-boundary addresses so the
+	// copy straddles a page and drift from earlier REP units never
+	// escapes the scratch mapping.
+	a.Mov(x86.R(x86.RSI), x86.I(int64(kern.UserDataVA)+r.scratchOff()))
+	a.Mov(x86.R(x86.RDI), x86.I(int64(kern.UserDataVA)+r.scratchOff()))
+	a.Mov(x86.R(x86.RCX), x86.I(int64(1+r.n(48))))
+	size := uint8(1)
+	if r.chance(40) {
+		size = 8
+	}
+	if r.chance(50) {
+		a.RepMovs(size)
+	} else {
+		a.RepStos(size)
+	}
+}
+
+func emitBranch(a *x86.Assembler, r *rng) {
+	a.Cmp(x86.R(r.src()), r.aluSrc())
+	skip := a.NewLabel()
+	a.Jcc(r.cond(), skip)
+	for i, n := 0, 1+r.n(3); i < n; i++ {
+		emitALU(a, r)
+	}
+	a.Bind(skip)
+}
+
+func emitBoundedLoop(a *x86.Assembler, r *rng) {
+	ctr := r.dest()
+	acc := r.dest()
+	if acc == ctr {
+		acc = destRegs[(r.n(len(destRegs))+1)%len(destRegs)]
+		if acc == ctr {
+			acc = x86.RBX
+		}
+	}
+	a.Mov(x86.R(ctr), x86.I(int64(1+r.n(6))))
+	top := a.Mark()
+	a.Imul3(acc, x86.R(acc), 3)
+	a.Add(x86.R(acc), x86.I(int64(r.n(97)+1)))
+	a.Dec(x86.R(ctr))
+	a.Jcc(x86.CondNE, top)
+}
+
+func emitCallRet(a *x86.Assembler, r *rng) {
+	fn := a.NewLabel()
+	done := a.NewLabel()
+	a.Call(fn)
+	a.Jmp(done)
+	a.Bind(fn)
+	emitALU(a, r)
+	a.Ret()
+	a.Bind(done)
+}
+
+func emitLockRMW(a *x86.Assembler, r *rng) {
+	m := x86.M(x86.RDI, int32(r.n(32)))
+	switch r.n(5) {
+	case 0:
+		a.LockAdd(m, x86.R(r.src()))
+	case 1:
+		a.LockInc(m)
+	case 2:
+		a.LockDec(m)
+	case 3:
+		a.LockXadd(m, x86.R(r.dest()))
+	case 4:
+		a.Xchg(m, x86.R(r.dest()))
+	}
+}
+
+// emitSMC patches an upcoming two-byte NOP pad into INC EAX (FF C0)
+// through the writable text mapping, then executes it: both engines
+// must observe the freshly written bytes, which on the OoO side forces
+// a basic-block-cache invalidation and pipeline refetch.
+func emitSMC(a *x86.Assembler, r *rng) {
+	site := a.NewLabel()
+	a.LeaLabel(x86.R11, site)
+	a.Movw(x86.M(x86.R11, 0), x86.I(0xC0FF))
+	a.Bind(site)
+	a.Nop()
+	a.Nop()
+}
+
+// SplitUnits re-derives unit boundaries from raw machine code by
+// decoding sequentially. An undecodable tail is kept as one opaque
+// unit — executing it must fault identically in both engines, which is
+// itself worth checking.
+func SplitUnits(code []byte) [][]byte {
+	var units [][]byte
+	for len(code) > 0 {
+		inst, err := x86.Decode(code)
+		n := int(inst.Len)
+		if err != nil || n <= 0 || n > len(code) {
+			units = append(units, append([]byte(nil), code...))
+			break
+		}
+		units = append(units, append([]byte(nil), code[:n]...))
+		code = code[n:]
+	}
+	return units
+}
+
+// MutateBytes derives a byte-level case from a pool of raw seed
+// programs: pick one, apply a few byte/bit mutations, and re-split at
+// decoded boundaries. The result reaches encodings (prefixes, odd
+// ModRM forms, truncated instructions) the DSL never emits.
+func MutateBytes(seed int64, pool [][]byte, maxUnits int) [][]byte {
+	r := newRNG(seed)
+	if len(pool) == 0 {
+		return nil
+	}
+	src := pool[r.n(len(pool))]
+	code := append([]byte(nil), src...)
+	for i, n := 0, 1+r.n(4); i < n && len(code) > 0; i++ {
+		switch r.n(4) {
+		case 0: // flip one bit
+			code[r.n(len(code))] ^= 1 << r.n(8)
+		case 1: // overwrite one byte
+			code[r.n(len(code))] = byte(r.next())
+		case 2: // duplicate a short run
+			if len(code) >= 2 {
+				at := r.n(len(code) - 1)
+				ln := 1 + r.n(min(8, len(code)-at))
+				dup := append([]byte(nil), code[at:at+ln]...)
+				code = append(code[:at], append(dup, code[at:]...)...)
+			}
+		case 3: // drop a short run
+			if len(code) >= 2 {
+				at := r.n(len(code) - 1)
+				ln := 1 + r.n(min(4, len(code)-at-1))
+				code = append(code[:at], code[at+ln:]...)
+			}
+		}
+	}
+	units := SplitUnits(code)
+	if len(units) > maxUnits {
+		units = units[:maxUnits]
+	}
+	return units
+}

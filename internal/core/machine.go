@@ -63,6 +63,14 @@ type Config struct {
 	// Excluded from checkpoint compatibility hashes so instrumentation
 	// can be toggled across a restore.
 	SelfCheck selfcheck.Config
+	// TimingSeed, when non-zero, deterministically scrambles
+	// timing-only microarchitectural state (branch predictor tables)
+	// at construction. Architectural results must be invariant under
+	// any seed — conformance fuzzing runs each case under several
+	// seeds to check that. Excluded from checkpoint compatibility
+	// hashes like SelfCheck: varying it must never change what a
+	// restored run computes.
+	TimingSeed int64
 }
 
 // Validate checks the machine configuration, surfacing the core
@@ -197,6 +205,9 @@ func NewMachine(dom *hv.Domain, tree *stats.Tree, cfg Config) *Machine {
 		}
 		if cfg.SelfCheck.Audit {
 			oc.SetAudit(cfg.SelfCheck.EffectiveAuditEvery())
+		}
+		if cfg.TimingSeed != 0 {
+			oc.SeedTimingState(cfg.TimingSeed + int64(c))
 		}
 		if coh != nil {
 			oc.Hierarchy().AttachCoherence(coh, c)

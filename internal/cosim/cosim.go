@@ -176,9 +176,17 @@ func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval in
 
 	// Reference run: one native pass, checkpointing at every boundary.
 	// Images go through encoded bytes so probes exercise the same
-	// restore path an on-disk checkpoint would.
+	// restore path an on-disk checkpoint would. Besides the
+	// architectural context, record the committed-instruction count and
+	// console output at each boundary: when the guest shuts down inside
+	// a window, both engines coast to post-shutdown idle contexts that
+	// can compare architecturally equal even though their trajectories
+	// differed — the stop count and console are what still tell them
+	// apart.
 	images := make([][]byte, len(bounds))
 	refCtx := make([]*vm.Context, len(bounds))
+	refInsns := make([]int64, len(bounds))
+	refCons := make([]string, len(bounds))
 	for k, n := range bounds {
 		if err := ref.RunUntilInsns(n, 0); err != nil {
 			return 0, "", st, fmt.Errorf("cosim: reference run: %w", err)
@@ -189,6 +197,8 @@ func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval in
 		}
 		images[k] = img
 		refCtx[k] = ref.Dom.VCPUs[0].Clone()
+		refInsns[k] = ref.Insns()
+		refCons[k] = ref.Dom.Console()
 	}
 
 	restoreFrom := func(k int, mode core.Mode) (*core.Machine, error) {
@@ -207,11 +217,40 @@ func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval in
 		return m, nil
 	}
 
+	// compare checks the simulated engine against the reference record
+	// at boundary k on every dimension divergence is observable in:
+	// where the engine stopped, what it printed, and the architectural
+	// state.
+	compare := func(k int, m *core.Machine) (bool, string) {
+		if got, want := m.Insns(), refInsns[k]; got != want {
+			return false, fmt.Sprintf(
+				"engines stopped at different instruction counts at boundary %d: ref %d, sim %d",
+				bounds[k], want, got)
+		}
+		if got, want := m.Dom.Console(), refCons[k]; got != want {
+			return false, fmt.Sprintf(
+				"console output differs at boundary %d (ref %d bytes, sim %d bytes)",
+				bounds[k], len(want), len(got))
+		}
+		if !vm.ArchEqual(refCtx[k], m.Dom.VCPUs[0]) {
+			return false, vm.DiffArch(refCtx[k], m.Dom.VCPUs[0])
+		}
+		return true, ""
+	}
+
 	// Lockstep scan: run the simulated engine boundary to boundary,
-	// comparing architectural state against the reference at each.
+	// comparing against the reference at each. The check at boundary 0
+	// catches divergence already present at the search origin —
+	// instrumentation that corrupts state at attach time diverges
+	// before the first simulated instruction, and a result equal to
+	// start (instruction 0 for a fresh build) reports exactly that
+	// instead of misattributing it to start+1.
 	simM, err := restoreFrom(0, core.ModeSim)
 	if err != nil {
 		return 0, "", st, err
+	}
+	if eq, diag := compare(0, simM); !eq {
+		return bounds[0], diag, st, nil
 	}
 	badK := -1
 	var diag string
@@ -220,9 +259,9 @@ func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval in
 			return 0, "", st, fmt.Errorf("cosim: scan run: %w", err)
 		}
 		st.ScanInsns += bounds[k] - bounds[k-1]
-		if !vm.ArchEqual(refCtx[k], simM.Dom.VCPUs[0]) {
+		if eq, d := compare(k, simM); !eq {
 			badK = k
-			diag = vm.DiffArch(refCtx[k], simM.Dom.VCPUs[0])
+			diag = d
 			break
 		}
 	}
@@ -250,6 +289,19 @@ func firstDivergenceFrom(ref *core.Machine, simCfg core.Config, max, interval in
 		}
 		if err := simP.RunUntilInsns(n, 0); err != nil {
 			return false, "", fmt.Errorf("cosim: sim probe: %w", err)
+		}
+		// Same three dimensions as the scan: a probe past a guest
+		// shutdown stops both engines early, where the stop count and
+		// console still distinguish diverged trajectories.
+		if got, want := simP.Insns(), refP.Insns(); got != want {
+			return false, fmt.Sprintf(
+				"engines stopped at different instruction counts probing %d: ref %d, sim %d",
+				n, want, got), nil
+		}
+		if got, want := simP.Dom.Console(), refP.Dom.Console(); got != want {
+			return false, fmt.Sprintf(
+				"console output differs probing %d (ref %d bytes, sim %d bytes)",
+				n, len(want), len(got)), nil
 		}
 		if vm.ArchEqual(refP.Dom.VCPUs[0], simP.Dom.VCPUs[0]) {
 			return true, "", nil

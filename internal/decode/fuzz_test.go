@@ -3,6 +3,7 @@ package decode
 import (
 	"testing"
 
+	"ptlsim/internal/conformance/corpus"
 	"ptlsim/internal/uops"
 	"ptlsim/internal/x86"
 )
@@ -81,31 +82,34 @@ func checkBB(t *testing.T, bb *BasicBlock, fault uops.Fault) {
 	}
 }
 
-// seedCorpus is shared by both targets: representative encodings plus
-// known edge cases (UD, truncation, REP pseudo-groups, branches).
+// seedCorpus is shared by both targets. The seeds live in the shared
+// conformance corpus (testdata/conformance/seed) so decode fuzzing and
+// the execution fuzzer in internal/conformance mutate the same byte
+// sequences: representative encodings plus known edge cases (UD,
+// truncation, REP pseudo-groups, branches, VA wraparound).
 func seedCorpus(f *testing.F) {
-	for _, code := range [][]byte{
-		{0x90},                                     // nop
-		{0x48, 0xC7, 0xC0, 0x2A, 0x00, 0x00, 0x00}, // mov rax, 42
-		{0x48, 0x01, 0xD8},                         // add rax, rbx
-		{0x50, 0x58},                               // push rax; pop rax
-		{0xEB, 0xFE},                               // jmp short $
-		{0x74, 0x02, 0x90, 0x90},                   // jz +2; nop; nop
-		{0xE8, 0x00, 0x00, 0x00, 0x00},             // call +0
-		{0xC3},                                     // ret
-		{0xF3, 0xA4},                               // rep movsb
-		{0xF3, 0x48, 0xAB},                         // rep stosq
-		{0x0F, 0x0B},                               // ud2
-		{0x0F, 0x05},                               // syscall
-		{0x48, 0x8B, 0x04, 0xC8},                   // mov rax, [rax+rcx*8]
-		{0x48, 0x0F, 0xB1, 0x0B},                   // cmpxchg [rbx], rcx
-		{0x66},                                     // dangling prefix
-		{0x48, 0x81},                               // truncated imm32 form
-		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // junk
-	} {
-		f.Add(code, uint64(0x40_1000))
+	dir, err := corpus.SeedDir()
+	if err != nil {
+		f.Fatalf("locating seed corpus: %v", err)
 	}
-	f.Add([]byte{0x90, 0x90, 0xC3}, uint64(0xFFFF_FFFF_FFFF_FFFE)) // wraps the top of VA space
+	cases, err := corpus.Load(dir)
+	if err != nil {
+		f.Fatalf("loading seed corpus: %v", err)
+	}
+	if len(cases) == 0 {
+		f.Fatalf("seed corpus %s is empty", dir)
+	}
+	for _, c := range cases {
+		code, err := c.Code()
+		if err != nil {
+			f.Fatal(err)
+		}
+		rip := c.RIP
+		if rip == 0 {
+			rip = 0x40_1000
+		}
+		f.Add(code, rip)
+	}
 }
 
 // FuzzBuildBB feeds arbitrary bytes at an arbitrary RIP through the

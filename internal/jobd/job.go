@@ -54,9 +54,26 @@ type Spec struct {
 	Restarts         int    `json:"restarts,omitempty"`          // daemon worker-respawn budget (-1 = none)
 	RetryResource    bool   `json:"retry_resource,omitempty"`    // re-admit after a memory-budget kill
 
+	// Fuzz turns the job into a conformance fuzz campaign instead of a
+	// benchmark run; the workload fields above are ignored. Campaigns
+	// run to completion or cancellation — they are not checkpointed, so
+	// a respawned worker restarts the campaign (it is deterministic in
+	// the seed, so nothing is lost but wall clock).
+	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
+
 	// HeartbeatMs is stamped by the daemon before the spec is handed
 	// to the worker; jobs cannot set it.
 	HeartbeatMs int64 `json:"heartbeat_ms,omitempty"`
+}
+
+// FuzzSpec configures a conformance fuzz campaign job (see
+// internal/conformance). Zero values take the campaign defaults.
+type FuzzSpec struct {
+	Seqs        int   `json:"seqs,omitempty"`         // sequences to generate (default 1000)
+	Seed        int64 `json:"seed,omitempty"`         // campaign seed (deterministic stream)
+	MaxUnits    int   `json:"max_units,omitempty"`    // instruction units per sequence
+	MaxInsns    int64 `json:"max_insns,omitempty"`    // per-case committed-instruction budget
+	TimingSeeds int   `json:"timing_seeds,omitempty"` // extra scrambled-predictor passes per case
 }
 
 // Validate rejects specs the worker could not run. It is called at
@@ -88,6 +105,14 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("jobd: bad fault spec: %w", err)
 		}
 	}
+	if s.Fuzz != nil {
+		if s.Fuzz.Seqs < 0 {
+			return fmt.Errorf("jobd: fuzz seqs %d is negative", s.Fuzz.Seqs)
+		}
+		if s.Mode == "native" {
+			return fmt.Errorf("jobd: fuzz jobs are dual-engine; -mode native does not apply")
+		}
+	}
 	return nil
 }
 
@@ -101,6 +126,10 @@ func (s *Spec) ConfigKey() uint64 {
 	fmt.Fprintf(h, "%s|%d|%d|%d|%v|%d|%s|%s|%d|%s",
 		s.Scale, s.NFiles, s.FileSize, s.Seed, s.Change, s.Timer,
 		s.Mode, s.Core, s.MaxCycles, s.Inject)
+	if s.Fuzz != nil {
+		fmt.Fprintf(h, "|fuzz:%d:%d:%d:%d:%d",
+			s.Fuzz.Seqs, s.Fuzz.Seed, s.Fuzz.MaxUnits, s.Fuzz.MaxInsns, s.Fuzz.TimingSeeds)
+	}
 	return h.Sum64()
 }
 
@@ -176,6 +205,23 @@ type Result struct {
 	Retries         int    `json:"retries"`
 	DegradedWindows int    `json:"degraded_windows"`
 	FinalSlot       string `json:"final_slot,omitempty"`
+
+	// Fuzz is set for fuzz campaign jobs (Spec.Fuzz != nil); the
+	// benchmark fields above are zero for those.
+	Fuzz *FuzzResult `json:"fuzz,omitempty"`
+}
+
+// FuzzResult is the campaign summary a fuzz job reports. Findings are
+// data, not a job failure: the campaign itself succeeded, and the
+// minimized reproducers are in the job directory's findings/ subdir
+// with the full event trail in the worker journal.
+type FuzzResult struct {
+	Seqs       int      `json:"seqs"`
+	SeqsPerSec float64  `json:"seqs_per_sec"`
+	ShrinkMs   int64    `json:"shrink_ms"`
+	Findings   int      `json:"findings"`
+	Kinds      []string `json:"kinds,omitempty"`
+	Promoted   []string `json:"promoted,omitempty"`
 }
 
 // Failure is a worker's structured failure report (failure.json).

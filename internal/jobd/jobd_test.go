@@ -557,3 +557,60 @@ func TestBreakerOpensAfterRepeatedFailures(t *testing.T) {
 		t.Fatal("breaker_open never journaled")
 	}
 }
+
+// A fuzz campaign job runs the conformance fuzzer in an isolated
+// worker: the job completes with the campaign summary as its result
+// and the fuzz lifecycle events land in the shared journal.
+func TestFuzzJobCompletes(t *testing.T) {
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, nil)
+	st, err := d.Submit(Spec{Fuzz: &FuzzSpec{Seqs: 6, Seed: 99, MaxUnits: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, d, st.ID, 2*time.Minute)
+	if fin.State != StateDone {
+		t.Fatalf("state %s, kind %s: %s", fin.State, fin.Kind, fin.Error)
+	}
+	if fin.Result == nil || fin.Result.Fuzz == nil {
+		t.Fatalf("fuzz job has no fuzz result: %+v", fin.Result)
+	}
+	fr := fin.Result.Fuzz
+	if fr.Seqs != 6 {
+		t.Fatalf("campaign ran %d sequences, want 6", fr.Seqs)
+	}
+	if fr.Findings != 0 {
+		t.Fatalf("clean campaign reported %d findings: %v", fr.Findings, fr.Kinds)
+	}
+	// The campaign trail is in the worker journal, not the daemon's.
+	data, err := os.ReadFile(filepath.Join(fin.Dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := supervisor.ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStart, sawDone bool
+	for _, e := range es {
+		switch e.Event {
+		case supervisor.EventFuzzStart:
+			sawStart = true
+		case supervisor.EventFuzzDone:
+			sawDone = true
+		}
+	}
+	if !sawStart || !sawDone {
+		t.Fatalf("worker journal missing fuzz events: start=%v done=%v", sawStart, sawDone)
+	}
+}
+
+// A fuzz spec that cannot run is rejected at admission.
+func TestFuzzSpecValidation(t *testing.T) {
+	if err := (&Spec{Fuzz: &FuzzSpec{Seqs: -1}}).Validate(); err == nil {
+		t.Fatal("negative seqs should be rejected")
+	}
+	if err := (&Spec{Mode: "native", Fuzz: &FuzzSpec{}}).Validate(); err == nil {
+		t.Fatal("fuzz + native mode should be rejected")
+	}
+}

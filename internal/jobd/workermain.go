@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"time"
 
+	"ptlsim/internal/conformance"
+	"ptlsim/internal/conformance/corpus"
 	"ptlsim/internal/core"
 	"ptlsim/internal/faultinject"
 	"ptlsim/internal/guest"
@@ -117,7 +119,13 @@ func WorkerMain(dir string, errw io.Writer) int {
 	}
 	defer jf.Close()
 
-	res, runErr := runJob(ctx, spec, filepath.Join(dir, ckptSubdir), jf)
+	var res *Result
+	var runErr error
+	if spec.Fuzz != nil {
+		res, runErr = runFuzzJob(ctx, spec, dir, jf)
+	} else {
+		res, runErr = runJob(ctx, spec, filepath.Join(dir, ckptSubdir), jf)
+	}
 	switch {
 	case runErr == nil:
 		if err := writeJSON(filepath.Join(dir, resultFile), res); err != nil {
@@ -228,6 +236,55 @@ func runJob(ctx context.Context, spec *Spec, ckptDir string, journal io.Writer) 
 		Attempts: sres.Attempts, Retries: sres.Retries,
 		DegradedWindows: sres.DegradedWindows, FinalSlot: sres.FinalSlot,
 	}, nil
+}
+
+// runFuzzJob executes a conformance fuzz campaign. It is not
+// checkpointed — the campaign is deterministic in its seed, so a
+// respawned worker just reruns it. Minimized reproducers land in
+// <dir>/findings; the campaign event trail goes to the worker journal
+// in the shared supervisor entry format.
+func runFuzzJob(ctx context.Context, spec *Spec, dir string, journal io.Writer) (*Result, error) {
+	fs := spec.Fuzz
+	run := conformance.Config{MaxInsns: fs.MaxInsns}
+	for k := 0; k < fs.TimingSeeds; k++ {
+		run.TimingSeeds = append(run.TimingSeeds, fs.Seed*1_000_003+int64(k)+1)
+	}
+	if spec.Inject != "" {
+		specs, err := faultinject.ParseList(spec.Inject)
+		if err != nil {
+			return nil, err
+		}
+		run.Instrument = func(m *core.Machine) { faultinject.New(specs...).Attach(m) }
+	}
+	var pool [][]byte
+	if seedDir, err := corpus.SeedDir(); err == nil {
+		if cases, err := corpus.Load(seedDir); err == nil {
+			for _, cs := range cases {
+				if code, err := cs.Code(); err == nil && len(code) > 0 {
+					pool = append(pool, code)
+				}
+			}
+		}
+	}
+	cres, err := conformance.RunCampaign(ctx, conformance.CampaignConfig{
+		Run: run, Seqs: fs.Seqs, Seed: fs.Seed, MaxUnits: fs.MaxUnits,
+		SeedPool: pool, Journal: supervisor.NewJournal(journal),
+		PromoteDir: filepath.Join(dir, "findings"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cres.Interrupted {
+		return nil, supervisor.ErrInterrupted
+	}
+	fr := &FuzzResult{
+		Seqs: cres.Seqs, SeqsPerSec: cres.SeqsPerSec, ShrinkMs: cres.ShrinkMs,
+		Findings: len(cres.Findings), Promoted: cres.Promoted,
+	}
+	for _, f := range cres.Findings {
+		fr.Kinds = append(fr.Kinds, f.Finding.Kind)
+	}
+	return &Result{Fuzz: fr}, nil
 }
 
 func readSpec(path string) (*Spec, error) {

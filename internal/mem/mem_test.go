@@ -47,7 +47,9 @@ func TestReadWriteSizes(t *testing.T) {
 	pm := NewPhysMem()
 	mfn := pm.AllocPage()
 	base := mfn << PageShift
-	for _, size := range []uint8{1, 2, 4, 8} {
+	// Odd sizes occur as the per-page halves of split page-crossing
+	// accesses; the in-page fast path must not drop them.
+	for _, size := range []uint8{1, 2, 3, 4, 5, 6, 7, 8} {
 		v := uint64(0x1122334455667788) & Mask(size)
 		if err := pm.Write(base+16, v, size); err != nil {
 			t.Fatal(err)
@@ -59,6 +61,20 @@ func TestReadWriteSizes(t *testing.T) {
 		if got != v {
 			t.Fatalf("size %d: got %#x, want %#x", size, got, v)
 		}
+	}
+	// An odd-sized write must not clobber bytes beyond its size.
+	if err := pm.Write(base+32, 0xFFFFFFFFFFFFFFFF, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Write(base+32, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pm.Read(base+32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xFF00000000000000 {
+		t.Fatalf("7-byte write: got %#x, want 0xFF00000000000000", got)
 	}
 }
 

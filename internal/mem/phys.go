@@ -112,9 +112,10 @@ func errBadPhys(pa uint64) error {
 	return fmt.Errorf("mem: access to unmapped physical address %#x (mfn %#x)", pa, pa>>PageShift)
 }
 
-// Read reads size bytes (1, 2, 4 or 8) at physical address pa,
+// Read reads size bytes (at most 8) at physical address pa,
 // zero-extended into a uint64. Accesses may cross page boundaries
-// (hardware handles unaligned access transparently on x86).
+// (hardware handles unaligned access transparently on x86), and odd
+// sizes occur as the per-page halves of split page-crossing accesses.
 func (pm *PhysMem) Read(pa uint64, size uint8) (uint64, error) {
 	off := pa & PageMask
 	if off+uint64(size) <= PageSize {
@@ -133,7 +134,7 @@ func (pm *PhysMem) Read(pa uint64, size uint8) (uint64, error) {
 			return binary.LittleEndian.Uint64(page[off:]), nil
 		}
 	}
-	// Page-crossing access: assemble byte by byte.
+	// Page-crossing or odd-sized access: assemble byte by byte.
 	var v uint64
 	for i := uint8(0); i < size; i++ {
 		page := pm.pages[(pa+uint64(i))>>PageShift]
@@ -162,6 +163,10 @@ func (pm *PhysMem) Write(pa uint64, v uint64, size uint8) error {
 			binary.LittleEndian.PutUint32(page[off:], uint32(v))
 		case 8:
 			binary.LittleEndian.PutUint64(page[off:], v)
+		default:
+			for i := uint8(0); i < size; i++ {
+				page[off+uint64(i)] = byte(v >> (8 * i))
+			}
 		}
 		return nil
 	}

@@ -314,6 +314,18 @@ func (c *Core) SetChecker(ck CommitChecker) {
 // (0 disables). On a violation Cycle returns a KindInvariant SimError.
 func (c *Core) SetAudit(n uint64) { c.auditEvery = n }
 
+// SeedTimingState deterministically perturbs timing-only
+// microarchitectural state (per-thread branch predictor tables) from
+// seed. Architectural results must be invariant under any seed — the
+// conformance fuzzer runs the same program under several seeds to
+// check exactly that — so only state whose influence is confined to
+// speculation and recovery may ever be touched here.
+func (c *Core) SeedTimingState(seed int64) {
+	for i, th := range c.threads {
+		th.pred.Scramble(seed + int64(i)*0x10001)
+	}
+}
+
 // decorate fills microarchitectural context (cycle, pipeline dump,
 // recent commits) into a SimError raised by a checker or auditor that
 // lacks access to the core's internals.

@@ -234,8 +234,24 @@ func (c *Core) executeLoad(th *thread, e *robEntry, ea uint64) (bool, uint64) {
 		}
 	}
 
-	// Interlocked load: acquire the line lock or replay.
+	// Interlocked load: acquire the line lock or replay. Acquisition
+	// is forced into program order per thread: a younger ld.acq that
+	// issued first could otherwise take a line an older ld.acq needs
+	// and then be unable to release it (release happens at commit,
+	// which the blocked older instruction gates) — two locked RMWs to
+	// the same line deadlock the thread. With in-order acquisition any
+	// held lock's owner has every older same-thread locked instruction
+	// already holding its own lock, so the owner can always drain to
+	// commit and release.
 	if u.Op == uops.OpLdAcq {
+		for _, idx := range th.ldq {
+			o := &th.rob[idx]
+			if o.valid && o.seq < e.seq && o.uop.Op == uops.OpLdAcq && !o.lockHeld {
+				e.earliest = c.now + 1
+				c.cLockReplays.Inc()
+				return false, 0
+			}
+		}
 		line := c.hier.L1D().LineAddr(e.pa)
 		if !c.interlock.Acquire(line, c.ID, th.id, e.seq) {
 			e.earliest = c.now + 1

@@ -69,9 +69,13 @@ var (
 // the oracle and auditor observe the machine without changing its
 // geometry or timing, so a checkpoint captured with them off must
 // restore with them on (and vice versa) — the triage path depends on
-// restoring a failing run's slots under a stripped config.
+// restoring a failing run's slots under a stripped config. TimingSeed
+// is excluded for the same reason: it perturbs only timing-state
+// warm-up (predictors are not checkpointed; restored cores are cold),
+// so it cannot change what a restored run computes.
 func ConfigHash(cfg core.Config) uint64 {
 	cfg.SelfCheck = selfcheck.Config{}
+	cfg.TimingSeed = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", cfg)
 	return h.Sum64()

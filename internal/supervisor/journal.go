@@ -49,6 +49,17 @@ const (
 	EventDrain       = "drain"        // daemon drain began / completed
 )
 
+// Conformance-fuzzing event names: campaigns (internal/conformance)
+// journal their lifecycle into the same stream, so a fuzz run — local,
+// or dispatched as a ptlserve job — is triaged with the same tooling.
+const (
+	EventFuzzStart   = "fuzz_start"   // campaign began (message = parameters)
+	EventFuzzFinding = "fuzz_finding" // engines disagreed on a sequence
+	EventFuzzShrink  = "fuzz_shrink"  // finding delta-minimized
+	EventFuzzPromote = "fuzz_promote" // reproducer written to the corpus (slot = path)
+	EventFuzzDone    = "fuzz_done"    // campaign finished (message = summary)
+)
+
 // Entry is one journal record. Fields are omitted when irrelevant to
 // the event.
 type Entry struct {

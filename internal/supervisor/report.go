@@ -37,6 +37,13 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		breakerOpens, adoptions, recoveries int
 		jobLines                            []string
 		elapsedMs                           int64
+
+		// Conformance fuzzing accounting.
+		fuzzStarted                bool
+		fuzzFindings, fuzzPromoted int
+		fuzzShrinks                int
+		fuzzFindingKinds           = map[string]int{}
+		fuzzLines                  []string
 	)
 	for _, e := range entries {
 		if e.Attempt > attempts {
@@ -111,6 +118,25 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			if e.Message == "complete" {
 				outcome = "service drained cleanly"
 			}
+
+		case EventFuzzStart:
+			fuzzStarted = true
+		case EventFuzzFinding:
+			fuzzFindings++
+			kind := e.Kind
+			if kind == "" {
+				kind = "error"
+			}
+			fuzzFindingKinds[kind]++
+			fuzzLines = append(fuzzLines, fmt.Sprintf("finding [%s] at insn %d: %s", kind, e.Insns, e.Message))
+		case EventFuzzShrink:
+			fuzzShrinks++
+			fuzzLines = append(fuzzLines, "shrink: "+e.Message)
+		case EventFuzzPromote:
+			fuzzPromoted++
+			fuzzLines = append(fuzzLines, "promoted "+e.Slot)
+		case EventFuzzDone:
+			outcome = "fuzz campaign done: " + e.Message
 		}
 	}
 
@@ -157,6 +183,25 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		}
 		fmt.Fprintln(w)
 		for _, line := range jobLines {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+	if fuzzStarted {
+		fmt.Fprintf(w, "  fuzz: %d finding(s)", fuzzFindings)
+		if len(fuzzFindingKinds) > 0 {
+			kinds := make([]string, 0, len(fuzzFindingKinds))
+			for k := range fuzzFindingKinds {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			parts := make([]string, 0, len(kinds))
+			for _, k := range kinds {
+				parts = append(parts, fmt.Sprintf("%s: %d", k, fuzzFindingKinds[k]))
+			}
+			fmt.Fprintf(w, " (%s)", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(w, ", %d shrunk, %d promoted\n", fuzzShrinks, fuzzPromoted)
+		for _, line := range fuzzLines {
 			fmt.Fprintf(w, "    %s\n", line)
 		}
 	}

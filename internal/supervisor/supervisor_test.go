@@ -472,3 +472,36 @@ func TestJournalSelfCheckRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// A journal from a conformance fuzz campaign renders a fuzz section:
+// finding counts by kind, shrink/promote lines, and the campaign
+// summary as the outcome.
+func TestReportFuzzSection(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Append(Entry{Event: EventFuzzStart, Message: "seqs=100 seed=0x2a"})
+	j.Append(Entry{Event: EventFuzzFinding, Kind: "divergence", Insns: 412,
+		Message: "store 0 mismatch"})
+	j.Append(Entry{Event: EventFuzzShrink, Message: "14 -> 2 units in 31 probes"})
+	j.Append(Entry{Event: EventFuzzPromote, Slot: "dsl-0000000000000007.json"})
+	j.Append(Entry{Event: EventFuzzDone,
+		Message: "100 seqs, 1 findings, 1 promoted"})
+	entries, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report strings.Builder
+	WriteReport(&report, entries, 0)
+	out := report.String()
+	for _, want := range []string{
+		"fuzz: 1 finding(s) (divergence: 1), 1 shrunk, 1 promoted",
+		"finding [divergence] at insn 412: store 0 mismatch",
+		"shrink: 14 -> 2 units in 31 probes",
+		"promoted dsl-0000000000000007.json",
+		"outcome: fuzz campaign done: 100 seqs, 1 findings, 1 promoted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Conformance fuzz soak: run a differential fuzz campaign through the
+# `ptlsim -fuzz` entry point — generate instruction sequences, execute
+# each under both engines with the lockstep commit oracle, shrink and
+# promote anything that diverges — then render the journal with ptlmon
+# and record campaign throughput. A healthy tree produces zero
+# findings; any finding fails the soak and leaves its minimized
+# reproducer (plus the journal) behind for triage.
+#
+# FUZZ_SEQS sets the sequence count (default 2000); FUZZ_SEED pins the
+# campaign stream (default 1); FUZZ_DATA is the output directory for
+# the journal, reproducers, and BENCH_conformance.json (default
+# fuzz-soak-data).
+set -eu
+
+seqs="${FUZZ_SEQS:-2000}"
+seed="${FUZZ_SEED:-1}"
+data="${FUZZ_DATA:-fuzz-soak-data}"
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+mkdir -p "$data"
+
+echo "== building ptlsim/ptlmon (fuzz seed $seed, $seqs sequences)"
+go build -o "$bin/ptlsim" ./cmd/ptlsim
+go build -o "$bin/ptlmon" ./cmd/ptlmon
+
+status=0
+"$bin/ptlsim" -fuzz -fuzz-seqs "$seqs" -fuzz-seed "$seed" \
+	-fuzz-promote "$data/findings" -fuzz-bench-out "$data/BENCH_conformance.json" \
+	-journal "$data/fuzz.jsonl" -o "$data/summary.txt" || status=$?
+
+cat "$data/summary.txt"
+"$bin/ptlmon" -journal "$data/fuzz.jsonl" | sed 's/^/   /'
+
+if [ "$status" -ne 0 ]; then
+	echo "fuzz-soak: FINDINGS (reproducers in $data/findings)"
+	exit "$status"
+fi
+echo "fuzz-soak: OK"
