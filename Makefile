@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak
+.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak fleet-soak bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,20 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBB$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/decode/ -run '^$$' -fuzz '^FuzzBuildBBPaged$$' -fuzztime $(FUZZTIME)
+
+# fleet-soak runs a ptlsweep campaign across three ptlserve daemons
+# with a SIGKILL and a chaosnet network partition mid-sweep, verifying
+# zero lost cells, zero duplicated verdicts, and bit-identical replica
+# FNVs (FLEET_JOBS/FLEET_SEED/FLEET_DATA tune size, reproducibility,
+# and the output directory; the acceptance campaign is FLEET_JOBS=1000).
+fleet-soak:
+	./scripts/fleet_soak.sh
+
+# bench-snapshot runs the paper-replication benchmark suite and appends
+# a dated entry to BENCH_core.json (BENCH_PATTERN/BENCH_COUNT/BENCH_OUT
+# tune selection, repetitions, and the output file).
+bench-snapshot:
+	./scripts/bench_snapshot.sh
 
 # fuzz-soak runs a differential conformance fuzz campaign: generated
 # instruction sequences dual-executed (reference interpreter vs OoO

@@ -1,0 +1,72 @@
+// Command chaosnet runs a fault-injecting TCP proxy in front of a
+// ptlserve daemon (or anything else speaking TCP), with an HTTP
+// control plane so soak scripts flip faults mid-run:
+//
+//	chaosnet -listen :8911 -target 127.0.0.1:8901 -control :8921
+//	curl -X POST :8921/faults -d '{"partition":true}'   # blackhole
+//	curl -X POST :8921/faults -d '{}'                   # heal
+//	curl :8921/stats
+//
+// Faults: added connect latency (+jitter), probabilistic connection
+// drops and mid-stream RSTs, full partition (bytes stall, peers'
+// deadlines fire), and slow-loris byte throttling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptlsim/internal/fleet/chaosnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "proxy listen address (required), e.g. 127.0.0.1:8911")
+		target  = flag.String("target", "", "upstream address (required), e.g. 127.0.0.1:8901")
+		control = flag.String("control", "", "HTTP control listen address (optional)")
+		seed    = flag.Int64("seed", 0, "fault probability seed (0 = time-based)")
+	)
+	flag.Parse()
+	if *listen == "" || *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosnet: -listen and -target are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+
+	proxy, err := chaosnet.New(*listen, *target, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "chaosnet: proxying %s -> %s\n", proxy.Addr(), *target)
+
+	if *control != "" {
+		srv := &http.Server{Addr: *control, Handler: proxy.ControlHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fatal(err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "chaosnet: control plane on %s\n", *control)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	stats := proxy.Stats()
+	proxy.Close()
+	fmt.Fprintf(os.Stderr, "chaosnet: %d conn(s), %d dropped, %d reset, %d stalled, %d/%d bytes in/out\n",
+		stats.Conns, stats.Dropped, stats.Resets, stats.Stalled, stats.BytesIn, stats.BytesOut)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaosnet:", err)
+	os.Exit(1)
+}

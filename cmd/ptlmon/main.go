@@ -12,6 +12,9 @@
 //	ptlmon -replay trace.bin     # re-run with injected trace events
 //	ptlmon -journal run.jsonl    # summarize a supervised run's journal
 //	ptlmon -inspect dir-or-ckpt  # triage checkpoint headers without restoring
+//	ptlmon -addr URL             # list a remote ptlserve daemon's jobs
+//	ptlmon -addr URL -job 0003   # show one remote job's status
+//	ptlmon -addr URL -version    # remote daemon build + schema identity
 package main
 
 import (
@@ -38,9 +41,20 @@ func main() {
 		journal = flag.String("journal", "", "summarize a supervisor run journal (JSONL) and exit")
 		tailN   = flag.Int("tail", 0, "with -journal: also print the last N events")
 		inspect = flag.String("inspect", "", "print a checkpoint file's header (or every *.ckpt in a directory) without restoring, and exit")
+		addr    = flag.String("addr", "", "ptlserve base URL: list its jobs (or use -job/-version) and exit")
+		jobID   = flag.String("job", "", "with -addr: show this job's status")
+		phase   = flag.String("phase", "", "with -addr: only list jobs in this phase (queued|running|done|failed)")
+		limit   = flag.Int("limit", 0, "with -addr: list at most N jobs (0 = all)")
+		version = flag.Bool("version", false, "with -addr: print the daemon's build and schema identity")
 	)
 	flag.Parse()
 
+	if *addr != "" {
+		if err := remoteMain(os.Stdout, *addr, *jobID, *phase, *limit, *version); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *journal != "" {
 		if err := reportJournal(os.Stdout, *journal, *tailN); err != nil {
 			fatal(err)

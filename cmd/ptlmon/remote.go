@@ -1,0 +1,89 @@
+// Remote-daemon mode: -addr points ptlmon at a ptlserve daemon (local
+// or across the network) and the monitor becomes an operator console,
+// going through the same retrying fleet client the campaign dispatcher
+// uses — so flaky links, 429 backpressure with Retry-After, and daemon
+// restarts are absorbed here exactly as they are in a sweep.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"ptlsim/internal/fleet"
+	"ptlsim/internal/jobd"
+)
+
+// remoteMain serves the -addr modes: list jobs (with -phase/-limit),
+// show one job (-job), or print the daemon's build identity (-version).
+func remoteMain(w io.Writer, addr, job, phase string, limit int, version bool) error {
+	client := fleet.NewClient(fleet.ClientConfig{Timeout: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if version {
+		v, err := client.Version(ctx, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: version %s go %s schema %016x", addr, v.Version, v.Go, v.SchemaHash)
+		if v.Modified {
+			fmt.Fprint(w, " (modified tree)")
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	if job != "" {
+		st, err := client.Job(ctx, addr, job)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+
+	jobs, err := client.Jobs(ctx, addr, phase, limit)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintf(w, "%s: no jobs", addr)
+		if phase != "" {
+			fmt.Fprintf(w, " in phase %s", phase)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tSTATE\tATTEMPTS\tELAPSED\tDETAIL")
+	for _, st := range jobs {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
+			st.ID, st.State, st.Attempts, elapsedCol(st), detailCol(st))
+	}
+	return tw.Flush()
+}
+
+func elapsedCol(st jobd.Status) string {
+	if st.ElapsedMs <= 0 {
+		return "-"
+	}
+	return (time.Duration(st.ElapsedMs) * time.Millisecond).Round(time.Millisecond).String()
+}
+
+func detailCol(st jobd.Status) string {
+	switch {
+	case st.State == jobd.StateDone && st.Result != nil:
+		return fmt.Sprintf("cycle %d, %d insns, fnv %016x",
+			st.Result.Cycles, st.Result.Insns, st.Result.ConsoleFNV)
+	case st.State == jobd.StateFailed:
+		return fmt.Sprintf("%s: %s", st.Kind, st.Error)
+	case st.State == jobd.StateRunning && st.PID != 0:
+		return fmt.Sprintf("pid %d", st.PID)
+	default:
+		return ""
+	}
+}

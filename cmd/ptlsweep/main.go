@@ -1,0 +1,141 @@
+// Command ptlsweep dispatches one simulation campaign across a fleet
+// of ptlserve daemons. It expands a campaign spec (a base job plus
+// grid axes: scales × cores × seeds × fault-specs × repeats) into
+// cells and drives them with per-cell leases and monotonic fencing
+// epochs: a node that stops answering loses its leases to surviving
+// nodes, and anything the superseded lease later produces is rejected
+// — both at collection here and at admission by the daemon (HTTP 409).
+// The whole sweep journals into the shared supervisor JSONL schema, so
+// `ptlmon -journal sweep.jsonl` renders a 1,000-job campaign with the
+// same machinery as a single supervised run.
+//
+// Examples:
+//
+//	ptlsweep -campaign sweep.json -nodes http://a:8901,http://b:8901
+//	ptlsweep -campaign sweep.json -nodes ... -journal sweep.jsonl -out report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptlsim/internal/fleet"
+	"ptlsim/internal/supervisor"
+)
+
+func main() {
+	var (
+		campaignPath = flag.String("campaign", "", "campaign spec JSON file (required)")
+		nodesFlag    = flag.String("nodes", "", "comma-separated ptlserve base URLs (required)")
+		journalPath  = flag.String("journal", "", "append campaign events to this JSONL journal")
+		outPath      = flag.String("out", "", "write the merged report JSON here")
+		lease        = flag.Duration("lease", 10*time.Second, "lease TTL without a successful poll before stealing")
+		poll         = flag.Duration("poll", 500*time.Millisecond, "dispatch loop tick interval")
+		inflight     = flag.Int("inflight", 32, "per-node concurrent lease cap")
+		epochs       = flag.Int("epochs", 8, "lease epochs per cell before it terminally fails")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		quiet        = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *campaignPath == "" || *nodesFlag == "" {
+		fmt.Fprintln(os.Stderr, "ptlsweep: -campaign and -nodes are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	campaign, err := fleet.LoadCampaign(*campaignPath)
+	if err != nil {
+		fatal(err)
+	}
+	var nodes []fleet.Node
+	for i, url := range strings.Split(*nodesFlag, ",") {
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		if url == "" {
+			continue
+		}
+		nodes = append(nodes, fleet.Node{Name: fmt.Sprintf("node%d", i+1), URL: url})
+	}
+
+	var journal *supervisor.Journal
+	if *journalPath != "" {
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		journal = supervisor.NewJournal(f)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ptlsweep: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	d, err := fleet.NewDispatcher(fleet.Config{
+		Nodes:        nodes,
+		LeaseTTL:     *lease,
+		PollInterval: *poll,
+		Inflight:     *inflight,
+		MaxEpochs:    *epochs,
+		Submit:       fleet.NewClient(fleet.ClientConfig{Timeout: *timeout, Seed: time.Now().UnixNano()}),
+		Poll:         fleet.NewClient(fleet.ClientConfig{Timeout: *timeout, Retries: -1}),
+		Journal:      journal,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := d.Run(ctx, campaign)
+	if report != nil {
+		if *outPath != "" {
+			if werr := writeReport(*outPath, report); werr != nil {
+				fatal(werr)
+			}
+		}
+		printSummary(report)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if report.Failed > 0 || len(report.Mismatches) > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, r *fleet.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func printSummary(r *fleet.Report) {
+	fmt.Printf("campaign %s: %d/%d cell(s) done, %d failed in %s\n",
+		r.Campaign, r.Done, r.Cells, r.Failed,
+		(time.Duration(r.ElapsedMs) * time.Millisecond).Round(time.Millisecond))
+	fmt.Printf("  leases: %d granted, %d stolen, %d fenced, %d abandoned; %d node-down event(s)\n",
+		r.Leases, r.Steals, r.Fences, r.Abandoned, r.NodesDown)
+	if len(r.Mismatches) > 0 {
+		fmt.Printf("  DETERMINISM VIOLATIONS (%d):\n", len(r.Mismatches))
+		for _, m := range r.Mismatches {
+			fmt.Printf("    %s\n", m)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptlsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ptlsim/internal/jobd"
+)
+
+// Campaign is one sweep specification: a base job spec plus axes that
+// multiply into a grid. Empty axes contribute a single point taken
+// from the base, so the degenerate campaign is one cell. Repeats adds
+// replica cells per grid point; replicas share a jobd.ConfigKey, and
+// the dispatcher verifies at finalize that every replica of a point
+// produced a bit-identical console FNV — determinism is checked by the
+// sweep itself, not by a separate rerun.
+type Campaign struct {
+	Name string    `json:"name"`
+	Base jobd.Spec `json:"base"`
+
+	// Grid axes (cross product, applied over Base).
+	Scales  []string `json:"scales,omitempty"`  // workload scale
+	Cores   []string `json:"cores,omitempty"`   // machine model
+	Seeds   []int64  `json:"seeds,omitempty"`   // corpus seed
+	Injects []string `json:"injects,omitempty"` // fault-injection spec ("" = none)
+
+	Repeats int `json:"repeats,omitempty"` // replicas per point (default 1)
+}
+
+// Cell is one grid point replica: the unit of lease, dispatch and
+// verdict. ID is the cell's stable identity within the campaign (used
+// in journal entries and fencing keys); Label is the human-readable
+// axis assignment.
+type Cell struct {
+	ID    string
+	Label string
+	Spec  jobd.Spec // fully resolved; campaign/epoch stamping happens at submit
+}
+
+// LoadCampaign reads a campaign spec from a JSON file.
+func LoadCampaign(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("fleet: campaign %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// Grid expands the campaign into its cells, validating every resolved
+// spec so a bad axis value fails the whole campaign up front instead
+// of surfacing as scattered 422s mid-sweep.
+func (c *Campaign) Grid() ([]Cell, error) {
+	if c.Name == "" {
+		return nil, fmt.Errorf("fleet: campaign needs a name (it namespaces the fencing keys)")
+	}
+	scales := orBase(c.Scales, c.Base.Scale)
+	cores := orBase(c.Cores, c.Base.Core)
+	seeds := c.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{c.Base.Seed}
+	}
+	injects := orBase(c.Injects, c.Base.Inject)
+	repeats := c.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+
+	var cells []Cell
+	idx := 0
+	for _, sc := range scales {
+		for _, co := range cores {
+			for _, seed := range seeds {
+				for inj, spec := range injects {
+					for r := 0; r < repeats; r++ {
+						s := c.Base
+						s.Scale, s.Core, s.Seed, s.Inject = sc, co, seed, spec
+						if err := s.Validate(); err != nil {
+							return nil, fmt.Errorf("fleet: cell scale=%s core=%s seed=%d inject=%q: %w",
+								sc, co, seed, spec, err)
+						}
+						cells = append(cells, Cell{
+							ID: fmt.Sprintf("%05d", idx),
+							Label: fmt.Sprintf("scale=%s core=%s seed=%d inject=%d rep=%d",
+								orDefault(sc), orDefault(co), seed, inj, r),
+							Spec: s,
+						})
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func orBase(axis []string, base string) []string {
+	if len(axis) == 0 {
+		return []string{base}
+	}
+	return axis
+}
+
+func orDefault(s string) string {
+	if s == "" {
+		return "(default)"
+	}
+	return s
+}

@@ -1,0 +1,311 @@
+// Package chaosnet is a fault-injecting TCP proxy for exercising the
+// fleet dispatcher's network-failure handling without touching kernel
+// packet filters: it forwards byte streams between a listen address
+// and a target, and injects the failure modes distributed dispatch
+// actually meets — added latency, refused connections, mid-stream
+// resets, full partitions (a blackhole that stalls bytes and lets the
+// peer's deadline fire, which is what a real partition feels like —
+// not a polite RST), and slow-loris throttling. Faults are swappable
+// at runtime, so a test or soak script flips a partition on and off
+// around a live daemon.
+package chaosnet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is the active fault set. The zero value is a transparent
+// proxy. Probabilities are per new connection.
+type Faults struct {
+	LatencyMs int     `json:"latency_ms,omitempty"` // connect delay before dialing the target
+	JitterMs  int     `json:"jitter_ms,omitempty"`  // extra random connect delay in [0, JitterMs)
+	DropProb  float64 `json:"drop_prob,omitempty"`  // close new connections immediately
+	ResetProb float64 `json:"reset_prob,omitempty"` // RST the connection mid-stream (SO_LINGER 0)
+	Partition bool    `json:"partition,omitempty"`  // blackhole: stall all forwarding both ways
+	// ThrottleBps caps per-direction forwarding to N bytes/sec
+	// (slow-loris bodies: the connection works, agonizingly).
+	ThrottleBps int `json:"throttle_bps,omitempty"`
+}
+
+// Stats counts what the proxy did, for test and soak assertions.
+type Stats struct {
+	Conns     int64 `json:"conns"`
+	Dropped   int64 `json:"dropped"`
+	Resets    int64 `json:"resets"`
+	Stalled   int64 `json:"stalled"` // connections that hit a partition window
+	BytesIn   int64 `json:"bytes_in"`
+	BytesOut  int64 `json:"bytes_out"`
+	DialFails int64 `json:"dial_fails"`
+}
+
+// Proxy forwards ListenAddr → Target with the current Faults applied.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+
+	conns    int64
+	dropped  int64
+	resets   int64
+	stalled  int64
+	bytesIn  int64
+	bytesOut int64
+	dialFail int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy listening on listen (e.g. "127.0.0.1:0"),
+// forwarding to target. seed fixes the fault-probability stream for
+// reproducible tests.
+func New(listen, target string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaosnet: listen %s: %w", listen, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewSource(seed)),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address (useful with ":0").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults atomically replaces the active fault set. In-flight
+// connections see the change on their next forwarded chunk (so
+// flipping Partition on stalls live streams, and flipping it off
+// releases any that survived their peer's deadline).
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// GetFaults returns the active fault set.
+func (p *Proxy) GetFaults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Stats snapshots the counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:     atomic.LoadInt64(&p.conns),
+		Dropped:   atomic.LoadInt64(&p.dropped),
+		Resets:    atomic.LoadInt64(&p.resets),
+		Stalled:   atomic.LoadInt64(&p.stalled),
+		BytesIn:   atomic.LoadInt64(&p.bytesIn),
+		BytesOut:  atomic.LoadInt64(&p.bytesOut),
+		DialFails: atomic.LoadInt64(&p.dialFail),
+	}
+}
+
+// Close stops accepting and tears down every forwarded connection.
+func (p *Proxy) Close() error {
+	p.cancel()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+func (p *Proxy) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64() < prob
+}
+
+func (p *Proxy) jitter(ms int) int {
+	if ms <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(ms)
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	atomic.AddInt64(&p.conns, 1)
+	f := p.GetFaults()
+
+	if p.roll(f.DropProb) {
+		atomic.AddInt64(&p.dropped, 1)
+		client.Close()
+		return
+	}
+	if delay := time.Duration(f.LatencyMs+p.jitter(f.JitterMs)) * time.Millisecond; delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-p.ctx.Done():
+			client.Close()
+			return
+		}
+	}
+	// Note the partition check lives in the pipes, not here: a
+	// partitioned proxy still accepts and dials (SYN handshakes often
+	// survive real partitions at the edge) — it just forwards nothing,
+	// so the client's own context deadline is what ends the attempt.
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		atomic.AddInt64(&p.dialFail, 1)
+		client.Close()
+		return
+	}
+
+	reset := p.roll(f.ResetProb)
+	done := make(chan struct{}, 2)
+	p.wg.Add(2)
+	go p.pipe(client, upstream, &p.bytesIn, reset, done)  // client → target
+	go p.pipe(upstream, client, &p.bytesOut, false, done) // target → client
+
+	select {
+	case <-done:
+	case <-p.ctx.Done():
+	}
+	client.Close()
+	upstream.Close()
+	<-done
+}
+
+// pipe forwards src → dst in small chunks, consulting the live fault
+// set between chunks: a partition stalls the loop (bytes stop, the
+// connection does not), a throttle paces it, and a reset flag tears
+// the connection down with SO_LINGER 0 after the first chunk so the
+// peer sees a mid-stream RST rather than a clean FIN.
+func (p *Proxy) pipe(src, dst net.Conn, counter *int64, reset bool, done chan<- struct{}) {
+	defer p.wg.Done()
+	defer func() { done <- struct{}{} }()
+	buf := make([]byte, 4096)
+	stalledCounted := false
+	for {
+		f := p.GetFaults()
+		if f.Partition {
+			if !stalledCounted {
+				atomic.AddInt64(&p.stalled, 1)
+				stalledCounted = true
+			}
+			select {
+			case <-time.After(20 * time.Millisecond):
+				continue
+			case <-p.ctx.Done():
+				return
+			}
+		}
+		limit := len(buf)
+		if f.ThrottleBps > 0 {
+			// Pace to the cap in 50ms slices; at least one byte per
+			// slice so tiny caps still creep forward (that is the loris).
+			limit = f.ThrottleBps / 20
+			if limit < 1 {
+				limit = 1
+			}
+			if limit > len(buf) {
+				limit = len(buf)
+			}
+		}
+		src.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, err := src.Read(buf[:limit])
+		if n > 0 {
+			atomic.AddInt64(counter, int64(n))
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			if reset {
+				p.rst(src)
+				p.rst(dst)
+				return
+			}
+			if f.ThrottleBps > 0 {
+				select {
+				case <-time.After(50 * time.Millisecond):
+				case <-p.ctx.Done():
+					return
+				}
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // deadline tick: re-check faults, keep reading
+			}
+			return
+		}
+	}
+}
+
+// rst closes a TCP connection with SO_LINGER 0, so the peer receives
+// a hard RST mid-stream instead of an orderly shutdown.
+func (p *Proxy) rst(c net.Conn) {
+	atomic.AddInt64(&p.resets, 1)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// ControlHandler exposes the proxy over HTTP for scripts:
+//
+//	GET  /faults  current fault set
+//	POST /faults  replace the fault set (JSON Faults body)
+//	GET  /stats   counters
+func (p *Proxy) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /faults", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.GetFaults())
+	})
+	mux.HandleFunc("POST /faults", func(w http.ResponseWriter, r *http.Request) {
+		var f Faults
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&f); err != nil {
+			http.Error(w, "bad faults: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		p.SetFaults(f)
+		writeJSON(w, f)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

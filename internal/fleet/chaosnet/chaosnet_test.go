@@ -1,0 +1,236 @@
+package chaosnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// proxyFor starts an HTTP echo-ish upstream and a proxy in front of
+// it, returning the proxy and a base URL that goes through it.
+func proxyFor(t *testing.T, handler http.Handler) (*Proxy, string) {
+	t.Helper()
+	upstream := httptest.NewServer(handler)
+	t.Cleanup(upstream.Close)
+	p, err := New("127.0.0.1:0", strings.TrimPrefix(upstream.URL, "http://"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, "http://" + p.Addr()
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "echo:%s", body)
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// TestTransparentProxy: with zero faults the proxy is invisible.
+func TestTransparentProxy(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	body, err := get(t, http.DefaultClient, url)
+	if err != nil || body != "echo:" {
+		t.Fatalf("body %q err %v", body, err)
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Dropped != 0 || st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestLatencyInjection: connect latency delays the exchange.
+func TestLatencyInjection(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	p.SetFaults(Faults{LatencyMs: 150})
+	start := time.Now()
+	if _, err := get(t, http.DefaultClient, url); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("request took %v, want ≥ 150ms", elapsed)
+	}
+}
+
+// TestConnectionDrop: DropProb 1 refuses every exchange.
+func TestConnectionDrop(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	p.SetFaults(Faults{DropProb: 1})
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := get(t, client, url); err == nil {
+		t.Fatal("dropped connection served a response")
+	}
+	if st := p.Stats(); st.Dropped == 0 {
+		t.Fatalf("stats %+v: no drop counted", st)
+	}
+}
+
+// TestMidStreamReset: ResetProb 1 tears the connection down with an
+// RST after the first forwarded chunk — the peer sees a hard error,
+// not a clean close.
+func TestMidStreamReset(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	p.SetFaults(Faults{ResetProb: 1})
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := get(t, client, url); err == nil {
+		t.Fatal("reset connection served a clean response")
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Fatalf("stats %+v: no reset counted", st)
+	}
+}
+
+// TestPartitionStallsAndHeals: a partition is a blackhole — requests
+// hang until the client deadline fires — and healing restores service
+// without restarting anything.
+func TestPartitionStallsAndHeals(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+
+	p.SetFaults(Faults{Partition: true})
+	client := &http.Client{Timeout: 300 * time.Millisecond}
+	start := time.Now()
+	_, err := get(t, client, url)
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("partitioned request failed fast (%v): got a polite error, want a stall", elapsed)
+	}
+	if st := p.Stats(); st.Stalled == 0 {
+		t.Fatalf("stats %+v: no stall counted", st)
+	}
+
+	p.SetFaults(Faults{})
+	body, err := get(t, http.DefaultClient, url)
+	if err != nil || body != "echo:" {
+		t.Fatalf("after heal: body %q err %v", body, err)
+	}
+}
+
+// TestThrottleSlowsTransfer: slow-loris pacing stretches a transfer
+// that would otherwise be instant, without corrupting it.
+func TestThrottleSlowsTransfer(t *testing.T) {
+	payload := strings.Repeat("x", 600)
+	p, url := proxyFor(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	p.SetFaults(Faults{ThrottleBps: 2000}) // 100 bytes per 50ms slice
+
+	start := time.Now()
+	body, err := get(t, http.DefaultClient, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(body, payload) {
+		t.Fatalf("throttled body corrupted (%d bytes)", len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("600B at 2000Bps took %v, want ≥ 200ms", elapsed)
+	}
+}
+
+// TestControlHandler: the HTTP control plane flips faults and reports
+// stats — the interface soak scripts drive partitions through.
+func TestControlHandler(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	ctl := httptest.NewServer(p.ControlHandler())
+	defer ctl.Close()
+
+	resp, err := http.Post(ctl.URL+"/faults", "application/json",
+		bytes.NewReader([]byte(`{"partition":true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !p.GetFaults().Partition {
+		t.Fatal("control POST did not take")
+	}
+
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if _, err := get(t, client, url); err == nil {
+		t.Fatal("partition set via control plane did not stall")
+	}
+
+	resp, err = http.Post(ctl.URL+"/faults", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := get(t, http.DefaultClient, url); err != nil {
+		t.Fatalf("after control heal: %v", err)
+	}
+
+	var st Stats
+	sresp, err := http.Get(ctl.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Conns == 0 || st.Stalled == 0 {
+		t.Fatalf("control stats %+v", st)
+	}
+
+	badResp, err := http.Post(ctl.URL+"/faults", "application/json",
+		bytes.NewReader([]byte(`{bad json`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad faults body: %d, want 422", badResp.StatusCode)
+	}
+}
+
+// TestCloseUnblocksEverything: Close during a partition tears down
+// stalled connections instead of hanging.
+func TestCloseUnblocksEverything(t *testing.T) {
+	p, url := proxyFor(t, okHandler())
+	p.SetFaults(Faults{Partition: true})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := get(t, &http.Client{}, url)
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a partitioned connection")
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("stalled request claims success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled client never unblocked")
+	}
+}

@@ -1,0 +1,319 @@
+// Package fleet is the multi-node campaign dispatcher behind
+// cmd/ptlsweep: it expands one campaign spec into a grid of simulation
+// jobs and drives the grid across N ptlserve daemons over the existing
+// HTTP job protocol. The fault model is the network, not the workload —
+// nodes die, partitions form and heal, requests hang — so dispatch is
+// built on per-cell leases with monotonic fencing epochs: a cell's
+// verdict is recorded only from the epoch that currently holds the
+// lease, a lease that cannot be renewed (the node stopped answering
+// polls) is stolen to a surviving node at a higher epoch, and anything
+// the superseded epoch later produces is rejected at collection. The
+// daemon enforces the same fence on admission (HTTP 409), so a
+// partitioned-then-healed dispatch path cannot re-admit a stale lease
+// either.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ptlsim/internal/jobd"
+)
+
+// ClientConfig tunes the retrying HTTP client. Zero values take the
+// defaults noted per field.
+type ClientConfig struct {
+	Timeout     time.Duration // per-request context deadline (default 5s)
+	Retries     int           // retry attempts after the first try (-1 = none, default 3)
+	BaseBackoff time.Duration // first retry delay (default 100ms)
+	MaxBackoff  time.Duration // backoff and Retry-After ceiling (default 5s)
+	Seed        int64         // jitter seed (0 = unjittered, for deterministic tests)
+}
+
+// Client is an HTTP client for talking to ptlserve daemons across an
+// unreliable network: every request carries a context deadline, and
+// retryable outcomes — transport errors, 5xx, 429 — are retried with
+// exponential backoff plus jitter, honoring the Retry-After header the
+// daemon computes from its measured queue drain rate (clamped to
+// MaxBackoff so a confused server cannot park the dispatcher). 4xx
+// responses other than 429 are never retried: in this protocol they are
+// verdicts (409 = fenced stale epoch), not weather.
+type Client struct {
+	cfg   ClientConfig
+	hc    *http.Client
+	sleep func(ctx context.Context, d time.Duration) error // injectable for tests
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client, applying ClientConfig defaults.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	c := &Client{
+		cfg:   cfg,
+		hc:    &http.Client{},
+		sleep: sleepCtx,
+	}
+	if cfg.Seed != 0 {
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return c
+}
+
+// HTTPError is a non-2xx response, preserving the status code so
+// callers can distinguish a fenced 409 from a missing 404.
+type HTTPError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.StatusCode, e.Message)
+}
+
+// StatusCode returns err's HTTP status code, or 0 for transport-level
+// errors (timeout, refused connection, reset) that never got a status.
+func StatusCode(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.StatusCode
+	}
+	return 0
+}
+
+// do runs one request with the retry policy. body is kept as bytes so
+// retries can resend it; idemKey (when non-empty) is sent as the
+// Idempotency-Key header, which is what makes retrying a POST /jobs
+// safe — an ambiguous first attempt that actually landed dedups to a
+// 200 with the original job instead of admitting a second one.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, idemKey string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(rctx, method, url, rd)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			// Terminal outcome (success or a 4xx verdict): hand the body
+			// to the caller; the deadline stays armed until they finish
+			// reading, released by the wrapped body's Close.
+			resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+
+		// Retryable: consume what we can and decide the delay.
+		var delay time.Duration
+		if err != nil {
+			lastErr = err
+		} else {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = &HTTPError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+			if ra := retryAfter(resp); ra > 0 {
+				delay = ra
+			}
+		}
+		cancel()
+		if attempt >= c.cfg.Retries {
+			return nil, fmt.Errorf("fleet: %s %s failed after %d attempt(s): %w",
+				method, url, attempt+1, lastErr)
+		}
+		if delay == 0 {
+			delay = c.backoff(attempt)
+		}
+		if delay > c.cfg.MaxBackoff {
+			delay = c.cfg.MaxBackoff
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, fmt.Errorf("fleet: %s %s: %w (last error: %v)", method, url, err, lastErr)
+		}
+	}
+}
+
+// backoff is the attempt's exponential delay with up to 50% additive
+// jitter, so a fleet of retrying cells does not resynchronize into
+// thundering herds against a recovering daemon.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	if c.rng != nil {
+		c.mu.Lock()
+		d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+		c.mu.Unlock()
+	}
+	return d
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// getJSON GETs url and decodes the JSON response into out (non-2xx
+// returns *HTTPError).
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, url, nil, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return readHTTPError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit POSTs a job spec to a daemon. It returns the admitted (or
+// deduplicated) job status and whether this was an Idempotency-Key
+// replay of an earlier admission. A fenced stale epoch surfaces as an
+// *HTTPError with StatusCode 409.
+func (c *Client) Submit(ctx context.Context, base string, spec jobd.Spec, idemKey string) (st jobd.Status, duplicate bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return jobd.Status{}, false, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, base+"/jobs", body, idemKey)
+	if err != nil {
+		return jobd.Status{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return jobd.Status{}, false, readHTTPError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode == http.StatusOK, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, base, id string) (jobd.Status, error) {
+	var st jobd.Status
+	err := c.getJSON(ctx, base+"/jobs/"+id, &st)
+	return st, err
+}
+
+// Jobs lists a daemon's jobs, optionally filtered by phase and bounded
+// by limit (0 = unbounded).
+func (c *Client) Jobs(ctx context.Context, base string, phase string, limit int) ([]jobd.Status, error) {
+	url := base + "/jobs"
+	q := make([]string, 0, 2)
+	if phase != "" {
+		q = append(q, "phase="+phase)
+	}
+	if limit > 0 {
+		q = append(q, "limit="+strconv.Itoa(limit))
+	}
+	if len(q) > 0 {
+		url += "?" + strings.Join(q, "&")
+	}
+	var out []jobd.Status
+	err := c.getJSON(ctx, url, &out)
+	return out, err
+}
+
+// Version fetches a daemon's build and protocol-schema identity.
+func (c *Client) Version(ctx context.Context, base string) (jobd.Version, error) {
+	var v jobd.Version
+	err := c.getJSON(ctx, base+"/version", &v)
+	return v, err
+}
+
+// Healthz probes daemon liveness.
+func (c *Client) Healthz(ctx context.Context, base string) error {
+	resp, err := c.do(ctx, http.MethodGet, base+"/healthz", nil, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	if resp.StatusCode/100 != 2 {
+		return &HTTPError{StatusCode: resp.StatusCode, Message: "unhealthy"}
+	}
+	return nil
+}
+
+func readHTTPError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	var decoded struct {
+		Error string `json:"error"`
+	}
+	text := strings.TrimSpace(string(msg))
+	if json.Unmarshal(msg, &decoded) == nil && decoded.Error != "" {
+		text = decoded.Error
+	}
+	return &HTTPError{StatusCode: resp.StatusCode, Message: text}
+}
+
+// cancelBody releases the request's deadline timer when the caller
+// finishes with the response body.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptlsim/internal/jobd"
+)
+
+// testClient returns a client whose sleeps are recorded instead of
+// slept, so retry pacing is asserted without wall-clock cost.
+func testClient(cfg ClientConfig) (*Client, *[]time.Duration) {
+	c := NewClient(cfg)
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+// TestRetriesTransientThenSucceeds: 5xx responses are retried with
+// exponential backoff until the daemon recovers.
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer srv.Close()
+
+	c, slept := testClient(ClientConfig{BaseBackoff: 10 * time.Millisecond})
+	if err := c.Healthz(context.Background(), srv.URL); err != nil {
+		t.Fatalf("healthz after recovery: %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("%d calls, want 3", got)
+	}
+	if len(*slept) != 2 || (*slept)[1] < (*slept)[0] {
+		t.Fatalf("backoff sleeps %v, want 2 increasing", *slept)
+	}
+}
+
+// TestHonorsRetryAfter: a 429's Retry-After header overrides the
+// exponential schedule — the daemon computed it from its real drain
+// rate, which beats guessing.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"0001","state":"queued","spec":{},"submitted_at":""}`))
+	}))
+	defer srv.Close()
+
+	c, slept := testClient(ClientConfig{BaseBackoff: 10 * time.Millisecond})
+	if _, _, err := c.Submit(context.Background(), srv.URL, jobd.Spec{}, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 3*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 3s", *slept)
+	}
+}
+
+// TestRetryAfterClamped: a hostile or confused Retry-After cannot park
+// the dispatcher past MaxBackoff.
+func TestRetryAfterClamped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c, slept := testClient(ClientConfig{Retries: 1, MaxBackoff: 200 * time.Millisecond})
+	if err := c.Healthz(context.Background(), srv.URL); err == nil {
+		t.Fatal("expected failure after retries")
+	}
+	if len(*slept) != 1 || (*slept)[0] != 200*time.Millisecond {
+		t.Fatalf("slept %v, want one clamped 200ms", *slept)
+	}
+}
+
+// TestNoRetryOnVerdicts: 4xx responses other than 429 are protocol
+// verdicts — a fenced 409 retried is exactly the bug fencing exists to
+// stop — so the client returns them immediately.
+func TestNoRetryOnVerdicts(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, `{"error":"jobd: stale lease epoch"}`, http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	c, slept := testClient(ClientConfig{})
+	_, _, err := c.Submit(context.Background(), srv.URL, jobd.Spec{}, "k")
+	if err == nil || StatusCode(err) != http.StatusConflict {
+		t.Fatalf("err %v, want 409", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("%d calls, want 1 (no retry)", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("slept %v, want none", *slept)
+	}
+}
+
+// TestTransportErrorsRetryThenFail: connection-level failures retry and
+// surface with StatusCode 0 — the ambiguous class the dispatcher must
+// treat as possibly-landed.
+func TestTransportErrorsRetryThenFail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close() // nothing listens here anymore
+
+	c, slept := testClient(ClientConfig{Retries: 2, BaseBackoff: time.Millisecond})
+	err := c.Healthz(context.Background(), url)
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if StatusCode(err) != 0 {
+		t.Fatalf("StatusCode(%v) = %d, want 0 (no HTTP status)", err, StatusCode(err))
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %v, want 2 retries", *slept)
+	}
+}
+
+// TestSubmitDedupDetected: a 200 on POST /jobs is the daemon replaying
+// an Idempotency-Key duplicate, and the client reports it as such.
+func TestSubmitDedupDetected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Idempotency-Key") != "camp/00001/1" {
+			t.Errorf("Idempotency-Key = %q", r.Header.Get("Idempotency-Key"))
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"id":"0007","state":"done","spec":{},"submitted_at":""}`))
+	}))
+	defer srv.Close()
+
+	c, _ := testClient(ClientConfig{})
+	st, dup, err := c.Submit(context.Background(), srv.URL, jobd.Spec{}, "camp/00001/1")
+	if err != nil || !dup || st.ID != "0007" {
+		t.Fatalf("st=%+v dup=%v err=%v", st, dup, err)
+	}
+}
+
+// TestJobsQuery: phase and limit land on the wire as query parameters.
+func TestJobsQuery(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.RawQuery; got != "phase=done&limit=5" {
+			t.Errorf("query = %q", got)
+		}
+		w.Write([]byte(`[{"id":"0001","state":"done","spec":{},"submitted_at":""}]`))
+	}))
+	defer srv.Close()
+
+	c, _ := testClient(ClientConfig{})
+	jobs, err := c.Jobs(context.Background(), srv.URL, "done", 5)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs=%v err=%v", jobs, err)
+	}
+}
+
+// TestRequestDeadline: a hung server cannot wedge the client — the
+// per-request context deadline fires.
+func TestRequestDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c, _ := testClient(ClientConfig{Timeout: 50 * time.Millisecond, Retries: -1})
+	start := time.Now()
+	err := c.Healthz(context.Background(), srv.URL)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v", elapsed)
+	}
+}

@@ -1,0 +1,737 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ptlsim/internal/jobd"
+	"ptlsim/internal/supervisor"
+)
+
+// Node names one ptlserve daemon in the fleet.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"` // base URL, e.g. http://127.0.0.1:8901
+}
+
+// Config tunes the dispatcher. Zero values take the defaults noted
+// per field.
+type Config struct {
+	Nodes []Node
+
+	LeaseTTL     time.Duration // lease expiry without a successful poll (default 10s)
+	PollInterval time.Duration // dispatch loop tick (default 500ms)
+	DownAfter    int           // consecutive health-check failures before node_down (default 3)
+	MaxEpochs    int           // lease epochs per cell before it terminally fails (default 8)
+	Inflight     int           // per-node concurrent lease cap (default 32)
+
+	Submit  *Client // submission client (full retry policy); default NewClient(ClientConfig{})
+	Poll    *Client // status/health client (short timeout, no retries); default 2s/no-retry
+	Journal *supervisor.Journal
+	Logf    func(format string, args ...any) // optional progress output
+}
+
+// Report is the merged campaign outcome: one verdict per cell plus the
+// robustness accounting the soak asserts on. The journal carries the
+// same history event-by-event in the shared supervisor schema, so
+// `ptlmon -journal` renders the sweep; the report is the structured
+// rollup for scripts.
+type Report struct {
+	Campaign  string `json:"campaign"`
+	Cells     int    `json:"cells"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	Leases    int    `json:"leases"`
+	Steals    int    `json:"steals"`
+	Fences    int    `json:"fences"`
+	NodesDown int    `json:"nodes_down"`
+	Abandoned int    `json:"abandoned"` // superseded leases never seen terminal
+	ElapsedMs int64  `json:"elapsed_ms"`
+
+	// Mismatches lists grid points whose replicas disagreed on console
+	// FNV — a determinism violation the sweep itself detects.
+	Mismatches []string  `json:"fnv_mismatches,omitempty"`
+	Verdicts   []Verdict `json:"verdicts"`
+}
+
+// Verdict is one cell's recorded outcome — by construction the verdict
+// of the lease-holding epoch; superseded epochs are fenced at
+// collection and never land here.
+type Verdict struct {
+	Cell       string     `json:"cell"`
+	Label      string     `json:"label"`
+	Node       string     `json:"node"`
+	Epoch      int64      `json:"epoch"`
+	Job        string     `json:"job,omitempty"`
+	State      jobd.State `json:"state"`
+	Kind       string     `json:"kind,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Cycles     uint64     `json:"cycles,omitempty"`
+	Insns      int64      `json:"insns,omitempty"`
+	ConsoleFNV uint64     `json:"console_fnv,omitempty"`
+	ConfigKey  uint64     `json:"config_key"`
+}
+
+// Dispatcher drives one campaign across the fleet. It is single-use:
+// NewDispatcher then Run once.
+type Dispatcher struct {
+	cfg     Config
+	journal *supervisor.Journal
+	nodes   []*nodeState
+	cells   []*cellRun
+	stales  []*staleLease
+	rep     Report
+}
+
+type nodeState struct {
+	Node
+	down        bool
+	consecFails int
+	// score is a decaying failure count used to prefer reliable nodes
+	// at assignment: +1 per failed request, ×0.95 per tick. A node that
+	// flaps keeps a high score long after its health checks recover.
+	score    float64
+	inflight int
+	version  jobd.Version
+}
+
+type cellState int
+
+const (
+	cellPending cellState = iota // waiting for a lease
+	cellLeased                   // submitted to a node under the current epoch
+	cellDone
+	cellFailed
+)
+
+// cellRun is one cell's dispatch state machine. epoch is the fencing
+// token: it only moves forward, and every reassignment bumps it, so
+// "current epoch" and "holds the lease" are the same statement.
+type cellRun struct {
+	cell   Cell
+	state  cellState
+	epoch  int64
+	node   *nodeState
+	jobID  string
+	expiry time.Time
+}
+
+// staleLease tracks a superseded epoch until it is seen terminal, so
+// its eventual output is explicitly fenced (journaled) rather than
+// silently racing the current lease. jobID may be unknown when the
+// granting submit was ambiguous (transport error after possibly
+// landing); such ghosts are resolved by re-posting the old epoch's
+// idempotency key — a dedup or fresh admission names the job, a 409
+// means the daemon's own fence already rejected it.
+type staleLease struct {
+	cellID   string
+	epoch    int64
+	node     *nodeState
+	jobID    string
+	idemKey  string
+	spec     jobd.Spec
+	resolved bool
+}
+
+// NewDispatcher validates the config and applies defaults.
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet: no nodes configured")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 8
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 32
+	}
+	if cfg.Submit == nil {
+		cfg.Submit = NewClient(ClientConfig{})
+	}
+	if cfg.Poll == nil {
+		cfg.Poll = NewClient(ClientConfig{Timeout: 2 * time.Second, Retries: -1})
+	}
+	d := &Dispatcher{cfg: cfg, journal: cfg.Journal}
+	for _, n := range cfg.Nodes {
+		d.nodes = append(d.nodes, &nodeState{Node: n})
+	}
+	return d, nil
+}
+
+func (d *Dispatcher) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Run dispatches the campaign to completion (every cell terminal) or
+// context cancellation, returning the merged report either way.
+func (d *Dispatcher) Run(ctx context.Context, c *Campaign) (*Report, error) {
+	cells, err := c.Grid()
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		d.cells = append(d.cells, &cellRun{cell: cells[i], epoch: 1})
+	}
+	d.rep.Campaign = c.Name
+	d.rep.Cells = len(cells)
+	start := time.Now()
+
+	if err := d.checkFleet(ctx); err != nil {
+		return nil, err
+	}
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventCampaignStart,
+		Message: fmt.Sprintf("%s: %d cell(s) across %d node(s)", c.Name, len(cells), len(d.nodes))})
+	d.logf("campaign %s: %d cell(s) across %d node(s)", c.Name, len(cells), len(d.nodes))
+
+	lastLog := time.Now()
+	for {
+		d.tick(ctx)
+		if d.terminalCount() == len(d.cells) {
+			break
+		}
+		if time.Since(lastLog) >= 2*time.Second {
+			d.logf("progress: %d/%d terminal, %d steal(s), %d fence(s), %d/%d node(s) up",
+				d.terminalCount(), len(d.cells), d.rep.Steals, d.rep.Fences,
+				d.upCount(), len(d.nodes))
+			lastLog = time.Now()
+		}
+		if err := sleepCtx(ctx, d.cfg.PollInterval); err != nil {
+			d.finalize(start)
+			return &d.rep, fmt.Errorf("fleet: campaign interrupted: %w", err)
+		}
+	}
+	// Settling window: every cell has its verdict, but superseded
+	// leases on reachable nodes may still be racing to completion.
+	// Give them a bounded number of ticks so their fence rejections
+	// land in the books instead of as "abandoned" — stales on dead
+	// nodes stay abandoned, which is all a dead node can promise.
+	for extra := 0; extra < 20 && d.hasLiveStales(); extra++ {
+		d.healthPass(ctx)
+		d.pollPass(ctx)
+		if sleepCtx(ctx, d.cfg.PollInterval) != nil {
+			break
+		}
+	}
+	d.finalize(start)
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventCampaignDone,
+		Message: fmt.Sprintf("%s: %d done, %d failed, %d steal(s), %d fence(s), %d abandoned, %d fnv mismatch(es)",
+			c.Name, d.rep.Done, d.rep.Failed, d.rep.Steals, d.rep.Fences,
+			d.rep.Abandoned, len(d.rep.Mismatches))})
+	return &d.rep, nil
+}
+
+// checkFleet refuses mixed-version fleets: every reachable node must
+// report the same protocol-schema hash, because a campaign's specs and
+// verdicts cross every node and silent field drift corrupts sweeps in
+// ways no later check catches. Unreachable nodes start marked down —
+// losing a node is survivable, lying about the schema is not.
+func (d *Dispatcher) checkFleet(ctx context.Context) error {
+	type res struct {
+		v   jobd.Version
+		err error
+	}
+	results := make([]res, len(d.nodes))
+	d.forEachNode(func(i int, n *nodeState) {
+		results[i].v, results[i].err = d.cfg.Poll.Version(ctx, n.URL)
+	})
+	var ref *jobd.Version
+	var refNode string
+	up := 0
+	for i, n := range d.nodes {
+		if results[i].err != nil {
+			n.down = true
+			n.consecFails = d.cfg.DownAfter
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventNodeDown,
+				Message: fmt.Sprintf("%s unreachable at campaign start: %v", n.Name, results[i].err)})
+			continue
+		}
+		up++
+		n.version = results[i].v
+		if ref == nil {
+			ref, refNode = &results[i].v, n.Name
+		} else if results[i].v.SchemaHash != ref.SchemaHash {
+			return fmt.Errorf("fleet: mixed-version fleet: %s schema %016x (%s) vs %s schema %016x (%s)",
+				refNode, ref.SchemaHash, ref.Version,
+				n.Name, results[i].v.SchemaHash, results[i].v.Version)
+		}
+	}
+	if up == 0 {
+		return fmt.Errorf("fleet: no reachable nodes at campaign start")
+	}
+	return nil
+}
+
+// tick runs one dispatch round: health, polls, lease expiry, then
+// assignment. Network I/O inside a phase is parallel across nodes and
+// cells with every request individually deadlined, so one wedged node
+// bounds — not serializes — the tick; all state mutation happens on
+// this goroutine after each phase joins.
+func (d *Dispatcher) tick(ctx context.Context) {
+	d.healthPass(ctx)
+	d.pollPass(ctx)
+	d.expiryPass()
+	d.assignPass(ctx)
+	for _, n := range d.nodes {
+		n.score *= 0.95
+	}
+}
+
+func (d *Dispatcher) healthPass(ctx context.Context) {
+	errs := make([]error, len(d.nodes))
+	d.forEachNode(func(i int, n *nodeState) {
+		errs[i] = d.cfg.Poll.Healthz(ctx, n.URL)
+	})
+	for i, n := range d.nodes {
+		if errs[i] == nil {
+			n.consecFails = 0
+			if n.down {
+				n.down = false
+				d.journal.Append(supervisor.Entry{Event: supervisor.EventNodeUp, Message: n.Name})
+				d.logf("node %s recovered", n.Name)
+			}
+			continue
+		}
+		n.consecFails++
+		n.score++
+		if !n.down && n.consecFails >= d.cfg.DownAfter {
+			n.down = true
+			d.rep.NodesDown++
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventNodeDown,
+				Message: fmt.Sprintf("%s: %d consecutive health failures: %v", n.Name, n.consecFails, errs[i])})
+			d.logf("node %s down (%v)", n.Name, errs[i])
+		}
+	}
+}
+
+// pollPass fetches the status of every leased cell and every tracked
+// superseded lease on reachable nodes. A successful poll renews the
+// cell's lease — renewal is the node proving it can still answer for
+// the job, which is exactly the property stealing keys off.
+func (d *Dispatcher) pollPass(ctx context.Context) {
+	type pollItem struct {
+		cr *cellRun
+		sl *staleLease
+		st jobd.Status
+		// ghost-probe outcomes (sl with unknown job)
+		dup bool
+		err error
+	}
+	var items []*pollItem
+	for _, cr := range d.cells {
+		if cr.state == cellLeased && !cr.node.down {
+			items = append(items, &pollItem{cr: cr})
+		}
+	}
+	for _, sl := range d.stales {
+		if !sl.resolved && !sl.node.down {
+			items = append(items, &pollItem{sl: sl})
+		}
+	}
+	forEach(len(items), func(i int) {
+		it := items[i]
+		switch {
+		case it.cr != nil:
+			it.st, it.err = d.cfg.Poll.Job(ctx, it.cr.node.URL, it.cr.jobID)
+		case it.sl.jobID != "":
+			it.st, it.err = d.cfg.Poll.Job(ctx, it.sl.node.URL, it.sl.jobID)
+		default:
+			// Ghost: resolve the ambiguous grant by re-posting the old
+			// epoch under its original idempotency key.
+			it.st, it.dup, it.err = d.cfg.Poll.Submit(ctx, it.sl.node.URL, it.sl.spec, it.sl.idemKey)
+		}
+	})
+	now := time.Now()
+	for _, it := range items {
+		switch {
+		case it.cr != nil:
+			d.applyCellPoll(it.cr, it.st, it.err, now)
+		case it.sl.jobID != "":
+			d.applyStalePoll(it.sl, it.st, it.err)
+		default:
+			d.applyGhostProbe(it.sl, it.st, it.err)
+		}
+	}
+}
+
+func (d *Dispatcher) applyCellPoll(cr *cellRun, st jobd.Status, err error, now time.Time) {
+	if cr.state != cellLeased {
+		return
+	}
+	if err != nil {
+		// No renewal; the lease keeps aging toward expiry.
+		cr.node.score++
+		return
+	}
+	cr.expiry = now.Add(d.cfg.LeaseTTL)
+	switch st.State {
+	case jobd.StateDone:
+		d.recordVerdict(cr, st)
+	case jobd.StateFailed:
+		d.recordVerdict(cr, st)
+	}
+}
+
+// recordVerdict is the single point where a cell becomes terminal with
+// an outcome — reachable only from the lease-holding epoch's poll, so
+// there is exactly one verdict per cell by construction.
+func (d *Dispatcher) recordVerdict(cr *cellRun, st jobd.Status) {
+	v := Verdict{
+		Cell:      cr.cell.ID,
+		Label:     cr.cell.Label,
+		Node:      cr.node.Name,
+		Epoch:     cr.epoch,
+		Job:       st.ID,
+		State:     st.State,
+		Kind:      st.Kind,
+		Error:     st.Error,
+		ConfigKey: cr.cell.Spec.ConfigKey(),
+	}
+	if st.Result != nil {
+		v.Cycles = st.Result.Cycles
+		v.Insns = st.Result.Insns
+		v.ConsoleFNV = st.Result.ConsoleFNV
+	}
+	d.rep.Verdicts = append(d.rep.Verdicts, v)
+	cr.node.inflight--
+	if st.State == jobd.StateDone {
+		cr.state = cellDone
+		d.rep.Done++
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventCellDone,
+			Job: cr.cell.ID, Attempt: int(cr.epoch), Cycle: v.Cycles, Insns: v.Insns,
+			Message: fmt.Sprintf("%s job %s fnv %016x", cr.node.Name, st.ID, v.ConsoleFNV)})
+	} else {
+		cr.state = cellFailed
+		d.rep.Failed++
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventCellFail,
+			Job: cr.cell.ID, Attempt: int(cr.epoch), Kind: st.Kind,
+			Message: fmt.Sprintf("%s job %s: %s", cr.node.Name, st.ID, st.Error)})
+	}
+}
+
+func (d *Dispatcher) applyStalePoll(sl *staleLease, st jobd.Status, err error) {
+	if err != nil || sl.resolved {
+		return
+	}
+	if st.State == jobd.StateDone || st.State == jobd.StateFailed {
+		sl.resolved = true
+		d.fence(sl, fmt.Sprintf("node %s job %s finished %s after lease was stolen; verdict discarded",
+			sl.node.Name, sl.jobID, st.State))
+	}
+}
+
+func (d *Dispatcher) applyGhostProbe(sl *staleLease, st jobd.Status, err error) {
+	if sl.resolved {
+		return
+	}
+	switch {
+	case err == nil:
+		// Either the ambiguous submit landed (dedup) or we just admitted
+		// it — superseded either way; now it has a name, track it to a
+		// terminal state like any other stale lease.
+		sl.jobID = st.ID
+	case StatusCode(err) == 409:
+		// The daemon's own epoch fence rejected the stale admission:
+		// defense in depth doing its job.
+		sl.resolved = true
+		d.fence(sl, fmt.Sprintf("node %s rejected stale re-admission: %v", sl.node.Name, err))
+	case StatusCode(err) != 0:
+		// A definite non-admission (422, drain, …): the ambiguous grant
+		// never landed and can never produce output. Nothing to fence.
+		sl.resolved = true
+	}
+}
+
+func (d *Dispatcher) fence(sl *staleLease, msg string) {
+	d.rep.Fences++
+	d.journal.Append(supervisor.Entry{Event: supervisor.EventFenceReject,
+		Job: sl.cellID, Attempt: int(sl.epoch), Message: msg})
+	d.logf("fenced: cell %s epoch %d: %s", sl.cellID, sl.epoch, msg)
+}
+
+// expiryPass steals leases that aged out: the holding node has not
+// successfully answered a poll for LeaseTTL (dead, partitioned, or
+// hopelessly slow), so the cell is re-leased at the next epoch. The
+// superseded epoch stays tracked for fencing. Stealing waits for a
+// live node to exist — burning the epoch budget while the whole fleet
+// is down would turn an outage into terminal cell failures.
+func (d *Dispatcher) expiryPass() {
+	if d.upCount() == 0 {
+		return
+	}
+	now := time.Now()
+	for _, cr := range d.cells {
+		if cr.state != cellLeased || now.Before(cr.expiry) {
+			continue
+		}
+		cr.node.inflight--
+		d.rep.Steals++
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventLeaseSteal,
+			Job: cr.cell.ID, Attempt: int(cr.epoch),
+			Message: fmt.Sprintf("node %s unresponsive for %s; re-leasing", cr.node.Name, d.cfg.LeaseTTL)})
+		d.logf("steal: cell %s epoch %d from %s", cr.cell.ID, cr.epoch, cr.node.Name)
+		d.stales = append(d.stales, &staleLease{
+			cellID: cr.cell.ID, epoch: cr.epoch, node: cr.node,
+			jobID: cr.jobID, idemKey: d.idemKey(cr, cr.epoch), spec: d.stamped(cr, cr.epoch),
+		})
+		cr.node, cr.jobID = nil, ""
+		d.bumpEpoch(cr)
+	}
+}
+
+// bumpEpoch advances a cell to its next lease epoch, terminally
+// failing it when the budget is exhausted (a cell that cannot survive
+// MaxEpochs reassignments is burying the campaign, not advancing it).
+func (d *Dispatcher) bumpEpoch(cr *cellRun) {
+	cr.epoch++
+	if int(cr.epoch) > d.cfg.MaxEpochs {
+		cr.state = cellFailed
+		d.rep.Failed++
+		d.rep.Verdicts = append(d.rep.Verdicts, Verdict{
+			Cell: cr.cell.ID, Label: cr.cell.Label, Epoch: cr.epoch,
+			State: jobd.StateFailed, Kind: "lease-budget",
+			Error:     fmt.Sprintf("exhausted %d lease epochs", d.cfg.MaxEpochs),
+			ConfigKey: cr.cell.Spec.ConfigKey(),
+		})
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventCellFail,
+			Job: cr.cell.ID, Attempt: int(cr.epoch), Kind: "lease-budget",
+			Message: fmt.Sprintf("exhausted %d lease epochs", d.cfg.MaxEpochs)})
+		return
+	}
+	cr.state = cellPending
+}
+
+// assignPass leases pending cells to live nodes, preferring the node
+// with the fewest jobs in flight and, among equals, the lowest failure
+// score — graceful degradation falls out: a down node gets nothing,
+// a flaky node gets less, a dead fleet gets a quiet tick.
+func (d *Dispatcher) assignPass(ctx context.Context) {
+	type sub struct {
+		cr  *cellRun
+		n   *nodeState
+		st  jobd.Status
+		err error
+	}
+	var subs []*sub
+	for _, cr := range d.cells {
+		if cr.state != cellPending {
+			continue
+		}
+		n := d.pickNode()
+		if n == nil {
+			break // no live node with capacity; try next tick
+		}
+		// Account the lease before the request flies so this pass's own
+		// placement decisions see it.
+		n.inflight++
+		cr.state, cr.node = cellLeased, n
+		cr.expiry = time.Now().Add(d.cfg.LeaseTTL)
+		subs = append(subs, &sub{cr: cr, n: n})
+	}
+	forEach(len(subs), func(i int) {
+		s := subs[i]
+		spec := d.stamped(s.cr, s.cr.epoch)
+		s.st, _, s.err = d.cfg.Submit.Submit(ctx, s.n.URL, spec, d.idemKey(s.cr, s.cr.epoch))
+	})
+	for _, s := range subs {
+		if s.err == nil {
+			s.cr.jobID = s.st.ID
+			s.cr.expiry = time.Now().Add(d.cfg.LeaseTTL)
+			d.rep.Leases++
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventLeaseGrant,
+				Job: s.cr.cell.ID, Attempt: int(s.cr.epoch),
+				Message: fmt.Sprintf("%s job %s", s.n.Name, s.st.ID)})
+			continue
+		}
+		// The lease never took; undo it.
+		s.n.inflight--
+		s.n.score++
+		s.cr.node, s.cr.jobID = nil, ""
+		switch code := StatusCode(s.err); {
+		case code == 409:
+			// Fenced: the daemon has seen a higher epoch for this cell
+			// than we believe current (e.g. a prior dispatcher run).
+			// Advance past it rather than retrying into the fence.
+			d.fence(&staleLease{cellID: s.cr.cell.ID, epoch: s.cr.epoch, node: s.n},
+				fmt.Sprintf("node %s fenced our submission: %v", s.n.Name, s.err))
+			d.bumpEpoch(s.cr)
+		case code != 0:
+			// Definite rejection (422, 429-exhausted, drain): not
+			// admitted, safe to retry the same epoch later.
+			s.cr.state = cellPending
+		default:
+			// Transport-level failure: the submit may or may not have
+			// landed. Track the possibly-live epoch as a ghost stale
+			// lease and move on at the next epoch — never run two nodes
+			// under the same epoch.
+			d.stales = append(d.stales, &staleLease{
+				cellID: s.cr.cell.ID, epoch: s.cr.epoch, node: s.n,
+				idemKey: d.idemKey(s.cr, s.cr.epoch), spec: d.stamped(s.cr, s.cr.epoch),
+			})
+			d.bumpEpoch(s.cr)
+		}
+	}
+}
+
+// pickNode returns the live node with spare capacity that has the
+// fewest in-flight leases (ties broken by failure score), or nil.
+func (d *Dispatcher) pickNode() *nodeState {
+	var best *nodeState
+	for _, n := range d.nodes {
+		if n.down || n.inflight >= d.cfg.Inflight {
+			continue
+		}
+		if best == nil || n.inflight < best.inflight ||
+			(n.inflight == best.inflight && n.score < best.score) {
+			best = n
+		}
+	}
+	return best
+}
+
+// stamped resolves a cell's spec for submission under an epoch: the
+// campaign name, cell ID and fencing token ride in the spec itself.
+func (d *Dispatcher) stamped(cr *cellRun, epoch int64) jobd.Spec {
+	s := cr.cell.Spec
+	s.Campaign, s.Cell, s.Epoch = d.rep.Campaign, cr.cell.ID, epoch
+	return s
+}
+
+func (d *Dispatcher) idemKey(cr *cellRun, epoch int64) string {
+	return fmt.Sprintf("%s/%s/%d", d.rep.Campaign, cr.cell.ID, epoch)
+}
+
+// finalize closes the books: superseded leases never seen terminal are
+// counted as abandoned (they can no longer produce a verdict — nothing
+// collects them — but they may still be burning a node), and replica
+// groups are checked for bit-identical console output.
+func (d *Dispatcher) finalize(start time.Time) {
+	for _, sl := range d.stales {
+		if !sl.resolved {
+			d.rep.Abandoned++
+		}
+	}
+	d.rep.ElapsedMs = time.Since(start).Milliseconds()
+	d.checkReplicas()
+	sort.Slice(d.rep.Verdicts, func(i, j int) bool {
+		return d.rep.Verdicts[i].Cell < d.rep.Verdicts[j].Cell
+	})
+}
+
+// checkReplicas verifies determinism across the sweep: every done
+// verdict sharing a workload ConfigKey (grid replicas) must report the
+// same console FNV. Divergence is journaled as a failure — it means
+// two nodes simulated the same workload to different outputs, which is
+// exactly the corruption fencing and leases exist to keep out of the
+// books.
+func (d *Dispatcher) checkReplicas() {
+	type group struct {
+		fnv   uint64
+		cells []string
+		mixed bool
+	}
+	groups := map[uint64]*group{}
+	for i := range d.rep.Verdicts {
+		v := &d.rep.Verdicts[i]
+		if v.State != jobd.StateDone {
+			continue
+		}
+		g := groups[v.ConfigKey]
+		if g == nil {
+			groups[v.ConfigKey] = &group{fnv: v.ConsoleFNV, cells: []string{v.Cell}}
+			continue
+		}
+		g.cells = append(g.cells, v.Cell)
+		if v.ConsoleFNV != g.fnv {
+			g.mixed = true
+		}
+	}
+	keys := make([]uint64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		g := groups[k]
+		if !g.mixed {
+			continue
+		}
+		msg := fmt.Sprintf("config %016x: replicas %v disagree on console fnv", k, g.cells)
+		d.rep.Mismatches = append(d.rep.Mismatches, msg)
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventFailure,
+			Kind: "fnv-mismatch", Message: msg})
+	}
+}
+
+func (d *Dispatcher) terminalCount() int {
+	n := 0
+	for _, cr := range d.cells {
+		if cr.state == cellDone || cr.state == cellFailed {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Dispatcher) hasLiveStales() bool {
+	for _, sl := range d.stales {
+		if !sl.resolved && !sl.node.down {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Dispatcher) upCount() int {
+	n := 0
+	for _, node := range d.nodes {
+		if !node.down {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Dispatcher) forEachNode(fn func(i int, n *nodeState)) {
+	var wg sync.WaitGroup
+	for i, n := range d.nodes {
+		wg.Add(1)
+		go func(i int, n *nodeState) {
+			defer wg.Done()
+			fn(i, n)
+		}(i, n)
+	}
+	wg.Wait()
+}
+
+// forEach runs fn(0..n-1) with bounded concurrency and joins.
+func forEach(n int, fn func(i int)) {
+	const workers = 16
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}

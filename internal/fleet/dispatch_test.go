@@ -1,0 +1,482 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptlsim/internal/jobd"
+	"ptlsim/internal/supervisor"
+)
+
+// fakeNode is an in-memory stand-in for a ptlserve daemon: it admits
+// jobs (with idempotency dedup and the epoch fence), "runs" them on a
+// timer, and can be frozen — handlers hang until the client's deadline
+// fires, while admitted jobs keep completing underneath, which is
+// exactly what a partitioned-but-alive daemon looks like.
+type fakeNode struct {
+	mu        sync.Mutex
+	nextID    int
+	jobs      map[string]*jobd.Status
+	idem      map[string]string
+	cellEpoch map[string]int64
+
+	frozen     atomic.Bool
+	abortLeft  atomic.Int32 // kill the connection for this many POST /jobs
+	schemaHash uint64
+	runFor     time.Duration
+	fnvFn      func(spec jobd.Spec) uint64
+	srv        *httptest.Server
+}
+
+func newFakeNode(runFor time.Duration) *fakeNode {
+	n := &fakeNode{
+		jobs:       map[string]*jobd.Status{},
+		idem:       map[string]string{},
+		cellEpoch:  map[string]int64{},
+		schemaHash: 0xfeedface,
+		runFor:     runFor,
+		fnvFn:      func(spec jobd.Spec) uint64 { return spec.ConfigKey() },
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", n.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", n.handleJob)
+	mux.HandleFunc("GET /healthz", n.handleHealthz)
+	mux.HandleFunc("GET /version", n.handleVersion)
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.frozen.Load() {
+			// Stall like a partition: the client's deadline is what ends
+			// the exchange. The 2s cap only unsticks handlers whose
+			// context cancellation was never delivered, so Server.Close
+			// cannot deadlock at test teardown.
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+			http.Error(w, "frozen", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	return n
+}
+
+func (n *fakeNode) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if n.abortLeft.Load() > 0 && n.abortLeft.Add(-1) >= 0 {
+		// Kill the exchange before any state changes: from the
+		// dispatcher's side this submit is ambiguous — it cannot know
+		// whether the grant landed. (net/http auto-retries aborted
+		// requests bearing an Idempotency-Key when the connection was
+		// reused, so more than one abort may be consumed per submit.)
+		panic(http.ErrAbortHandler)
+	}
+	var spec jobd.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	n.mu.Lock()
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		if id, ok := n.idem[key]; ok {
+			st := *n.jobs[id]
+			n.mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+	}
+	if ck := spec.CellKey(); ck != "" && spec.Epoch < n.cellEpoch[ck] {
+		n.mu.Unlock()
+		http.Error(w, fmt.Sprintf(`{"error":"stale epoch %d"}`, spec.Epoch), http.StatusConflict)
+		return
+	}
+	if ck := spec.CellKey(); ck != "" && spec.Epoch > n.cellEpoch[ck] {
+		n.cellEpoch[ck] = spec.Epoch
+	}
+	n.nextID++
+	id := fmt.Sprintf("%04d", n.nextID)
+	st := &jobd.Status{ID: id, State: jobd.StateRunning, Spec: spec}
+	n.jobs[id] = st
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		n.idem[key] = id
+	}
+	cp := *st
+	n.mu.Unlock()
+
+	time.AfterFunc(n.runFor, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		st.State = jobd.StateDone
+		st.Result = &jobd.Result{Cycles: 1000, Insns: 500, ConsoleFNV: n.fnvFn(spec)}
+	})
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(cp)
+}
+
+func (n *fakeNode) handleJob(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	st, ok := n.jobs[r.PathValue("id")]
+	var cp jobd.Status
+	if ok {
+		cp = *st
+	}
+	n.mu.Unlock()
+	if !ok {
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		return
+	}
+	json.NewEncoder(w).Encode(cp)
+}
+
+func (n *fakeNode) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (n *fakeNode) handleVersion(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(jobd.Version{Version: "test", Go: "test", SchemaHash: n.schemaHash})
+}
+
+// testCampaign is a tiny grid: len(seeds) points × repeats replicas.
+func testCampaign(seeds []int64, repeats int) *Campaign {
+	return &Campaign{
+		Name:    "camp",
+		Base:    jobd.Spec{Scale: "small"},
+		Seeds:   seeds,
+		Repeats: repeats,
+	}
+}
+
+// fastConfig is a dispatcher tuned for test wall clock: millisecond
+// ticks, sub-second leases, single-try submits with tight deadlines.
+func fastConfig(journal *supervisor.Journal, nodes ...*fakeNode) Config {
+	cfg := Config{
+		LeaseTTL:     500 * time.Millisecond,
+		PollInterval: 20 * time.Millisecond,
+		DownAfter:    2,
+		Journal:      journal,
+		Submit:       NewClient(ClientConfig{Timeout: 250 * time.Millisecond, Retries: -1, BaseBackoff: 10 * time.Millisecond}),
+		Poll:         NewClient(ClientConfig{Timeout: 250 * time.Millisecond, Retries: -1}),
+	}
+	for i, n := range nodes {
+		cfg.Nodes = append(cfg.Nodes, Node{Name: fmt.Sprintf("node%d", i+1), URL: n.srv.URL})
+	}
+	return cfg
+}
+
+func journalEvents(t *testing.T, buf *bytes.Buffer) map[string]int {
+	t.Helper()
+	entries, err := supervisor.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range entries {
+		counts[e.Event]++
+	}
+	return counts
+}
+
+// verdictsPerCell asserts the fencing invariant the whole design
+// exists for: exactly one recorded verdict per cell, ever.
+func verdictsPerCell(t *testing.T, r *Report) map[string]Verdict {
+	t.Helper()
+	out := map[string]Verdict{}
+	for _, v := range r.Verdicts {
+		if _, dup := out[v.Cell]; dup {
+			t.Fatalf("cell %s has more than one verdict", v.Cell)
+		}
+		out[v.Cell] = v
+	}
+	return out
+}
+
+// TestCampaignHappyPath: a healthy fleet completes the whole grid with
+// one lease per cell, no steals, no fences, and replicas agreeing.
+func TestCampaignHappyPath(t *testing.T) {
+	a, b := newFakeNode(30*time.Millisecond), newFakeNode(30*time.Millisecond)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	var buf bytes.Buffer
+	d, err := NewDispatcher(fastConfig(supervisor.NewJournal(&buf), a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(t.Context(), testCampaign([]int64{1, 2, 3}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 6 || rep.Done != 6 || rep.Failed != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Steals != 0 || rep.Fences != 0 || len(rep.Mismatches) != 0 {
+		t.Fatalf("healthy fleet saw chaos accounting: %+v", rep)
+	}
+	verdicts := verdictsPerCell(t, rep)
+	nodesUsed := map[string]bool{}
+	for _, v := range verdicts {
+		nodesUsed[v.Node] = true
+		if v.ConsoleFNV == 0 {
+			t.Fatalf("verdict missing fnv: %+v", v)
+		}
+	}
+	if len(nodesUsed) != 2 {
+		t.Fatalf("work was not spread: %v", nodesUsed)
+	}
+	ev := journalEvents(t, &buf)
+	if ev[supervisor.EventCampaignStart] != 1 || ev[supervisor.EventCampaignDone] != 1 ||
+		ev[supervisor.EventCellDone] != 6 || ev[supervisor.EventLeaseGrant] != 6 {
+		t.Fatalf("journal events %v", ev)
+	}
+}
+
+// TestStealAndFence: freeze one node mid-campaign. Its leases expire
+// and are stolen to the survivor; when it thaws, the jobs it finished
+// in the dark are fenced at collection — every cell still ends with
+// exactly one verdict.
+func TestStealAndFence(t *testing.T) {
+	a, b := newFakeNode(400*time.Millisecond), newFakeNode(400*time.Millisecond)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	var buf bytes.Buffer
+	d, err := NewDispatcher(fastConfig(supervisor.NewJournal(&buf), a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		rep, runErr = d.Run(t.Context(), testCampaign([]int64{1, 2, 3, 4}, 1))
+	}()
+	// Let the first assignments land on both nodes, then freeze b long
+	// enough for its leases to expire and be stolen.
+	time.Sleep(120 * time.Millisecond)
+	b.frozen.Store(true)
+	time.Sleep(900 * time.Millisecond)
+	b.frozen.Store(false)
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	if rep.Done != 4 || rep.Failed != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Steals == 0 {
+		t.Fatal("freezing a node stole no leases")
+	}
+	if rep.Fences == 0 {
+		t.Fatal("the thawed node's finished jobs were not fenced")
+	}
+	verdicts := verdictsPerCell(t, rep)
+	if len(verdicts) != 4 {
+		t.Fatalf("%d verdicts, want 4", len(verdicts))
+	}
+	ev := journalEvents(t, &buf)
+	if ev[supervisor.EventNodeDown] == 0 || ev[supervisor.EventNodeUp] == 0 {
+		t.Fatalf("journal events %v: missing node transitions", ev)
+	}
+	if ev[supervisor.EventLeaseSteal] != rep.Steals || ev[supervisor.EventFenceReject] != rep.Fences {
+		t.Fatalf("journal events %v disagree with report %+v", ev, rep)
+	}
+}
+
+// TestMixedVersionRefused: two nodes disagreeing on the protocol
+// schema hash kill the campaign before a single job is submitted.
+func TestMixedVersionRefused(t *testing.T) {
+	a, b := newFakeNode(10*time.Millisecond), newFakeNode(10*time.Millisecond)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	b.schemaHash = 0xdeadbeef
+
+	d, err := NewDispatcher(fastConfig(nil, a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Run(t.Context(), testCampaign([]int64{1}, 1))
+	if err == nil || !strings.Contains(err.Error(), "mixed-version") {
+		t.Fatalf("err = %v, want mixed-version refusal", err)
+	}
+	if len(a.jobs) != 0 || len(b.jobs) != 0 {
+		t.Fatal("jobs were submitted to a refused fleet")
+	}
+}
+
+// TestUnreachableNodeDegrades: a node that is dead at campaign start
+// is marked down and the sweep completes on the survivors.
+func TestUnreachableNodeDegrades(t *testing.T) {
+	a := newFakeNode(20 * time.Millisecond)
+	defer a.srv.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	var buf bytes.Buffer
+	cfg := fastConfig(supervisor.NewJournal(&buf), a)
+	cfg.Nodes = append(cfg.Nodes, Node{Name: "corpse", URL: deadURL})
+	d, err := NewDispatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(t.Context(), testCampaign([]int64{1, 2}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	for _, v := range rep.Verdicts {
+		if v.Node == "corpse" {
+			t.Fatalf("verdict from the dead node: %+v", v)
+		}
+	}
+	if ev := journalEvents(t, &buf); ev[supervisor.EventNodeDown] == 0 {
+		t.Fatalf("journal %v: dead node not reported down", ev)
+	}
+}
+
+// TestDaemonFenceAdvancesEpoch: a daemon whose fence is ahead of the
+// dispatcher (a prior dispatcher run got further) answers 409; the
+// dispatcher counts the fence and advances its epoch past the barrier
+// instead of retrying into it.
+func TestDaemonFenceAdvancesEpoch(t *testing.T) {
+	a := newFakeNode(20 * time.Millisecond)
+	defer a.srv.Close()
+	a.cellEpoch["camp/00000"] = 3
+
+	var buf bytes.Buffer
+	d, err := NewDispatcher(fastConfig(supervisor.NewJournal(&buf), a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(t.Context(), testCampaign([]int64{1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 1 || rep.Fences != 2 {
+		t.Fatalf("report %+v, want done=1 after 2 fenced epochs", rep)
+	}
+	if v := rep.Verdicts[0]; v.Epoch != 3 {
+		t.Fatalf("verdict epoch %d, want 3", v.Epoch)
+	}
+}
+
+// TestAmbiguousGrantFenced: a submit that dies at the transport level
+// is ambiguous — the grant may or may not have landed — so the cell is
+// re-leased at the next epoch and the ghost epoch is resolved through
+// its idempotency key: either the daemon fences the stale re-admission
+// (409) or the ghost job is tracked and fenced when it finishes. Never
+// two verdicts, and never a verdict from the ghost.
+func TestAmbiguousGrantFenced(t *testing.T) {
+	a := newFakeNode(60 * time.Millisecond)
+	defer a.srv.Close()
+	a.abortLeft.Store(2) // survive net/http's own idempotent-retry too
+
+	var buf bytes.Buffer
+	d, err := NewDispatcher(fastConfig(supervisor.NewJournal(&buf), a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(t.Context(), testCampaign([]int64{1}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 1 || rep.Failed != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	verdicts := verdictsPerCell(t, rep)
+	if v := verdicts["00000"]; v.Epoch < 2 {
+		t.Fatalf("verdict epoch %d, want ≥ 2 (earlier epochs were ghosts)", v.Epoch)
+	}
+	if rep.Fences == 0 {
+		t.Fatal("no ghost epoch was ever fenced")
+	}
+}
+
+// TestReplicaMismatchDetected: nodes that disagree on a replica's
+// console FNV are a determinism violation the report must surface.
+func TestReplicaMismatchDetected(t *testing.T) {
+	a, b := newFakeNode(20*time.Millisecond), newFakeNode(20*time.Millisecond)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	b.fnvFn = func(spec jobd.Spec) uint64 { return spec.ConfigKey() + 1 }
+
+	var buf bytes.Buffer
+	d, err := NewDispatcher(fastConfig(supervisor.NewJournal(&buf), a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Run(t.Context(), testCampaign([]int64{1}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Mismatches) != 1 {
+		t.Fatalf("mismatches %v, want exactly one", rep.Mismatches)
+	}
+	entries, _ := supervisor.ReadJournal(bytes.NewReader(buf.Bytes()))
+	found := false
+	for _, e := range entries {
+		if e.Event == supervisor.EventFailure && e.Kind == "fnv-mismatch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fnv mismatch not journaled")
+	}
+}
+
+// TestCampaignGridExpansion: axes cross-multiply, replicas share a
+// ConfigKey, and invalid axis values fail expansion up front.
+func TestCampaignGridExpansion(t *testing.T) {
+	c := &Campaign{
+		Name:    "grid",
+		Base:    jobd.Spec{NFiles: 1},
+		Scales:  []string{"small", "bench"},
+		Seeds:   []int64{1, 2, 3},
+		Repeats: 2,
+	}
+	cells, err := c.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("%d cells, want 2×3×2 = 12", len(cells))
+	}
+	ids := map[string]bool{}
+	keys := map[uint64]int{}
+	for _, cell := range cells {
+		if ids[cell.ID] {
+			t.Fatalf("duplicate cell id %s", cell.ID)
+		}
+		ids[cell.ID] = true
+		keys[cell.Spec.ConfigKey()]++
+	}
+	if len(keys) != 6 {
+		t.Fatalf("%d distinct config keys, want 6 grid points", len(keys))
+	}
+	for k, n := range keys {
+		if n != 2 {
+			t.Fatalf("config %016x has %d replicas, want 2", k, n)
+		}
+	}
+
+	bad := &Campaign{Name: "bad", Scales: []string{"warp9"}}
+	if _, err := bad.Grid(); err == nil {
+		t.Fatal("invalid scale expanded without error")
+	}
+	if _, err := (&Campaign{}).Grid(); err == nil {
+		t.Fatal("unnamed campaign expanded without error")
+	}
+}

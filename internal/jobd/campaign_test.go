@@ -1,0 +1,337 @@
+package jobd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// campaignSpec is smallSpec stamped as a campaign cell at an epoch.
+func campaignSpec(cell string, epoch int64) Spec {
+	s := smallSpec()
+	s.Campaign, s.Cell, s.Epoch = "camp", cell, epoch
+	return s
+}
+
+// TestVersionEndpoint: GET /version reports build identity plus the
+// protocol schema hash the dispatcher uses to refuse mixed fleets.
+func TestVersionEndpoint(t *testing.T) {
+	d := newDaemon(t, nil, nil)
+	defer drainDaemon(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /version: %d", resp.StatusCode)
+	}
+	var v Version
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.SchemaHash == 0 || v.SchemaHash != SchemaHash() {
+		t.Fatalf("schema hash %016x, want %016x (non-zero)", v.SchemaHash, SchemaHash())
+	}
+	if v.Go == "" || v.Version == "" {
+		t.Fatalf("version info incomplete: %+v", v)
+	}
+}
+
+// TestSchemaHashStability: the hash is deterministic within a build —
+// it only moves when the wire types or state machine change.
+func TestSchemaHashStability(t *testing.T) {
+	if SchemaHash() != SchemaHash() {
+		t.Fatal("schema hash is not deterministic")
+	}
+}
+
+// TestJobsPhaseFilterAndLimit: GET /jobs?phase=&limit= filters and
+// bounds the listing, and bad parameters are 400s, not empty lists.
+func TestJobsPhaseFilterAndLimit(t *testing.T) {
+	d := newDaemon(t, nil, func(cfg *Config) { cfg.Workers = 2 })
+	defer drainDaemon(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := d.Submit(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if st := waitJob(t, d, id, time.Minute); st.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	get := func(query string) []Status {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs%s: %d", query, resp.StatusCode)
+		}
+		var out []Status
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if got := get("?phase=done"); len(got) != 3 {
+		t.Fatalf("phase=done returned %d jobs, want 3", len(got))
+	}
+	if got := get("?phase=failed"); len(got) != 0 {
+		t.Fatalf("phase=failed returned %d jobs, want 0", len(got))
+	}
+	if got := get("?limit=2"); len(got) != 2 {
+		t.Fatalf("limit=2 returned %d jobs, want 2", len(got))
+	}
+	if got := get("?phase=done&limit=1"); len(got) != 1 || got[0].State != StateDone {
+		t.Fatalf("phase=done&limit=1 returned %+v", got)
+	}
+	for _, bad := range []string{"?phase=bogus", "?limit=-1", "?limit=x"} {
+		resp, err := http.Get(srv.URL + "/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /jobs%s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestStaleEpochFenced: the daemon-side fence. Once an epoch is
+// accepted for a campaign cell, lower epochs are 409s (a superseded
+// lease must not re-admit its job), same-epoch idempotent replays
+// still dedup to 200, and higher epochs advance the fence.
+func TestStaleEpochFenced(t *testing.T) {
+	jb := &syncBuffer{}
+	d := newDaemon(t, jb, nil)
+	defer drainDaemon(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	st1, code := httpSubmit(t, srv.URL, campaignSpec("00001", 2), "camp/00001/2")
+	if code != http.StatusAccepted {
+		t.Fatalf("epoch 2 submit: %d", code)
+	}
+	if _, code := httpSubmit(t, srv.URL, campaignSpec("00001", 1), "camp/00001/1"); code != http.StatusConflict {
+		t.Fatalf("stale epoch 1 submit: %d, want 409", code)
+	}
+	// Same-epoch idempotent replay dedups before the fence looks.
+	if st3, code := httpSubmit(t, srv.URL, campaignSpec("00001", 2), "camp/00001/2"); code != http.StatusOK || st3.ID != st1.ID {
+		t.Fatalf("same-epoch replay: %d job %q, want 200 job %q", code, st3.ID, st1.ID)
+	}
+	if _, code := httpSubmit(t, srv.URL, campaignSpec("00001", 3), "camp/00001/3"); code != http.StatusAccepted {
+		t.Fatalf("epoch 3 submit: %d, want 202", code)
+	}
+	// A different cell has its own fence.
+	if _, code := httpSubmit(t, srv.URL, campaignSpec("00002", 1), "camp/00002/1"); code != http.StatusAccepted {
+		t.Fatalf("other cell epoch 1 submit: %d, want 202", code)
+	}
+
+	found := false
+	for _, e := range jb.entries(t) {
+		if e.Event == "reject" && e.Kind == "stale-epoch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no stale-epoch reject journaled")
+	}
+}
+
+// TestFencePersistsAcrossRestart: the per-cell epoch high-water mark is
+// rebuilt from the durable store, so a daemon crash does not forget
+// which leases it fenced.
+func TestFencePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Daemon {
+		d, err := New(Config{
+			Dir:              dir,
+			WorkerCommand:    selfWorker(t),
+			Workers:          1,
+			PollInterval:     10 * time.Millisecond,
+			HeartbeatTimeout: 30 * time.Second,
+			Deadline:         5 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		return d
+	}
+
+	d1 := mk()
+	st, err := d1.Submit(campaignSpec("00007", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJob(t, d1, st.ID, time.Minute); got.State != StateDone {
+		t.Fatalf("campaign job: %s (%s)", got.State, got.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	d1.Drain(ctx)
+	cancel()
+
+	d2 := mk()
+	defer drainDaemon(t, d2)
+	if _, err := d2.Submit(campaignSpec("00007", 3)); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch after restart: %v, want ErrStaleEpoch", err)
+	}
+	if _, err := d2.Submit(campaignSpec("00007", 5)); err != nil {
+		t.Fatalf("higher epoch after restart: %v", err)
+	}
+}
+
+// TestEventsStreamSurvivesCompaction: an open /jobs/{id}/events stream
+// keeps delivering records while the store compacts underneath it —
+// churn from other jobs rolls the WAL into a snapshot mid-stream, and
+// the watcher still sees its job through to the terminal record with
+// strictly increasing event ids.
+func TestEventsStreamSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d := newDaemon(t, nil, func(cfg *Config) {
+		cfg.Dir = dir
+		cfg.Workers = 2
+		// Compact every two records: the watched job's own accept and
+		// start records roll the WAL into a snapshot before its done
+		// record exists, so the open stream necessarily spans at least
+		// one compaction (the churn below adds several more).
+		cfg.CompactEvery = 2
+		cfg.QueueDepth = 32
+	})
+	defer drainDaemon(t, d)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	watched, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + watched.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn: each job contributes accept/start/done records, forcing
+	// further compactions while the stream above is live.
+	var churn []string
+	for i := 0; i < 4; i++ {
+		st, err := d.Submit(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn = append(churn, st.ID)
+	}
+	for _, id := range churn {
+		waitJob(t, d, id, time.Minute)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "store-snap.json")); err != nil {
+		t.Fatalf("no compaction snapshot was written: %v", err)
+	}
+	events := readSSE(t, resp)
+	if len(events) < 3 {
+		t.Fatalf("stream too short: %+v", events)
+	}
+	var lastSeq int64
+	ops := map[string]bool{}
+	for _, ev := range events {
+		if ev.id <= lastSeq {
+			t.Fatalf("event ids not increasing across compaction: %d after %d", ev.id, lastSeq)
+		}
+		lastSeq = ev.id
+		ops[ev.op] = true
+	}
+	for _, want := range []string{"accept", "start", "done"} {
+		if !ops[want] {
+			t.Fatalf("stream missing %q record: %v", want, ops)
+		}
+	}
+	if events[len(events)-1].op != "done" {
+		t.Fatalf("stream did not end at the terminal record: %+v", events[len(events)-1])
+	}
+}
+
+// TestEventsReconnectAfterCompactedRestart: a client reconnecting with
+// a Last-Event-ID that predates the snapshot — after a restart whose
+// replay starts from a compacted store — receives the job's history as
+// one synthetic "state" record instead of a gap or a hang.
+func TestEventsReconnectAfterCompactedRestart(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Daemon {
+		d, err := New(Config{
+			Dir:              dir,
+			WorkerCommand:    selfWorker(t),
+			Workers:          1,
+			PollInterval:     10 * time.Millisecond,
+			HeartbeatTimeout: 30 * time.Second,
+			Deadline:         5 * time.Minute,
+			CompactEvery:     2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		return d
+	}
+
+	d1 := mk()
+	st, err := d1.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJob(t, d1, st.ID, time.Minute); got.State != StateDone {
+		t.Fatalf("job: %s (%s)", got.State, got.Error)
+	}
+	// More churn so the terminal record itself is compacted away.
+	st2, err := d1.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, d1, st2.ID, time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	d1.Drain(ctx)
+	cancel()
+
+	d2 := mk()
+	defer drainDaemon(t, d2)
+	srv := httptest.NewServer(d2.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp)
+	if len(events) != 1 || events[0].op != "state" {
+		t.Fatalf("compacted replay = %+v, want one synthetic state record", events)
+	}
+	rec := events[0].data
+	if rec.Phase != StateDone || rec.Result == nil || rec.Result.ConsoleFNV == 0 {
+		t.Fatalf("synthetic state record incomplete: %+v", rec)
+	}
+	if events[0].id != rec.Seq || rec.Seq == 0 {
+		t.Fatalf("synthetic record id %d / seq %d", events[0].id, rec.Seq)
+	}
+}

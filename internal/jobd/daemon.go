@@ -127,6 +127,10 @@ var (
 	ErrQueueFull = errors.New("jobd: queue full")
 	// ErrDraining: the daemon is shutting down and admits nothing new.
 	ErrDraining = errors.New("jobd: draining")
+	// ErrStaleEpoch: a campaign submission carried a lease epoch below
+	// the highest this daemon has accepted for the same grid cell — a
+	// superseded lease trying to re-admit its job (fencing).
+	ErrStaleEpoch = errors.New("jobd: stale lease epoch for campaign cell")
 )
 
 // job is the daemon-side job record; mu guards the mutable status.
@@ -201,13 +205,14 @@ type Daemon struct {
 	latMu sync.Mutex
 	lats  []int64
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string
-	queue    chan *job
-	resume   []resumeInfo // recovered running jobs, launched by Start
-	draining bool
-	nextID   int
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	queue     chan *job
+	resume    []resumeInfo // recovered running jobs, launched by Start
+	draining  bool
+	nextID    int
+	cellEpoch map[string]int64 // campaign cell → highest accepted lease epoch
 
 	recovery RecoverySummary
 
@@ -236,9 +241,10 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:     cfg,
 		tree:    stats.NewTree(),
 		journal: supervisor.NewJournal(cfg.Journal),
-		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		store:   store,
-		jobs:    map[string]*job{},
+		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		store:     store,
+		jobs:      map[string]*job{},
+		cellEpoch: map[string]int64{},
 	}
 	if err := d.recoverFromStore(); err != nil {
 		return nil, err
@@ -427,6 +433,23 @@ func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "draining"})
 		return Status{}, false, ErrDraining
 	}
+	// Campaign fencing: a lease epoch below the highest accepted for
+	// the same grid cell identifies a superseded lease — the dispatcher
+	// already reassigned the cell, so admitting this copy could only
+	// produce a duplicate (and, raced right, a clobbered) verdict. The
+	// map is rebuilt from the durable store on boot, so the fence
+	// survives daemon crashes. Idempotent replays of the *same* epoch
+	// were already answered above.
+	if ck := spec.CellKey(); ck != "" {
+		if max, ok := d.cellEpoch[ck]; ok && spec.Epoch < max {
+			d.mu.Unlock()
+			d.count("jobd.rejected.stale_epoch")
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "stale-epoch",
+				Message: fmt.Sprintf("cell %s epoch %d < fenced %d", ck, spec.Epoch, max)})
+			return Status{}, false, fmt.Errorf("%w: cell %s epoch %d < %d",
+				ErrStaleEpoch, ck, spec.Epoch, max)
+		}
+	}
 	probe, err := d.breaker.AllowProbe(key)
 	if err != nil {
 		d.mu.Unlock()
@@ -468,6 +491,9 @@ func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
 	d.queue <- j
 	d.jobs[id] = j
 	d.order = append(d.order, id)
+	if ck := spec.CellKey(); ck != "" && spec.Epoch > d.cellEpoch[ck] {
+		d.cellEpoch[ck] = spec.Epoch
+	}
 	d.mu.Unlock()
 
 	d.count("jobd.jobs.submitted")
@@ -489,6 +515,15 @@ func (d *Daemon) Job(id string) (Status, bool) {
 
 // Jobs returns every job's status in submission order.
 func (d *Daemon) Jobs() []Status {
+	return d.JobsFiltered("", 0)
+}
+
+// JobsFiltered returns job statuses in submission order, optionally
+// restricted to one phase and capped at limit entries (limit <= 0 =
+// unbounded). This is what a campaign dispatcher polls per node: with
+// phase+limit the response is O(limit), not O(every job the daemon has
+// ever run).
+func (d *Daemon) JobsFiltered(phase State, limit int) []Status {
 	d.mu.Lock()
 	ids := append([]string(nil), d.order...)
 	jobs := make([]*job, 0, len(ids))
@@ -498,7 +533,14 @@ func (d *Daemon) Jobs() []Status {
 	d.mu.Unlock()
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
-		out = append(out, j.status())
+		st := j.status()
+		if phase != "" && st.State != phase {
+			continue
+		}
+		out = append(out, st)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out
 }

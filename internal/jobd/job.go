@@ -64,6 +64,29 @@ type Spec struct {
 	// HeartbeatMs is stamped by the daemon before the spec is handed
 	// to the worker; jobs cannot set it.
 	HeartbeatMs int64 `json:"heartbeat_ms,omitempty"`
+
+	// Campaign dispatch metadata (internal/fleet). A campaign
+	// dispatcher stamps each submission with the campaign name, the
+	// grid cell the job computes, and the cell's current lease epoch —
+	// a monotonic fencing token. The daemon rejects a submission whose
+	// epoch is below the highest it has seen for the same (campaign,
+	// cell), so a partitioned-then-healed dispatcher path can never
+	// re-admit a superseded lease; the dispatcher applies the same
+	// fence when collecting verdicts. All three fields are opaque to
+	// the worker and excluded from ConfigKey — they describe the
+	// dispatch, not the workload.
+	Campaign string `json:"campaign,omitempty"`
+	Cell     string `json:"cell,omitempty"`
+	Epoch    int64  `json:"epoch,omitempty"`
+}
+
+// CellKey identifies a campaign grid cell for the daemon-side epoch
+// fence ("" for non-campaign jobs).
+func (s *Spec) CellKey() string {
+	if s.Campaign == "" {
+		return ""
+	}
+	return s.Campaign + "/" + s.Cell
 }
 
 // FuzzSpec configures a conformance fuzz campaign job (see

@@ -41,6 +41,11 @@ func (d *Daemon) recoverFromStore() error {
 		}
 		d.jobs[js.ID] = j
 		d.order = append(d.order, js.ID)
+		// The campaign epoch fence is durable: every accepted spec is in
+		// the store, so the highest epoch per cell survives a crash.
+		if ck := js.Spec.CellKey(); ck != "" && js.Spec.Epoch > d.cellEpoch[ck] {
+			d.cellEpoch[ck] = js.Spec.Epoch
+		}
 
 		switch js.Phase {
 		case StateDone, StateFailed:

@@ -16,8 +16,11 @@ import (
 //	                       Idempotency-Key replay   → 200 original Status
 //	                       queue full               → 429 + Retry-After
 //	                       draining                 → 503
+//	                       stale campaign epoch     → 409 (fencing)
 //	                       breaker open / bad spec  → 422
 //	GET  /jobs             all job statuses         → 200 []Status
+//	                       ?phase=&limit= filter and bound the response
+//	GET  /version          build + protocol version → 200 Version
 //	GET  /jobs/{id}        one job status           → 200 Status | 404
 //	GET  /jobs/{id}/events SSE stream of the job's durable store
 //	                       records, replayed from the WAL — clients
@@ -30,7 +33,27 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", d.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSONResponse(w, http.StatusOK, d.Jobs())
+		q := r.URL.Query()
+		phase := State(q.Get("phase"))
+		switch phase {
+		case "", StateQueued, StateRunning, StateDone, StateFailed:
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown phase %q", phase))
+			return
+		}
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", v))
+				return
+			}
+			limit = n
+		}
+		writeJSONResponse(w, http.StatusOK, d.JobsFiltered(phase, limit))
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, VersionInfo())
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := d.Job(r.PathValue("id"))
@@ -80,6 +103,10 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrStaleEpoch):
+		// Fencing: a superseded lease must not re-admit its job. 409 is
+		// terminal for that epoch — the dispatcher must not retry it.
+		httpError(w, http.StatusConflict, err.Error())
 	case strings.Contains(err.Error(), "circuit breaker"):
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 	default:

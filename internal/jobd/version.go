@@ -1,0 +1,98 @@
+package jobd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the GET /version response: enough for a campaign
+// dispatcher to refuse a mixed fleet at campaign start instead of
+// failing mid-sweep. SchemaHash is the load-bearing field — it is
+// computed from the wire types themselves (Spec, Status, Result,
+// Record), so two binaries that would disagree about the job protocol
+// necessarily report different hashes even when their VCS metadata is
+// missing (test binaries, `go run`).
+type Version struct {
+	Version    string `json:"version"`     // VCS revision (or "devel" when unstamped)
+	Modified   bool   `json:"modified"`    // VCS working tree was dirty at build
+	Go         string `json:"go"`          // toolchain that built the binary
+	SchemaHash uint64 `json:"schema_hash"` // hash of the job wire protocol types
+}
+
+// VersionInfo describes this binary's job-protocol version.
+func VersionInfo() Version {
+	v := Version{Go: runtime.Version(), Version: "devel", SchemaHash: SchemaHash()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Version = s.Value
+			case "vcs.modified":
+				v.Modified = s.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+// SchemaHash folds the exported shape of the job wire protocol — field
+// names, JSON tags, and kinds of every type that crosses the HTTP
+// boundary — into one FNV-64a value. Any change to the protocol (a new
+// Spec knob, a renamed Status field, a new store record op) changes the
+// hash, which is exactly when mixing daemon versions inside one
+// campaign stops being safe.
+func SchemaHash() uint64 {
+	h := fnv.New64a()
+	for _, t := range []reflect.Type{
+		reflect.TypeOf(Spec{}),
+		reflect.TypeOf(Status{}),
+		reflect.TypeOf(Result{}),
+		reflect.TypeOf(Failure{}),
+		reflect.TypeOf(Record{}),
+	} {
+		hashType(h, t, map[reflect.Type]bool{})
+	}
+	for _, op := range []string{opAccept, opStart, opExit, opAdopt, opDone, opFail, opState} {
+		fmt.Fprintf(h, "op:%s;", op)
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(h, "state:%s;", st)
+	}
+	return h.Sum64()
+}
+
+// hashType writes a deterministic structural description of t. seen
+// breaks cycles (none today, but schema types evolve).
+func hashType(h interface{ Write([]byte) (int, error) }, t reflect.Type, seen map[reflect.Type]bool) {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		fmt.Fprintf(h, "%s[", t.Kind())
+		hashType(h, t.Elem(), seen)
+		fmt.Fprint(h, "]")
+	case reflect.Map:
+		fmt.Fprint(h, "map[")
+		hashType(h, t.Key(), seen)
+		fmt.Fprint(h, "]")
+		hashType(h, t.Elem(), seen)
+	case reflect.Struct:
+		if seen[t] {
+			fmt.Fprintf(h, "cycle:%s", t.Name())
+			return
+		}
+		seen[t] = true
+		fmt.Fprintf(h, "struct:%s{", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fmt.Fprintf(h, "%s:%s:", f.Name, f.Tag.Get("json"))
+			hashType(h, f.Type, seen)
+			fmt.Fprint(h, ";")
+		}
+		fmt.Fprint(h, "}")
+		delete(seen, t)
+	default:
+		fmt.Fprint(h, t.Kind().String())
+	}
+}

@@ -49,6 +49,26 @@ const (
 	EventDrain       = "drain"        // daemon drain began / completed
 )
 
+// Fleet campaign event names: the multi-node dispatcher
+// (internal/fleet) journals a whole campaign — grid expansion, lease
+// grants, work stealing, fencing rejections, node health transitions
+// and per-cell verdicts — into the same stream, so `ptlmon -journal`
+// renders a 1,000-job sweep with the same machinery as a single run.
+// Cell-scoped events carry the cell ID in Entry.Job and the lease
+// epoch in Entry.Attempt; node-scoped events name the node in
+// Entry.Message.
+const (
+	EventCampaignStart = "campaign_start" // dispatch began (message = grid summary)
+	EventLeaseGrant    = "lease_grant"    // cell leased to a node (attempt = epoch)
+	EventLeaseSteal    = "lease_steal"    // lease expired/node died; cell reassigned
+	EventFenceReject   = "fence_reject"   // stale epoch's verdict rejected at collection
+	EventNodeDown      = "node_down"      // node health-checked out of the fleet
+	EventNodeUp        = "node_up"        // node re-admitted after recovery
+	EventCellDone      = "cell_done"      // cell verdict recorded (cycle/insns/fnv)
+	EventCellFail      = "cell_fail"      // cell terminally failed (kind + message)
+	EventCampaignDone  = "campaign_done"  // dispatch finished (message = summary)
+)
+
 // Conformance-fuzzing event names: campaigns (internal/conformance)
 // journal their lifecycle into the same stream, so a fuzz run — local,
 // or dispatched as a ptlserve job — is triaged with the same tooling.

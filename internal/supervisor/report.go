@@ -38,6 +38,16 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 		jobLines                            []string
 		elapsedMs                           int64
 
+		// Fleet campaign accounting. Per-cell done events are counted,
+		// not echoed — a 1,000-job sweep must render as a summary, so
+		// only failures and robustness events (steals, fences, node
+		// transitions) get their own lines.
+		campaignName                     string
+		cellsDone, cellsFailed           int
+		leaseGrants, leaseSteals, fences int
+		nodesDown, nodesUp               int
+		fleetLines                       []string
+
 		// Conformance fuzzing accounting.
 		fuzzStarted                bool
 		fuzzFindings, fuzzPromoted int
@@ -119,6 +129,35 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 				outcome = "service drained cleanly"
 			}
 
+		case EventCampaignStart:
+			campaignName = e.Message
+		case EventLeaseGrant:
+			leaseGrants++
+		case EventLeaseSteal:
+			leaseSteals++
+			fleetLines = append(fleetLines, fmt.Sprintf("steal: cell %s epoch %d: %s", e.Job, e.Attempt, e.Message))
+		case EventFenceReject:
+			fences++
+			fleetLines = append(fleetLines, fmt.Sprintf("fenced: cell %s stale epoch %d: %s", e.Job, e.Attempt, e.Message))
+		case EventNodeDown:
+			nodesDown++
+			fleetLines = append(fleetLines, "node down: "+e.Message)
+		case EventNodeUp:
+			nodesUp++
+			fleetLines = append(fleetLines, "node up: "+e.Message)
+		case EventCellDone:
+			cellsDone++
+		case EventCellFail:
+			cellsFailed++
+			kind := e.Kind
+			if kind == "" {
+				kind = "error"
+			}
+			failures[kind]++
+			fleetLines = append(fleetLines, fmt.Sprintf("cell %s failed (%s): %s", e.Job, kind, e.Message))
+		case EventCampaignDone:
+			outcome = "campaign done: " + e.Message
+
 		case EventFuzzStart:
 			fuzzStarted = true
 		case EventFuzzFinding:
@@ -186,6 +225,26 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			fmt.Fprintf(w, "    %s\n", line)
 		}
 	}
+	if campaignName != "" || cellsDone > 0 || cellsFailed > 0 {
+		fmt.Fprintf(w, "  fleet: %s: %d cell(s) done, %d failed; %d lease(s), %d stolen, %d fenced",
+			orUnnamed(campaignName), cellsDone, cellsFailed, leaseGrants, leaseSteals, fences)
+		if nodesDown > 0 || nodesUp > 0 {
+			fmt.Fprintf(w, "; nodes: %d down, %d recovered", nodesDown, nodesUp)
+		}
+		fmt.Fprintln(w)
+		// Cap the detail lines: the summary above is the report; the
+		// lines exist to triage a handful of robustness events, not to
+		// replay a thousand-cell campaign.
+		const maxFleetLines = 40
+		shown := fleetLines
+		if len(shown) > maxFleetLines {
+			fmt.Fprintf(w, "    (%d fleet event(s), showing last %d)\n", len(shown), maxFleetLines)
+			shown = shown[len(shown)-maxFleetLines:]
+		}
+		for _, line := range shown {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
 	if fuzzStarted {
 		fmt.Fprintf(w, "  fuzz: %d finding(s)", fuzzFindings)
 		if len(fuzzFindingKinds) > 0 {
@@ -234,6 +293,14 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			fmt.Fprintf(w, "  %s\n", FormatEntry(e))
 		}
 	}
+}
+
+// orUnnamed substitutes a placeholder for an empty campaign name.
+func orUnnamed(name string) string {
+	if name == "" {
+		return "campaign"
+	}
+	return name
 }
 
 // writeDetail prints a labelled, possibly multi-line value indented
