@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak fleet-soak bench-snapshot
+.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak fleet-soak bench-snapshot obs-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ fuzz-smoke:
 # and the output directory; the acceptance campaign is FLEET_JOBS=1000).
 fleet-soak:
 	./scripts/fleet_soak.sh
+
+# obs-smoke runs a small workload with the pipeline event log attached,
+# renders it through every exporter (Chrome trace / Konata / text),
+# then pushes one job through a live ptlserve and asserts GET /metrics
+# exposes the job-level Prometheus series (SERVE_PORT tunes the port).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # bench-snapshot runs the paper-replication benchmark suite and appends
 # a dated entry to BENCH_core.json (BENCH_PATTERN/BENCH_COUNT/BENCH_OUT

@@ -50,6 +50,7 @@ func remoteMain(w io.Writer, addr, job, phase string, limit int, version bool) e
 	if err != nil {
 		return err
 	}
+	printMetricsSummary(ctx, w, client, addr)
 	if len(jobs) == 0 {
 		fmt.Fprintf(w, "%s: no jobs", addr)
 		if phase != "" {
@@ -65,6 +66,24 @@ func remoteMain(w io.Writer, addr, job, phase string, limit int, version bool) e
 			st.ID, st.State, st.Attempts, elapsedCol(st), detailCol(st))
 	}
 	return tw.Flush()
+}
+
+// printMetricsSummary renders the daemon's operational vital signs
+// from its /metrics exposition above the job table. Best-effort: a
+// daemon predating /metrics (or a scrape failure) just loses the
+// header line, never the listing.
+func printMetricsSummary(ctx context.Context, w io.Writer, client *fleet.Client, addr string) {
+	vals, err := client.Metrics(ctx, addr)
+	if err != nil || len(vals) == 0 {
+		return
+	}
+	g := func(name string) int64 { return int64(vals[name]) }
+	fmt.Fprintf(w, "%s: queue %d deep, %d running, breaker open for %d config(s), retry-after %dms\n",
+		addr, g("jobd_queue_depth"), g("jobd_jobs_running"),
+		g("jobd_breaker_open"), g("jobd_retry_after_ms"))
+	fmt.Fprintf(w, "lifetime: %d submitted, %d done, %d failed, %d retried, %d adopted, %d reaped\n",
+		g("jobd_jobs_submitted"), g("jobd_jobs_done"), g("jobd_jobs_failed"),
+		g("jobd_jobs_retried"), g("jobd_jobs_adopted"), g("jobd_jobs_reaped"))
 }
 
 func elapsedCol(st jobd.Status) string {

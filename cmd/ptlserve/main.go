@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default profiling mux
 	"os"
 	"os/exec"
 	"os/signal"
@@ -46,6 +47,7 @@ func main() {
 		compactN   = flag.Int("compact-every", 256, "compact the durable job store after this many log records")
 		journalOut = flag.String("journal", "", "append the service job journal (JSONL) to this file (default <data>/service.jsonl)")
 		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "SIGTERM: how long running jobs get to finish before workers are stopped")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 
 		// Hidden worker mode: the daemon re-execs itself with this flag
 		// pointing at a job directory. Not part of the public API.
@@ -104,6 +106,18 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 	d.Start()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank
+			// import above; kept off the service mux so profiling is
+			// never exposed on the job API address by accident.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ptlserve: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ptlserve: pprof on %s\n", *pprofAddr)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: d.Handler()}
 	errc := make(chan error, 1)

@@ -28,6 +28,7 @@ import (
 	"ptlsim/internal/conformance/corpus"
 	"ptlsim/internal/core"
 	"ptlsim/internal/cosim"
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/experiments"
 	"ptlsim/internal/faultinject"
 	"ptlsim/internal/guest"
@@ -87,6 +88,8 @@ func main() {
 		statsOut   = flag.String("stats-out", "", "write snapshot series as JSON for ptlstats")
 		out        = flag.String("o", "", "write report to file instead of stdout")
 		dumpStats  = flag.String("dump", "", "dump final counters matching this prefix")
+		evlogOut   = flag.String("evlog", "", "record the pipeline event-log ring and write it as JSONL (render with ptlstats -pipeline)")
+		evlogSize  = flag.Int("evlog-size", evlog.DefaultSize, "event-log ring capacity (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -194,6 +197,30 @@ func main() {
 		faultinject.New(specs...).Attach(m)
 	}
 
+	var elog *evlog.Log
+	if *evlogOut != "" {
+		elog = evlog.New(*evlogSize)
+		m.SetEventLog(elog)
+	}
+	// writeEvlog lands the recorded ring as JSONL — on every exit path,
+	// because the ring's whole point is to survive the failing runs.
+	writeEvlog := func() {
+		if elog == nil {
+			return
+		}
+		f, ferr := os.Create(*evlogOut)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "ptlsim: evlog:", ferr)
+			return
+		}
+		defer f.Close()
+		if werr := evlog.WriteJSON(f, elog.Events()); werr != nil {
+			fmt.Fprintln(os.Stderr, "ptlsim: evlog:", werr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ptlsim: evlog: %d event(s) written to %s\n", elog.Len(), *evlogOut)
+	}
+
 	var err error
 	var sup *supervisor.Supervisor
 	switch *mode {
@@ -249,6 +276,7 @@ func main() {
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
 	if err != nil {
+		writeEvlog()
 		switch {
 		case errors.Is(err, supervisor.ErrInterrupted):
 			// The supervisor already wrote the final checkpoint.
@@ -263,6 +291,7 @@ func main() {
 		}
 		fatal(err)
 	}
+	writeEvlog()
 	if sup != nil {
 		res := sup.Result()
 		fmt.Fprintf(os.Stderr, "ptlsim: supervised run complete: attempts=%d retries=%d degraded-windows=%d last-checkpoint=%s\n",

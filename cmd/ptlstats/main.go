@@ -10,16 +10,20 @@
 //	ptlstats -in run.json -series mode
 //	ptlstats -in run.json -series uarch
 //	ptlstats -journal run.jsonl -tail 5
+//	ptlstats -pipeline run.evlog -format chrome -o trace.json
+//	ptlstats -pipeline run.evlog -format konata -o run.kanata
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/experiments"
 	"ptlsim/internal/stats"
 	"ptlsim/internal/supervisor"
@@ -45,8 +49,17 @@ func main() {
 		series   = flag.String("series", "", "print a time-lapse series: mode (Figure 2) | uarch (Figure 3)")
 		journal  = flag.String("journal", "", "summarize a supervisor run journal (JSONL) and exit")
 		tailN    = flag.Int("tail", 0, "with -journal: also print the last N events")
+		pipeline = flag.String("pipeline", "", "render a pipeline event log (ptlsim -evlog JSONL) and exit")
+		format   = flag.String("format", "chrome", "with -pipeline: chrome (trace_event JSON) | konata (Kanata text) | text")
+		out      = flag.String("o", "", "with -pipeline: write output here instead of stdout")
 	)
 	flag.Parse()
+	if *pipeline != "" {
+		if err := renderPipeline(*pipeline, *format, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *journal != "" {
 		f, err := os.Open(*journal)
 		if err != nil {
@@ -115,6 +128,40 @@ func main() {
 		if err := final.WriteTable(os.Stdout, prefixes(*table)...); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// renderPipeline loads a ptlsim -evlog JSONL file and renders it as a
+// Chrome trace_event JSON array (chrome://tracing / Perfetto), Kanata
+// pipeline-viewer text, or the plain fixed-width event table.
+func renderPipeline(path, format, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := evlog.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	switch format {
+	case "chrome":
+		return evlog.WriteChromeTrace(w, events)
+	case "konata":
+		return evlog.WriteKonata(w, events)
+	case "text":
+		return evlog.WriteText(w, events)
+	default:
+		return fmt.Errorf("unknown -format %q (want chrome, konata or text)", format)
 	}
 }
 

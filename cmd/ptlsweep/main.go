@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default profiling mux
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"ptlsim/internal/fleet"
+	"ptlsim/internal/metrics"
 	"ptlsim/internal/supervisor"
 )
 
@@ -42,6 +45,8 @@ func main() {
 		epochs       = flag.Int("epochs", 8, "lease epochs per cell before it terminally fails")
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline")
 		quiet        = flag.Bool("q", false, "suppress progress output")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the dispatcher's /metrics (Prometheus text) on this address while the campaign runs")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 	if *campaignPath == "" || *nodesFlag == "" {
@@ -79,6 +84,25 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	reg := metrics.NewRegistry()
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler(reg))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "ptlsweep: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ptlsweep: metrics on %s\n", *metricsAddr)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ptlsweep: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ptlsweep: pprof on %s\n", *pprofAddr)
+	}
 	d, err := fleet.NewDispatcher(fleet.Config{
 		Nodes:        nodes,
 		LeaseTTL:     *lease,
@@ -89,6 +113,7 @@ func main() {
 		Poll:         fleet.NewClient(fleet.ClientConfig{Timeout: *timeout, Retries: -1}),
 		Journal:      journal,
 		Logf:         logf,
+		Metrics:      reg,
 	})
 	if err != nil {
 		fatal(err)

@@ -16,6 +16,7 @@ import (
 
 	"ptlsim/internal/bbcache"
 	"ptlsim/internal/cache"
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/hv"
 	"ptlsim/internal/ooo"
 	"ptlsim/internal/selfcheck"
@@ -127,6 +128,11 @@ type Machine struct {
 	// other instrumentation).
 	stepHook func(*Machine)
 
+	// ev is the attached pipeline event log (nil when disabled); the
+	// same ring is shared by every core, so events interleave in global
+	// pipeline-activity order.
+	ev *evlog.Log
+
 	cyclesNative, cyclesSim              *stats.Counter
 	cyclesUser, cyclesKernel, cyclesIdle *stats.Counter
 	modeSwitches                         *stats.Counter
@@ -231,6 +237,30 @@ func (m *Machine) SetStepHook(fn func(*Machine)) { m.stepHook = fn }
 // StepHook returns the installed step hook so checkpointing can carry
 // instrumentation over to a restored machine.
 func (m *Machine) StepHook() func(*Machine) { return m.stepHook }
+
+// SetEventLog attaches a pipeline event log to every core of the
+// machine (nil detaches). The supervisor carries the log across
+// checkpoint restores exactly like the step hook.
+func (m *Machine) SetEventLog(l *evlog.Log) {
+	m.ev = l
+	for _, c := range m.oooCores {
+		c.SetEventLog(l)
+	}
+	for i, c := range m.seqCores {
+		c.SetEventLog(l, uint8(i))
+	}
+}
+
+// EventLog returns the attached event log (nil when disabled).
+func (m *Machine) EventLog() *evlog.Log { return m.ev }
+
+// eventTail renders the newest events for SimError attachment.
+func (m *Machine) eventTail() string {
+	if m.ev == nil || m.ev.Len() == 0 {
+		return ""
+	}
+	return evlog.Text(m.ev.Tail(64))
+}
 
 // OOOCores exposes the cycle-accurate cores (stats, tests).
 func (m *Machine) OOOCores() []*ooo.Core { return m.oooCores }
@@ -395,6 +425,7 @@ func (m *Machine) deadlockErr() error {
 		}
 		se.Dump = dump.String()
 	}
+	se.EventTail = m.eventTail()
 	return se
 }
 
@@ -453,6 +484,7 @@ func (m *Machine) guard(err *error) {
 	for _, c := range m.oooCores {
 		se.LastRIPs = append(se.LastRIPs, c.RecentCommits()...)
 	}
+	se.EventTail = m.eventTail()
 	*err = se
 }
 

@@ -1,0 +1,269 @@
+// Package evlog is the pipeline event log: a fixed-size, allocation-free
+// ring buffer of packed per-uop events, recording every uop's journey
+// through the out-of-order pipeline (fetch, rename, dispatch, issue,
+// replay, complete, commit) plus the machine-level carrier events that
+// punctuate it (branch redirects, full flushes, interrupts, assists,
+// SMC invalidations). This is the paper's signature debugging aid (§11):
+// when a run dies — divergence, invariant failure, watchdog — the tail
+// of the ring is dumped alongside the SimError so the last few thousand
+// cycles of pipeline activity are inspectable uop by uop.
+//
+// Recording is designed to disappear from the hot loop when disabled:
+// cores hold a *Log that is nil unless the user asked for an event log,
+// and every hook site is gated on a single `ev != nil` check that the
+// branch predictor eats. When enabled, Record is one indexed store and
+// an increment — no allocation, no locking (each core owns its Log or
+// shares one only from the single simulation goroutine).
+package evlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ptlsim/internal/uops"
+)
+
+// Stage identifies which pipeline stage (or machine-level carrier
+// event) an Event records.
+type Stage uint8
+
+const (
+	StageFetch    Stage = iota // uop entered the fetch queue
+	StageRename                // uop allocated ROB/phys-reg resources
+	StageDispatch              // uop entered an issue-cluster queue
+	StageIssue                 // uop began execution on a cluster
+	StageReplay                // uop bounced back to its issue queue
+	StageComplete              // uop's result wrote back
+	StageCommit                // uop retired architecturally
+	// Carrier events: machine-level occurrences that are not a single
+	// uop's stage transition. Seq names the triggering uop where there
+	// is one; Arg carries the event-specific payload (redirect target,
+	// interrupt vector, ...).
+	StageRedirect  // branch mispredict/load-hoist redirect (Arg = new RIP)
+	StageFlush     // full pipeline flush (Arg = restart RIP)
+	StageInterrupt // external interrupt delivered at commit (Arg = vector)
+	StageAssist    // microcode assist dispatched (Arg = assist RIP)
+	StageSMC       // self-modifying-code invalidation flush
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"fetch", "rename", "dispatch", "issue", "replay", "complete",
+	"commit", "redirect", "flush", "interrupt", "assist", "smc",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage%d", uint8(s))
+}
+
+// Event flags.
+const (
+	FlagAnnulled   uint8 = 1 << iota // uop was squashed by a later flush/redirect
+	FlagMispredict                   // branch uop that resolved mispredicted
+	FlagReplayed                     // uop issued at least once before this event
+	FlagSeqCore                      // recorded by the sequential core, not the OoO pipeline
+)
+
+// Event is one packed pipeline event. The struct is pointer-free and
+// 48 bytes so a ring of them is a single flat allocation the GC never
+// scans. Seq is the core-local uop sequence number (monotonic per
+// core); carrier events reuse the Seq of the uop that triggered them.
+type Event struct {
+	Cycle  uint64
+	Seq    uint64
+	RIP    uint64
+	Arg    uint64 // stage-specific: redirect target, store address, vector...
+	Op     uint16 // uops.Op of the uop (0xffff for carriers with no uop)
+	Stage  Stage
+	Core   uint8
+	Thread uint8
+	Flags  uint8
+	_      [2]byte
+}
+
+// NoOp marks a carrier event with no associated uop opcode.
+const NoOp uint16 = 0xffff
+
+// OpName renders an Event.Op for humans.
+func OpName(op uint16) string {
+	if op == NoOp {
+		return "-"
+	}
+	return uops.Op(op).String()
+}
+
+// Log is the ring buffer. Capacity is rounded up to a power of two so
+// indexing is a mask, not a modulo. The zero Log is unusable; use New.
+// A Log is not safe for concurrent Record — it belongs to the single
+// simulation goroutine, exactly like the cores that feed it.
+type Log struct {
+	buf  []Event
+	mask uint64
+	next uint64 // monotonic count of events ever recorded
+}
+
+// DefaultSize is the default ring capacity (events). At ~5 events per
+// uop this holds the last few thousand committed instructions — enough
+// context to see the flush storm or stall that preceded a failure.
+const DefaultSize = 1 << 14
+
+// New creates a ring holding at least size events (rounded up to a
+// power of two, minimum 64). size <= 0 selects DefaultSize.
+func New(size int) *Log {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &Log{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (l *Log) Record(e Event) {
+	l.buf[l.next&l.mask] = e
+	l.next++
+}
+
+// Len reports how many events are currently held (≤ capacity).
+func (l *Log) Len() int {
+	if l.next < uint64(len(l.buf)) {
+		return int(l.next)
+	}
+	return len(l.buf)
+}
+
+// Cap reports the ring capacity.
+func (l *Log) Cap() int { return len(l.buf) }
+
+// Recorded reports the total number of events ever recorded, including
+// those already overwritten.
+func (l *Log) Recorded() uint64 { return l.next }
+
+// Annul backpatches the ring after a pipeline flush: every uop event
+// recorded for (core, thread) with Seq > afterSeq is flagged annulled,
+// so exporters render squashed work distinctly instead of presenting
+// wrong-path uops as if they retired. Carrier events are left alone —
+// the flush itself is history worth keeping. The walk covers the whole
+// ring: events are recorded in pipeline-activity order, not seq order,
+// so no earlier stopping point is sound. Flushes are rare and the ring
+// is small; this only runs when the event log is enabled at all.
+func (l *Log) Annul(core, thread uint8, afterSeq uint64) {
+	n := uint64(l.Len())
+	for i := uint64(1); i <= n; i++ {
+		e := &l.buf[(l.next-i)&l.mask]
+		if e.Core == core && e.Thread == thread && e.Seq > afterSeq && e.Stage < StageRedirect {
+			e.Flags |= FlagAnnulled
+		}
+	}
+}
+
+// Events returns the held events oldest-first, copied out of the ring.
+func (l *Log) Events() []Event {
+	n := uint64(l.Len())
+	out := make([]Event, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = l.buf[(l.next-n+i)&l.mask]
+	}
+	return out
+}
+
+// Tail returns at most the newest n events, oldest-first.
+func (l *Log) Tail(n int) []Event {
+	if held := l.Len(); n > held {
+		n = held
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.buf[(l.next-uint64(n-i))&l.mask]
+	}
+	return out
+}
+
+// jsonEvent is the on-disk form: named fields so the file is greppable
+// and stable across struct layout changes.
+type jsonEvent struct {
+	Cycle  uint64 `json:"cycle"`
+	Seq    uint64 `json:"seq"`
+	RIP    uint64 `json:"rip"`
+	Arg    uint64 `json:"arg,omitempty"`
+	Op     uint16 `json:"op"`
+	Stage  string `json:"stage"`
+	Core   uint8  `json:"core"`
+	Thread uint8  `json:"thread"`
+	Flags  uint8  `json:"flags,omitempty"`
+}
+
+// WriteJSON writes events as JSONL (one event per line) prefixed by a
+// header line, the interchange format between `ptlsim -evlog` and
+// `ptlstats -pipeline`.
+func WriteJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"evlog\":1,\"events\":%d}\n", len(events)); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		je := jsonEvent{
+			Cycle: e.Cycle, Seq: e.Seq, RIP: e.RIP, Arg: e.Arg,
+			Op: e.Op, Stage: e.Stage.String(), Core: e.Core,
+			Thread: e.Thread, Flags: e.Flags,
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a stream written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("evlog: empty stream")
+	}
+	var hdr struct {
+		Evlog int `json:"evlog"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Evlog != 1 {
+		return nil, fmt.Errorf("evlog: not an event log stream")
+	}
+	stageByName := map[string]Stage{}
+	for s := Stage(0); s < numStages; s++ {
+		stageByName[s.String()] = s
+	}
+	var out []Event
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("evlog: line %d: %w", len(out)+2, err)
+		}
+		st, ok := stageByName[je.Stage]
+		if !ok {
+			return nil, fmt.Errorf("evlog: line %d: unknown stage %q", len(out)+2, je.Stage)
+		}
+		out = append(out, Event{
+			Cycle: je.Cycle, Seq: je.Seq, RIP: je.RIP, Arg: je.Arg,
+			Op: je.Op, Stage: st, Core: je.Core, Thread: je.Thread,
+			Flags: je.Flags,
+		})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,196 @@
+package evlog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// ev builds a uop event with the fields the ring logic cares about.
+func ev(cycle, seq uint64, stage Stage, core, thread uint8) Event {
+	return Event{Cycle: cycle, Seq: seq, RIP: 0xffff800000100000 + seq*4,
+		Op: uint16(seq % 40), Stage: stage, Core: core, Thread: thread}
+}
+
+func TestNewRounding(t *testing.T) {
+	cases := []struct{ ask, want int }{
+		{0, DefaultSize}, {-5, DefaultSize}, {1, 64}, {64, 64},
+		{65, 128}, {100, 128}, {1 << 12, 1 << 12}, {(1 << 12) + 1, 1 << 13},
+	}
+	for _, c := range cases {
+		if got := New(c.ask).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	l := New(64)
+	const total = 100
+	for i := uint64(0); i < total; i++ {
+		l.Record(ev(i, i, StageIssue, 0, 0))
+	}
+	if l.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", l.Len())
+	}
+	if l.Recorded() != total {
+		t.Fatalf("Recorded = %d, want %d", l.Recorded(), total)
+	}
+	got := l.Events()
+	if len(got) != 64 {
+		t.Fatalf("Events len = %d, want 64", len(got))
+	}
+	// Oldest survivor is event total-64 = 36; newest is 99. Oldest-first.
+	for i, e := range got {
+		want := uint64(total - 64 + i)
+		if e.Seq != want || e.Cycle != want {
+			t.Fatalf("Events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := New(64)
+	for i := uint64(0); i < 10; i++ {
+		l.Record(ev(i, i, StageCommit, 0, 0))
+	}
+	tail := l.Tail(3)
+	if len(tail) != 3 {
+		t.Fatalf("Tail(3) len = %d", len(tail))
+	}
+	for i, want := range []uint64{7, 8, 9} {
+		if tail[i].Seq != want {
+			t.Fatalf("Tail[%d].Seq = %d, want %d", i, tail[i].Seq, want)
+		}
+	}
+	if got := l.Tail(100); len(got) != 10 {
+		t.Fatalf("Tail(100) len = %d, want 10 (clamped to held)", len(got))
+	}
+	if got := l.Tail(0); got != nil {
+		t.Fatalf("Tail(0) = %v, want nil", got)
+	}
+	if got := New(64).Tail(5); got != nil {
+		t.Fatalf("empty Tail(5) = %v, want nil", got)
+	}
+}
+
+// TestAnnulBackpatch covers the flush-recovery backpatching: events are
+// recorded in pipeline-activity order (not seq order), so a younger
+// uop's rename can land in the ring before an older uop's issue —
+// Annul must still catch every flagged event across the whole ring.
+func TestAnnulBackpatch(t *testing.T) {
+	l := New(64)
+	// Interleaved activity order: seq 7 renames before seq 5 issues.
+	l.Record(ev(10, 5, StageRename, 0, 0))
+	l.Record(ev(11, 7, StageRename, 0, 0))
+	l.Record(ev(12, 5, StageIssue, 0, 0))
+	l.Record(ev(12, 7, StageIssue, 0, 0))
+	l.Record(ev(13, 8, StageRename, 0, 1))        // other thread: untouched
+	l.Record(ev(13, 9, StageRename, 1, 0))        // other core: untouched
+	l.Record(Event{Cycle: 14, Seq: 7, Stage: StageRedirect, Op: NoOp}) // carrier: untouched
+
+	l.Annul(0, 0, 5) // squash everything younger than seq 5 on core0/thread0
+
+	for _, e := range l.Events() {
+		annulled := e.Flags&FlagAnnulled != 0
+		wantAnnulled := e.Core == 0 && e.Thread == 0 && e.Seq > 5 && e.Stage < StageRedirect
+		if annulled != wantAnnulled {
+			t.Errorf("event seq=%d core=%d thread=%d stage=%v: annulled=%v, want %v",
+				e.Seq, e.Core, e.Thread, e.Stage, annulled, wantAnnulled)
+		}
+	}
+}
+
+func TestAnnulAfterWrap(t *testing.T) {
+	l := New(64)
+	for i := uint64(0); i < 150; i++ {
+		l.Record(ev(i, i, StageDispatch, 0, 0))
+	}
+	l.Annul(0, 0, 120)
+	annulled := 0
+	for _, e := range l.Events() {
+		if e.Flags&FlagAnnulled != 0 {
+			if e.Seq <= 120 {
+				t.Fatalf("seq %d annulled but <= afterSeq", e.Seq)
+			}
+			annulled++
+		}
+	}
+	if annulled != 29 { // seqs 121..149
+		t.Fatalf("annulled %d events, want 29", annulled)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		ev(1, 1, StageFetch, 0, 0),
+		ev(2, 1, StageRename, 0, 0),
+		{Cycle: 3, Seq: 1, RIP: 0x40, Arg: 0x80, Op: NoOp,
+			Stage: StageFlush, Core: 1, Thread: 1, Flags: FlagMispredict},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{\"cycles\": 9}\n")); err == nil {
+		t.Fatal("non-evlog header accepted")
+	}
+	bad := "{\"evlog\":1,\"events\":1}\n{\"stage\":\"nonsense\"}\n"
+	if _, err := ReadJSON(bytes.NewBufferString(bad)); err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if s.String() == "" {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if Stage(200).String() != "stage200" {
+		t.Fatalf("out-of-range stage renders %q", Stage(200).String())
+	}
+}
+
+// BenchmarkRecord measures the enabled hot path: one indexed store and
+// an increment.
+func BenchmarkRecord(b *testing.B) {
+	l := New(DefaultSize)
+	e := ev(1, 1, StageIssue, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Cycle = uint64(i)
+		l.Record(e)
+	}
+}
+
+// BenchmarkRecordGated measures the disabled path as the cores see it:
+// a nil check and nothing else.
+func BenchmarkRecordGated(b *testing.B) {
+	var l *Log
+	e := ev(1, 1, StageIssue, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if l != nil {
+			l.Record(e)
+		}
+	}
+	_ = e
+}

@@ -1,0 +1,303 @@
+// Exporters: three views of the same event stream.
+//
+//   - WriteText: the per-uop pipeline dump attached to SimError payloads
+//     and triage journals — a fixed-width table a human greps.
+//   - WriteChromeTrace: Chrome trace_event JSON (chrome://tracing /
+//     about:tracing / Perfetto) — one track per hardware thread, one
+//     slice per pipeline stage occupancy, instant markers for flushes.
+//   - WriteKonata: the Kanata text format the Konata pipeline viewer
+//     renders as the classic cycle-by-cycle pipeline diagram.
+package evlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func flagString(f uint8) string {
+	s := ""
+	if f&FlagAnnulled != 0 {
+		s += "A"
+	}
+	if f&FlagMispredict != 0 {
+		s += "M"
+	}
+	if f&FlagReplayed != 0 {
+		s += "R"
+	}
+	if f&FlagSeqCore != 0 {
+		s += "S"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WriteText renders events oldest-first as a fixed-width table.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%10s %8s c/t %-9s %-10s %-16s %5s %s\n",
+		"CYCLE", "SEQ", "STAGE", "OP", "RIP", "FLAGS", "ARG")
+	for i := range events {
+		e := &events[i]
+		arg := ""
+		if e.Arg != 0 {
+			arg = fmt.Sprintf("%#x", e.Arg)
+		}
+		fmt.Fprintf(bw, "%10d %8d %d/%d %-9s %-10s %016x %5s %s\n",
+			e.Cycle, e.Seq, e.Core, e.Thread, e.Stage.String(),
+			OpName(e.Op), e.RIP, flagString(e.Flags), arg)
+	}
+	return bw.Flush()
+}
+
+// Text renders events as a string (convenience for SimError payloads).
+func Text(events []Event) string {
+	var b writerBuilder
+	WriteText(&b, events)
+	return b.String()
+}
+
+type writerBuilder struct{ buf []byte }
+
+func (b *writerBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *writerBuilder) String() string { return string(b.buf) }
+
+// uopKey identifies one dynamic uop across its events.
+type uopKey struct {
+	core, thread uint8
+	seq          uint64
+}
+
+// uopLife is a uop's reconstructed lifetime: the cycle each stage was
+// observed, plus identity carried from the first event.
+type uopLife struct {
+	key    uopKey
+	rip    uint64
+	op     uint16
+	flags  uint8
+	stages [numStages]uint64 // cycle+1 per stage (0 = not observed)
+	order  int               // first-appearance order for stable output
+}
+
+func (u *uopLife) at(s Stage) (uint64, bool) {
+	v := u.stages[s]
+	return v - 1, v != 0
+}
+
+// collect groups uop-stage events into lifetimes and returns carriers
+// separately. Lifetimes come back in first-appearance order.
+func collect(events []Event) ([]*uopLife, []Event) {
+	lives := map[uopKey]*uopLife{}
+	var order []*uopLife
+	var carriers []Event
+	for i := range events {
+		e := &events[i]
+		if e.Stage >= StageRedirect {
+			carriers = append(carriers, *e)
+			continue
+		}
+		k := uopKey{e.Core, e.Thread, e.Seq}
+		u := lives[k]
+		if u == nil {
+			u = &uopLife{key: k, rip: e.RIP, op: e.Op, order: len(order)}
+			lives[k] = u
+			order = append(order, u)
+		}
+		u.flags |= e.Flags
+		// Keep the first observation of each stage (replays re-issue:
+		// the replay event itself records the bounce).
+		if u.stages[e.Stage] == 0 {
+			u.stages[e.Stage] = e.Cycle + 1
+		}
+		if e.Op != NoOp {
+			u.op = e.Op
+		}
+	}
+	return order, carriers
+}
+
+// WriteChromeTrace writes Chrome trace_event JSON (JSON Array Format).
+// Cycles map to microseconds, cores to processes, hardware threads to
+// thread tracks. Each uop contributes one complete ("X") slice per
+// stage it occupied, named by its opcode; carrier events become
+// instant ("i") markers. Load the output in about:tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	lives, carriers := collect(events)
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name processes (cores) and threads.
+	seen := map[[2]uint8]bool{}
+	for _, u := range lives {
+		ct := [2]uint8{u.key.core, u.key.thread}
+		if seen[ct] {
+			continue
+		}
+		seen[ct] = true
+		emit(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"core%d"}}`,
+			u.key.core, u.key.core)
+		emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"thread%d"}}`,
+			u.key.core, u.key.thread, u.key.thread)
+	}
+
+	// One slice per occupied stage span: a stage's slice runs from its
+	// observation to the next observed stage (minimum 1 cycle).
+	spanStages := []Stage{StageFetch, StageRename, StageDispatch, StageIssue, StageComplete, StageCommit}
+	for _, u := range lives {
+		name := OpName(u.op)
+		cat := "uop"
+		if u.flags&FlagAnnulled != 0 {
+			cat = "annulled"
+		}
+		for si, s := range spanStages {
+			start, ok := u.at(s)
+			if !ok {
+				continue
+			}
+			end := start + 1
+			for _, ns := range spanStages[si+1:] {
+				if v, ok2 := u.at(ns); ok2 && v > start {
+					end = v
+					break
+				}
+			}
+			emit(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":{"seq":%d,"rip":"%#x","stage":%q}}`,
+				name, cat, u.key.core, u.key.thread, start, end-start,
+				u.key.seq, u.rip, s.String())
+		}
+	}
+	for i := range carriers {
+		e := &carriers[i]
+		emit(`{"ph":"i","name":%q,"s":"t","pid":%d,"tid":%d,"ts":%d,"args":{"seq":%d,"rip":"%#x","arg":"%#x"}}`,
+			e.Stage.String(), e.Core, e.Thread, e.Cycle, e.Seq, e.RIP, e.Arg)
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// Konata stage lane labels, indexed by Stage.
+var konataLane = [numStages]string{
+	"F", "Rn", "Ds", "Is", "Rp", "Cm", "Rt",
+	"", "", "", "", "",
+}
+
+// WriteKonata writes the Kanata log format (version 0004) rendered by
+// the Konata pipeline viewer: per-uop lanes with stage begin/end
+// records and a retire/flush record closing each uop.
+func WriteKonata(w io.Writer, events []Event) error {
+	lives, _ := collect(events)
+	if len(lives) == 0 {
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "Kanata\t0004\n")
+		return bw.Flush()
+	}
+
+	// Konata is cycle-driven: build a timeline of stage transitions.
+	type edge struct {
+		cycle uint64
+		id    int
+		lane  string
+		begin bool // S vs E
+	}
+	type retireRec struct {
+		cycle   uint64
+		id      int
+		flushed bool
+	}
+	var edges []edge
+	var retires []retireRec
+	minCycle := ^uint64(0)
+	spanStages := []Stage{StageFetch, StageRename, StageDispatch, StageIssue, StageComplete, StageCommit}
+	for id, u := range lives {
+		var last Stage
+		haveLast := false
+		endCycle := uint64(0)
+		for _, s := range spanStages {
+			c, ok := u.at(s)
+			if !ok {
+				continue
+			}
+			if c < minCycle {
+				minCycle = c
+			}
+			if haveLast {
+				edges = append(edges, edge{c, id, konataLane[last], false})
+			}
+			edges = append(edges, edge{c, id, konataLane[s], true})
+			last, haveLast = s, true
+			endCycle = c
+		}
+		if !haveLast {
+			continue
+		}
+		edges = append(edges, edge{endCycle + 1, id, konataLane[last], false})
+		retires = append(retires, retireRec{endCycle + 1, id, u.flags&FlagAnnulled != 0})
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].cycle < edges[j].cycle })
+	sort.SliceStable(retires, func(i, j int) bool { return retires[i].cycle < retires[j].cycle })
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Kanata\t0004\n")
+	fmt.Fprintf(bw, "C=\t%d\n", minCycle)
+	cur := minCycle
+	advance := func(to uint64) {
+		if to > cur {
+			fmt.Fprintf(bw, "C\t%d\n", to-cur)
+			cur = to
+		}
+	}
+	// Declare every uop lane up front at its first cycle via I/L lines,
+	// interleaved with stage records in cycle order.
+	declared := make([]bool, len(lives))
+	ri := 0
+	for ei := 0; ei < len(edges); ei++ {
+		e := edges[ei]
+		for ri < len(retires) && retires[ri].cycle <= e.cycle {
+			r := retires[ri]
+			advance(r.cycle)
+			typ := 0
+			if r.flushed {
+				typ = 1
+			}
+			fmt.Fprintf(bw, "R\t%d\t%d\t%d\n", r.id, r.id, typ)
+			ri++
+		}
+		advance(e.cycle)
+		if !declared[e.id] {
+			u := lives[e.id]
+			fmt.Fprintf(bw, "I\t%d\t%d\t%d\n", e.id, u.key.seq, u.key.thread)
+			fmt.Fprintf(bw, "L\t%d\t0\t%x: %s\n", e.id, u.rip, OpName(u.op))
+			declared[e.id] = true
+		}
+		if e.begin {
+			fmt.Fprintf(bw, "S\t%d\t0\t%s\n", e.id, e.lane)
+		} else {
+			fmt.Fprintf(bw, "E\t%d\t0\t%s\n", e.id, e.lane)
+		}
+	}
+	for ; ri < len(retires); ri++ {
+		r := retires[ri]
+		advance(r.cycle)
+		typ := 0
+		if r.flushed {
+			typ = 1
+		}
+		fmt.Fprintf(bw, "R\t%d\t%d\t%d\n", r.id, r.id, typ)
+	}
+	return bw.Flush()
+}

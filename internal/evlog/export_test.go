@@ -1,0 +1,121 @@
+package evlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+// goldenEvents is a small deterministic pipeline history: two uops that
+// retire cleanly, one wrong-path uop annulled by a redirect, and the
+// redirect carrier itself.
+func goldenEvents() []Event {
+	l := New(64)
+	// uop 1: full life, commits.
+	l.Record(Event{Cycle: 100, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageFetch})
+	l.Record(Event{Cycle: 102, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageRename})
+	l.Record(Event{Cycle: 102, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageDispatch, Arg: 2})
+	l.Record(Event{Cycle: 104, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageIssue})
+	l.Record(Event{Cycle: 106, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageComplete, Arg: 0xbeef})
+	// uop 2: a mispredicted branch that still commits.
+	l.Record(Event{Cycle: 101, Seq: 2, RIP: 0x401004, Op: 7, Stage: StageFetch})
+	l.Record(Event{Cycle: 103, Seq: 2, RIP: 0x401004, Op: 7, Stage: StageRename})
+	l.Record(Event{Cycle: 105, Seq: 2, RIP: 0x401004, Op: 7, Stage: StageIssue, Flags: FlagMispredict})
+	l.Record(Event{Cycle: 107, Seq: 2, RIP: 0x401004, Op: 7, Stage: StageComplete})
+	// uop 3: wrong path, annulled by the redirect below.
+	l.Record(Event{Cycle: 104, Seq: 3, RIP: 0x401010, Op: 5, Stage: StageFetch})
+	l.Record(Event{Cycle: 106, Seq: 3, RIP: 0x401010, Op: 5, Stage: StageRename})
+	// redirect carrier (branch seq 2 resolved mispredicted).
+	l.Record(Event{Cycle: 107, Seq: 2, RIP: 0x401004, Arg: 0x402000, Op: NoOp, Stage: StageRedirect})
+	l.Annul(0, 0, 2)
+	// commits after recovery.
+	l.Record(Event{Cycle: 108, Seq: 1, RIP: 0x401000, Op: 3, Stage: StageCommit})
+	l.Record(Event{Cycle: 109, Seq: 2, RIP: 0x401004, Op: 7, Stage: StageCommit, Flags: FlagMispredict})
+	return l.Events()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run %s -update)", err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be a valid JSON array of trace events before it is
+	// anything else — chrome://tracing rejects torn JSON outright.
+	var objs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &objs); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, o := range objs {
+		ph, _ := o["ph"].(string)
+		phases[ph]++
+	}
+	if phases["M"] == 0 || phases["X"] == 0 || phases["i"] == 0 {
+		t.Fatalf("trace missing event phases: %v", phases)
+	}
+	checkGolden(t, "pipeline.chrome.json", buf.Bytes())
+}
+
+func TestKonataGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteKonata(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Kanata\t0004\n") {
+		t.Fatalf("missing Kanata header:\n%s", out)
+	}
+	// The annulled wrong-path uop must retire as a flush (R type 1).
+	if !strings.Contains(out, "\t1\n") {
+		t.Fatalf("no flushed-retire record in output:\n%s", out)
+	}
+	checkGolden(t, "pipeline.kanata", buf.Bytes())
+}
+
+func TestKonataEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteKonata(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "Kanata\t0004\n" {
+		t.Fatalf("empty stream rendered %q", buf.String())
+	}
+}
+
+func TestTextDump(t *testing.T) {
+	out := Text(goldenEvents())
+	for _, want := range []string{"CYCLE", "redirect", "commit", "A", "M"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "pipeline.txt", []byte(out))
+}

@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"ptlsim/internal/core"
+	"ptlsim/internal/evlog"
+	"ptlsim/internal/simerr"
+)
+
+// TestWatchdogCarriesEventTail is the paper's §11 debugging workflow
+// end to end: a fault-injected run dies, and the SimError carries the
+// rendered tail of the pipeline event log — the last uop-by-uop
+// pipeline activity before the failure.
+func TestWatchdogCarriesEventTail(t *testing.T) {
+	m := benchMachine(t, 20_000)
+	m.SwitchMode(core.ModeSim)
+	m.SetEventLog(evlog.New(1 << 12))
+	New(Spec{Kind: MemDelay, Insn: 500, Cycles: 1 << 40}).Attach(m)
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("want SimError, got %T: %v", err, err)
+	}
+	if se.Kind != simerr.KindLivelock {
+		t.Fatalf("kind = %v, want %v", se.Kind, simerr.KindLivelock)
+	}
+	if se.EventTail == "" {
+		t.Fatal("SimError should carry the pipeline event tail when a log is attached")
+	}
+	for _, want := range []string{"CYCLE", "commit"} {
+		if !strings.Contains(se.EventTail, want) {
+			t.Fatalf("event tail missing %q:\n%s", want, se.EventTail)
+		}
+	}
+	if !strings.Contains(se.Detail(), "pipeline event tail:") {
+		t.Fatal("Detail() should render the event tail section")
+	}
+}
+
+// TestWatchdogNoLogNoTail: without an attached log the report simply
+// lacks the section — the zero-cost disabled path.
+func TestWatchdogNoLogNoTail(t *testing.T) {
+	m := benchMachine(t, 20_000)
+	m.SwitchMode(core.ModeSim)
+	New(Spec{Kind: MemDelay, Insn: 500, Cycles: 1 << 40}).Attach(m)
+	err := m.Run(0)
+	se, ok := simerr.As(err)
+	if !ok {
+		t.Fatalf("want SimError, got %T: %v", err, err)
+	}
+	if se.EventTail != "" {
+		t.Fatalf("no log attached but tail present:\n%s", se.EventTail)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ptlsim/internal/jobd"
+	"ptlsim/internal/metrics"
 )
 
 // ClientConfig tunes the retrying HTTP client. Zero values take the
@@ -266,6 +267,21 @@ func (c *Client) Version(ctx context.Context, base string) (jobd.Version, error)
 	var v jobd.Version
 	err := c.getJSON(ctx, base+"/version", &v)
 	return v, err
+}
+
+// Metrics fetches a daemon's /metrics Prometheus exposition and parses
+// the unlabeled series into name → value. Names arrive in sanitized
+// Prometheus form (dots become underscores: jobd_queue_depth).
+func (c *Client) Metrics(ctx context.Context, base string) (map[string]float64, error) {
+	resp, err := c.do(ctx, http.MethodGet, base+"/metrics", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, readHTTPError(resp)
+	}
+	return metrics.ParseText(resp.Body)
 }
 
 // Healthz probes daemon liveness.

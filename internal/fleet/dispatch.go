@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ptlsim/internal/jobd"
+	"ptlsim/internal/metrics"
 	"ptlsim/internal/supervisor"
 )
 
@@ -32,7 +33,19 @@ type Config struct {
 	Poll    *Client // status/health client (short timeout, no retries); default 2s/no-retry
 	Journal *supervisor.Journal
 	Logf    func(format string, args ...any) // optional progress output
+
+	// Metrics, when set, receives the dispatcher's counters (leases
+	// granted/stolen/fenced, node-down transitions, cell verdicts), the
+	// fleet.nodes.up gauge, and the lease-to-verdict cell latency
+	// histogram — ptlsweep serves them at -metrics-addr. The dispatcher
+	// only writes plain counters/gauges here (no callbacks into its
+	// single-goroutine state), so concurrent scrapes are safe.
+	Metrics *metrics.Registry
 }
+
+// cellLatencyBounds buckets lease-to-verdict cell latency (ms).
+var cellLatencyBounds = []float64{
+	100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 120000}
 
 // Report is the merged campaign outcome: one verdict per cell plus the
 // robustness accounting the soak asserts on. The journal carries the
@@ -117,6 +130,9 @@ type cellRun struct {
 	node   *nodeState
 	jobID  string
 	expiry time.Time
+	// leasedAt is the wall clock of the first lease grant; the verdict
+	// observes lease-to-verdict latency into the campaign histogram.
+	leasedAt time.Time
 }
 
 // staleLease tracks a superseded epoch until it is seen terminal, so
@@ -173,6 +189,36 @@ func (d *Dispatcher) logf(format string, args ...any) {
 	if d.cfg.Logf != nil {
 		d.cfg.Logf(format, args...)
 	}
+}
+
+// count increments a dispatcher counter when a registry is attached.
+func (d *Dispatcher) count(name string) {
+	if d.cfg.Metrics != nil {
+		d.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+// setGauges publishes the point-in-time fleet view after a tick. These
+// are explicit Sets from the dispatch goroutine — not GaugeFunc
+// callbacks — because the dispatcher's node/cell state is unlocked
+// single-goroutine state a scrape must never reach into.
+func (d *Dispatcher) setGauges() {
+	if d.cfg.Metrics == nil {
+		return
+	}
+	d.cfg.Metrics.Gauge("fleet.nodes.up").Set(int64(d.upCount()))
+	pending, leased := 0, 0
+	for _, cr := range d.cells {
+		switch cr.state {
+		case cellPending:
+			pending++
+		case cellLeased:
+			leased++
+		}
+	}
+	d.cfg.Metrics.Gauge("fleet.cells.pending").Set(int64(pending))
+	d.cfg.Metrics.Gauge("fleet.cells.leased").Set(int64(leased))
+	d.cfg.Metrics.Gauge("fleet.cells.terminal").Set(int64(d.terminalCount()))
 }
 
 // Run dispatches the campaign to completion (every cell terminal) or
@@ -287,6 +333,7 @@ func (d *Dispatcher) tick(ctx context.Context) {
 	for _, n := range d.nodes {
 		n.score *= 0.95
 	}
+	d.setGauges()
 }
 
 func (d *Dispatcher) healthPass(ctx context.Context) {
@@ -309,6 +356,7 @@ func (d *Dispatcher) healthPass(ctx context.Context) {
 		if !n.down && n.consecFails >= d.cfg.DownAfter {
 			n.down = true
 			d.rep.NodesDown++
+			d.count("fleet.nodes.down_transitions")
 			d.journal.Append(supervisor.Entry{Event: supervisor.EventNodeDown,
 				Message: fmt.Sprintf("%s: %d consecutive health failures: %v", n.Name, n.consecFails, errs[i])})
 			d.logf("node %s down (%v)", n.Name, errs[i])
@@ -406,15 +454,21 @@ func (d *Dispatcher) recordVerdict(cr *cellRun, st jobd.Status) {
 	}
 	d.rep.Verdicts = append(d.rep.Verdicts, v)
 	cr.node.inflight--
+	if d.cfg.Metrics != nil && !cr.leasedAt.IsZero() {
+		d.cfg.Metrics.Histogram("fleet.cell.latency_ms", cellLatencyBounds).
+			Observe(float64(time.Since(cr.leasedAt).Milliseconds()))
+	}
 	if st.State == jobd.StateDone {
 		cr.state = cellDone
 		d.rep.Done++
+		d.count("fleet.cells.done")
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventCellDone,
 			Job: cr.cell.ID, Attempt: int(cr.epoch), Cycle: v.Cycles, Insns: v.Insns,
 			Message: fmt.Sprintf("%s job %s fnv %016x", cr.node.Name, st.ID, v.ConsoleFNV)})
 	} else {
 		cr.state = cellFailed
 		d.rep.Failed++
+		d.count("fleet.cells.failed")
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventCellFail,
 			Job: cr.cell.ID, Attempt: int(cr.epoch), Kind: st.Kind,
 			Message: fmt.Sprintf("%s job %s: %s", cr.node.Name, st.ID, st.Error)})
@@ -456,6 +510,7 @@ func (d *Dispatcher) applyGhostProbe(sl *staleLease, st jobd.Status, err error) 
 
 func (d *Dispatcher) fence(sl *staleLease, msg string) {
 	d.rep.Fences++
+	d.count("fleet.leases.fenced")
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventFenceReject,
 		Job: sl.cellID, Attempt: int(sl.epoch), Message: msg})
 	d.logf("fenced: cell %s epoch %d: %s", sl.cellID, sl.epoch, msg)
@@ -478,6 +533,7 @@ func (d *Dispatcher) expiryPass() {
 		}
 		cr.node.inflight--
 		d.rep.Steals++
+		d.count("fleet.leases.stolen")
 		d.journal.Append(supervisor.Entry{Event: supervisor.EventLeaseSteal,
 			Job: cr.cell.ID, Attempt: int(cr.epoch),
 			Message: fmt.Sprintf("node %s unresponsive for %s; re-leasing", cr.node.Name, d.cfg.LeaseTTL)})
@@ -499,6 +555,7 @@ func (d *Dispatcher) bumpEpoch(cr *cellRun) {
 	if int(cr.epoch) > d.cfg.MaxEpochs {
 		cr.state = cellFailed
 		d.rep.Failed++
+		d.count("fleet.cells.failed")
 		d.rep.Verdicts = append(d.rep.Verdicts, Verdict{
 			Cell: cr.cell.ID, Label: cr.cell.Label, Epoch: cr.epoch,
 			State: jobd.StateFailed, Kind: "lease-budget",
@@ -549,7 +606,11 @@ func (d *Dispatcher) assignPass(ctx context.Context) {
 		if s.err == nil {
 			s.cr.jobID = s.st.ID
 			s.cr.expiry = time.Now().Add(d.cfg.LeaseTTL)
+			if s.cr.leasedAt.IsZero() {
+				s.cr.leasedAt = time.Now()
+			}
 			d.rep.Leases++
+			d.count("fleet.leases.granted")
 			d.journal.Append(supervisor.Entry{Event: supervisor.EventLeaseGrant,
 				Job: s.cr.cell.ID, Attempt: int(s.cr.epoch),
 				Message: fmt.Sprintf("%s job %s", s.n.Name, s.st.ID)})

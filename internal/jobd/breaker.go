@@ -130,6 +130,21 @@ func (b *Breaker) Failure(key uint64) bool {
 	return true
 }
 
+// OpenCount reports how many workload configs currently have an open
+// (or half-open, probe-in-flight) breaker — the daemon exports it as a
+// gauge so operators can see admission throttling from /metrics.
+func (b *Breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.states {
+		if !st.openUntil.IsZero() || st.probing {
+			n++
+		}
+	}
+	return n
+}
+
 // open marks the state open for the cooldown (with mu held).
 func (b *Breaker) open(st *breakerState) {
 	if b.Cooldown > 0 {

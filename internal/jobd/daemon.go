@@ -14,8 +14,8 @@ import (
 	"syscall"
 	"time"
 
+	"ptlsim/internal/metrics"
 	"ptlsim/internal/simerr"
-	"ptlsim/internal/stats"
 	"ptlsim/internal/supervisor"
 )
 
@@ -194,11 +194,11 @@ type Daemon struct {
 	breaker *Breaker
 	store   *JobStore
 
-	// treeMu guards tree: stats counters are wait-free inside the
-	// simulator's single-threaded hot loop, but the daemon counts from
-	// many goroutines.
-	treeMu sync.Mutex
-	tree   *stats.Tree
+	// metrics is the ONE registry behind both /statz (integer snapshot
+	// via Counters) and /metrics (Prometheus text): every daemon counter
+	// and derived gauge lives here, so the two endpoints can never
+	// drift apart.
+	metrics *metrics.Registry
 
 	// latMu guards the completed-job latency ring (Retry-After's
 	// drain-rate estimate).
@@ -238,19 +238,72 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, err
 	}
 	d := &Daemon{
-		cfg:     cfg,
-		tree:    stats.NewTree(),
-		journal: supervisor.NewJournal(cfg.Journal),
+		cfg:       cfg,
+		metrics:   metrics.NewRegistry(),
+		journal:   supervisor.NewJournal(cfg.Journal),
 		breaker:   NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		store:     store,
 		jobs:      map[string]*job{},
 		cellEpoch: map[string]int64{},
 	}
+	d.registerGauges()
 	if err := d.recoverFromStore(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
+
+// registerGauges installs the derived (callback) gauges on the
+// registry: values computed from live daemon state rather than
+// monotonic counts. The callbacks run outside the registry lock and
+// take the daemon's own locks, so scrapes see consistent state.
+func (d *Daemon) registerGauges() {
+	d.metrics.GaugeFunc("jobd.latency.p50_ms", func() float64 {
+		return float64(d.latencyP50())
+	})
+	d.metrics.GaugeFunc("jobd.retry_after_ms", func() float64 {
+		return float64(d.RetryAfter().Milliseconds())
+	})
+	d.metrics.GaugeFunc("jobd.queue.depth", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.queue == nil {
+			return 0
+		}
+		return float64(len(d.queue))
+	})
+	d.metrics.GaugeFunc("jobd.jobs.queued", func() float64 {
+		return float64(d.stateCount(StateQueued))
+	})
+	d.metrics.GaugeFunc("jobd.jobs.running", func() float64 {
+		return float64(d.stateCount(StateRunning))
+	})
+	d.metrics.GaugeFunc("jobd.breaker.open", func() float64 {
+		return float64(d.breaker.OpenCount())
+	})
+	d.metrics.GaugeFunc("jobd.store.compactions", func() float64 {
+		return float64(d.store.Compactions())
+	})
+}
+
+// stateCount counts tracked jobs currently in one lifecycle state.
+func (d *Daemon) stateCount(st State) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, j := range d.jobs {
+		j.mu.Lock()
+		if j.st.State == st {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Metrics exposes the daemon's registry so the HTTP layer can serve
+// the Prometheus exposition from the same source as /statz.
+func (d *Daemon) Metrics() *metrics.Registry { return d.metrics }
 
 // Store exposes the durable job store (event streams, inspection).
 func (d *Daemon) Store() *JobStore { return d.store }
@@ -284,15 +337,12 @@ func (d *Daemon) Start() {
 }
 
 // Counters snapshots the daemon's statistics counters (jobs admitted,
-// rejected, retried, workers killed by reason, …) plus the measured
-// p50 completed-job latency backing Retry-After.
+// rejected, retried, workers killed by reason, …) plus the derived
+// gauges (queue depth, breaker state, p50 latency, Retry-After). The
+// snapshot comes from the same registry /metrics serves, so the two
+// views cannot drift.
 func (d *Daemon) Counters() map[string]int64 {
-	d.treeMu.Lock()
-	vals := d.tree.Snapshot(0).Values
-	d.treeMu.Unlock()
-	vals["jobd.latency.p50_ms"] = d.latencyP50()
-	vals["jobd.retry_after_ms"] = d.RetryAfter().Milliseconds()
-	return vals
+	return d.metrics.Ints()
 }
 
 // noteLatency records one completed job's submit→finish latency for
@@ -609,9 +659,7 @@ func (d *Daemon) signalWorkers(sig syscall.Signal) {
 }
 
 func (d *Daemon) count(path string) {
-	d.treeMu.Lock()
-	d.tree.Counter(path).Add(1)
-	d.treeMu.Unlock()
+	d.metrics.Counter(path).Inc()
 }
 
 // runJob owns one freshly queued job end to end: spawn a worker,

@@ -1,0 +1,99 @@
+package jobd
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ptlsim/internal/metrics"
+)
+
+// TestMetricsEndpointMatchesStatz is the one-registry guarantee: the
+// Prometheus /metrics exposition and the /statz JSON snapshot must be
+// two renderings of the same counters, never parallel bookkeeping.
+func TestMetricsEndpointMatchesStatz(t *testing.T) {
+	d := newDaemon(t, nil, nil)
+	defer drainDaemon(t, d)
+	st, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, d, st.ID, 60*time.Second)
+
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	prom, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counters := d.Counters()
+	if counters["jobd.jobs.submitted"] < 1 || counters["jobd.jobs.done"] < 1 {
+		t.Fatalf("statz counters missing the completed job: %v", counters)
+	}
+	// Every /statz key must appear in the exposition under its
+	// sanitized name. Values may legitimately move between the two
+	// scrapes (gauges recompute), so only counter identity is compared
+	// for the monotonic series.
+	for name, v := range counters {
+		pn := metrics.SanitizeName(name)
+		pv, ok := prom[pn]
+		if !ok {
+			t.Errorf("/statz key %q has no /metrics series %q", name, pn)
+			continue
+		}
+		if strings.HasPrefix(name, "jobd.jobs.") && int64(pv) != v {
+			t.Errorf("series %s: /metrics %v vs /statz %d", pn, pv, v)
+		}
+	}
+	for _, want := range []string{"jobd_queue_depth", "jobd_breaker_open",
+		"jobd_retry_after_ms", "jobd_store_compactions", "jobd_jobs_running"} {
+		if _, ok := prom[want]; !ok {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestBreakerOpenCount(t *testing.T) {
+	b := NewBreaker(1, 0)
+	if b.OpenCount() != 0 {
+		t.Fatalf("fresh breaker open count %d", b.OpenCount())
+	}
+	b.Failure(1)
+	b.Failure(2)
+	if b.OpenCount() != 2 {
+		t.Fatalf("open count %d, want 2", b.OpenCount())
+	}
+	b.Success(1)
+	if b.OpenCount() != 1 {
+		t.Fatalf("open count after close %d, want 1", b.OpenCount())
+	}
+}
+
+func TestStoreCompactionsCounted(t *testing.T) {
+	s, err := OpenJobStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Compactions() != 0 {
+		t.Fatalf("fresh store compactions %d", s.Compactions())
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(Record{Op: opAccept, Job: "j1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Compactions() < 2 {
+		t.Fatalf("compactions = %d after 5 appends with compactEvery=2", s.Compactions())
+	}
+}

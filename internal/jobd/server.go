@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ptlsim/internal/metrics"
 )
 
 // Handler exposes the daemon over HTTP:
@@ -29,6 +31,8 @@ import (
 //	GET  /healthz          liveness                 → 200 always
 //	GET  /readyz           admission readiness      → 200 | 503 (draining)
 //	GET  /statz            service counters         → 200 map[string]int64
+//	GET  /metrics          Prometheus text exposition of the same
+//	                       registry backing /statz
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", d.handleSubmit)
@@ -77,6 +81,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSONResponse(w, http.StatusOK, d.Counters())
 	})
+	mux.Handle("GET /metrics", metrics.Handler(d.Metrics()))
 	return mux
 }
 

@@ -112,16 +112,25 @@ type JobStore struct {
 	compactEvery int
 	now          func() time.Time
 
-	mu       sync.Mutex
-	f        *os.File
-	seq      int64
-	appended int // records in the current (post-compaction) log
-	jobs     map[string]*JobState
-	order    []string
-	idem     map[string]string   // idempotency key → job ID
-	events   map[string][]Record // per-job replayable event history
-	skipped  int                 // unparseable lines tolerated during replay
-	watch    chan struct{}       // closed and replaced on every append
+	mu          sync.Mutex
+	f           *os.File
+	seq         int64
+	appended    int // records in the current (post-compaction) log
+	compactions int64
+	jobs        map[string]*JobState
+	order       []string
+	idem        map[string]string   // idempotency key → job ID
+	events      map[string][]Record // per-job replayable event history
+	skipped     int                 // unparseable lines tolerated during replay
+	watch       chan struct{}       // closed and replaced on every append
+}
+
+// Compactions reports how many snapshot compactions this incarnation
+// has performed (exported via the daemon's metrics registry).
+func (s *JobStore) Compactions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
 }
 
 // OpenJobStore opens (creating if absent) the store in dir, replaying
@@ -376,6 +385,7 @@ func (s *JobStore) compact() error {
 	old.Close()
 	s.f = f
 	s.appended = 0
+	s.compactions++
 	return nil
 }
 

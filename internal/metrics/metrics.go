@@ -1,0 +1,305 @@
+// Package metrics is a dependency-free service-metrics registry:
+// atomic counters, gauges, callback gauges and fixed-bucket histograms
+// with Prometheus text exposition. It exists alongside internal/stats
+// deliberately — the stats tree is the simulator's single-goroutine
+// PTLstats hierarchy and stays lock-free in the hot loop, while this
+// package is thread-safe and serves the daemons (ptlserve, ptlsweep),
+// where many goroutines count concurrently and scrapers read live.
+//
+// Metric names are dotted ("jobd.jobs.submitted") to match the stats
+// tree and the historical /statz JSON keys; dots become underscores
+// only at Prometheus exposition time, so both views come from one
+// registry and can never drift.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Inc()         { c.v.Add(1) }
+func (c *Counter) Add(n int64)  { c.v.Add(n) }
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns copies under the lock.
+func (h *Histogram) snapshot() (counts []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...), h.sum, h.count
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use; Counter/Gauge/
+// Histogram return the existing metric when the name is registered.
+type Registry struct {
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	funcs  map[string]func() float64
+	hists  map[string]*Histogram
+}
+
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		funcs:  map[string]func() float64{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.ctrs[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.ctrs[name]; c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time —
+// for values the owner already maintains (queue depth, open breakers).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the named histogram
+// with the given ascending upper bounds. Bounds are fixed at first
+// registration; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Ints snapshots every counter, gauge and callback gauge as int64
+// under its dotted name — the /statz JSON view. Callback gauges are
+// rounded to the nearest integer.
+func (r *Registry) Ints() map[string]int64 {
+	r.mu.RLock()
+	out := make(map[string]int64, len(r.ctrs)+len(r.gauges)+len(r.funcs))
+	for name, c := range r.ctrs {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	fns := make(map[string]func() float64, len(r.funcs))
+	for name, fn := range r.funcs {
+		fns[name] = fn
+	}
+	r.mu.RUnlock()
+	// Callbacks run outside the registry lock: they may take the
+	// owner's own locks (the job daemon's, the dispatcher's).
+	for name, fn := range fns {
+		out[name] = int64(math.Round(fn()))
+	}
+	return out
+}
+
+// SanitizeName maps a dotted metric name to the Prometheus grammar:
+// every character outside [a-zA-Z0-9_:] becomes '_'.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the text exposition format (version 0.0.4):
+// every metric sorted by name, with # TYPE lines, histogram buckets as
+// cumulative counts with le labels plus _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type fnGauge struct {
+		name string
+		fn   func() float64
+	}
+	ctrNames := make([]string, 0, len(r.ctrs))
+	for n := range r.ctrs {
+		ctrNames = append(ctrNames, n)
+	}
+	gaugeNames := make([]string, 0, len(r.gauges)+len(r.funcs))
+	for n := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	var fns []fnGauge
+	for n, fn := range r.funcs {
+		gaugeNames = append(gaugeNames, n)
+		fns = append(fns, fnGauge{n, fn})
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	ctrs, gauges, hists := r.ctrs, r.gauges, r.hists
+	r.mu.RUnlock()
+
+	fnVals := map[string]float64{}
+	for _, f := range fns {
+		fnVals[f.name] = f.fn()
+	}
+	sort.Strings(ctrNames)
+	sort.Strings(gaugeNames)
+	sort.Strings(histNames)
+
+	bw := bufio.NewWriter(w)
+	for _, n := range ctrNames {
+		pn := SanitizeName(n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, ctrs[n].Value())
+	}
+	for _, n := range gaugeNames {
+		pn := SanitizeName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		if v, ok := fnVals[n]; ok {
+			fmt.Fprintf(bw, "%s %s\n", pn, formatFloat(v))
+		} else {
+			fmt.Fprintf(bw, "%s %d\n", pn, gauges[n].Value())
+		}
+	}
+	for _, n := range histNames {
+		h := hists[n]
+		counts, sum, count := h.snapshot()
+		pn := SanitizeName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, formatFloat(b), cum)
+		}
+		cum += counts[len(h.bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, formatFloat(sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, count)
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// ParseText parses Prometheus text exposition into name → value,
+// skipping comments and labeled series (histogram buckets) — the
+// client side for ptlmon's remote metrics summary. Names come back
+// exactly as exposed (underscored).
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		if strings.ContainsAny(name, "{}") {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Inc()
+	r.Counter("a.b").Add(4)
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Add(-2)
+	r.GaugeFunc("f", func() float64 { return 2.6 })
+
+	ints := r.Ints()
+	if ints["a.b"] != 5 {
+		t.Fatalf("counter = %d, want 5", ints["a.b"])
+	}
+	if ints["g"] != 5 {
+		t.Fatalf("gauge = %d, want 5", ints["g"])
+	}
+	if ints["f"] != 3 { // callback gauges round to nearest
+		t.Fatalf("func gauge = %d, want 3", ints["f"])
+	}
+}
+
+// TestSameMetricAcrossGets is the no-drift property the daemon relies
+// on: the same name always resolves to the same underlying metric.
+func TestSameMetricAcrossGets(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same counter name returned distinct counters")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("same gauge name returned distinct gauges")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{2, 3}) {
+		t.Fatal("same histogram name returned distinct histograms")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", got)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"jobd.jobs.submitted": "jobd_jobs_submitted",
+		"a-b/c d":             "a_b_c_d",
+		"9lives":              "_9lives",
+		"ok_name:x":           "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobd.jobs.submitted").Add(3)
+	r.Gauge("jobd.queue.depth").Set(2)
+	r.GaugeFunc("jobd.retry_after_ms", func() float64 { return 1500 })
+	h := r.Histogram("cell.latency_ms", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobd_jobs_submitted counter\njobd_jobs_submitted 3\n",
+		"# TYPE jobd_queue_depth gauge\njobd_queue_depth 2\n",
+		"jobd_retry_after_ms 1500\n",
+		"cell_latency_ms_bucket{le=\"10\"} 1\n",
+		"cell_latency_ms_bucket{le=\"100\"} 2\n",
+		"cell_latency_ms_bucket{le=\"+Inf\"} 3\n",
+		"cell_latency_ms_sum 555\n",
+		"cell_latency_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 20})
+	h.Observe(10) // on the boundary: belongs in le="10"
+	h.Observe(11)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "h_bucket{le=\"10\"} 1\n") {
+		t.Fatalf("boundary sample not in its bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "h_bucket{le=\"20\"} 2\n") {
+		t.Fatalf("cumulative bucket wrong:\n%s", out)
+	}
+}
+
+func TestHandlerAndParseText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobd.jobs.done").Add(9)
+	r.Gauge("jobd.queue.depth").Set(4)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	vals, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["jobd_jobs_done"] != 9 || vals["jobd_queue_depth"] != 4 {
+		t.Fatalf("parsed %v", vals)
+	}
+	if _, ok := vals["lat_bucket"]; ok {
+		t.Fatal("labeled bucket series leaked into ParseText output")
+	}
+	if vals["lat_sum"] != 0.5 || vals["lat_count"] != 1 {
+		t.Fatalf("histogram scalars: %v", vals)
+	}
+}

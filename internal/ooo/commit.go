@@ -3,6 +3,7 @@ package ooo
 import (
 	"fmt"
 
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/mem"
 	"ptlsim/internal/uops"
 	"ptlsim/internal/vm"
@@ -50,6 +51,11 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 			// the fresh rename table snapshots the post-delivery state.
 			if err := ctx.DeliverEvent(); err != nil {
 				return budget, err
+			}
+			if c.ev != nil {
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: c.seq, RIP: ctx.RIP,
+					Arg: ctx.RIP, Op: evlog.NoOp, Stage: evlog.StageInterrupt,
+					Core: uint8(c.ID), Thread: uint8(th.id)})
 			}
 			c.FullFlush(th.id)
 			th.fetchRIP = ctx.RIP
@@ -104,6 +110,11 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 			// Serializing microcode assist: executes against the
 			// architectural state, then the pipeline restarts.
 			c.cAssists.Inc()
+			if c.ev != nil {
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: head.seq, RIP: head.uop.RIP,
+					Arg: uint64(head.uop.Imm), Op: uint16(head.uop.Op),
+					Stage: evlog.StageAssist, Core: uint8(c.ID), Thread: uint8(th.id)})
+			}
 			fault := vm.ExecAssist(ctx, &head.uop, c.sys, c)
 			if fault != uops.FaultNone {
 				ctx.RIP = head.uop.RIP
@@ -180,6 +191,15 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 				c.interlock.Release(e.lockLine, c.ID, th.id, e.seq)
 				e.lockHeld = false
 			}
+			if c.ev != nil {
+				var fl uint8
+				if e.mispredicted {
+					fl |= evlog.FlagMispredict
+				}
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: u.RIP,
+					Arg: e.ea, Op: uint16(u.Op), Stage: evlog.StageCommit,
+					Flags: fl, Core: uint8(c.ID), Thread: uint8(th.id)})
+			}
 			if u.EOM {
 				ctx.RIP = e.result // branches store next RIP in result
 				if !u.IsBranch() {
@@ -213,6 +233,11 @@ func (c *Core) commitThread(th *thread, budget int) (int, error) {
 			// written page and restart the pipeline after this insn.
 			c.bbc.InvalidatePage(smcPage)
 			c.cSMC.Inc()
+			if c.ev != nil {
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: c.seq, RIP: ctx.RIP,
+					Arg: smcPage << mem.PageShift, Op: evlog.NoOp,
+					Stage: evlog.StageSMC, Core: uint8(c.ID), Thread: uint8(th.id)})
+			}
 			c.FullFlush(th.id)
 			th.fetchRIP = ctx.RIP
 			return budget, nil

@@ -7,6 +7,7 @@ import (
 	"ptlsim/internal/bpred"
 	"ptlsim/internal/cache"
 	"ptlsim/internal/decode"
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/simerr"
 	"ptlsim/internal/stats"
 	"ptlsim/internal/tlb"
@@ -72,6 +73,10 @@ type fetched struct {
 	predSnapshot uint64
 	rasSnap      bpred.RASSnapshot
 	hasRASSnap   bool
+	// fetchCycle is set only when the event log is enabled: the fetch
+	// event itself is emitted retroactively at rename, once the uop has
+	// a sequence number to be identified by.
+	fetchCycle uint64
 }
 
 // thread is one SMT hardware context: private frontend, ROB, LDQ and
@@ -201,6 +206,11 @@ type Core struct {
 	auditEvery   uint64
 	auditScratch []uint8
 
+	// ev, when non-nil, receives packed pipeline events from every
+	// stage. Every hook site is gated on this single nil check, so the
+	// hot loop pays one predicted-not-taken branch when disabled.
+	ev *evlog.Log
+
 	// Statistics.
 	cInsns, cUops, cCycles                  *stats.Counter
 	cBranches, cMispredicts, cTaken        *stats.Counter
@@ -314,6 +324,24 @@ func (c *Core) SetChecker(ck CommitChecker) {
 // (0 disables). On a violation Cycle returns a KindInvariant SimError.
 func (c *Core) SetAudit(n uint64) { c.auditEvery = n }
 
+// SetEventLog attaches a pipeline event log (nil detaches). While
+// attached, every stage transition of every uop is recorded.
+func (c *Core) SetEventLog(l *evlog.Log) { c.ev = l }
+
+// EventLog returns the attached event log (nil when disabled).
+func (c *Core) EventLog() *evlog.Log { return c.ev }
+
+// evTailSize is how many trailing events a failure report carries.
+const evTailSize = 64
+
+// eventTail renders the newest events for attachment to a SimError.
+func (c *Core) eventTail() string {
+	if c.ev == nil || c.ev.Len() == 0 {
+		return ""
+	}
+	return evlog.Text(c.ev.Tail(evTailSize))
+}
+
 // SeedTimingState deterministically perturbs timing-only
 // microarchitectural state (per-thread branch predictor tables) from
 // seed. Architectural results must be invariant under any seed — the
@@ -339,6 +367,9 @@ func (c *Core) decorate(err error) error {
 		}
 		if len(se.LastRIPs) == 0 {
 			se.LastRIPs = c.RecentCommits()
+		}
+		if se.EventTail == "" {
+			se.EventTail = c.eventTail()
 		}
 	}
 	return err
@@ -434,6 +465,16 @@ func (th *thread) robAt(offset int) *robEntry {
 // and SMC). The RAT is rebuilt from architectural state.
 func (c *Core) FullFlush(t int) {
 	th := c.threads[t]
+	if c.ev != nil {
+		// Annul everything in flight (all events younger than the last
+		// committed uop), then record the flush itself as a carrier.
+		if th.robCount > 0 {
+			c.ev.Annul(uint8(c.ID), uint8(t), th.robAt(0).seq-1)
+		}
+		c.ev.Record(evlog.Event{Cycle: c.now, Seq: c.seq, RIP: th.ctx.RIP,
+			Arg: th.ctx.RIP, Op: evlog.NoOp, Stage: evlog.StageFlush,
+			Core: uint8(c.ID), Thread: uint8(t)})
+	}
 	// Roll back renames youngest-first so each physical register is
 	// freed exactly once (the RAT must not still point at a freed
 	// in-flight destination when releaseRAT runs).
@@ -486,6 +527,12 @@ func (c *Core) FullFlush(t int) {
 // rolling the RAT back and restarting fetch at newRIP.
 func (c *Core) squashAfter(t int, seq uint64, newRIP uint64) {
 	th := c.threads[t]
+	if c.ev != nil {
+		c.ev.Annul(uint8(c.ID), uint8(t), seq)
+		c.ev.Record(evlog.Event{Cycle: c.now, Seq: seq, RIP: newRIP,
+			Arg: newRIP, Op: evlog.NoOp, Stage: evlog.StageRedirect,
+			Core: uint8(c.ID), Thread: uint8(t)})
+	}
 	// Walk from tail (youngest) toward head, undoing renames.
 	for th.robCount > 0 {
 		e := th.robAt(th.robCount - 1)
@@ -625,8 +672,9 @@ func (c *Core) checkWatchdog(progressBefore int64) error {
 		RIP:   ctx.RIP,
 		Message: fmt.Sprintf("core %d: no commit progress for %d cycles (watchdog %d)",
 			c.ID, c.now-c.lastProgress, c.watchdogCycles),
-		Dump:     c.DumpState(),
-		LastRIPs: c.RecentCommits(),
+		Dump:      c.DumpState(),
+		LastRIPs:  c.RecentCommits(),
+		EventTail: c.eventTail(),
 	}
 }
 

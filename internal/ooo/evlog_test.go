@@ -1,0 +1,124 @@
+package ooo
+
+import (
+	"testing"
+
+	"ptlsim/internal/bbcache"
+	"ptlsim/internal/evlog"
+	"ptlsim/internal/seqcore"
+	"ptlsim/internal/stats"
+	"ptlsim/internal/vm"
+)
+
+// runOOOEvlog is runOOO with a pipeline event log attached.
+func runOOOEvlog(t *testing.T, code []byte, cfg Config, maxCycles uint64) (*vm.Context, *Core, *evlog.Log) {
+	t.Helper()
+	g := buildGuest(t, code, 1)
+	ctx := g.newCtx(0)
+	tree := stats.NewTree()
+	bbc := bbcache.New(4096, tree, "bb")
+	core := New(0, cfg, []*vm.Context{ctx}, g.sys, bbc, tree, "ooo")
+	l := evlog.New(1 << 14)
+	core.SetEventLog(l)
+	for cyc := uint64(0); cyc < maxCycles && !g.sys.stopped[0]; cyc++ {
+		if err := core.Cycle(cyc); err != nil {
+			t.Fatalf("ooo cycle %d: %v (rip %#x)", cyc, err, ctx.RIP)
+		}
+	}
+	if !g.sys.stopped[0] {
+		t.Fatalf("ooo run did not finish (rip %#x, insns %d)", ctx.RIP, core.Insns())
+	}
+	return ctx, core, l
+}
+
+// TestEvlogRecordsPipeline runs a real program with the event log
+// attached and checks the recorded stream is a coherent pipeline
+// history: every uop stage appears, commits are never annulled, and
+// recording does not perturb architectural execution.
+func TestEvlogRecordsPipeline(t *testing.T) {
+	code := progSum(t)
+	want, wantInsns := runSeq(t, code)
+	got, core, l := runOOOEvlog(t, code, DefaultConfig(), 3_000_000)
+	if !vm.ArchEqual(want, got) {
+		t.Fatalf("event logging perturbed execution: %s", vm.DiffArch(want, got))
+	}
+	if core.Insns() != wantInsns {
+		t.Fatalf("insn count: ooo %d vs seq %d", core.Insns(), wantInsns)
+	}
+	if l.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	stageSeen := map[evlog.Stage]int{}
+	for _, e := range l.Events() {
+		stageSeen[e.Stage]++
+		if e.Stage == evlog.StageCommit && e.Flags&evlog.FlagAnnulled != 0 {
+			t.Fatalf("committed uop seq %d flagged annulled", e.Seq)
+		}
+		if e.Stage < evlog.StageRedirect && e.Op == evlog.NoOp {
+			t.Fatalf("uop event seq %d stage %v has no opcode", e.Seq, e.Stage)
+		}
+	}
+	for _, s := range []evlog.Stage{evlog.StageFetch, evlog.StageRename,
+		evlog.StageDispatch, evlog.StageIssue, evlog.StageComplete, evlog.StageCommit} {
+		if stageSeen[s] == 0 {
+			t.Fatalf("stage %v never recorded (seen: %v)", s, stageSeen)
+		}
+	}
+	// The sum loop's exit branch mispredicts at least once, so recovery
+	// must have annulled some wrong-path work and logged the redirect
+	// (or flush) carrier that caused it.
+	annulled := 0
+	for _, e := range l.Events() {
+		if e.Flags&evlog.FlagAnnulled != 0 {
+			annulled++
+		}
+	}
+	if annulled == 0 {
+		t.Fatal("loop-exit mispredict should annul wrong-path events")
+	}
+	if stageSeen[evlog.StageRedirect]+stageSeen[evlog.StageFlush] == 0 {
+		t.Fatalf("no redirect/flush carrier recorded (seen: %v)", stageSeen)
+	}
+}
+
+// TestEvlogSeqCoreCommits: the sequential core logs commit-only events
+// flagged FlagSeqCore, with the committed-instruction count standing in
+// for the (nonexistent) cycle clock.
+func TestEvlogSeqCoreCommits(t *testing.T) {
+	code := progSum(t)
+	g := buildGuest(t, code, 1)
+	ctx := g.newCtx(0)
+	tree := stats.NewTree()
+	bbc := bbcache.New(4096, tree, "bb")
+	core := seqcore.New(ctx, g.sys, bbc, tree, "seq")
+	l := evlog.New(1 << 12)
+	core.SetEventLog(l, 0)
+	for i := 0; i < 2_000_000 && !g.sys.stopped[0]; i++ {
+		if _, err := core.Step(); err != nil {
+			t.Fatalf("seq step: %v", err)
+		}
+	}
+	if !g.sys.stopped[0] {
+		t.Fatal("seq run did not finish")
+	}
+	if l.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	var lastCycle, lastSeq uint64
+	for _, e := range l.Events() {
+		if e.Stage != evlog.StageCommit {
+			t.Fatalf("seq core recorded stage %v", e.Stage)
+		}
+		if e.Flags&evlog.FlagSeqCore == 0 {
+			t.Fatalf("seq core event missing FlagSeqCore: %+v", e)
+		}
+		if e.Cycle < lastCycle || e.Seq <= lastSeq {
+			t.Fatalf("non-monotonic seq core stream: %+v", e)
+		}
+		lastCycle, lastSeq = e.Cycle, e.Seq
+	}
+	if core.Insns() < int64(l.Len()) {
+		t.Fatalf("more commit events (%d) than committed insns (%d)", l.Len(), core.Insns())
+	}
+}

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/mem"
 	"ptlsim/internal/tlb"
 	"ptlsim/internal/uops"
@@ -20,6 +21,11 @@ func (c *Core) writeback() {
 				}
 				if e.flPhys >= 0 {
 					c.prf[e.flPhys].ready = true
+				}
+				if c.ev != nil {
+					c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: e.uop.RIP,
+						Arg: e.result, Op: uint16(e.uop.Op), Stage: evlog.StageComplete,
+						Core: uint8(c.ID), Thread: uint8(th.id)})
 				}
 			}
 		}
@@ -61,8 +67,25 @@ func (c *Core) issue() {
 			}
 			if !c.execute(th, e, q) {
 				// Replay: stays in the queue with a backoff.
+				if c.ev != nil {
+					c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: e.uop.RIP,
+						Arg: e.ea, Op: uint16(e.uop.Op), Stage: evlog.StageReplay,
+						Flags: evlog.FlagReplayed, Core: uint8(c.ID), Thread: uint8(th.id)})
+				}
 				kept = append(kept, ent)
 				continue
+			}
+			if c.ev != nil {
+				var fl uint8
+				if e.mispredicted {
+					fl |= evlog.FlagMispredict
+				}
+				if e.earliest > 0 {
+					fl |= evlog.FlagReplayed
+				}
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: e.uop.RIP,
+					Arg: e.ea, Op: uint16(e.uop.Op), Stage: evlog.StageIssue,
+					Flags: fl, Core: uint8(c.ID), Thread: uint8(th.id)})
 			}
 			issued++
 		}

@@ -4,6 +4,7 @@ import (
 	"ptlsim/internal/bbcache"
 	"ptlsim/internal/bpred"
 	"ptlsim/internal/decode"
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/mem"
 	"ptlsim/internal/tlb"
 	"ptlsim/internal/uops"
@@ -75,6 +76,9 @@ func (c *Core) fetchThread(th *thread, budget int) int {
 		bb := th.curBB
 		u := bb.Uops[th.bbIdx]
 		f := fetched{uop: u}
+		if c.ev != nil {
+			f.fetchCycle = c.now
+		}
 
 		if u.IsBranch() {
 			f.predTarget, f.predSnapshot, f.rasSnap, f.hasRASSnap = c.predictBranch(th, &u)
@@ -276,6 +280,20 @@ func (c *Core) renameThread(th *thread, budget int) int {
 			e.state = stateDone
 		} else {
 			c.iqs[cl] = append(c.iqs[cl], iqEntry{thread: th.id, rob: slot, seq: e.seq})
+		}
+		if c.ev != nil {
+			// The fetch event is emitted retroactively now that the uop
+			// has its sequence number; its cycle is the true fetch cycle.
+			op := uint16(u.Op)
+			c.ev.Record(evlog.Event{Cycle: f.fetchCycle, Seq: e.seq, RIP: u.RIP,
+				Op: op, Stage: evlog.StageFetch, Core: uint8(c.ID), Thread: uint8(th.id)})
+			c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: u.RIP,
+				Op: op, Stage: evlog.StageRename, Core: uint8(c.ID), Thread: uint8(th.id)})
+			if !e.isAssist() {
+				c.ev.Record(evlog.Event{Cycle: c.now, Seq: e.seq, RIP: u.RIP,
+					Arg: uint64(cl), Op: op, Stage: evlog.StageDispatch,
+					Core: uint8(c.ID), Thread: uint8(th.id)})
+			}
 		}
 		budget--
 	}

@@ -13,6 +13,7 @@ import (
 
 	"ptlsim/internal/bbcache"
 	"ptlsim/internal/decode"
+	"ptlsim/internal/evlog"
 	"ptlsim/internal/mem"
 	"ptlsim/internal/stats"
 	"ptlsim/internal/uops"
@@ -115,6 +116,14 @@ type Core struct {
 	// Statistics.
 	insns, uopsC, branches, takenBranches *stats.Counter
 	loads, storesC, smcFlushes            *stats.Counter
+
+	// ev, when non-nil, receives a commit event per instruction. The
+	// functional core has no cycle clock, so the committed-instruction
+	// count stands in for the cycle. Shadow/phantom cores never get a
+	// log attached — their event stream would duplicate the primary's.
+	ev     *evlog.Log
+	evCore uint8
+	evSeq  uint64
 }
 
 // New creates a sequential core. The basic block cache may be shared
@@ -130,6 +139,22 @@ func New(ctx *vm.Context, sys vm.System, bb *bbcache.Cache, tree *stats.Tree, pr
 		storesC:       tree.Counter(prefix + ".stores"),
 		smcFlushes:    tree.Counter(prefix + ".smc_flushes"),
 	}
+}
+
+// SetEventLog attaches a pipeline event log recording one commit event
+// per committed instruction (nil detaches). coreID tags the events.
+func (c *Core) SetEventLog(l *evlog.Log, coreID uint8) {
+	c.ev = l
+	c.evCore = coreID
+}
+
+// evCommit records one committed-instruction event (callers gate on
+// c.ev != nil so the disabled path costs a single branch).
+func (c *Core) evCommit(rip uint64, op uops.Op) {
+	c.evSeq++
+	c.ev.Record(evlog.Event{Cycle: uint64(c.insns.Value()), Seq: c.evSeq,
+		RIP: rip, Op: uint16(op), Stage: evlog.StageCommit,
+		Flags: evlog.FlagSeqCore, Core: c.evCore})
 }
 
 // NewShadow creates a phantom-mode core: a functional shadow that
@@ -436,6 +461,9 @@ func (c *Core) execInsn(bb *decode.BasicBlock, start int) (redirect bool, consum
 				if c.Obs != nil {
 					c.Obs.OnInsn(u.RIP, ctx.Kernel, 1)
 				}
+				if c.ev != nil {
+					c.evCommit(u.RIP, u.Op)
+				}
 			}
 			return true, n, nil
 		}
@@ -520,6 +548,9 @@ func (c *Core) execInsn(bb *decode.BasicBlock, start int) (redirect bool, consum
 				if c.Obs != nil {
 					c.Obs.OnInsn(u.RIP, ctx.Kernel, n)
 				}
+				if c.ev != nil {
+					c.evCommit(u.RIP, u.Op)
+				}
 			}
 			next := bb.FallThrough()
 			if start+n < len(bb.Uops) {
@@ -544,6 +575,9 @@ func (c *Core) execInsn(bb *decode.BasicBlock, start int) (redirect bool, consum
 				c.insns.Inc()
 				if c.Obs != nil {
 					c.Obs.OnInsn(u.RIP, ctx.Kernel, n)
+				}
+				if c.ev != nil {
+					c.evCommit(u.RIP, u.Op)
 				}
 			}
 			if start+n < len(bb.Uops) {

@@ -96,6 +96,10 @@ type SimError struct {
 	Expected, Actual string
 	// Diff is the field-by-field architectural difference summary.
 	Diff string
+	// EventTail is the rendered tail of the pipeline event log (when a
+	// log was attached): the last few dozen per-uop pipeline events
+	// leading up to the failure.
+	EventTail string
 }
 
 // Error implements error with a compact single-line summary; the Dump
@@ -134,6 +138,10 @@ func (e *SimError) Detail() string {
 	if e.Dump != "" {
 		b.WriteString("\n")
 		b.WriteString(e.Dump)
+	}
+	if e.EventTail != "" {
+		b.WriteString("\npipeline event tail:\n")
+		b.WriteString(e.EventTail)
 	}
 	return b.String()
 }

@@ -265,6 +265,7 @@ func (r *Runner) checkpoint() error {
 	fresh.Dom.Sink = r.M.Dom.Sink
 	fresh.Dom.Source = r.M.Dom.Source
 	fresh.SetStepHook(r.M.StepHook())
+	fresh.SetEventLog(r.M.EventLog())
 	r.M = fresh
 	r.Checkpoints++
 	if r.OnCheckpoint != nil {

@@ -111,6 +111,9 @@ type Entry struct {
 	RIP        uint64 `json:"rip,omitempty"`         // guest RIP at detection
 	Diff       string `json:"diff,omitempty"`        // architectural register diff
 	DivergedAt int64  `json:"diverged_at,omitempty"` // triage: first diverging instruction count
+	// EventTail is the rendered pipeline event log tail captured with
+	// the failure (present only when a run had -evlog enabled).
+	EventTail string `json:"event_tail,omitempty"`
 }
 
 // Journal appends entries to a writer as JSONL. A nil Journal (or one

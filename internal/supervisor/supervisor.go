@@ -232,6 +232,7 @@ func (s *Supervisor) Run(ctx context.Context) error {
 			fe.RIP = se.RIP
 			fe.Commit = se.Commit
 			fe.Diff = se.Diff
+			fe.EventTail = se.EventTail
 		}
 		s.journal.Append(fe)
 		if !simerr.Retryable(err) {
@@ -296,6 +297,7 @@ func (s *Supervisor) restore(ctx context.Context) error {
 	fresh.Dom.Sink = s.M.Dom.Sink
 	fresh.Dom.Source = s.M.Dom.Source
 	fresh.SetStepHook(s.M.StepHook())
+	fresh.SetEventLog(s.M.EventLog())
 	s.M = fresh
 
 	if img.Cycle == s.lastRestore {
@@ -378,6 +380,7 @@ func (s *Supervisor) saveAndSwap() (string, error) {
 	fresh.Dom.Sink = s.M.Dom.Sink
 	fresh.Dom.Source = s.M.Dom.Source
 	fresh.SetStepHook(s.M.StepHook())
+	fresh.SetEventLog(s.M.EventLog())
 	s.M = fresh
 	return slot, nil
 }
