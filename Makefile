@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak fleet-soak bench-snapshot obs-smoke
+.PHONY: build test race vet verify soak serve-smoke restart-soak fuzz-smoke fuzz-soak fleet-soak load-soak bench-snapshot obs-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ fuzz-smoke:
 # and the output directory; the acceptance campaign is FLEET_JOBS=1000).
 fleet-soak:
 	./scripts/fleet_soak.sh
+
+# load-soak floods one ptlserve daemon from four competing tenants
+# (greedy, latency-sensitive, bandwidth-capped, deadline-carrying) and
+# asserts the admission layer's overload behavior: zero accepted jobs
+# lost or duplicated, per-tenant quota 429s, deadline shedding, no
+# priority inversion, bounded admission latency. LOAD_JOBS sizes the
+# storm (default 800; CI acceptance runs 10000); LOAD_PORT and
+# LOAD_DATA tune the port and artifact directory.
+load-soak:
+	./scripts/load_soak.sh
 
 # obs-smoke runs a small workload with the pipeline event log attached,
 # renders it through every exporter (Chrome trace / Konata / text),

@@ -1,0 +1,181 @@
+// Command ptlload is a multi-tenant load generator for ptlserve: it
+// fires N job submissions at a daemon from a fixed tenant identity,
+// at a fixed priority and optional client deadline, over -concurrency
+// parallel submitters, and reports exactly what the admission layer
+// did with them — accepted, deduplicated, rejected on the tenant
+// quota, shed on the deadline estimate, or bounced off the global
+// queue. The soak scripts run several ptlload processes as competing
+// tenants (one greedy, one latency-sensitive, one behind a chaosnet
+// link) and assert fairness and shedding from the merged reports.
+//
+// The client deliberately does NOT retry 429s: a rejection is the
+// datum being measured, not weather to ride out.
+//
+// Example:
+//
+//	ptlload -addr http://127.0.0.1:7483 -n 1000 -tenant greedy -concurrency 32
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ptlsim/internal/fleet"
+	"ptlsim/internal/jobd"
+)
+
+// report is the machine-readable outcome summary, one per process.
+type report struct {
+	Tenant        string   `json:"tenant"`
+	Submitted     int      `json:"submitted"`
+	Accepted      int      `json:"accepted"`
+	Duplicate     int      `json:"duplicate"`
+	QuotaRejected int      `json:"quota_rejected"`
+	Shed          int      `json:"shed"`
+	QueueFull     int      `json:"queue_full"`
+	Errors        int      `json:"errors"`
+	ElapsedMs     int64    `json:"elapsed_ms"`
+	SubmitP50Ms   float64  `json:"submit_p50_ms"`
+	SubmitP99Ms   float64  `json:"submit_p99_ms"`
+	IDs           []string `json:"ids"`
+	ErrorSamples  []string `json:"error_samples,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "ptlserve base URL (required)")
+		n        = flag.Int("n", 100, "submissions to fire")
+		conc     = flag.Int("concurrency", 8, "parallel submitters")
+		tenant   = flag.String("tenant", "", "tenant identity on every submission")
+		priority = flag.Int("priority", 0, "job priority within the tenant (higher first)")
+		deadline = flag.Duration("deadline", 0, "client deadline per job (0 = none); jobs whose estimated wait exceeds it are shed")
+		scale    = flag.String("scale", "small", "workload scale for every job")
+		mode     = flag.String("mode", "sim", "engine mode for every job")
+		nfiles   = flag.Int("nfiles", 0, "corpus file count override (0 = scale default)")
+		filesize = flag.Int("filesize", 0, "corpus file size override (0 = scale default)")
+		maxCyc   = flag.Int64("maxcycles", 0, "engine cycle cap (0 = scale default)")
+		seed     = flag.Int64("seed", 1, "corpus seed base; job i uses seed+i so specs stay distinct")
+		runID    = flag.String("run", "", "idempotency namespace (default: pid+time) — reruns with the same value dedup instead of resubmitting")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		outPath  = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "ptlload: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *runID == "" {
+		*runID = fmt.Sprintf("load-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+
+	// Retries:-1 disables the client's own 429/5xx retry loop: every
+	// admission verdict surfaces exactly once and gets counted.
+	client := fleet.NewClient(fleet.ClientConfig{Timeout: *timeout, Retries: -1})
+	ctx := context.Background()
+
+	var (
+		mu    sync.Mutex
+		rep   = report{Tenant: *tenant, Submitted: *n}
+		latMs = make([]float64, 0, *n)
+		wg    sync.WaitGroup
+		jobs  = make(chan int)
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				spec := jobd.Spec{
+					Scale:            *scale,
+					Mode:             *mode,
+					NFiles:           *nfiles,
+					FileSize:         *filesize,
+					MaxCycles:        *maxCyc,
+					Seed:             *seed + int64(i),
+					Tenant:           *tenant,
+					Priority:         *priority,
+					ClientDeadlineMs: deadline.Milliseconds(),
+				}
+				key := fmt.Sprintf("%s-%s-%d", *runID, *tenant, i)
+				t0 := time.Now()
+				st, dup, err := client.Submit(ctx, *addr, spec, key)
+				lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+				mu.Lock()
+				latMs = append(latMs, lat)
+				switch {
+				case err == nil && dup:
+					rep.Duplicate++
+					rep.IDs = append(rep.IDs, st.ID)
+				case err == nil:
+					rep.Accepted++
+					rep.IDs = append(rep.IDs, st.ID)
+				case fleet.StatusCode(err) == 429 && strings.Contains(err.Error(), "quota"):
+					rep.QuotaRejected++
+				case fleet.StatusCode(err) == 429 && strings.Contains(err.Error(), "deadline"):
+					rep.Shed++
+				case fleet.StatusCode(err) == 429:
+					rep.QueueFull++
+				default:
+					rep.Errors++
+					if len(rep.ErrorSamples) < 5 {
+						rep.ErrorSamples = append(rep.ErrorSamples, err.Error())
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.ElapsedMs = time.Since(start).Milliseconds()
+	sort.Float64s(latMs)
+	rep.SubmitP50Ms = percentile(latMs, 0.50)
+	rep.SubmitP99Ms = percentile(latMs, 0.99)
+	sort.Strings(rep.IDs)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptlload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "ptlload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"ptlload[%s]: %d submitted: %d accepted, %d dup, %d quota, %d shed, %d queue-full, %d errors in %dms (submit p50 %.1fms p99 %.1fms)\n",
+		*tenant, rep.Submitted, rep.Accepted, rep.Duplicate, rep.QuotaRejected,
+		rep.Shed, rep.QueueFull, rep.Errors, rep.ElapsedMs, rep.SubmitP50Ms, rep.SubmitP99Ms)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// percentile reads the p-th quantile from an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -60,10 +60,11 @@ func remoteMain(w io.Writer, addr, job, phase string, limit int, version bool) e
 		return nil
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "JOB\tSTATE\tATTEMPTS\tELAPSED\tDETAIL")
+	fmt.Fprintln(tw, "JOB\tTENANT\tPRI\tSTATE\tATTEMPTS\tWAIT\tELAPSED\tDETAIL")
 	for _, st := range jobs {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
-			st.ID, st.State, st.Attempts, elapsedCol(st), detailCol(st))
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%s\t%s\t%s\n",
+			st.ID, tenantCol(st), st.Spec.Priority, st.State, st.Attempts,
+			waitCol(st), elapsedCol(st), detailCol(st))
 	}
 	return tw.Flush()
 }
@@ -84,6 +85,20 @@ func printMetricsSummary(ctx context.Context, w io.Writer, client *fleet.Client,
 	fmt.Fprintf(w, "lifetime: %d submitted, %d done, %d failed, %d retried, %d adopted, %d reaped\n",
 		g("jobd_jobs_submitted"), g("jobd_jobs_done"), g("jobd_jobs_failed"),
 		g("jobd_jobs_retried"), g("jobd_jobs_adopted"), g("jobd_jobs_reaped"))
+}
+
+func tenantCol(st jobd.Status) string {
+	if st.Spec.Tenant == "" {
+		return "default"
+	}
+	return st.Spec.Tenant
+}
+
+func waitCol(st jobd.Status) string {
+	if st.QueueWaitMs <= 0 {
+		return "-"
+	}
+	return (time.Duration(st.QueueWaitMs) * time.Millisecond).Round(time.Millisecond).String()
 }
 
 func elapsedCol(st jobd.Status) string {

@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +47,8 @@ func main() {
 		brkCool    = flag.Duration("breaker-cooldown", time.Minute, "how long an open breaker rejects a config before re-probing")
 		retryAfter = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on queue-full 429 responses until drain latency is measured")
 		compactN   = flag.Int("compact-every", 256, "compact the durable job store after this many log records")
+		tenQueued  = flag.Int("tenant-queued", 0, "default per-tenant queued-job quota (0 = unlimited; past it: HTTP 429)")
+		tenRunning = flag.Int("tenant-running", 0, "default per-tenant running-job cap (0 = unlimited)")
 		journalOut = flag.String("journal", "", "append the service job journal (JSONL) to this file (default <data>/service.jsonl)")
 		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "SIGTERM: how long running jobs get to finish before workers are stopped")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -53,6 +57,8 @@ func main() {
 		// pointing at a job directory. Not part of the public API.
 		workerDir = flag.String("ptlserve-worker", "", "internal: run as an isolated job worker on this job directory")
 	)
+	policies := tenantPolicyFlag{}
+	flag.Var(&policies, "tenant", "per-tenant policy override, repeatable: name=maxQueued:maxRunning:weight (0 = default, -1 = unlimited)")
 	flag.Parse()
 
 	if *workerDir != "" {
@@ -91,6 +97,9 @@ func main() {
 		BreakerCooldown:  *brkCool,
 		RetryAfter:       *retryAfter,
 		CompactEvery:     *compactN,
+		TenantMaxQueued:  *tenQueued,
+		TenantMaxRunning: *tenRunning,
+		TenantPolicies:   policies,
 		Journal:          jf,
 	})
 	if err != nil {
@@ -146,6 +155,47 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "ptlserve: drained cleanly")
+}
+
+// tenantPolicyFlag parses repeated -tenant name=maxQueued:maxRunning:weight
+// overrides into the daemon's policy map. Trailing fields may be
+// omitted (name=16 sets just the queued quota).
+type tenantPolicyFlag map[string]jobd.TenantPolicy
+
+func (f *tenantPolicyFlag) String() string {
+	parts := make([]string, 0, len(*f))
+	for name, pol := range *f {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d:%d", name, pol.MaxQueued, pol.MaxRunning, pol.Weight))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *tenantPolicyFlag) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=maxQueued[:maxRunning[:weight]], got %q", v)
+	}
+	var pol jobd.TenantPolicy
+	dst := []*int{&pol.MaxQueued, &pol.MaxRunning, &pol.Weight}
+	fields := strings.Split(rest, ":")
+	if len(fields) > len(dst) {
+		return fmt.Errorf("too many fields in %q", v)
+	}
+	for i, fv := range fields {
+		if fv == "" {
+			continue
+		}
+		n, err := strconv.Atoi(fv)
+		if err != nil {
+			return fmt.Errorf("bad number %q in %q", fv, v)
+		}
+		*dst[i] = n
+	}
+	if *f == nil {
+		*f = map[string]jobd.TenantPolicy{}
+	}
+	(*f)[name] = pol
+	return nil
 }
 
 func fatal(err error) {

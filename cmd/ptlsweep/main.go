@@ -45,6 +45,9 @@ func main() {
 		epochs       = flag.Int("epochs", 8, "lease epochs per cell before it terminally fails")
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-request deadline")
 		quiet        = flag.Bool("q", false, "suppress progress output")
+		tenant       = flag.String("tenant", "", "tenant the campaign's jobs bill against on every daemon (overrides the campaign file)")
+		priority     = flag.Int("priority", 0, "campaign priority within its tenant, higher first (overrides the campaign file)")
+		deadlineFl   = flag.Duration("deadline", 0, "per-cell client deadline; cells whose estimated queue wait exceeds it are shed at admission (overrides the campaign file)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve the dispatcher's /metrics (Prometheus text) on this address while the campaign runs")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
@@ -58,6 +61,15 @@ func main() {
 	campaign, err := fleet.LoadCampaign(*campaignPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *tenant != "" {
+		campaign.Tenant = *tenant
+	}
+	if *priority != 0 {
+		campaign.Priority = *priority
+	}
+	if *deadlineFl != 0 {
+		campaign.DeadlineMs = deadlineFl.Milliseconds()
 	}
 	var nodes []fleet.Node
 	for i, url := range strings.Split(*nodesFlag, ",") {

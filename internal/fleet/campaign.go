@@ -26,6 +26,17 @@ type Campaign struct {
 	Injects []string `json:"injects,omitempty"` // fault-injection spec ("" = none)
 
 	Repeats int `json:"repeats,omitempty"` // replicas per point (default 1)
+
+	// Campaign-level admission metadata, stamped into every cell spec
+	// (non-zero values override the base spec's). Tenant names the
+	// account the campaign's jobs bill against on every daemon,
+	// Priority orders them within that tenant, and DeadlineMs is the
+	// per-cell client deadline — a cell whose estimated queue wait
+	// exceeds it is shed at admission (429) and rebalanced to a less
+	// loaded node by the dispatcher.
+	Tenant     string `json:"tenant,omitempty"`
+	Priority   int    `json:"priority,omitempty"`
+	DeadlineMs int64  `json:"deadline_ms,omitempty"`
 }
 
 // Cell is one grid point replica: the unit of lease, dispatch and
@@ -79,6 +90,15 @@ func (c *Campaign) Grid() ([]Cell, error) {
 					for r := 0; r < repeats; r++ {
 						s := c.Base
 						s.Scale, s.Core, s.Seed, s.Inject = sc, co, seed, spec
+						if c.Tenant != "" {
+							s.Tenant = c.Tenant
+						}
+						if c.Priority != 0 {
+							s.Priority = c.Priority
+						}
+						if c.DeadlineMs != 0 {
+							s.ClientDeadlineMs = c.DeadlineMs
+						}
 						if err := s.Validate(); err != nil {
 							return nil, fmt.Errorf("fleet: cell scale=%s core=%s seed=%d inject=%q: %w",
 								sc, co, seed, spec, err)

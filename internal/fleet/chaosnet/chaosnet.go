@@ -34,6 +34,13 @@ type Faults struct {
 	// ThrottleBps caps per-direction forwarding to N bytes/sec
 	// (slow-loris bodies: the connection works, agonizingly).
 	ThrottleBps int `json:"throttle_bps,omitempty"`
+	// BandwidthBps caps *aggregate* forwarded bytes/sec across every
+	// connection and both directions — a token bucket (burst of one
+	// second's allowance, starting empty) modeling a slow shared link
+	// in front of a tenant, where ThrottleBps models one slow stream.
+	// Concurrent connections contend for the same tokens, so fan-out
+	// does not evade the cap.
+	BandwidthBps int `json:"bandwidth_bps,omitempty"`
 }
 
 // Stats counts what the proxy did, for test and soak assertions.
@@ -41,7 +48,8 @@ type Stats struct {
 	Conns     int64 `json:"conns"`
 	Dropped   int64 `json:"dropped"`
 	Resets    int64 `json:"resets"`
-	Stalled   int64 `json:"stalled"` // connections that hit a partition window
+	Stalled   int64 `json:"stalled"`  // connections that hit a partition window
+	BwWaits   int64 `json:"bw_waits"` // pipe stalls waiting for bandwidth tokens
 	BytesIn   int64 `json:"bytes_in"`
 	BytesOut  int64 `json:"bytes_out"`
 	DialFails int64 `json:"dial_fails"`
@@ -60,9 +68,15 @@ type Proxy struct {
 	dropped  int64
 	resets   int64
 	stalled  int64
+	bwWaits  int64
 	bytesIn  int64
 	bytesOut int64
 	dialFail int64
+
+	// Shared bandwidth-cap token bucket (Faults.BandwidthBps).
+	bwMu     sync.Mutex
+	bwTokens float64
+	bwLast   time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -117,6 +131,7 @@ func (p *Proxy) Stats() Stats {
 		Dropped:   atomic.LoadInt64(&p.dropped),
 		Resets:    atomic.LoadInt64(&p.resets),
 		Stalled:   atomic.LoadInt64(&p.stalled),
+		BwWaits:   atomic.LoadInt64(&p.bwWaits),
 		BytesIn:   atomic.LoadInt64(&p.bytesIn),
 		BytesOut:  atomic.LoadInt64(&p.bytesOut),
 		DialFails: atomic.LoadInt64(&p.dialFail),
@@ -241,8 +256,26 @@ func (p *Proxy) pipe(src, dst net.Conn, counter *int64, reset bool, done chan<- 
 				limit = len(buf)
 			}
 		}
+		grant := 0
+		if f.BandwidthBps > 0 {
+			if grant = p.bwGrant(limit, f.BandwidthBps); grant == 0 {
+				atomic.AddInt64(&p.bwWaits, 1)
+				select {
+				case <-time.After(10 * time.Millisecond):
+					continue
+				case <-p.ctx.Done():
+					return
+				}
+			}
+			limit = grant
+		}
 		src.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
 		n, err := src.Read(buf[:limit])
+		if grant > n {
+			// Short (or timed-out) read: put the unused allowance back so
+			// a quiet stream doesn't burn the shared budget.
+			p.bwRefund(grant - n)
+		}
 		if n > 0 {
 			atomic.AddInt64(counter, int64(n))
 			if _, werr := dst.Write(buf[:n]); werr != nil {
@@ -268,6 +301,39 @@ func (p *Proxy) pipe(src, dst net.Conn, counter *int64, reset bool, done chan<- 
 			return
 		}
 	}
+}
+
+// bwGrant takes up to want bytes from the shared bandwidth bucket,
+// refilling at bps tokens/sec with a burst cap of one second's worth.
+// The bucket starts empty, so the first bytes through a freshly capped
+// proxy already pay the pacing cost rather than riding a free burst.
+func (p *Proxy) bwGrant(want, bps int) int {
+	p.bwMu.Lock()
+	defer p.bwMu.Unlock()
+	now := time.Now()
+	if p.bwLast.IsZero() {
+		p.bwLast = now
+	}
+	p.bwTokens += now.Sub(p.bwLast).Seconds() * float64(bps)
+	p.bwLast = now
+	if p.bwTokens > float64(bps) {
+		p.bwTokens = float64(bps)
+	}
+	g := want
+	if float64(g) > p.bwTokens {
+		g = int(p.bwTokens)
+	}
+	if g < 0 {
+		g = 0
+	}
+	p.bwTokens -= float64(g)
+	return g
+}
+
+func (p *Proxy) bwRefund(n int) {
+	p.bwMu.Lock()
+	p.bwTokens += float64(n)
+	p.bwMu.Unlock()
 }
 
 // rst closes a TCP connection with SO_LINGER 0, so the peer receives

@@ -147,6 +147,36 @@ func TestThrottleSlowsTransfer(t *testing.T) {
 	}
 }
 
+// TestBandwidthCapSlowsTransfer: the shared token bucket paces the
+// aggregate byte rate — the bucket starts empty, so a transfer that
+// would be instant is stretched to roughly bytes/BandwidthBps, and the
+// stalls it takes waiting for refill are counted for soak assertions.
+func TestBandwidthCapSlowsTransfer(t *testing.T) {
+	payload := strings.Repeat("y", 600)
+	p, url := proxyFor(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	p.SetFaults(Faults{BandwidthBps: 2000})
+
+	start := time.Now()
+	body, err := get(t, http.DefaultClient, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(body, payload) {
+		t.Fatalf("capped body corrupted (%d bytes)", len(body))
+	}
+	// Request + response together are well over 600 bytes; at 2000 Bps
+	// from an empty bucket that is ≥ 300ms of pacing. Keep slack for
+	// scheduler jitter and assert the floor loosely.
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("600B payload at 2000Bps cap took %v, want ≥ 250ms", elapsed)
+	}
+	if st := p.Stats(); st.BwWaits == 0 {
+		t.Fatalf("stats %+v: no bandwidth waits counted", st)
+	}
+}
+
 // TestControlHandler: the HTTP control plane flips faults and reports
 // stats — the interface soak scripts drive partitions through.
 func TestControlHandler(t *testing.T) {

@@ -87,10 +87,14 @@ func NewClient(cfg ClientConfig) *Client {
 }
 
 // HTTPError is a non-2xx response, preserving the status code so
-// callers can distinguish a fenced 409 from a missing 404.
+// callers can distinguish a fenced 409 from a missing 404. RetryAfter
+// carries the server's Retry-After hint when one accompanied the
+// response (429 backpressure), so the dispatcher can back off a
+// throttled node for the server-stated interval instead of guessing.
 type HTTPError struct {
 	StatusCode int
 	Message    string
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
@@ -103,6 +107,16 @@ func StatusCode(err error) int {
 	var he *HTTPError
 	if errors.As(err, &he) {
 		return he.StatusCode
+	}
+	return 0
+}
+
+// RetryAfterOf returns the server's Retry-After hint attached to err
+// (0 when the error carried none).
+func RetryAfterOf(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
 	}
 	return 0
 }
@@ -147,10 +161,12 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte, idemKe
 		} else {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
-			lastErr = &HTTPError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+			he := &HTTPError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
 			if ra := retryAfter(resp); ra > 0 {
 				delay = ra
+				he.RetryAfter = ra
 			}
+			lastErr = he
 		}
 		cancel()
 		if attempt >= c.cfg.Retries {

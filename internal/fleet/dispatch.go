@@ -109,6 +109,12 @@ type nodeState struct {
 	score    float64
 	inflight int
 	version  jobd.Version
+	// backoffUntil holds assignments off a node that answered 429
+	// (queue full or tenant quota) until its stated Retry-After lapses.
+	// The node stays healthy and leased cells keep polling — only new
+	// leases route around it, which is what rebalances a hot node's
+	// backlog onto the rest of the fleet.
+	backoffUntil time.Time
 }
 
 type cellState int
@@ -628,9 +634,24 @@ func (d *Dispatcher) assignPass(ctx context.Context) {
 			d.fence(&staleLease{cellID: s.cr.cell.ID, epoch: s.cr.epoch, node: s.n},
 				fmt.Sprintf("node %s fenced our submission: %v", s.n.Name, s.err))
 			d.bumpEpoch(s.cr)
+		case code == 429:
+			// Backpressure (queue full or this campaign's tenant at
+			// quota): hold new leases off the node for its stated
+			// Retry-After and let the cell re-lease elsewhere next tick —
+			// rebalancing to less-loaded nodes instead of hot-retrying
+			// one. The cell itself stays safe to retry: not admitted.
+			ra := RetryAfterOf(s.err)
+			if ra <= 0 {
+				ra = 4 * d.cfg.PollInterval
+			}
+			s.n.backoffUntil = time.Now().Add(ra)
+			d.count("fleet.submit.throttled")
+			d.logf("throttled: node %s 429, backing off %s (cell %s re-leases elsewhere)",
+				s.n.Name, ra, s.cr.cell.ID)
+			s.cr.state = cellPending
 		case code != 0:
-			// Definite rejection (422, 429-exhausted, drain): not
-			// admitted, safe to retry the same epoch later.
+			// Definite rejection (422, drain): not admitted, safe to
+			// retry the same epoch later.
 			s.cr.state = cellPending
 		default:
 			// Transport-level failure: the submit may or may not have
@@ -648,10 +669,14 @@ func (d *Dispatcher) assignPass(ctx context.Context) {
 
 // pickNode returns the live node with spare capacity that has the
 // fewest in-flight leases (ties broken by failure score), or nil.
+// Nodes inside a 429 backoff window are skipped: they told us their
+// queue (or our tenant's quota there) is full, so new leases flow to
+// the rest of the fleet until the window lapses.
 func (d *Dispatcher) pickNode() *nodeState {
+	now := time.Now()
 	var best *nodeState
 	for _, n := range d.nodes {
-		if n.down || n.inflight >= d.cfg.Inflight {
+		if n.down || n.inflight >= d.cfg.Inflight || now.Before(n.backoffUntil) {
 			continue
 		}
 		if best == nil || n.inflight < best.inflight ||

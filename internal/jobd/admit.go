@@ -1,0 +1,284 @@
+package jobd
+
+import (
+	"container/heap"
+	"sync"
+
+	"ptlsim/internal/metrics"
+)
+
+// The admission queue replaces the old flat `chan *job` FIFO with a
+// multi-tenant scheduler. Three policies compose:
+//
+//   - Within a tenant, jobs dequeue by Priority (higher first), FIFO
+//     within a priority level — a per-tenant binary heap.
+//   - Across tenants, dequeue is weighted fair share via stride
+//     scheduling: each tenant accumulates "pass" at a rate inversely
+//     proportional to its weight, and the eligible tenant with the
+//     lowest pass dequeues next. A tenant that floods the queue — even
+//     with high-priority jobs — only speeds up its own pass clock; it
+//     cannot starve a quieter tenant.
+//   - Per-tenant quotas: MaxQueued is enforced at admission (the HTTP
+//     layer answers 429 with a tenant-scoped Retry-After), MaxRunning
+//     at dequeue (the tenant's jobs simply wait while others run).
+//
+// Lock order: the daemon serializes all pushes under d.mu (admission
+// and recovery), exactly as it did with the channel, so a capacity or
+// quota check at admission time stays valid through the push. The
+// queue's own mutex protects against concurrent poppers (the worker
+// pool) and metric scrapes; its methods never take d.mu.
+
+// TenantPolicy is one tenant's admission policy. Zero values fall back
+// to the daemon-wide defaults (Config.TenantMaxQueued /
+// Config.TenantMaxRunning / weight 1).
+type TenantPolicy struct {
+	MaxQueued  int // queued-job quota (0 = daemon default; -1 = unlimited)
+	MaxRunning int // running-job quota (0 = daemon default; -1 = unlimited)
+	Weight     int // fair-share weight (0 = default 1)
+}
+
+// defaultTenant is the account used when a spec carries no tenant.
+const defaultTenant = "default"
+
+// tenantName normalizes a spec's tenant field to its account name.
+func tenantName(t string) string {
+	if t == "" {
+		return defaultTenant
+	}
+	return t
+}
+
+// strideOne is the pass a weight-1 tenant accumulates per dequeue;
+// weight w tenants accumulate strideOne/w, so they dequeue w times as
+// often under contention.
+const strideOne = 1 << 16
+
+// tenantQueue is one tenant's admission account: its priority heap,
+// running count, quota policy, and stride-scheduler state.
+type tenantQueue struct {
+	name    string
+	heap    jobHeap
+	running int
+	pass    uint64
+	stride  uint64
+	pol     TenantPolicy
+
+	queuedGauge  *metrics.Gauge
+	runningGauge *metrics.Gauge
+}
+
+// jobHeap orders a tenant's queued jobs: higher Priority first, then
+// admission order (seq) so equal priorities stay FIFO.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].spec.Priority != h[j].spec.Priority {
+		return h[i].spec.Priority > h[j].spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// admitQueue is the daemon's multi-tenant admission layer.
+type admitQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tenants map[string]*tenantQueue
+	queued  int    // total queued across tenants
+	seq     uint64 // admission-order stamp for FIFO within a priority
+	closed  bool   // drain: pop returns remaining jobs then false
+
+	defPol   TenantPolicy            // daemon-wide quota defaults
+	policies map[string]TenantPolicy // per-tenant overrides
+	reg      *metrics.Registry       // per-tenant gauges (nil in unit tests)
+}
+
+func newAdmitQueue(defPol TenantPolicy, policies map[string]TenantPolicy, reg *metrics.Registry) *admitQueue {
+	q := &admitQueue{
+		tenants:  map[string]*tenantQueue{},
+		defPol:   defPol,
+		policies: policies,
+		reg:      reg,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tenant returns (creating if needed) a tenant's account. A new tenant
+// starts at the minimum pass among active tenants, so it neither owes
+// history it wasn't around for nor gets a burst of accumulated credit.
+// Called with mu held.
+func (q *admitQueue) tenant(name string) *tenantQueue {
+	t := q.tenants[name]
+	if t != nil {
+		return t
+	}
+	pol := q.defPol
+	if over, ok := q.policies[name]; ok {
+		if over.MaxQueued != 0 {
+			pol.MaxQueued = over.MaxQueued
+		}
+		if over.MaxRunning != 0 {
+			pol.MaxRunning = over.MaxRunning
+		}
+		if over.Weight != 0 {
+			pol.Weight = over.Weight
+		}
+	}
+	if pol.Weight <= 0 {
+		pol.Weight = 1
+	}
+	t = &tenantQueue{name: name, pol: pol, stride: strideOne / uint64(pol.Weight)}
+	minPass, any := uint64(0), false
+	for _, other := range q.tenants {
+		if !any || other.pass < minPass {
+			minPass, any = other.pass, true
+		}
+	}
+	t.pass = minPass
+	if q.reg != nil {
+		t.queuedGauge = q.reg.Gauge("jobd.tenant." + name + ".queued")
+		t.runningGauge = q.reg.Gauge("jobd.tenant." + name + ".running")
+	}
+	q.tenants[name] = t
+	return t
+}
+
+func (t *tenantQueue) setGauges() {
+	if t.queuedGauge != nil {
+		t.queuedGauge.Set(int64(len(t.heap)))
+		t.runningGauge.Set(int64(t.running))
+	}
+}
+
+// quotaExceeded reports whether admitting one more job for tenant name
+// would breach its queued-job quota. Called with the daemon's mu held
+// (push is serialized), so a false answer stays valid through push.
+func (q *admitQueue) quotaExceeded(name string) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(name)
+	if t.pol.MaxQueued <= 0 {
+		return 0, false // unlimited (global QueueDepth still bounds)
+	}
+	return t.pol.MaxQueued, len(t.heap) >= t.pol.MaxQueued
+}
+
+// push admits a job to its tenant's heap. The daemon has already
+// checked global depth and tenant quota under d.mu.
+func (q *admitQueue) push(j *job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	j.seq = q.seq
+	t := q.tenant(tenantName(j.spec.Tenant))
+	heap.Push(&t.heap, j)
+	q.queued++
+	t.setGauges()
+	q.cond.Signal()
+}
+
+// pop blocks until a job is eligible to run and returns it, or returns
+// false when the queue is closed and fully drained. Eligible means the
+// tenant has queued work and is under its running quota; among eligible
+// tenants the one with the lowest stride pass wins, then its
+// highest-priority job. The popped job's tenant is charged one running
+// slot (released by done).
+func (q *admitQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		var best *tenantQueue
+		for _, t := range q.tenants {
+			if len(t.heap) == 0 {
+				continue
+			}
+			if t.pol.MaxRunning > 0 && t.running >= t.pol.MaxRunning {
+				continue
+			}
+			if best == nil || t.pass < best.pass ||
+				(t.pass == best.pass && t.name < best.name) {
+				best = t
+			}
+		}
+		if best != nil {
+			j := heap.Pop(&best.heap).(*job)
+			q.queued--
+			best.pass += best.stride
+			best.running++
+			best.setGauges()
+			return j, true
+		}
+		if q.closed && q.queued == 0 {
+			return nil, false
+		}
+		// Either empty, or every backlogged tenant is at its running
+		// quota: wait for a push, a done, or close. On close with a
+		// quota-blocked backlog, running jobs finishing (or being
+		// killed by drain) release slots and wake us to drain the rest.
+		q.cond.Wait()
+	}
+}
+
+// done releases the running slot pop charged to the job's tenant.
+func (q *admitQueue) done(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenantName(tenant))
+	if t.running > 0 {
+		t.running--
+	}
+	t.setGauges()
+	q.cond.Broadcast()
+}
+
+// noteRunning charges a running slot without a pop — recovery uses it
+// for adopted/respawned jobs that never pass through the queue, so
+// per-tenant running accounting (and MaxRunning) survives a restart.
+func (q *admitQueue) noteRunning(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenantName(tenant))
+	t.running++
+	t.setGauges()
+}
+
+// close starts drain: pop hands out the remaining backlog (runJob fails
+// cancelled jobs as "interrupted" without spawning workers) and then
+// returns false to each worker.
+func (q *admitQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len is the total queued (admitted, not yet running) job count.
+func (q *admitQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// tenantLoad reports a tenant's queued and running counts (both 0 for
+// an unknown tenant) — the tenant-scoped Retry-After inputs.
+func (q *admitQueue) tenantLoad(name string) (queued, running int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenants[tenantName(name)]
+	if t == nil {
+		return 0, 0
+	}
+	return len(t.heap), t.running
+}

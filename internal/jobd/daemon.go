@@ -70,6 +70,16 @@ type Config struct {
 	// (p50 job latency × queue position).
 	RetryAfter time.Duration
 
+	// Per-tenant admission defaults. TenantMaxQueued caps how much of
+	// the bounded queue one tenant may hold (0 = no per-tenant cap —
+	// the global QueueDepth still bounds); TenantMaxRunning caps a
+	// tenant's concurrent workers (0 = no cap). TenantPolicies carries
+	// per-tenant overrides keyed by tenant name; zero-valued policy
+	// fields inherit these defaults, -1 means explicitly unlimited.
+	TenantMaxQueued  int
+	TenantMaxRunning int
+	TenantPolicies   map[string]TenantPolicy
+
 	// CompactEvery bounds the job-store WAL between snapshot
 	// compactions (default 256 records), which bounds startup replay.
 	CompactEvery int
@@ -131,6 +141,13 @@ var (
 	// the highest this daemon has accepted for the same grid cell — a
 	// superseded lease trying to re-admit its job (fencing).
 	ErrStaleEpoch = errors.New("jobd: stale lease epoch for campaign cell")
+	// ErrTenantQuota: the submitting tenant is at its queued-job quota
+	// (tenant-scoped backpressure; other tenants are unaffected).
+	ErrTenantQuota = errors.New("jobd: tenant queued-job quota exceeded")
+	// ErrDeadlineShed: the job's client deadline is shorter than its
+	// estimated queue wait — admitted it could only time out, so it is
+	// shed at admission instead of after consuming a worker.
+	ErrDeadlineShed = errors.New("jobd: estimated queue wait exceeds client deadline")
 )
 
 // job is the daemon-side job record; mu guards the mutable status.
@@ -141,6 +158,7 @@ type job struct {
 
 	key       uint64 // breaker config key
 	probe     bool   // admitted as the breaker's half-open probe
+	seq       uint64 // admission order within the admit queue (FIFO tiebreak)
 	submitted time.Time
 	started   time.Time
 	deadline  time.Duration
@@ -198,17 +216,22 @@ type Daemon struct {
 	// via Counters) and /metrics (Prometheus text): every daemon counter
 	// and derived gauge lives here, so the two endpoints can never
 	// drift apart.
-	metrics *metrics.Registry
+	metrics  *metrics.Registry
+	admitLat *metrics.Histogram // admission decision latency (ms)
 
 	// latMu guards the completed-job latency ring (Retry-After's
 	// drain-rate estimate).
 	latMu sync.Mutex
 	lats  []int64
 
+	// queue is the multi-tenant admission layer: per-tenant priority
+	// heaps with weighted fair dequeue and quota enforcement. It has
+	// its own lock; pushes are additionally serialized under mu.
+	queue *admitQueue
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []string
-	queue     chan *job
 	resume    []resumeInfo // recovered running jobs, launched by Start
 	draining  bool
 	nextID    int
@@ -246,6 +269,9 @@ func New(cfg Config) (*Daemon, error) {
 		jobs:      map[string]*job{},
 		cellEpoch: map[string]int64{},
 	}
+	d.queue = newAdmitQueue(
+		TenantPolicy{MaxQueued: cfg.TenantMaxQueued, MaxRunning: cfg.TenantMaxRunning},
+		cfg.TenantPolicies, d.metrics)
 	d.registerGauges()
 	if err := d.recoverFromStore(); err != nil {
 		return nil, err
@@ -265,13 +291,10 @@ func (d *Daemon) registerGauges() {
 		return float64(d.RetryAfter().Milliseconds())
 	})
 	d.metrics.GaugeFunc("jobd.queue.depth", func() float64 {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if d.queue == nil {
-			return 0
-		}
-		return float64(len(d.queue))
+		return float64(d.queue.Len())
 	})
+	d.admitLat = d.metrics.Histogram("jobd.admission.latency_ms",
+		[]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000})
 	d.metrics.GaugeFunc("jobd.jobs.queued", func() float64 {
 		return float64(d.stateCount(StateQueued))
 	})
@@ -318,7 +341,11 @@ func (d *Daemon) Start() {
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
-			for j := range d.queue {
+			for {
+				j, ok := d.queue.pop()
+				if !ok {
+					return
+				}
 				d.runJob(j)
 			}
 		}()
@@ -384,17 +411,28 @@ func (d *Daemon) RetryAfter() time.Duration {
 	if p50 <= 0 {
 		return d.cfg.RetryAfter
 	}
-	d.mu.Lock()
-	qlen := 0
-	if d.queue != nil {
-		qlen = len(d.queue)
-	}
-	d.mu.Unlock()
 	// The pool drains Workers jobs per p50 on average; a queue-full
 	// client needs at least one full drain cycle plus its share of the
 	// backlog.
-	est := time.Duration(int64(qlen)/int64(d.cfg.Workers)+1) *
-		time.Duration(p50) * time.Millisecond
+	return clampRetry(time.Duration(int64(d.queue.Len())/int64(d.cfg.Workers)+1) *
+		time.Duration(p50) * time.Millisecond)
+}
+
+// RetryAfterTenant is the tenant-scoped backpressure hint for quota and
+// shed rejections: it reflects the *tenant's own* backlog (queued plus
+// running) rather than the global queue, so a throttled greedy tenant
+// backs off on its own drain rate while other tenants keep submitting.
+func (d *Daemon) RetryAfterTenant(tenant string) time.Duration {
+	p50 := d.latencyP50()
+	if p50 <= 0 {
+		return d.cfg.RetryAfter
+	}
+	tq, tr := d.queue.tenantLoad(tenant)
+	return clampRetry(time.Duration(int64(tq+tr)/int64(d.cfg.Workers)+1) *
+		time.Duration(p50) * time.Millisecond)
+}
+
+func clampRetry(est time.Duration) time.Duration {
 	if est < time.Second {
 		est = time.Second
 	}
@@ -402,6 +440,18 @@ func (d *Daemon) RetryAfter() time.Duration {
 		est = max
 	}
 	return est
+}
+
+// estimatedWaitMs is the expected queue wait for a job admitted now:
+// the measured p50 job latency times the job's expected queue position
+// in worker-drain cycles. 0 when the latency ring is cold — shedding
+// fails open until the daemon has evidence.
+func (d *Daemon) estimatedWaitMs() int64 {
+	p50 := d.latencyP50()
+	if p50 <= 0 {
+		return 0
+	}
+	return (int64(d.queue.Len())/int64(d.cfg.Workers) + 1) * p50
 }
 
 // Accepting reports whether new jobs are admitted (false once draining).
@@ -425,6 +475,11 @@ func (d *Daemon) resolveJob(spec Spec) *job {
 	}
 	if spec.DeadlineMs > 0 {
 		j.deadline = time.Duration(spec.DeadlineMs) * time.Millisecond
+	}
+	// The client's end-to-end budget caps the per-attempt deadline: an
+	// attempt outliving the client's interest is pure waste.
+	if cd := time.Duration(spec.ClientDeadlineMs) * time.Millisecond; cd > 0 && cd < j.deadline {
+		j.deadline = cd
 	}
 	switch {
 	case spec.MemLimitMB > 0:
@@ -459,9 +514,16 @@ func (d *Daemon) Submit(spec Spec) (Status, error) {
 //
 // It returns ErrQueueFull when the bounded queue is at depth
 // (backpressure — the HTTP layer answers 429 + Retry-After),
-// ErrDraining during shutdown, a breaker error for a tripped workload
-// config, and the spec's own error when invalid.
+// ErrTenantQuota when the submitting tenant is at its queued-job quota,
+// ErrDeadlineShed when the job's client deadline is already shorter
+// than its estimated queue wait (both 429 with a tenant-scoped
+// Retry-After), ErrDraining during shutdown, a breaker error for a
+// tripped workload config, and the spec's own error when invalid.
 func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
+	admitStart := time.Now()
+	defer func() {
+		d.admitLat.Observe(float64(time.Since(admitStart).Nanoseconds()) / 1e6)
+	}()
 	if err := spec.Validate(); err != nil {
 		return Status{}, false, err
 	}
@@ -509,14 +571,39 @@ func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
 		return Status{}, false, err
 	}
 	// All queue pushes happen under d.mu (admission here, recovery in
-	// New before Start), so a capacity check now guarantees the send
-	// below cannot block — and the WAL accept record can be written
-	// before the push without risking a full-queue rollback.
-	if len(d.queue) == cap(d.queue) {
+	// New before Start), so the depth and quota checks here stay valid
+	// through the push below (pops only shrink the queue) — and the
+	// WAL accept record can be written before the push without risking
+	// a full-queue rollback.
+	tenant := tenantName(spec.Tenant)
+	if d.queue.Len() >= d.cfg.QueueDepth {
 		d.mu.Unlock()
 		d.count("jobd.rejected.queue_full")
-		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "queue-full"})
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "queue-full",
+			Tenant: tenant})
 		return Status{}, false, ErrQueueFull
+	}
+	if quota, full := d.queue.quotaExceeded(tenant); full {
+		d.mu.Unlock()
+		d.count("jobd.rejected.tenant_quota")
+		d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "tenant-quota",
+			Tenant: tenant, Message: fmt.Sprintf("tenant %s at queued quota %d", tenant, quota)})
+		return Status{}, false, fmt.Errorf("%w: tenant %s at %d queued", ErrTenantQuota, tenant, quota)
+	}
+	// Deadline-aware shedding: if the client's end-to-end budget is
+	// already shorter than the estimated queue wait, admitting the job
+	// could only burn a worker on a result nobody is waiting for.
+	// Fail fast instead, while the client can still retry elsewhere.
+	if spec.ClientDeadlineMs > 0 {
+		if est := d.estimatedWaitMs(); est > spec.ClientDeadlineMs {
+			d.mu.Unlock()
+			d.count("jobd.jobs.shed")
+			d.journal.Append(supervisor.Entry{Event: supervisor.EventReject, Kind: "deadline-shed",
+				Tenant: tenant, Message: fmt.Sprintf("estimated wait %dms > client deadline %dms",
+					est, spec.ClientDeadlineMs)})
+			return Status{}, false, fmt.Errorf("%w: estimated wait %dms > deadline %dms",
+				ErrDeadlineShed, est, spec.ClientDeadlineMs)
+		}
 	}
 
 	d.nextID++
@@ -538,7 +625,7 @@ func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
 		d.count("jobd.rejected.store_error")
 		return Status{}, false, fmt.Errorf("jobd: persisting accept: %w", err)
 	}
-	d.queue <- j
+	d.queue.push(j)
 	d.jobs[id] = j
 	d.order = append(d.order, id)
 	if ck := spec.CellKey(); ck != "" && spec.Epoch > d.cellEpoch[ck] {
@@ -548,7 +635,7 @@ func (d *Daemon) SubmitKey(spec Spec, idemKey string) (Status, bool, error) {
 
 	d.count("jobd.jobs.submitted")
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobSubmit, Job: id,
-		Started: rfc3339(now), Message: fmt.Sprintf("config %#x", key)})
+		Tenant: tenant, Started: rfc3339(now), Message: fmt.Sprintf("config %#x", key)})
 	return j.status(), false, nil
 }
 
@@ -608,7 +695,7 @@ func (d *Daemon) Drain(ctx context.Context) error {
 		return fmt.Errorf("jobd: already draining")
 	}
 	d.draining = true
-	close(d.queue)
+	d.queue.close()
 	d.mu.Unlock()
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventDrain, Message: "begin"})
 
@@ -675,6 +762,7 @@ func (d *Daemon) runJob(j *job) {
 	j.started = time.Now()
 	j.st.State = StateRunning
 	j.st.StartedAt = rfc3339(j.started)
+	j.st.QueueWaitMs = j.started.Sub(j.submitted).Milliseconds()
 	j.mu.Unlock()
 	d.count("jobd.jobs.started")
 	d.runAttempts(j, jobDir, 1, nil)
@@ -833,8 +921,12 @@ func (d *Daemon) superviseWorker(j *job, jobDir string, attempt int) error {
 	j.mu.Lock()
 	j.st.PID = pid
 	j.mu.Unlock()
+	j.mu.Lock()
+	queueWait := j.st.QueueWaitMs
+	j.mu.Unlock()
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobStart, Job: j.st.ID,
-		Attempt: attempt, PID: pid, Started: rfc3339(start)})
+		Attempt: attempt, PID: pid, Started: rfc3339(start),
+		Tenant: tenantName(j.spec.Tenant), QueueWaitMs: queueWait})
 	d.store.Append(Record{Op: opStart, Job: j.st.ID, Attempt: attempt,
 		PID: pid, PIDStart: pidStart})
 
@@ -1031,16 +1123,17 @@ func (d *Daemon) completeJob(j *job, res *Result) {
 	j.st.Error = ""
 	j.st.FinishedAt = rfc3339(now)
 	j.st.ElapsedMs = now.Sub(j.submitted).Milliseconds()
-	id, elapsed := j.st.ID, j.st.ElapsedMs
+	id, elapsed, queueWait := j.st.ID, j.st.ElapsedMs, j.st.QueueWaitMs
 	started := j.submitted
 	j.mu.Unlock()
+	d.queue.done(j.spec.Tenant)
 	d.breaker.Success(j.key)
 	d.noteLatency(elapsed)
 	d.count("jobd.jobs.done")
 	d.store.Append(Record{Op: opDone, Job: id, Result: res, Phase: StateDone})
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobDone, Job: id,
-		Cycle: res.Cycles, Insns: res.Insns,
-		Started: rfc3339(started), ElapsedMs: elapsed})
+		Cycle: res.Cycles, Insns: res.Insns, Tenant: tenantName(j.spec.Tenant),
+		QueueWaitMs: queueWait, Started: rfc3339(started), ElapsedMs: elapsed})
 }
 
 func (d *Daemon) failJob(j *job, kind, message string, breaker bool) {
@@ -1051,15 +1144,17 @@ func (d *Daemon) failJob(j *job, kind, message string, breaker bool) {
 	j.st.Error = message
 	j.st.FinishedAt = rfc3339(now)
 	j.st.ElapsedMs = now.Sub(j.submitted).Milliseconds()
-	id, elapsed := j.st.ID, j.st.ElapsedMs
+	id, elapsed, queueWait := j.st.ID, j.st.ElapsedMs, j.st.QueueWaitMs
 	started := j.submitted
 	probe := j.probe
 	j.mu.Unlock()
+	d.queue.done(j.spec.Tenant)
 	d.count("jobd.jobs.failed")
 	d.store.Append(Record{Op: opFail, Job: id, Kind: kind, Message: message,
 		Phase: StateFailed})
 	d.journal.Append(supervisor.Entry{Event: supervisor.EventJobFail, Job: id,
-		Kind: kind, Message: message, Started: rfc3339(started), ElapsedMs: elapsed})
+		Kind: kind, Message: message, Tenant: tenantName(j.spec.Tenant),
+		QueueWaitMs: queueWait, Started: rfc3339(started), ElapsedMs: elapsed})
 	switch {
 	case breaker:
 		if d.breaker.Failure(j.key) {

@@ -78,6 +78,22 @@ type Spec struct {
 	Campaign string `json:"campaign,omitempty"`
 	Cell     string `json:"cell,omitempty"`
 	Epoch    int64  `json:"epoch,omitempty"`
+
+	// Multi-tenant admission metadata. Tenant names the submitting
+	// tenant ("" = the default tenant): the admission layer keeps one
+	// priority queue, quota ledger, and fair-share account per tenant.
+	// Priority orders jobs *within* a tenant (higher dequeues first;
+	// cross-tenant ordering is weighted fair share, so one tenant's
+	// priorities never starve another tenant). ClientDeadlineMs is the
+	// submitting client's end-to-end budget: a job whose estimated
+	// queue wait already exceeds it is shed at admission (HTTP 429)
+	// instead of timing out after consuming a worker, and it caps the
+	// per-attempt deadline once running. Like the campaign fields,
+	// these describe the dispatch, not the workload, and are excluded
+	// from ConfigKey.
+	Tenant           string `json:"tenant,omitempty"`
+	Priority         int    `json:"priority,omitempty"`
+	ClientDeadlineMs int64  `json:"client_deadline_ms,omitempty"`
 }
 
 // CellKey identifies a campaign grid cell for the daemon-side epoch
@@ -122,6 +138,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Change < 0 || s.Change > 1 {
 		return fmt.Errorf("jobd: change fraction %v out of [0,1]", s.Change)
+	}
+	if s.ClientDeadlineMs < 0 {
+		return fmt.Errorf("jobd: client deadline %dms is negative", s.ClientDeadlineMs)
 	}
 	if s.Inject != "" {
 		if _, err := faultinject.ParseList(s.Inject); err != nil {
@@ -277,7 +296,8 @@ type Status struct {
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
-	ElapsedMs   int64  `json:"elapsed_ms,omitempty"` // submit → finish wall clock
+	ElapsedMs   int64  `json:"elapsed_ms,omitempty"`    // submit → finish wall clock
+	QueueWaitMs int64  `json:"queue_wait_ms,omitempty"` // submit → first attempt start
 
 	Result *Result `json:"result,omitempty"`
 

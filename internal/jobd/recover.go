@@ -3,6 +3,7 @@ package jobd
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"ptlsim/internal/supervisor"
@@ -11,17 +12,30 @@ import (
 // recoverFromStore rebuilds the daemon's runtime state from the
 // replayed job store: terminal jobs come back as status (and keep
 // their idempotency mapping), queued jobs are re-admitted to the
-// queue, and running jobs are staged for adopt-or-reap once Start
-// launches the pool. It also sizes the queue: recovered queued jobs
-// must all fit even if they exceed the configured depth (they were
-// admitted legitimately by the previous incarnation).
+// admission queue — whose per-tenant priority heaps restore the
+// pre-crash dequeue order, since Priority and Tenant ride in the
+// persisted spec — and running jobs are staged for adopt-or-reap once
+// Start launches the pool, with their tenant's running slot re-charged
+// so per-tenant quota accounting survives the restart. Recovered
+// queued jobs may exceed the configured depth (they were admitted
+// legitimately by the previous incarnation); admission stays closed to
+// new work until the backlog drains below it.
+//
+// The completed-job latency ring is re-seeded here too, in completion
+// order, so the first Retry-After after a restart reflects measured
+// drain rate instead of the cold-start constant — the recorded
+// submit/finish stamps survive snapshot compaction in JobState.
 func (d *Daemon) recoverFromStore() error {
 	states := d.store.Jobs()
 	d.recovery.Jobs = len(states)
 	d.recovery.Skipped = d.store.Skipped()
 	d.nextID = d.store.MaxID()
 
-	var queued []*job
+	type latSample struct {
+		fin time.Time
+		ms  int64
+	}
+	var doneLats []latSample
 	for i := range states {
 		js := &states[i]
 		j := d.resolveJob(js.Spec)
@@ -39,6 +53,9 @@ func (d *Daemon) recoverFromStore() error {
 			FinishedAt:  js.FinishedAt,
 			Dir:         filepath.Join(d.cfg.Dir, "jobs", js.ID),
 		}
+		if start := parseRFC3339(js.StartedAt); !start.IsZero() && !j.submitted.IsZero() {
+			j.st.QueueWaitMs = start.Sub(j.submitted).Milliseconds()
+		}
 		d.jobs[js.ID] = j
 		d.order = append(d.order, js.ID)
 		// The campaign epoch fence is durable: every accepted spec is in
@@ -53,18 +70,23 @@ func (d *Daemon) recoverFromStore() error {
 			if fin, sub := parseRFC3339(js.FinishedAt), j.submitted; !fin.IsZero() && !sub.IsZero() {
 				j.st.ElapsedMs = fin.Sub(sub).Milliseconds()
 				if js.Phase == StateDone {
-					d.noteLatency(j.st.ElapsedMs)
+					ms := j.st.ElapsedMs
+					if ms <= 0 {
+						ms = 1 // sub-millisecond completion: still a sample
+					}
+					doneLats = append(doneLats, latSample{fin: fin, ms: ms})
 				}
 			}
 		case StateQueued:
 			d.recovery.Requeued++
-			queued = append(queued, j)
+			d.queue.push(j)
 		case StateRunning:
 			d.recovery.Resumed++
 			// A fresh respawn budget per daemon incarnation: the daemon
 			// crashing is not evidence against the job, and a chaos soak
 			// of N daemon kills must not exhaust a per-job budget.
 			j.restarts += js.Attempt
+			d.queue.noteRunning(js.Spec.Tenant)
 			d.resume = append(d.resume, resumeInfo{j: j, o: orphan{
 				pid:      js.PID,
 				pidStart: js.PIDStart,
@@ -76,13 +98,13 @@ func (d *Daemon) recoverFromStore() error {
 		}
 	}
 
-	depth := d.cfg.QueueDepth
-	if len(queued) > depth {
-		depth = len(queued)
-	}
-	d.queue = make(chan *job, depth)
-	for _, j := range queued {
-		d.queue <- j
+	// Seed the latency ring oldest-completion-first: the bounded ring
+	// keeps the most recent samples, so a store holding more history
+	// than the ring leaves the estimate reflecting the newest drain
+	// rate, not whichever jobs happened to be accepted first.
+	sort.Slice(doneLats, func(i, k int) bool { return doneLats[i].fin.Before(doneLats[k].fin) })
+	for _, s := range doneLats {
+		d.noteLatency(s.ms)
 	}
 
 	if d.recovery.Requeued > 0 || d.recovery.Resumed > 0 || d.recovery.Skipped > 0 {

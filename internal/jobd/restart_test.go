@@ -47,13 +47,26 @@ func daemonMain(dir string) int {
 			compact = n
 		}
 	}
+	tenantQueued := 0
+	if v := os.Getenv("PTLSERVE_DAEMON_TQUEUED"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			tenantQueued = n
+		}
+	}
+	workerCmd := func(jobDir string) *exec.Cmd {
+		cmd := exec.Command(exe)
+		cmd.Env = []string{"PTLSERVE_WORKER_DIR=" + jobDir}
+		return cmd
+	}
+	if os.Getenv("PTLSERVE_DAEMON_SLEEPWORKER") == "1" {
+		// Stub workers that never finish: the multi-tenant recovery test
+		// needs a backlog that stays put while it asserts scheduling.
+		workerCmd = func(string) *exec.Cmd { return exec.Command("sleep", "60") }
+	}
 	d, err := New(Config{
-		Dir: dir,
-		WorkerCommand: func(jobDir string) *exec.Cmd {
-			cmd := exec.Command(exe)
-			cmd.Env = []string{"PTLSERVE_WORKER_DIR=" + jobDir}
-			return cmd
-		},
+		Dir:              dir,
+		WorkerCommand:    workerCmd,
+		TenantMaxQueued:  tenantQueued,
 		Workers:          1,
 		QueueDepth:       16,
 		PollInterval:     10 * time.Millisecond,
@@ -616,6 +629,119 @@ func TestEventsStreamReplaysAcrossRestart(t *testing.T) {
 	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
 	d2.Drain(ctx2)
 	cancel2()
+}
+
+// TestDaemonSIGKILLRecoveryMultiTenantBacklog is the multi-tenant
+// acceptance test: SIGKILL the daemon with a mixed-priority backlog
+// from two tenants, restart it, and the replayed admission queue must
+// restore both the intended dequeue order (priority within tenant) and
+// the per-tenant quota accounting — a tenant at its queued quota before
+// the crash is still rejected after it. Stub sleep-workers keep the
+// backlog pinned so every assertion is race-free.
+func TestDaemonSIGKILLRecoveryMultiTenantBacklog(t *testing.T) {
+	t.Setenv("PTLSERVE_DAEMON_TQUEUED", "2")
+	t.Setenv("PTLSERVE_DAEMON_SLEEPWORKER", "1")
+	dir := t.TempDir()
+	dp := startDaemonProc(t, dir)
+
+	// The blocker occupies the single worker slot; everything behind it
+	// stays queued.
+	blocker := Spec{Tenant: "alpha", Seed: 100}
+	bst, code := httpSubmit(t, dp.url, blocker, "job-blocker")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit blocker: %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var workerPID int
+	for {
+		st := httpJob(t, dp.url, bst.ID)
+		if st.State == StateRunning && st.PID > 0 {
+			workerPID = st.PID
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Mixed-priority backlog: two queued per tenant (each tenant exactly
+	// at its quota of 2), priorities deliberately admitted low-first.
+	a1, _ := httpSubmit(t, dp.url, Spec{Tenant: "alpha", Priority: 1, Seed: 101}, "job-a1")
+	a5, _ := httpSubmit(t, dp.url, Spec{Tenant: "alpha", Priority: 5, Seed: 102}, "job-a5")
+	b2, _ := httpSubmit(t, dp.url, Spec{Tenant: "beta", Priority: 2, Seed: 201}, "job-b2")
+	b9, _ := httpSubmit(t, dp.url, Spec{Tenant: "beta", Priority: 9, Seed: 202}, "job-b9")
+	// Quota is live pre-crash.
+	if _, code := httpSubmit(t, dp.url, Spec{Tenant: "alpha", Seed: 103}, "job-a-over"); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota pre-crash submit: %d, want 429", code)
+	}
+
+	dp.kill()
+	syscall.Kill(workerPID, syscall.SIGKILL)
+
+	dp2 := startDaemonProc(t, dir)
+
+	// The single pool worker pops exactly one backlog job. Stride
+	// scheduling breaks the fresh-start tie to tenant alpha, and the
+	// replayed heap must hand out alpha's priority-5 job — not the
+	// priority-1 job admitted before it.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		st := httpJob(t, dp2.url, a5.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("a5 not dispatched after restart (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := httpJob(t, dp2.url, a1.ID); st.State != StateQueued {
+		t.Fatalf("priority inversion after replay: a1 is %s, a5 should run first", st.State)
+	}
+	for _, id := range []string{b2.ID, b9.ID} {
+		if st := httpJob(t, dp2.url, id); st.State != StateQueued {
+			t.Fatalf("beta job %s is %s, want queued behind the single worker", id, st.State)
+		}
+	}
+	// The blocker was re-staged as running (adopt-or-respawn), not
+	// requeued — its tenant's running slot survived the crash.
+	if st := httpJob(t, dp2.url, bst.ID); st.State != StateRunning {
+		t.Fatalf("blocker is %s after restart, want running", st.State)
+	}
+
+	// Per-tenant quota accounting replayed: beta still holds 2 queued →
+	// at quota; alpha drained one (a5 popped) → one slot free, then full
+	// again.
+	if _, code := httpSubmit(t, dp2.url, Spec{Tenant: "beta", Seed: 203}, "job-b-over"); code != http.StatusTooManyRequests {
+		t.Fatalf("beta over-quota submit after restart: %d, want 429", code)
+	}
+	if _, code := httpSubmit(t, dp2.url, Spec{Tenant: "alpha", Seed: 104}, "job-a-refill"); code != http.StatusAccepted {
+		t.Fatalf("alpha refill submit after restart: %d, want 202", code)
+	}
+	if _, code := httpSubmit(t, dp2.url, Spec{Tenant: "alpha", Seed: 105}, "job-a-over2"); code != http.StatusTooManyRequests {
+		t.Fatalf("alpha second over-quota submit: %d, want 429", code)
+	}
+
+	// Idempotent replay across the crash: original job back, no dup.
+	re, code := httpSubmit(t, dp2.url, Spec{Tenant: "alpha", Priority: 1, Seed: 101}, "job-a1")
+	if code != http.StatusOK || re.ID != a1.ID {
+		t.Fatalf("idempotent resubmit: %d job %s, want 200 job %s", code, re.ID, a1.ID)
+	}
+
+	// Nothing lost, nothing duplicated: blocker + 4 backlog + 1 refill.
+	resp, err := http.Get(dp2.url + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all []Status
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("job count after crash recovery: %d, want 6", len(all))
+	}
 }
 
 // TestRetryAfterReflectsDrainRate: once job latency is measured, the

@@ -17,6 +17,8 @@ import (
 //	POST /jobs             submit a Spec            → 202 Status
 //	                       Idempotency-Key replay   → 200 original Status
 //	                       queue full               → 429 + Retry-After
+//	                       tenant quota / deadline  → 429 + tenant-scoped
+//	                       shed                       Retry-After
 //	                       draining                 → 503
 //	                       stale campaign epoch     → 409 (fencing)
 //	                       breaker open / bad spec  → 422
@@ -105,6 +107,12 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// queue drain rate so recovering clients pace themselves to
 		// reality.
 		w.Header().Set("Retry-After", retryAfterSeconds(d.RetryAfter()))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrTenantQuota), errors.Is(err, ErrDeadlineShed):
+		// Tenant-scoped backpressure: the quota breach (or shed) is this
+		// tenant's own doing, so the hint reflects the tenant's backlog
+		// drain rate — other tenants keep submitting unthrottled.
+		w.Header().Set("Retry-After", retryAfterSeconds(d.RetryAfterTenant(spec.Tenant)))
 		httpError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())

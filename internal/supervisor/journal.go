@@ -18,17 +18,17 @@ import (
 
 // Journal event names.
 const (
-	EventRunStart    = "run_start"    // supervisor starting an attempt
-	EventCheckpoint  = "checkpoint"   // rotation slot written
-	EventFailure     = "failure"      // run attempt failed
-	EventDiscardSlot = "discard_slot" // checkpoint slot rejected (corrupt/unreadable)
-	EventRestore     = "restore"      // machine restored from a slot
+	EventRunStart    = "run_start"     // supervisor starting an attempt
+	EventCheckpoint  = "checkpoint"    // rotation slot written
+	EventFailure     = "failure"       // run attempt failed
+	EventDiscardSlot = "discard_slot"  // checkpoint slot rejected (corrupt/unreadable)
+	EventRestore     = "restore"       // machine restored from a slot
 	EventDegradeOn   = "degrade_start" // window re-executing on the sequential core
-	EventDegradeOff  = "degrade_end"  // degraded window finished, back to the OoO core
-	EventInterrupt   = "interrupt"    // cancellation: final checkpoint written
-	EventGiveUp      = "give_up"      // retry budget exhausted or failure not retryable
-	EventComplete    = "complete"     // run finished normally
-	EventTriage      = "triage"       // divergence search result after a self-check failure
+	EventDegradeOff  = "degrade_end"   // degraded window finished, back to the OoO core
+	EventInterrupt   = "interrupt"     // cancellation: final checkpoint written
+	EventGiveUp      = "give_up"       // retry budget exhausted or failure not retryable
+	EventComplete    = "complete"      // run finished normally
+	EventTriage      = "triage"        // divergence search result after a self-check failure
 )
 
 // Service journal event names: the job daemon (internal/jobd) appends
@@ -95,15 +95,20 @@ type Entry struct {
 	Attempt   int    `json:"attempt,omitempty"`
 	Job       string `json:"job,omitempty"` // service: job ID the entry belongs to
 	PID       int    `json:"pid,omitempty"` // service: worker process ID
-	Cycle     uint64 `json:"cycle,omitempty"`
-	Insns     int64  `json:"insns,omitempty"`
-	Kind      string `json:"kind,omitempty"` // simerr failure kind
-	Message   string `json:"message,omitempty"`
-	Slot      string `json:"slot,omitempty"`       // checkpoint file involved
-	BackoffMs int64  `json:"backoff_ms,omitempty"` // delay before the retry
-	FromCycle uint64 `json:"from_cycle,omitempty"` // degraded window start
-	ToCycle   uint64 `json:"to_cycle,omitempty"`   // degraded window end
-	Retryable bool   `json:"retryable,omitempty"`
+	// Service multi-tenant admission detail: the job's tenant account
+	// and how long it waited in the admission queue before its first
+	// worker attempt started.
+	Tenant      string `json:"tenant,omitempty"`
+	QueueWaitMs int64  `json:"queue_wait_ms,omitempty"`
+	Cycle       uint64 `json:"cycle,omitempty"`
+	Insns       int64  `json:"insns,omitempty"`
+	Kind        string `json:"kind,omitempty"` // simerr failure kind
+	Message     string `json:"message,omitempty"`
+	Slot        string `json:"slot,omitempty"`       // checkpoint file involved
+	BackoffMs   int64  `json:"backoff_ms,omitempty"` // delay before the retry
+	FromCycle   uint64 `json:"from_cycle,omitempty"` // degraded window start
+	ToCycle     uint64 `json:"to_cycle,omitempty"`   // degraded window end
+	Retryable   bool   `json:"retryable,omitempty"`
 
 	// Self-check failure detail (failure events with a divergence or
 	// invariant kind) and triage results.

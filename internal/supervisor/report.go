@@ -114,12 +114,12 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 			recoveries++
 		case EventJobDone:
 			jobsDone++
-			jobLines = append(jobLines, fmt.Sprintf("job %s done in %dms (cycle %d, %d instructions)",
-				e.Job, e.ElapsedMs, e.Cycle, e.Insns))
+			jobLines = append(jobLines, fmt.Sprintf("job %s%s done in %dms%s (cycle %d, %d instructions)",
+				e.Job, tenantTag(e.Tenant), e.ElapsedMs, queueWaitTag(e.QueueWaitMs), e.Cycle, e.Insns))
 		case EventJobFail:
 			jobsFailed++
-			jobLines = append(jobLines, fmt.Sprintf("job %s failed after %dms (%s): %s",
-				e.Job, e.ElapsedMs, e.Kind, e.Message))
+			jobLines = append(jobLines, fmt.Sprintf("job %s%s failed after %dms%s (%s): %s",
+				e.Job, tenantTag(e.Tenant), e.ElapsedMs, queueWaitTag(e.QueueWaitMs), e.Kind, e.Message))
 		case EventReject:
 			rejects++
 		case EventBreakerOpen:
@@ -295,6 +295,23 @@ func WriteReport(w io.Writer, entries []Entry, tail int) {
 	}
 }
 
+// tenantTag renders a job line's tenant suffix (empty for entries
+// predating multi-tenant admission or for the implicit default).
+func tenantTag(tenant string) string {
+	if tenant == "" || tenant == "default" {
+		return ""
+	}
+	return " [" + tenant + "]"
+}
+
+// queueWaitTag renders how long a job sat in the admission queue.
+func queueWaitTag(ms int64) string {
+	if ms <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (queued %dms)", ms)
+}
+
 // orUnnamed substitutes a placeholder for an empty campaign name.
 func orUnnamed(name string) string {
 	if name == "" {
@@ -346,6 +363,12 @@ func FormatEntry(e Entry) string {
 	}
 	if e.Kind != "" {
 		fmt.Fprintf(&b, " kind=%s", e.Kind)
+	}
+	if e.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%s", e.Tenant)
+	}
+	if e.QueueWaitMs > 0 {
+		fmt.Fprintf(&b, " queue_wait=%dms", e.QueueWaitMs)
 	}
 	if e.BackoffMs > 0 {
 		fmt.Fprintf(&b, " backoff=%dms", e.BackoffMs)
